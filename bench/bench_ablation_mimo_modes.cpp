@@ -1,0 +1,134 @@
+// Ablation: STBC vs SDM at sample level — the measured justification for
+// the link abstraction's mode model (STBC = +diversity gain, SDM =
+// per-stream penalty but double rate). Sweeping SNR over Rayleigh 2x2
+// channels: SDM's *throughput* (2 symbols/use scaled by symbol success)
+// overtakes STBC's beyond a crossover, while STBC always wins on raw
+// error rate. The auto-rate's mode switch lives at that crossover.
+#include <cmath>
+#include <cstdio>
+
+#include "baseband/qpsk.hpp"
+#include "baseband/sdm.hpp"
+#include "baseband/stbc.hpp"
+#include "common.hpp"
+#include "phy/coding.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace acorn;
+using baseband::Cx;
+
+namespace {
+
+struct ModeStats {
+  double ber_sdm = 0.0;
+  double ber_stbc = 0.0;
+  double tput_sdm = 0.0;   // correct bits per channel use
+  double tput_stbc = 0.0;
+};
+
+ModeStats measure(double snr_db, util::Rng& rng) {
+  const double noise_var = util::db_to_lin(-snr_db);
+  const int kBlocks = 3000;
+  int sdm_err = 0;
+  int stbc_err = 0;
+  int bits_total = 0;
+  auto awgn = [&rng, noise_var] {
+    return Cx(rng.normal(0.0, std::sqrt(noise_var / 2.0)),
+              rng.normal(0.0, std::sqrt(noise_var / 2.0)));
+  };
+  for (int block = 0; block < kBlocks; ++block) {
+    baseband::Mimo2x2 h;
+    for (auto& row : h) {
+      for (auto& x : row) {
+        x = Cx(rng.normal(0.0, std::sqrt(0.5)),
+               rng.normal(0.0, std::sqrt(0.5)));
+      }
+    }
+    std::vector<std::uint8_t> bits(4);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+    const auto symbols = baseband::qpsk_modulate(bits);
+    const double g = 1.0 / std::sqrt(2.0);  // per-antenna power split
+
+    const Cx r0 = g * (h[0][0] * symbols[0] + h[0][1] * symbols[1]) + awgn();
+    const Cx r1 = g * (h[1][0] * symbols[0] + h[1][1] * symbols[1]) + awgn();
+    std::vector<std::uint8_t> sdm_bits;
+    try {
+      const auto det = baseband::zf_detect(h, r0 / g, r1 / g);
+      sdm_bits = baseband::qpsk_demodulate(std::vector<Cx>{det[0], det[1]});
+    } catch (const std::domain_error&) {
+      sdm_bits = {0, 0, 0, 0};
+    }
+
+    const Cx ra0 = r0;  // reuse slot-0 observations for Alamouti slot 0
+    const Cx rb0 = r1;
+    const Cx ra1 = g * (h[0][0] * (-std::conj(symbols[1])) +
+                        h[0][1] * std::conj(symbols[0])) +
+                   awgn();
+    const Cx rb1 = g * (h[1][0] * (-std::conj(symbols[1])) +
+                        h[1][1] * std::conj(symbols[0])) +
+                   awgn();
+    const baseband::StbcDecoded d = baseband::alamouti_combine(
+        ra0 / g, ra1 / g, rb0 / g, rb1 / g, h[0][0], h[1][0], h[0][1],
+        h[1][1]);
+    const double gain = d.gain > 1e-12 ? d.gain : 1.0;
+    const auto stbc_bits = baseband::qpsk_demodulate(
+        std::vector<Cx>{d.s0 / gain, d.s1 / gain});
+
+    for (int i = 0; i < 4; ++i) {
+      if (sdm_bits[static_cast<std::size_t>(i)] !=
+          bits[static_cast<std::size_t>(i)]) {
+        ++sdm_err;
+      }
+      if (stbc_bits[static_cast<std::size_t>(i)] !=
+          bits[static_cast<std::size_t>(i)]) {
+        ++stbc_err;
+      }
+      ++bits_total;
+    }
+  }
+  ModeStats out;
+  out.ber_sdm = static_cast<double>(sdm_err) / bits_total;
+  out.ber_stbc = static_cast<double>(stbc_err) / bits_total;
+  // Deliverable throughput: nominal bits per channel use (4 for SDM, 2
+  // for STBC) scaled by the packet success rate after rate-1/2 coding of
+  // a 1500-byte frame — the raw BER alone flatters SDM because coding
+  // turns moderate BER into total loss.
+  const int kFrameBits = 1500 * 8;
+  const double per_sdm = phy::packet_error_rate(
+      phy::coded_ber(phy::CodeRate::kRate12, out.ber_sdm), kFrameBits);
+  const double per_stbc = phy::packet_error_rate(
+      phy::coded_ber(phy::CodeRate::kRate12, out.ber_stbc), kFrameBits);
+  out.tput_sdm = 4.0 * (1.0 - per_sdm);
+  out.tput_stbc = 2.0 * (1.0 - per_stbc);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: STBC vs SDM (sample-level 2x2 Rayleigh)",
+                "STBC always wins BER; SDM wins throughput past a "
+                "crossover — the auto-rate's mode switch");
+  util::Rng rng(bench::kDefaultSeed);
+  util::TextTable t({"SNR (dB)", "BER STBC", "BER SDM",
+                     "coded bits/use STBC", "coded bits/use SDM", "winner"});
+  double crossover = -100.0;
+  for (double snr = -2.0; snr <= 22.0; snr += 2.0) {
+    const ModeStats s = measure(snr, rng);
+    const bool sdm_wins = s.tput_sdm > s.tput_stbc;
+    if (sdm_wins && crossover < -99.0) crossover = snr;
+    t.add_row({util::TextTable::num(snr, 0),
+               util::TextTable::num(s.ber_stbc, 4),
+               util::TextTable::num(s.ber_sdm, 4),
+               util::TextTable::num(s.tput_stbc, 2),
+               util::TextTable::num(s.tput_sdm, 2),
+               sdm_wins ? "SDM" : "STBC"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("SDM overtakes STBC at ~%.0f dB — matching the link "
+              "abstraction's mode split (STBC on weak links, SDM on "
+              "strong ones).\n",
+              crossover);
+  return 0;
+}

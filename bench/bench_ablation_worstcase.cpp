@@ -1,0 +1,67 @@
+// Ablation: the O(1/(Delta+1)) worst case (paper §4.2) made concrete.
+// The worst local optimum traps every AP on the *same* color; this bench
+// constructs that start on cliques of increasing Delta, measures where
+// the greedy actually lands, and compares against the theoretical floor
+// Y*/(Delta+1) and the brute-force optimum.
+#include <cstdio>
+
+#include "baselines/optimal.hpp"
+#include "common.hpp"
+#include "core/allocation.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+namespace {
+
+// A clique of n mutually-contending APs, one good client each.
+sim::ScenarioBuilder clique(int n) {
+  sim::ScenarioBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.cells.push_back(sim::CellSpec{{sim::kGoodLinkLoss + i}});
+  }
+  b.ap_ap_loss_db = 85.0;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: worst-case approximation vs practice",
+                "greedy never lands below Y*/(Delta+1) and usually far "
+                "above it");
+  util::TextTable t({"APs (clique)", "Delta", "channels", "Y* (Mbps)",
+                     "floor Y*/(D+1)", "greedy from same-color",
+                     "greedy/Y*", "optimal (Mbps)"});
+  for (int n : {2, 3, 4}) {
+    const sim::ScenarioBuilder b = clique(n);
+    const sim::Wlan wlan = b.build();
+    const net::Association assoc = b.intended_association();
+    const int delta = n - 1;
+    // Enough channels that isolation is possible only partially (n
+    // channels for n APs: basic-only isolation, bonds must overlap).
+    const net::ChannelPlan plan(n);
+    const double upper = core::isolated_upper_bound_bps(wlan, assoc);
+
+    // Adversarial start: everyone on the same bond.
+    net::ChannelAssignment start(static_cast<std::size_t>(n),
+                                 net::Channel::bonded(0));
+    const core::ChannelAllocator alloc{plan};
+    const core::AllocationResult greedy = alloc.allocate(wlan, assoc, start);
+
+    std::string optimal = "-";
+    if (n <= 3) {
+      optimal = bench::mbps(
+          baselines::optimal_assignment(wlan, assoc, plan).total_bps);
+    }
+    t.add_row({std::to_string(n), std::to_string(delta), std::to_string(n),
+               bench::mbps(upper), bench::mbps(upper / (delta + 1)),
+               bench::mbps(greedy.final_bps),
+               util::TextTable::num(greedy.final_bps / upper, 2), optimal});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("the theoretical floor is loose: in practice the greedy "
+              "escapes the same-color optimum (matches Fig. 14's "
+              "conclusion).\n");
+  return 0;
+}

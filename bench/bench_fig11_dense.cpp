@@ -1,0 +1,71 @@
+// Figure 11: dense deployment — 3 contending APs, four 20 MHz channels.
+// Paper: only one AP can bond with full isolation; ACORN picks the AP
+// with the good client (X,Y,Z = 40,20,20) and delivers ~2x over the
+// aggressive all-40 configuration (their row: 79.98 vs 42.3 Mbps).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/controller.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+int main() {
+  bench::banner("Figure 11: 3 contending APs, 4 channels",
+                "ACORN bonds only the good-client AP; ~2x over all-40");
+  const sim::ScenarioBuilder builder = bench::dense3();
+  const sim::Wlan wlan = builder.build();
+  const net::Association assoc = builder.intended_association();
+
+  // The paper enumerates width patterns (X, Y, Z for APs 1-3). With four
+  // 20 MHz channels the concrete channels below maximize isolation for
+  // each pattern.
+  struct Pattern {
+    const char* label;
+    net::ChannelAssignment assignment;
+  };
+  const std::vector<Pattern> patterns = {
+      {"40,40,40",
+       {net::Channel::bonded(0), net::Channel::bonded(1),
+        net::Channel::bonded(0)}},
+      {"40,20,20 (ACORN's pick)",
+       {net::Channel::bonded(0), net::Channel::basic(2),
+        net::Channel::basic(3)}},
+      {"20,40,20",
+       {net::Channel::basic(0), net::Channel::bonded(1),
+        net::Channel::basic(1)}},
+      {"20,20,40",
+       {net::Channel::basic(0), net::Channel::basic(1),
+        net::Channel::bonded(1)}},
+  };
+
+  util::TextTable t({"X,Y,Z widths", "AP1 (Mbps)", "AP2 (Mbps)",
+                     "AP3 (Mbps)", "Total (Mbps)"});
+  double all40 = 0.0;
+  for (const Pattern& p : patterns) {
+    const sim::Evaluation eval = wlan.evaluate(assoc, p.assignment);
+    t.add_row({p.label, bench::mbps(eval.per_ap[0].goodput_bps),
+               bench::mbps(eval.per_ap[1].goodput_bps),
+               bench::mbps(eval.per_ap[2].goodput_bps),
+               bench::mbps(eval.total_goodput_bps)});
+    if (std::string(p.label) == "40,40,40") {
+      all40 = eval.total_goodput_bps;
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Let ACORN's allocator find its own assignment from the worst start.
+  const core::AcornController acorn({net::ChannelPlan(4), {}, {}, 1800.0});
+  const core::AllocationResult ours = acorn.reallocate(
+      wlan, assoc,
+      {net::Channel::bonded(0), net::Channel::bonded(0),
+       net::Channel::bonded(0)});
+  std::printf("ACORN allocation: AP1=%s AP2=%s AP3=%s -> %.2f Mbps\n",
+              ours.assignment[0].to_string().c_str(),
+              ours.assignment[1].to_string().c_str(),
+              ours.assignment[2].to_string().c_str(),
+              ours.final_bps / 1e6);
+  std::printf("improvement over aggressive all-40: %.2fx (paper: ~1.9x)\n",
+              ours.final_bps / all40);
+  return 0;
+}

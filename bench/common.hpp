@@ -1,0 +1,64 @@
+// Shared helpers for the experiment benches: banner printing and the
+// canned deployments of the paper's evaluation section.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+namespace acorn::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 0xAC0121;
+
+inline void banner(const std::string& experiment,
+                   const std::string& paper_claim,
+                   std::uint64_t seed = kDefaultSeed) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
+  std::printf("==================================================\n");
+}
+
+inline std::string mbps(double bps, int precision = 2) {
+  return util::TextTable::num(bps / 1e6, precision);
+}
+
+/// The paper's Topology 1: AP0 serves poor clients, AP1 good ones,
+/// cells isolated from each other.
+inline sim::ScenarioBuilder topology1() {
+  sim::ScenarioBuilder b;
+  b.cells = {
+      sim::CellSpec{{sim::kPoorLinkLoss, sim::kPoorLinkLoss + 0.2}},
+      sim::CellSpec{{sim::kGoodLinkLoss, sim::kGoodLinkLoss + 2.0}}};
+  return b;
+}
+
+/// The paper's Topology 2: five APs mixing good, marginal and poor cells.
+inline sim::ScenarioBuilder topology2() {
+  sim::ScenarioBuilder b;
+  b.cells = {
+      sim::CellSpec{{sim::kGoodLinkLoss, sim::kGoodLinkLoss + 2.0}},
+      sim::CellSpec{{sim::kGoodLinkLoss + 1.0}},
+      sim::CellSpec{{sim::kGoodLinkLoss + 3.0}},
+      sim::CellSpec{{sim::kPoorLinkLoss, sim::kPoorLinkLoss + 0.2}},
+      sim::CellSpec{{sim::kWeakLinkLoss}},
+  };
+  return b;
+}
+
+/// The Fig. 11 dense deployment: three mutually contending APs, one good
+/// client and two poor ones.
+inline sim::ScenarioBuilder dense3() {
+  sim::ScenarioBuilder b;
+  b.cells = {sim::CellSpec{{sim::kGoodLinkLoss}},
+             sim::CellSpec{{sim::kPoorLinkLoss}},
+             sim::CellSpec{{sim::kPoorLinkLoss + 0.5}}};
+  b.ap_ap_loss_db = 85.0;
+  return b;
+}
+
+}  // namespace acorn::bench

@@ -1,0 +1,151 @@
+// acornctl: auto-configure a WLAN described in a deployment file.
+//
+//   ./acornctl <deployment-file> [--tcp] [--compare] [--seed N]
+//   ./acornctl --demo            # run a built-in sample deployment
+//
+// File format (see sim/deployment_file.hpp):
+//   ap <x> <y> [tx_dbm]
+//   client <x> <y>
+//   pathloss exponent|ref|shadowing <value>
+//   channels <n>
+//   seed <n>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "baselines/kauffmann17.hpp"
+#include "baselines/simple.hpp"
+#include "core/controller.hpp"
+#include "sim/deployment_file.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+namespace {
+
+constexpr const char* kDemo = R"(# demo floor: 3 APs, 8 clients
+pathloss exponent 3.5
+pathloss shadowing 4
+channels 12
+seed 7
+ap 10 10
+ap 50 10
+ap 30 40
+client 12 12
+client 14  8
+client 48 14
+client 52  9
+client 28 38
+client 35 42
+client 30 25
+client 45 30
+)";
+
+void print_configuration(const sim::Wlan& wlan,
+                         const core::ConfigureResult& result) {
+  util::TextTable t({"AP", "position", "channel", "clients", "share",
+                     "cell Mbps"});
+  for (const sim::ApStats& ap : result.evaluation.per_ap) {
+    const net::Point p = wlan.topology().ap(ap.ap_id).position;
+    t.add_row({"AP" + std::to_string(ap.ap_id),
+               "(" + util::TextTable::num(p.x, 0) + "," +
+                   util::TextTable::num(p.y, 0) + ")",
+               result.assignment[static_cast<std::size_t>(ap.ap_id)]
+                   .to_string(),
+               std::to_string(ap.num_clients),
+               util::TextTable::num(ap.medium_share, 2),
+               util::TextTable::num(ap.goodput_bps / 1e6, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("clients: ");
+  for (int c = 0; c < wlan.topology().num_clients(); ++c) {
+    const int owner = result.association[static_cast<std::size_t>(c)];
+    std::printf("c%d->%s ", c,
+                owner == net::kUnassociated
+                    ? "??"
+                    : ("AP" + std::to_string(owner)).c_str());
+  }
+  std::printf("\ntotal: %.2f Mbps\n",
+              result.evaluation.total_goodput_bps / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tcp = false;
+  bool compare = false;
+  std::uint64_t seed = 42;
+  const char* path = nullptr;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tcp") == 0) {
+      tcp = true;
+    } else if (std::strcmp(argv[i], "--compare") == 0) {
+      compare = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr && !demo) {
+    std::fprintf(stderr,
+                 "usage: %s <deployment-file> [--tcp] [--compare] "
+                 "[--seed N] | --demo\n",
+                 argv[0]);
+    return 2;
+  }
+
+  sim::DeploymentSpec spec;
+  try {
+    if (demo) {
+      spec = sim::parse_deployment(std::string(kDemo));
+    } else {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+      }
+      spec = sim::parse_deployment(file);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+
+  const sim::Wlan wlan = spec.build();
+  std::printf("deployment: %d APs, %d clients, %d channels\n",
+              wlan.topology().num_aps(), wlan.topology().num_clients(),
+              spec.num_channels);
+
+  core::AcornConfig cfg;
+  cfg.plan = net::ChannelPlan(spec.num_channels);
+  const core::AcornController acorn(cfg);
+  util::Rng rng(seed);
+  const mac::TrafficType traffic =
+      tcp ? mac::TrafficType::kTcp : mac::TrafficType::kUdp;
+  const core::ConfigureResult result =
+      acorn.configure(wlan, rng, nullptr, traffic);
+  std::printf("\nACORN configuration (%s):\n", tcp ? "TCP" : "UDP");
+  print_configuration(wlan, result);
+
+  if (compare) {
+    const baselines::Kauffmann17 k17{net::ChannelPlan(spec.num_channels)};
+    const baselines::Kauffmann17::Result theirs = k17.configure(wlan);
+    const double theirs_bps =
+        wlan.evaluate(theirs.association, theirs.assignment, traffic)
+            .total_goodput_bps;
+    const net::Association rss = baselines::rss_associate_all(wlan);
+    const net::ChannelAssignment all40 = k17.allocate(wlan);
+    const double stock_bps =
+        wlan.evaluate(rss, all40, traffic).total_goodput_bps;
+    std::printf("\ncomparison:\n  [17] adapted : %.2f Mbps\n"
+                "  RSS + all-40 : %.2f Mbps\n  ACORN        : %.2f Mbps\n",
+                theirs_bps / 1e6, stock_bps / 1e6,
+                result.evaluation.total_goodput_bps / 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Mobility demo: a client walks away from its AP while ACORN tracks the
+// link quality and opportunistically falls back from the 40 MHz bond to
+// a 20 MHz half (paper §5.2, Figs. 12-13). Prints a live-style timeline.
+//
+//   ./mobility_demo [walk_distance_m]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/width_switch.hpp"
+#include "net/pathloss.hpp"
+#include "sim/mobility.hpp"
+#include "sim/wlan.hpp"
+
+using namespace acorn;
+
+int main(int argc, char** argv) {
+  const double walk_m = argc > 1 ? std::atof(argv[1]) : 22.0;
+  std::printf("mobility demo: walking from 2 m to %.0f m over 30 s\n\n",
+              walk_m);
+
+  net::Topology topo;
+  topo.add_ap({0.0, 0.0});
+  topo.add_client({2.0, 0.0});   // static good client
+  topo.add_client({0.0, 2.0});   // static good client
+  const int mobile = topo.add_client({2.0, 0.0});
+
+  net::PathLossModel plm;
+  plm.exponent = 4.2;
+  plm.ref_loss_db = 52.0;
+
+  const sim::Trajectory walk =
+      sim::Trajectory::line({2.0, 0.0}, {walk_m, 0.0}, 0.0, 30.0);
+
+  phy::ChannelWidth last = phy::ChannelWidth::k40MHz;
+  for (double t = 0.0; t <= walk.end_s() + 10.0; t += 2.0) {
+    topo.client(mobile).position = walk.position_at(t);
+    util::Rng rng(1);
+    net::LinkBudget budget(topo, plm, rng);
+    const sim::Wlan wlan(topo, budget, sim::WlanConfig{});
+    const core::WidthDecision d = core::decide_width(wlan, 0, {0, 1, mobile});
+    const double snr =
+        wlan.client_snr_db(0, mobile, phy::ChannelWidth::k20MHz);
+    const double bps = d.width == phy::ChannelWidth::k40MHz
+                           ? d.cell_bps_40
+                           : d.cell_bps_20;
+    std::printf("t=%5.1fs  d=%5.1fm  snr20=%5.1f dB  width=%s  cell=%6.2f "
+                "Mbps%s\n",
+                t,
+                net::distance(topo.ap(0).position,
+                              topo.client(mobile).position),
+                snr, to_string(d.width).c_str(), bps / 1e6,
+                d.width != last ? "   << WIDTH SWITCH" : "");
+    last = d.width;
+  }
+  std::printf("\nACORN keeps the bond while the link is strong and drops "
+              "to 20 MHz when the mobile client would otherwise drag the "
+              "whole cell down (802.11 performance anomaly).\n");
+  return 0;
+}

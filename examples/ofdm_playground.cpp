@@ -1,0 +1,102 @@
+// OFDM playground: drive the sample-level baseband (the WARP-testbed
+// substitute) directly. Sends a text message through the full chain —
+// QPSK, 2x2 Alamouti STBC, 64/128-point OFDM with cyclic prefix, Rayleigh
+// multipath + thermal noise — at both channel widths and shows why
+// bonding hurts at low SNR.
+//
+//   ./ofdm_playground [tx_dbm] [path_loss_db]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baseband/bermac.hpp"
+#include "baseband/ofdm.hpp"
+#include "baseband/psd.hpp"
+#include "baseband/qpsk.hpp"
+#include "phy/noise.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+using namespace acorn;
+
+namespace {
+
+void show_message_roundtrip(double tx_dbm, double loss_db) {
+  const std::string message =
+      "channel bonding is not panacea - ACORN, CoNEXT 2010";
+  std::vector<std::uint8_t> bits;
+  for (char ch : message) {
+    for (int b = 7; b >= 0; --b) {
+      bits.push_back(static_cast<std::uint8_t>((ch >> b) & 1));
+    }
+  }
+  std::printf("message round-trip over the 20 MHz SISO chain:\n");
+  const baseband::Ofdm ofdm(phy::ChannelWidth::k20MHz);
+  util::Rng rng(7);
+  baseband::ChannelConfig ch_cfg;
+  ch_cfg.sample_rate_hz = ofdm.sample_rate_hz();
+  ch_cfg.path_loss_db = loss_db;
+  ch_cfg.num_taps = 3;
+  baseband::FadingChannel channel(ch_cfg, rng);
+
+  const auto symbols = baseband::qpsk_modulate(bits);
+  const auto tx = ofdm.modulate(symbols, util::dbm_to_mw(tx_dbm));
+  const auto rx = channel.transmit(tx, rng);
+  const auto h = channel.frequency_response(
+      static_cast<std::size_t>(ofdm.fft_size()));
+  const auto eq = ofdm.demodulate(rx, h, symbols.size(),
+                                  util::dbm_to_mw(tx_dbm));
+  const auto decoded_bits = baseband::qpsk_demodulate(eq);
+  std::string decoded;
+  for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+    char c = 0;
+    for (int b = 0; b < 8; ++b) {
+      c = static_cast<char>((c << 1) | decoded_bits[i + static_cast<std::size_t>(b)]);
+    }
+    decoded.push_back(c);
+  }
+  int errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != decoded_bits[i]) ++errors;
+  }
+  std::printf("  sent:     %s\n  received: %s\n  bit errors: %d / %zu\n\n",
+              message.c_str(), decoded.c_str(), errors, bits.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double tx_dbm = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const double loss_db = argc > 2 ? std::atof(argv[2]) : 92.0;
+  std::printf("OFDM playground: Tx %.1f dBm, path loss %.1f dB\n\n", tx_dbm,
+              loss_db);
+
+  show_message_roundtrip(tx_dbm, loss_db);
+
+  std::printf("link budget per width (same total Tx):\n");
+  for (const auto width :
+       {phy::ChannelWidth::k20MHz, phy::ChannelWidth::k40MHz}) {
+    std::printf("  %s: %d data subcarriers, per-subcarrier SNR %.1f dB\n",
+                to_string(width).c_str(), phy::data_subcarriers(width),
+                phy::snr_per_subcarrier_db(tx_dbm, loss_db, width));
+  }
+  std::printf("  (CB penalty: %.2f dB)\n\n", phy::cb_snr_penalty_db());
+
+  std::printf("BERMAC (2x2 STBC, 1500-byte packets, Rayleigh fading):\n");
+  for (const auto width :
+       {phy::ChannelWidth::k20MHz, phy::ChannelWidth::k40MHz}) {
+    baseband::BermacConfig cfg;
+    cfg.width = width;
+    cfg.packets = 60;
+    cfg.tx_dbm = tx_dbm;
+    cfg.path_loss_db = loss_db;
+    util::Rng rng(11);
+    const baseband::BermacResult r = run_bermac(cfg, rng);
+    std::printf("  %s: measured SNR %.1f dB, BER %.2e, PER %.2f\n",
+                to_string(width).c_str(), r.mean_snr_db, r.ber(), r.per());
+  }
+  std::printf("\ntry lowering tx_dbm (e.g. './ofdm_playground 0 96') to see "
+              "the 40 MHz channel fail first.\n");
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "baseband/bermac.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "baseband/qpsk.hpp"
+#include "baseband/stbc.hpp"
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+
+namespace {
+
+std::vector<std::uint8_t> random_bits(int bytes, util::Rng& rng) {
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(bytes) * 8);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+  return bits;
+}
+
+ChannelConfig channel_config(const BermacConfig& cfg) {
+  ChannelConfig ch;
+  ch.sample_rate_hz = phy::width_hz(cfg.width);
+  ch.noise_psd_dbm_per_hz = cfg.noise_psd_dbm_per_hz;
+  ch.noise_figure_db = cfg.noise_figure_db;
+  ch.path_loss_db = cfg.path_loss_db;
+  ch.num_taps = cfg.num_taps;
+  ch.rayleigh = cfg.rayleigh;
+  return ch;
+}
+
+// Pad a symbol stream so it fills an even number of OFDM symbols (STBC
+// pairs OFDM symbols).
+std::vector<Cx> pad_to_even_ofdm(std::vector<Cx> symbols, const Ofdm& ofdm) {
+  const auto nd = static_cast<std::size_t>(ofdm.num_data_subcarriers());
+  std::size_t n_sym = ofdm.num_ofdm_symbols(symbols.size());
+  if (n_sym % 2 == 1) ++n_sym;
+  symbols.resize(n_sym * nd, Cx{});
+  return symbols;
+}
+
+struct PacketOutcome {
+  std::int64_t bit_errors = 0;
+  double snr_linear = 0.0;  // mean per-subcarrier SNR of this packet
+};
+
+// SISO chain: modulate -> channel -> genie-equalized demodulate.
+PacketOutcome run_siso_packet(const BermacConfig& cfg, const Ofdm& ofdm,
+                              std::span<const std::uint8_t> bits,
+                              FadingChannel& channel, util::Rng& rng,
+                              BermacResult& result) {
+  const double tx_mw = util::dbm_to_mw(cfg.tx_dbm);
+  const std::vector<Cx> data_syms =
+      cfg.dqpsk ? dqpsk_modulate(bits) : qpsk_modulate(bits);
+  const std::vector<Cx> tx = ofdm.modulate(data_syms, tx_mw);
+  channel.redraw(rng);
+  const std::vector<Cx> rx = channel.transmit(tx, rng);
+  const std::vector<Cx> h =
+      channel.frequency_response(static_cast<std::size_t>(ofdm.fft_size()));
+  const std::vector<Cx> eq =
+      ofdm.demodulate(rx, h, data_syms.size(), tx_mw);
+  const std::vector<std::uint8_t> decoded =
+      cfg.dqpsk ? dqpsk_demodulate(eq) : qpsk_demodulate(eq);
+
+  PacketOutcome out;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (decoded[i] != bits[i]) ++out.bit_errors;
+  }
+  // Per-subcarrier SNR: amp^2 |H_k|^2 / (N * sigma^2); the FFT multiplies
+  // white noise variance by N.
+  const double amp = ofdm.subcarrier_amplitude(tx_mw);
+  const double post_fft_noise =
+      channel.noise_variance_mw() * ofdm.fft_size();
+  double snr_sum = 0.0;
+  for (int bin : ofdm.data_bins()) {
+    snr_sum += amp * amp * std::norm(h[static_cast<std::size_t>(bin)]) /
+               post_fft_noise;
+  }
+  out.snr_linear = snr_sum / ofdm.num_data_subcarriers();
+
+  if (result.constellation.size() <
+      static_cast<std::size_t>(cfg.capture_symbols)) {
+    for (std::size_t i = 0; i < eq.size(); ++i) {
+      if (result.constellation.size() >=
+          static_cast<std::size_t>(cfg.capture_symbols)) {
+        break;
+      }
+      result.constellation.push_back(eq[i]);
+      result.evm_rms += std::norm(eq[i] - data_syms[i]);
+    }
+  }
+  return out;
+}
+
+// 2x2 Alamouti STBC chain: symbols are paired per subcarrier across two
+// consecutive OFDM symbols; each of the four spatial paths is an
+// independent fading realization with the same path loss.
+PacketOutcome run_stbc_packet(const BermacConfig& cfg, const Ofdm& ofdm,
+                              std::span<const std::uint8_t> bits,
+                              std::array<FadingChannel, 4>& paths,
+                              util::Rng& rng, BermacResult& result) {
+  const double tx_mw = util::dbm_to_mw(cfg.tx_dbm);
+  const double per_antenna_mw = tx_mw / 2.0;  // split across 2 TX antennas
+  std::vector<Cx> data_syms =
+      cfg.dqpsk ? dqpsk_modulate(bits) : qpsk_modulate(bits);
+  const std::size_t n_data = data_syms.size();
+  data_syms = pad_to_even_ofdm(std::move(data_syms), ofdm);
+  const auto nd = static_cast<std::size_t>(ofdm.num_data_subcarriers());
+  const std::size_t n_sym = data_syms.size() / nd;  // even
+
+  // Build the two antenna streams: for the OFDM-symbol pair (t, t+1) and
+  // subcarrier k, Alamouti sends (s0, -s1*) on antenna A and (s1, s0*) on
+  // antenna B, where s0 = data[t][k], s1 = data[t+1][k].
+  std::vector<Cx> stream_a(data_syms.size());
+  std::vector<Cx> stream_b(data_syms.size());
+  for (std::size_t t = 0; t < n_sym; t += 2) {
+    for (std::size_t k = 0; k < nd; ++k) {
+      const Cx s0 = data_syms[t * nd + k];
+      const Cx s1 = data_syms[(t + 1) * nd + k];
+      stream_a[t * nd + k] = s0;
+      stream_a[(t + 1) * nd + k] = -std::conj(s1);
+      stream_b[t * nd + k] = s1;
+      stream_b[(t + 1) * nd + k] = std::conj(s0);
+    }
+  }
+
+  const std::vector<Cx> tx_a = ofdm.modulate(stream_a, per_antenna_mw);
+  const std::vector<Cx> tx_b = ofdm.modulate(stream_b, per_antenna_mw);
+
+  for (auto& path : paths) path.redraw(rng);
+  // paths[0]=A->a, paths[1]=A->b, paths[2]=B->a, paths[3]=B->b.
+  std::vector<Cx> rx_a = paths[0].propagate(tx_a);
+  const std::vector<Cx> ba = paths[2].propagate(tx_b);
+  for (std::size_t i = 0; i < rx_a.size() && i < ba.size(); ++i) {
+    rx_a[i] += ba[i];
+  }
+  add_awgn(rx_a, paths[0].noise_variance_mw(), rng);
+
+  std::vector<Cx> rx_b = paths[1].propagate(tx_a);
+  const std::vector<Cx> bb = paths[3].propagate(tx_b);
+  for (std::size_t i = 0; i < rx_b.size() && i < bb.size(); ++i) {
+    rx_b[i] += bb[i];
+  }
+  add_awgn(rx_b, paths[1].noise_variance_mw(), rng);
+
+  const auto n = static_cast<std::size_t>(ofdm.fft_size());
+  const std::vector<Cx> h_aa = paths[0].frequency_response(n);
+  const std::vector<Cx> h_ab = paths[1].frequency_response(n);
+  const std::vector<Cx> h_ba = paths[2].frequency_response(n);
+  const std::vector<Cx> h_bb = paths[3].frequency_response(n);
+
+  const auto bins_a = ofdm.extract_bins(rx_a, n_sym);
+  const auto bins_b = ofdm.extract_bins(rx_b, n_sym);
+  const double amp = ofdm.subcarrier_amplitude(per_antenna_mw);
+
+  std::vector<Cx> recovered(data_syms.size());
+  const auto data_bins = ofdm.data_bins();
+  for (std::size_t t = 0; t < n_sym; t += 2) {
+    for (std::size_t k = 0; k < nd; ++k) {
+      const auto bin = static_cast<std::size_t>(data_bins[k]);
+      const StbcDecoded d = alamouti_combine(
+          bins_a[t][k], bins_a[t + 1][k], bins_b[t][k], bins_b[t + 1][k],
+          h_aa[bin], h_ab[bin], h_ba[bin], h_bb[bin]);
+      const double g = d.gain > 1e-12 ? d.gain : 1.0;
+      recovered[t * nd + k] = d.s0 / (g * amp);
+      recovered[(t + 1) * nd + k] = d.s1 / (g * amp);
+    }
+  }
+  recovered.resize(n_data);
+
+  const std::vector<std::uint8_t> decoded =
+      cfg.dqpsk ? dqpsk_demodulate(recovered) : qpsk_demodulate(recovered);
+  PacketOutcome out;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (decoded[i] != bits[i]) ++out.bit_errors;
+  }
+
+  // Post-combining per-subcarrier SNR: amp^2 * sum|H|^2 / (N * sigma^2).
+  const double post_fft_noise =
+      paths[0].noise_variance_mw() * ofdm.fft_size();
+  double snr_sum = 0.0;
+  for (std::size_t k = 0; k < nd; ++k) {
+    const auto bin = static_cast<std::size_t>(data_bins[k]);
+    const double g = std::norm(h_aa[bin]) + std::norm(h_ab[bin]) +
+                     std::norm(h_ba[bin]) + std::norm(h_bb[bin]);
+    snr_sum += amp * amp * g / post_fft_noise;
+  }
+  out.snr_linear = snr_sum / static_cast<double>(nd);
+
+  if (result.constellation.size() <
+      static_cast<std::size_t>(cfg.capture_symbols)) {
+    for (std::size_t i = 0; i < recovered.size(); ++i) {
+      if (result.constellation.size() >=
+          static_cast<std::size_t>(cfg.capture_symbols)) {
+        break;
+      }
+      result.constellation.push_back(recovered[i]);
+      result.evm_rms += std::norm(recovered[i] - data_syms[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BermacResult run_bermac(const BermacConfig& config, util::Rng& rng) {
+  if (config.packets <= 0 || config.packet_bytes <= 0) {
+    throw std::invalid_argument("packets and packet_bytes must be positive");
+  }
+  const Ofdm ofdm(config.width);
+  BermacResult result;
+
+  const ChannelConfig ch = channel_config(config);
+  FadingChannel siso(ch, rng);
+  std::array<FadingChannel, 4> paths = {FadingChannel(ch, rng),
+                                        FadingChannel(ch, rng),
+                                        FadingChannel(ch, rng),
+                                        FadingChannel(ch, rng)};
+
+  double snr_sum_linear = 0.0;
+  for (int p = 0; p < config.packets; ++p) {
+    const std::vector<std::uint8_t> bits =
+        random_bits(config.packet_bytes, rng);
+    const PacketOutcome out =
+        config.use_stbc
+            ? run_stbc_packet(config, ofdm, bits, paths, rng, result)
+            : run_siso_packet(config, ofdm, bits, siso, rng, result);
+    result.bits_sent += static_cast<std::int64_t>(bits.size());
+    result.bit_errors += out.bit_errors;
+    result.packets_sent += 1;
+    if (out.bit_errors > 0) result.packet_errors += 1;
+    snr_sum_linear += out.snr_linear;
+  }
+  result.mean_snr_db = util::lin_to_db(
+      snr_sum_linear / static_cast<double>(config.packets));
+  if (!result.constellation.empty()) {
+    result.evm_rms = std::sqrt(result.evm_rms /
+                               static_cast<double>(result.constellation.size()));
+  }
+  return result;
+}
+
+}  // namespace acorn::baseband

@@ -1,0 +1,69 @@
+// BERMAC: the packet-granularity BER/PER measurement loop the paper runs
+// on its WARP boards (§3.1). Known payload bits flow through the full
+// baseband chain — (D)QPSK mapping, optional 2x2 Alamouti STBC, OFDM
+// modulation with cyclic prefix, a fading/AWGN channel, OFDM demodulation
+// with genie CSI, hard-decision demapping — and the receiver, which knows
+// the payload, counts bit and packet errors.
+#pragma once
+
+#include <cstdint>
+
+#include "baseband/channel.hpp"
+#include "baseband/ofdm.hpp"
+#include "phy/mcs.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+
+struct BermacConfig {
+  phy::ChannelWidth width = phy::ChannelWidth::k20MHz;
+  /// Payload per packet; the paper uses 1500-byte packets.
+  int packet_bytes = 1500;
+  /// Packets per run; the paper transmits 9000.
+  int packets = 100;
+  double tx_dbm = 0.0;
+  double path_loss_db = 85.0;
+  double noise_psd_dbm_per_hz = -174.0;
+  double noise_figure_db = 0.0;
+  /// 2x2 Alamouti (the paper's mode) vs a plain SISO chain.
+  bool use_stbc = true;
+  /// Rayleigh block fading per packet; false = static channel.
+  bool rayleigh = true;
+  int num_taps = 3;
+  /// Differential QPSK as in the paper's WarpLab setup; false = coherent.
+  bool dqpsk = false;
+  /// Capture equalized constellation points from the first packets (for
+  /// Fig. 2). 0 disables capture.
+  int capture_symbols = 0;
+};
+
+struct BermacResult {
+  std::int64_t bits_sent = 0;
+  std::int64_t bit_errors = 0;
+  std::int64_t packets_sent = 0;
+  std::int64_t packet_errors = 0;
+  /// Average measured per-subcarrier SNR (dB) across packets, from the
+  /// genie channel gains and the known noise variance.
+  double mean_snr_db = 0.0;
+  /// Equalized constellation capture (when requested).
+  std::vector<Cx> constellation;
+  /// RMS error-vector magnitude of the captured constellation (fraction
+  /// of the unit symbol energy).
+  double evm_rms = 0.0;
+
+  double ber() const {
+    return bits_sent == 0 ? 0.0
+                          : static_cast<double>(bit_errors) /
+                                static_cast<double>(bits_sent);
+  }
+  double per() const {
+    return packets_sent == 0 ? 0.0
+                             : static_cast<double>(packet_errors) /
+                                   static_cast<double>(packets_sent);
+  }
+};
+
+/// Run the measurement loop. Deterministic for a given (config, rng seed).
+BermacResult run_bermac(const BermacConfig& config, util::Rng& rng);
+
+}  // namespace acorn::baseband

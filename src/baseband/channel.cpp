@@ -1,0 +1,88 @@
+#include "baseband/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+
+FadingChannel::FadingChannel(const ChannelConfig& config, util::Rng& rng)
+    : config_(config) {
+  if (config_.num_taps < 1) throw std::invalid_argument("num_taps < 1");
+  if (config_.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("sample_rate_hz <= 0");
+  }
+  redraw(rng);
+}
+
+void FadingChannel::redraw(util::Rng& rng) {
+  const int L = config_.num_taps;
+  std::vector<double> pdp(static_cast<std::size_t>(L));
+  double total = 0.0;
+  for (int l = 0; l < L; ++l) {
+    pdp[static_cast<std::size_t>(l)] =
+        L == 1 ? 1.0 : std::exp(-static_cast<double>(l) /
+                                config_.delay_spread_samples);
+    total += pdp[static_cast<std::size_t>(l)];
+  }
+  const double gain = util::db_to_lin(-config_.path_loss_db);
+  taps_.assign(static_cast<std::size_t>(L), Cx{});
+  for (int l = 0; l < L; ++l) {
+    const double power = gain * pdp[static_cast<std::size_t>(l)] / total;
+    if (config_.rayleigh) {
+      // CN(0, power): each component N(0, power/2).
+      const double s = std::sqrt(power / 2.0);
+      taps_[static_cast<std::size_t>(l)] = Cx(rng.normal(0.0, s),
+                                              rng.normal(0.0, s));
+    } else {
+      taps_[static_cast<std::size_t>(l)] = Cx(std::sqrt(power), 0.0);
+    }
+  }
+}
+
+double FadingChannel::noise_variance_mw() const {
+  const double psd_dbm =
+      config_.noise_psd_dbm_per_hz + config_.noise_figure_db;
+  return util::dbm_to_mw(psd_dbm) * config_.sample_rate_hz;
+}
+
+std::vector<Cx> FadingChannel::propagate(std::span<const Cx> tx) const {
+  std::vector<Cx> out(tx.size() + taps_.size() - 1, Cx{});
+  for (std::size_t n = 0; n < tx.size(); ++n) {
+    for (std::size_t l = 0; l < taps_.size(); ++l) {
+      out[n + l] += tx[n] * taps_[l];
+    }
+  }
+  return out;
+}
+
+std::vector<Cx> FadingChannel::transmit(std::span<const Cx> tx,
+                                        util::Rng& rng) const {
+  std::vector<Cx> out = propagate(tx);
+  add_awgn(out, noise_variance_mw(), rng);
+  return out;
+}
+
+std::vector<Cx> FadingChannel::frequency_response(std::size_t fft_size) const {
+  if (!is_power_of_two(fft_size)) {
+    throw std::invalid_argument("fft_size must be a power of two");
+  }
+  if (taps_.size() > fft_size) {
+    throw std::invalid_argument("more taps than FFT bins");
+  }
+  std::vector<Cx> padded(fft_size, Cx{});
+  std::copy(taps_.begin(), taps_.end(), padded.begin());
+  fft_in_place(padded);
+  return padded;
+}
+
+void add_awgn(std::span<Cx> samples, double variance_mw, util::Rng& rng) {
+  if (variance_mw < 0.0) throw std::invalid_argument("negative variance");
+  const double s = std::sqrt(variance_mw / 2.0);
+  for (auto& x : samples) {
+    x += Cx(rng.normal(0.0, s), rng.normal(0.0, s));
+  }
+}
+
+}  // namespace acorn::baseband

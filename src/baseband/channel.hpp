@@ -1,0 +1,72 @@
+// Time-domain wireless channel: tapped-delay-line multipath (Rayleigh
+// block fading with an exponential power-delay profile) plus AWGN whose
+// variance follows the thermal-noise model of phy/noise.hpp.
+//
+// Because noise power is sigma^2 = N0 * Fs per complex sample, doubling
+// the sampling bandwidth (20 -> 40 MHz) doubles the in-band noise exactly
+// as paper Eq. 1 predicts, with no special-casing anywhere.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+
+struct ChannelConfig {
+  /// Sampling rate (= channel bandwidth) in Hz.
+  double sample_rate_hz = 20.0e6;
+  /// Thermal noise PSD in dBm/Hz (paper uses -174) plus receiver NF.
+  double noise_psd_dbm_per_hz = -174.0;
+  double noise_figure_db = 0.0;
+  /// Large-scale path loss applied to the signal (dB).
+  double path_loss_db = 0.0;
+  /// Number of multipath taps; 1 = frequency-flat.
+  int num_taps = 1;
+  /// Exponential power-delay-profile decay constant, in samples.
+  double delay_spread_samples = 2.0;
+  /// When false the taps are deterministic (sqrt of the PDP), giving a
+  /// repeatable frequency-selective channel without Rayleigh fading.
+  bool rayleigh = true;
+};
+
+class FadingChannel {
+ public:
+  /// Draws the initial fading realization from `rng`.
+  FadingChannel(const ChannelConfig& config, util::Rng& rng);
+
+  const ChannelConfig& config() const { return config_; }
+
+  /// Draw a fresh (block) fading realization; taps stay fixed until the
+  /// next redraw, i.e. fading is constant within a packet.
+  void redraw(util::Rng& rng);
+
+  /// Convolve with the tap line and add AWGN. Output length equals
+  /// input length + taps - 1.
+  std::vector<Cx> transmit(std::span<const Cx> tx, util::Rng& rng) const;
+
+  /// Convolve only (no noise) — used when several transmit antennas
+  /// superpose at one receive antenna and noise must be added once.
+  std::vector<Cx> propagate(std::span<const Cx> tx) const;
+
+  /// Per-sample complex noise variance (mW).
+  double noise_variance_mw() const;
+
+  /// Channel frequency response over `fft_size` bins (genie CSI for the
+  /// OFDM equalizer).
+  std::vector<Cx> frequency_response(std::size_t fft_size) const;
+
+  std::span<const Cx> taps() const { return taps_; }
+
+ private:
+  ChannelConfig config_;
+  std::vector<Cx> taps_;
+};
+
+/// Additive white Gaussian noise with per-sample variance `variance_mw`
+/// applied in place.
+void add_awgn(std::span<Cx> samples, double variance_mw, util::Rng& rng);
+
+}  // namespace acorn::baseband

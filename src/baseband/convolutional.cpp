@@ -1,0 +1,267 @@
+#include "baseband/convolutional.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+namespace {
+
+inline int parity(unsigned x) { return std::popcount(x) & 1; }
+
+// Output pair for (state, input). State holds the most recent K-1 input
+// bits, newest in the MSB (bit 5).
+struct Transition {
+  std::uint8_t out0;
+  std::uint8_t out1;
+  std::uint8_t next_state;
+};
+
+struct Trellis {
+  // [state][input]
+  Transition t[ConvolutionalCode::kNumStates][2];
+
+  Trellis() {
+    for (int state = 0; state < ConvolutionalCode::kNumStates; ++state) {
+      for (int input = 0; input < 2; ++input) {
+        // Shift register contents: input bit followed by the state bits
+        // (newest first): 7 bits total.
+        const unsigned reg =
+            (static_cast<unsigned>(input) << 6) | static_cast<unsigned>(state);
+        t[state][input].out0 =
+            static_cast<std::uint8_t>(parity(reg & ConvolutionalCode::kG0));
+        t[state][input].out1 =
+            static_cast<std::uint8_t>(parity(reg & ConvolutionalCode::kG1));
+        t[state][input].next_state =
+            static_cast<std::uint8_t>(reg >> 1);
+      }
+    }
+  }
+};
+
+const Trellis& trellis() {
+  static const Trellis instance;
+  return instance;
+}
+
+// Puncturing patterns over one period of rate-1/2 output pairs. A `1`
+// keeps the bit; bits are ordered (A0, B0, A1, B1, ...) where A/B are the
+// two generator outputs per input bit.
+std::span<const std::uint8_t> pattern(phy::CodeRate rate) {
+  static constexpr std::array<std::uint8_t, 2> k12 = {1, 1};
+  static constexpr std::array<std::uint8_t, 4> k23 = {1, 1, 1, 0};
+  static constexpr std::array<std::uint8_t, 6> k34 = {1, 1, 1, 0, 0, 1};
+  static constexpr std::array<std::uint8_t, 10> k56 = {1, 1, 1, 0, 0,
+                                                       1, 1, 0, 0, 1};
+  switch (rate) {
+    case phy::CodeRate::kRate12: return k12;
+    case phy::CodeRate::kRate23: return k23;
+    case phy::CodeRate::kRate34: return k34;
+    case phy::CodeRate::kRate56: return k56;
+  }
+  throw std::invalid_argument("unknown code rate");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ConvolutionalCode::encode(
+    std::span<const std::uint8_t> bits, bool terminate) const {
+  const Trellis& tr = trellis();
+  std::vector<std::uint8_t> out;
+  out.reserve(2 * (bits.size() + (terminate ? kConstraint - 1 : 0)));
+  int state = 0;
+  auto push = [&](std::uint8_t bit) {
+    const Transition& step = tr.t[state][bit & 1];
+    out.push_back(step.out0);
+    out.push_back(step.out1);
+    state = step.next_state;
+  };
+  for (std::uint8_t b : bits) push(b);
+  if (terminate) {
+    for (int i = 0; i < kConstraint - 1; ++i) push(0);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode(
+    std::span<const std::uint8_t> coded, bool terminated) const {
+  if (coded.size() % 2 != 0) {
+    throw std::invalid_argument("coded stream must have even length");
+  }
+  const std::size_t steps = coded.size() / 2;
+  const Trellis& tr = trellis();
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+  std::array<int, kNumStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0;  // encoder starts in state 0
+
+  // survivors[step][state] = input bit and predecessor packed.
+  struct Survivor {
+    std::uint8_t prev;
+    std::uint8_t input;
+  };
+  std::vector<std::array<Survivor, kNumStates>> survivors(steps);
+
+  std::array<int, kNumStates> next_metric;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::uint8_t r0 = coded[2 * step];
+    const std::uint8_t r1 = coded[2 * step + 1];
+    next_metric.fill(kInf);
+    for (int state = 0; state < kNumStates; ++state) {
+      if (metric[state] >= kInf) continue;
+      for (int input = 0; input < 2; ++input) {
+        const Transition& t = tr.t[state][input];
+        int branch = 0;
+        if (r0 != kErasedBit && r0 != t.out0) ++branch;
+        if (r1 != kErasedBit && r1 != t.out1) ++branch;
+        const int cand = metric[state] + branch;
+        if (cand < next_metric[t.next_state]) {
+          next_metric[t.next_state] = cand;
+          survivors[step][t.next_state] =
+              Survivor{static_cast<std::uint8_t>(state),
+                       static_cast<std::uint8_t>(input)};
+        }
+      }
+    }
+    metric = next_metric;
+  }
+
+  // Traceback from state 0 when terminated, else from the best state.
+  int state = 0;
+  if (!terminated) {
+    state = static_cast<int>(
+        std::min_element(metric.begin(), metric.end()) - metric.begin());
+  }
+  std::vector<std::uint8_t> bits(steps);
+  for (std::size_t step = steps; step-- > 0;) {
+    const Survivor& s = survivors[step][state];
+    bits[step] = s.input;
+    state = s.prev;
+  }
+  if (terminated) {
+    if (bits.size() < static_cast<std::size_t>(kConstraint - 1)) {
+      throw std::invalid_argument("terminated stream shorter than the tail");
+    }
+    bits.resize(bits.size() - (kConstraint - 1));
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode_soft(
+    std::span<const double> llrs, bool terminated) const {
+  if (llrs.size() % 2 != 0) {
+    throw std::invalid_argument("soft stream must have even length");
+  }
+  const std::size_t steps = llrs.size() / 2;
+  const Trellis& tr = trellis();
+  constexpr double kInf = 1e300;
+
+  std::array<double, kNumStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0.0;
+
+  struct Survivor {
+    std::uint8_t prev;
+    std::uint8_t input;
+  };
+  std::vector<std::array<Survivor, kNumStates>> survivors(steps);
+
+  std::array<double, kNumStates> next_metric;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double l0 = llrs[2 * step];
+    const double l1 = llrs[2 * step + 1];
+    next_metric.fill(kInf);
+    for (int state = 0; state < kNumStates; ++state) {
+      if (metric[state] >= kInf) continue;
+      for (int input = 0; input < 2; ++input) {
+        const Transition& t = tr.t[state][input];
+        // Correlation metric: hypothesizing bit 1 against a positive
+        // (bit-0-favoring) LLR costs that LLR, and vice versa.
+        const double branch = (t.out0 ? l0 : -l0) + (t.out1 ? l1 : -l1);
+        const double cand = metric[state] + branch;
+        if (cand < next_metric[t.next_state]) {
+          next_metric[t.next_state] = cand;
+          survivors[step][t.next_state] =
+              Survivor{static_cast<std::uint8_t>(state),
+                       static_cast<std::uint8_t>(input)};
+        }
+      }
+    }
+    metric = next_metric;
+  }
+
+  int state = 0;
+  if (!terminated) {
+    state = static_cast<int>(
+        std::min_element(metric.begin(), metric.end()) - metric.begin());
+  }
+  std::vector<std::uint8_t> bits(steps);
+  for (std::size_t step = steps; step-- > 0;) {
+    const Survivor& s = survivors[step][state];
+    bits[step] = s.input;
+    state = s.prev;
+  }
+  if (terminated) {
+    if (bits.size() < static_cast<std::size_t>(kConstraint - 1)) {
+      throw std::invalid_argument("terminated stream shorter than the tail");
+    }
+    bits.resize(bits.size() - (kConstraint - 1));
+  }
+  return bits;
+}
+
+std::vector<double> depuncture_soft(std::span<const double> punctured,
+                                    phy::CodeRate rate,
+                                    std::size_t coded_len) {
+  const auto pat = pattern(rate);
+  if (punctured_length(coded_len, rate) != punctured.size()) {
+    throw std::invalid_argument("punctured length does not match coded_len");
+  }
+  std::vector<double> out(coded_len, 0.0);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < coded_len; ++i) {
+    if (pat[i % pat.size()]) out[i] = punctured[cursor++];
+  }
+  return out;
+}
+
+std::size_t punctured_length(std::size_t coded_len, phy::CodeRate rate) {
+  const auto pat = pattern(rate);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < coded_len; ++i) {
+    if (pat[i % pat.size()]) ++kept;
+  }
+  return kept;
+}
+
+std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded,
+                                   phy::CodeRate rate) {
+  const auto pat = pattern(rate);
+  std::vector<std::uint8_t> out;
+  out.reserve(punctured_length(coded.size(), rate));
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (pat[i % pat.size()]) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> depuncture(
+    std::span<const std::uint8_t> punctured, phy::CodeRate rate,
+    std::size_t coded_len) {
+  const auto pat = pattern(rate);
+  if (punctured_length(coded_len, rate) != punctured.size()) {
+    throw std::invalid_argument("punctured length does not match coded_len");
+  }
+  std::vector<std::uint8_t> out(coded_len, kErasedBit);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < coded_len; ++i) {
+    if (pat[i % pat.size()]) out[i] = punctured[cursor++];
+  }
+  return out;
+}
+
+}  // namespace acorn::baseband

@@ -1,0 +1,65 @@
+#include "baseband/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void bit_reverse_permute(std::span<Cx> data) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void transform(std::span<Cx> data, bool inverse) {
+  if (!is_power_of_two(data.size())) {
+    throw std::invalid_argument("FFT size must be a power of two");
+  }
+  const std::size_t n = data.size();
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Cx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cx u = data[i + k];
+        const Cx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft_in_place(std::span<Cx> data) { transform(data, /*inverse=*/false); }
+
+void ifft_in_place(std::span<Cx> data) { transform(data, /*inverse=*/true); }
+
+std::vector<Cx> fft(std::span<const Cx> data) {
+  std::vector<Cx> out(data.begin(), data.end());
+  fft_in_place(out);
+  return out;
+}
+
+std::vector<Cx> ifft(std::span<const Cx> data) {
+  std::vector<Cx> out(data.begin(), data.end());
+  ifft_in_place(out);
+  return out;
+}
+
+}  // namespace acorn::baseband

@@ -1,0 +1,27 @@
+// Iterative radix-2 FFT/IFFT used by the OFDM sample chain (64-point for
+// 20 MHz, 128-point for 40 MHz channels) and the Welch PSD estimator.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace acorn::baseband {
+
+using Cx = std::complex<double>;
+
+/// True when n is a power of two (and > 0).
+bool is_power_of_two(std::size_t n);
+
+/// In-place decimation-in-time radix-2 FFT. `data.size()` must be a power
+/// of two; throws std::invalid_argument otherwise.
+void fft_in_place(std::span<Cx> data);
+
+/// In-place inverse FFT with 1/N normalization.
+void ifft_in_place(std::span<Cx> data);
+
+/// Out-of-place convenience wrappers.
+std::vector<Cx> fft(std::span<const Cx> data);
+std::vector<Cx> ifft(std::span<const Cx> data);
+
+}  // namespace acorn::baseband

@@ -1,0 +1,102 @@
+#include "baseband/interleaver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+BlockInterleaver::BlockInterleaver(int n_cbps, int n_bpsc, int n_cols)
+    : n_cbps_(n_cbps) {
+  if (n_cbps <= 0 || n_bpsc <= 0 || n_cols <= 0 ||
+      n_cbps % n_cols != 0) {
+    throw std::invalid_argument("bad interleaver parameters");
+  }
+  const int s = std::max(n_bpsc / 2, 1);
+  if (n_cbps % s != 0) {
+    throw std::invalid_argument("n_cbps must be a multiple of s");
+  }
+  const int n_rows = n_cbps / n_cols;
+  forward_.resize(static_cast<std::size_t>(n_cbps));
+  for (int k = 0; k < n_cbps; ++k) {
+    // First permutation: write row-wise into n_cols columns.
+    const int i = n_rows * (k % n_cols) + k / n_cols;
+    // Second permutation: rotate within groups of s (keeps bits cycling
+    // through constellation bit positions).
+    const int j = s * (i / s) + (i + n_cbps - (n_cols * i) / n_cbps) % s;
+    forward_[static_cast<std::size_t>(k)] = j;
+  }
+  // The permutation must be a bijection.
+  std::vector<char> seen(static_cast<std::size_t>(n_cbps), 0);
+  for (int j : forward_) {
+    if (j < 0 || j >= n_cbps || seen[static_cast<std::size_t>(j)]) {
+      throw std::logic_error("interleaver permutation is not a bijection");
+    }
+    seen[static_cast<std::size_t>(j)] = 1;
+  }
+}
+
+BlockInterleaver BlockInterleaver::for_ht(phy::ChannelWidth width,
+                                          phy::Modulation mod) {
+  const int n_bpsc = phy::bits_per_symbol(mod);
+  const int n_cbps = phy::data_subcarriers(width) * n_bpsc;
+  const int n_cols = width == phy::ChannelWidth::k20MHz ? 13 : 18;
+  return BlockInterleaver(n_cbps, n_bpsc, n_cols);
+}
+
+std::vector<std::uint8_t> BlockInterleaver::interleave(
+    std::span<const std::uint8_t> block) const {
+  if (static_cast<int>(block.size()) != n_cbps_) {
+    throw std::invalid_argument("block size mismatch");
+  }
+  std::vector<std::uint8_t> out(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    out[static_cast<std::size_t>(forward_[k])] = block[k];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BlockInterleaver::deinterleave(
+    std::span<const std::uint8_t> block) const {
+  if (static_cast<int>(block.size()) != n_cbps_) {
+    throw std::invalid_argument("block size mismatch");
+  }
+  std::vector<std::uint8_t> out(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    out[k] = block[static_cast<std::size_t>(forward_[k])];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BlockInterleaver::interleave_stream(
+    std::span<const std::uint8_t> bits) const {
+  if (bits.size() % static_cast<std::size_t>(n_cbps_) != 0) {
+    throw std::invalid_argument("stream not a multiple of the block size");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size());
+  for (std::size_t start = 0; start < bits.size();
+       start += static_cast<std::size_t>(n_cbps_)) {
+    const auto block = interleave(
+        bits.subspan(start, static_cast<std::size_t>(n_cbps_)));
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BlockInterleaver::deinterleave_stream(
+    std::span<const std::uint8_t> bits) const {
+  if (bits.size() % static_cast<std::size_t>(n_cbps_) != 0) {
+    throw std::invalid_argument("stream not a multiple of the block size");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size());
+  for (std::size_t start = 0; start < bits.size();
+       start += static_cast<std::size_t>(n_cbps_)) {
+    const auto block = deinterleave(
+        bits.subspan(start, static_cast<std::size_t>(n_cbps_)));
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+}  // namespace acorn::baseband

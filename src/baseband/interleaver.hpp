@@ -1,0 +1,55 @@
+// The 802.11 per-OFDM-symbol block interleaver (two permutations):
+// spreads adjacent coded bits across non-adjacent subcarriers and
+// alternating constellation significance, so a deep fade on one
+// subcarrier does not wipe out a run of consecutive coded bits.
+//
+// The column count is a parameter: 16 gives the legacy 802.11a layout,
+// 13 / 18 give the 802.11n HT layouts for 20 MHz (52 data carriers) and
+// 40 MHz (108 data carriers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/mcs.hpp"
+
+namespace acorn::baseband {
+
+/// Interleaver for one OFDM symbol of `n_cbps` coded bits carried at
+/// `n_bpsc` bits per subcarrier, written across `n_cols` columns.
+class BlockInterleaver {
+ public:
+  BlockInterleaver(int n_cbps, int n_bpsc, int n_cols = 16);
+
+  /// The HT interleaver for a width/modulation pair: 13 columns for
+  /// 20 MHz, 18 for 40 MHz; n_cbps = data_subcarriers * bits_per_symbol.
+  static BlockInterleaver for_ht(phy::ChannelWidth width,
+                                 phy::Modulation mod);
+
+  int block_size() const { return n_cbps_; }
+
+  /// The forward permutation: bit k lands at position permutation()[k].
+  /// Exposed so soft (LLR) streams can be deinterleaved without a
+  /// dedicated overload.
+  std::span<const int> permutation() const { return forward_; }
+
+  /// Interleave exactly one block.
+  std::vector<std::uint8_t> interleave(
+      std::span<const std::uint8_t> block) const;
+  std::vector<std::uint8_t> deinterleave(
+      std::span<const std::uint8_t> block) const;
+
+  /// Interleave a multi-block stream; length must be a multiple of the
+  /// block size.
+  std::vector<std::uint8_t> interleave_stream(
+      std::span<const std::uint8_t> bits) const;
+  std::vector<std::uint8_t> deinterleave_stream(
+      std::span<const std::uint8_t> bits) const;
+
+ private:
+  int n_cbps_;
+  std::vector<int> forward_;  // forward_[k] = position after interleaving
+};
+
+}  // namespace acorn::baseband

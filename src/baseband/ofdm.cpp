@@ -1,0 +1,155 @@
+#include "baseband/ofdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+
+namespace {
+
+// Logical subcarrier index (-N/2 .. N/2-1) to FFT bin (0 .. N-1).
+int to_bin(int k, int n) { return k >= 0 ? k : k + n; }
+
+// 802.11n 20 MHz: subcarriers -28..28 used, pilots at +/-7 and +/-21,
+// DC unused -> 52 data + 4 pilots.
+void build_20mhz(std::vector<int>& data, std::vector<int>& pilots) {
+  const int n = 64;
+  for (int k = -28; k <= 28; ++k) {
+    if (k == 0) continue;
+    const bool pilot = (k == 7 || k == -7 || k == 21 || k == -21);
+    (pilot ? pilots : data).push_back(to_bin(k, n));
+  }
+}
+
+// 802.11n 40 MHz: subcarriers -58..58 used except -1, 0, +1; pilots at
+// +/-11, +/-25, +/-53 -> 108 data + 6 pilots.
+void build_40mhz(std::vector<int>& data, std::vector<int>& pilots) {
+  const int n = 128;
+  for (int k = -58; k <= 58; ++k) {
+    if (k >= -1 && k <= 1) continue;
+    const bool pilot =
+        (k == 11 || k == -11 || k == 25 || k == -25 || k == 53 || k == -53);
+    (pilot ? pilots : data).push_back(to_bin(k, n));
+  }
+}
+
+}  // namespace
+
+Ofdm::Ofdm(phy::ChannelWidth width)
+    : width_(width), fft_size_(width == phy::ChannelWidth::k20MHz ? 64 : 128) {
+  if (width == phy::ChannelWidth::k20MHz) {
+    build_20mhz(data_bins_, pilot_bins_);
+  } else {
+    build_40mhz(data_bins_, pilot_bins_);
+  }
+  // Sanity: these counts are what the paper quotes (52 / 108).
+  const int expected = phy::data_subcarriers(width);
+  if (num_data_subcarriers() != expected) {
+    throw std::logic_error("subcarrier map does not match 802.11n");
+  }
+}
+
+double Ofdm::sample_rate_hz() const { return phy::width_hz(width_); }
+
+std::size_t Ofdm::num_ofdm_symbols(std::size_t n) const {
+  const auto per_symbol = static_cast<std::size_t>(num_data_subcarriers());
+  return (n + per_symbol - 1) / per_symbol;
+}
+
+double Ofdm::subcarrier_amplitude(double tx_power_mw) const {
+  if (tx_power_mw <= 0.0) throw std::invalid_argument("tx_power_mw <= 0");
+  // Average time-sample power of an IFFT frame with N_used unit-amplitude
+  // carriers is N_used / N^2 per unit subcarrier energy; solve for the
+  // amplitude that yields `tx_power_mw`.
+  const double n = fft_size_;
+  const double used = num_data_subcarriers() + num_pilot_subcarriers();
+  return std::sqrt(tx_power_mw * n * n / used);
+}
+
+std::vector<Cx> Ofdm::modulate(std::span<const Cx> data_symbols,
+                               double tx_power_mw) const {
+  const double amp = subcarrier_amplitude(tx_power_mw);
+  const std::size_t n_sym = num_ofdm_symbols(data_symbols.size());
+  const auto n = static_cast<std::size_t>(fft_size_);
+  std::vector<Cx> out;
+  out.reserve(n_sym * static_cast<std::size_t>(symbol_length()));
+  std::vector<Cx> grid(n);
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    std::fill(grid.begin(), grid.end(), Cx{});
+    for (int bin : data_bins_) {
+      const Cx sym = cursor < data_symbols.size() ? data_symbols[cursor] : Cx{};
+      grid[static_cast<std::size_t>(bin)] = amp * sym;
+      ++cursor;
+    }
+    for (int bin : pilot_bins_) {
+      grid[static_cast<std::size_t>(bin)] = Cx(amp, 0.0);
+    }
+    std::vector<Cx> time = ifft(grid);
+    // Cyclic prefix: last cp samples repeated in front.
+    const auto cp = static_cast<std::size_t>(cp_length());
+    out.insert(out.end(), time.end() - static_cast<std::ptrdiff_t>(cp),
+               time.end());
+    out.insert(out.end(), time.begin(), time.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<Cx>> Ofdm::extract_bins(
+    std::span<const Cx> rx_samples, std::size_t n_ofdm_symbols) const {
+  const auto slen = static_cast<std::size_t>(symbol_length());
+  if (rx_samples.size() < n_ofdm_symbols * slen) {
+    throw std::invalid_argument("rx waveform shorter than expected");
+  }
+  std::vector<std::vector<Cx>> out(n_ofdm_symbols);
+  std::vector<Cx> time(static_cast<std::size_t>(fft_size_));
+  for (std::size_t s = 0; s < n_ofdm_symbols; ++s) {
+    const std::size_t base = s * slen + static_cast<std::size_t>(cp_length());
+    std::copy_n(rx_samples.begin() + static_cast<std::ptrdiff_t>(base),
+                time.size(), time.begin());
+    fft_in_place(time);
+    out[s].reserve(data_bins_.size());
+    for (int bin : data_bins_) {
+      out[s].push_back(time[static_cast<std::size_t>(bin)]);
+    }
+  }
+  return out;
+}
+
+std::vector<Cx> Ofdm::demodulate(std::span<const Cx> rx_samples,
+                                 std::span<const Cx> channel_freq,
+                                 std::size_t n_data_symbols,
+                                 double tx_power_mw) const {
+  if (channel_freq.size() != static_cast<std::size_t>(fft_size_)) {
+    throw std::invalid_argument("channel response size != FFT size");
+  }
+  const double amp = subcarrier_amplitude(tx_power_mw);
+  const std::size_t n_sym = num_ofdm_symbols(n_data_symbols);
+  const auto slen = static_cast<std::size_t>(symbol_length());
+  if (rx_samples.size() < n_sym * slen) {
+    throw std::invalid_argument("rx waveform shorter than expected");
+  }
+  std::vector<Cx> data;
+  data.reserve(n_data_symbols);
+  std::vector<Cx> time(static_cast<std::size_t>(fft_size_));
+  for (std::size_t s = 0; s < n_sym && data.size() < n_data_symbols; ++s) {
+    const std::size_t base = s * slen + static_cast<std::size_t>(cp_length());
+    std::copy_n(rx_samples.begin() + static_cast<std::ptrdiff_t>(base),
+                time.size(), time.begin());
+    fft_in_place(time);
+    for (int bin : data_bins_) {
+      if (data.size() >= n_data_symbols) break;
+      const Cx h = channel_freq[static_cast<std::size_t>(bin)];
+      const Cx eq = std::abs(h) > 1e-12
+                        ? time[static_cast<std::size_t>(bin)] / h
+                        : time[static_cast<std::size_t>(bin)];
+      data.push_back(eq / amp);
+    }
+  }
+  return data;
+}
+
+}  // namespace acorn::baseband

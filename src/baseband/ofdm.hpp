@@ -1,0 +1,74 @@
+// OFDM modulator/demodulator mirroring the paper's WarpLab chain (§3.1):
+// data symbols -> subcarrier grid (52 data carriers on a 64-point IFFT for
+// 20 MHz, 108 on a 128-point IFFT for 40 MHz) -> cyclic prefix -> time
+// samples, and the inverse with genie-aided (perfect CSI) equalization.
+//
+// Power convention: `modulate` scales the waveform so the *average
+// time-sample power* equals `tx_power_mw`, i.e. the fixed total transmit
+// power the 802.11n standard mandates for both widths. The per-subcarrier
+// energy therefore drops by 10*log10(108/52) when bonding, which is the
+// micro-effect the paper measures in Figs. 1-4.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+#include "phy/mcs.hpp"
+
+namespace acorn::baseband {
+
+class Ofdm {
+ public:
+  explicit Ofdm(phy::ChannelWidth width);
+
+  phy::ChannelWidth width() const { return width_; }
+  int fft_size() const { return fft_size_; }
+  int cp_length() const { return fft_size_ / 4; }
+  int symbol_length() const { return fft_size_ + cp_length(); }
+  int num_data_subcarriers() const { return static_cast<int>(data_bins_.size()); }
+  int num_pilot_subcarriers() const { return static_cast<int>(pilot_bins_.size()); }
+  double sample_rate_hz() const;
+
+  /// FFT bin indices (0..N-1) carrying data / pilots.
+  std::span<const int> data_bins() const { return data_bins_; }
+  std::span<const int> pilot_bins() const { return pilot_bins_; }
+
+  /// OFDM symbols needed for `n` data constellation points.
+  std::size_t num_ofdm_symbols(std::size_t n) const;
+
+  /// Serialize data symbols into a CP-prefixed time-domain waveform with
+  /// average sample power `tx_power_mw`. The final OFDM symbol is
+  /// zero-padded. Pilot subcarriers carry +1 (BPSK).
+  std::vector<Cx> modulate(std::span<const Cx> data_symbols,
+                           double tx_power_mw = 1.0) const;
+
+  /// Demodulate `n_data_symbols` points from a received waveform.
+  /// `channel_freq` is the channel's frequency response at each FFT bin
+  /// (genie CSI); equalization divides each data bin by it. The same
+  /// `tx_power_mw` used at the transmitter must be supplied so the
+  /// constellation is rescaled to unit energy.
+  std::vector<Cx> demodulate(std::span<const Cx> rx_samples,
+                             std::span<const Cx> channel_freq,
+                             std::size_t n_data_symbols,
+                             double tx_power_mw = 1.0) const;
+
+  /// Extract the raw (unequalized, unscaled) data-bin values of the first
+  /// `n_ofdm_symbols` OFDM symbols: result[s][d] is data bin d of symbol
+  /// s. Used by receivers that combine across antennas (STBC) before
+  /// equalizing.
+  std::vector<std::vector<Cx>> extract_bins(std::span<const Cx> rx_samples,
+                                            std::size_t n_ofdm_symbols) const;
+
+  /// Amplitude applied per data subcarrier for a given total Tx power.
+  double subcarrier_amplitude(double tx_power_mw) const;
+
+ private:
+  phy::ChannelWidth width_;
+  int fft_size_;
+  std::vector<int> data_bins_;
+  std::vector<int> pilot_bins_;
+};
+
+}  // namespace acorn::baseband

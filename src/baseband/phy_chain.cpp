@@ -1,0 +1,155 @@
+#include "baseband/phy_chain.hpp"
+
+#include <stdexcept>
+
+#include "baseband/convolutional.hpp"
+#include "baseband/interleaver.hpp"
+#include "baseband/ofdm.hpp"
+#include "baseband/qam.hpp"
+#include "baseband/scrambler.hpp"
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+
+namespace {
+
+ChannelConfig channel_config(const PhyChainConfig& cfg) {
+  ChannelConfig ch;
+  ch.sample_rate_hz = phy::width_hz(cfg.width);
+  ch.noise_psd_dbm_per_hz = cfg.noise_psd_dbm_per_hz;
+  ch.noise_figure_db = cfg.noise_figure_db;
+  ch.path_loss_db = cfg.path_loss_db;
+  ch.num_taps = cfg.num_taps;
+  ch.rayleigh = cfg.rayleigh;
+  return ch;
+}
+
+const phy::McsEntry& entry_for(const PhyChainConfig& cfg) {
+  if (cfg.mcs_index < 0 || cfg.mcs_index > phy::kMaxSingleStreamMcs) {
+    throw std::invalid_argument("coded chain supports MCS 0-7 only");
+  }
+  return phy::mcs(cfg.mcs_index);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> phy_chain_roundtrip(
+    const PhyChainConfig& config, std::span<const std::uint8_t> bits,
+    FadingChannel& channel, util::Rng& rng) {
+  const phy::McsEntry& entry = entry_for(config);
+  const Ofdm ofdm(config.width);
+  const BlockInterleaver interleaver =
+      BlockInterleaver::for_ht(config.width, entry.modulation);
+  const ConvolutionalCode code;
+  const double tx_mw = util::dbm_to_mw(config.tx_dbm);
+
+  // Scramble, encode (rate 1/2 with tail) and puncture to the MCS rate.
+  const std::vector<std::uint8_t> scrambled = scramble(bits);
+  const std::vector<std::uint8_t> coded = code.encode(scrambled);
+  std::vector<std::uint8_t> tx_bits = puncture(coded, entry.code_rate);
+  const std::size_t punctured_len = tx_bits.size();
+
+  // Pad with zeros to a whole number of OFDM symbols (n_cbps each).
+  const auto n_cbps = static_cast<std::size_t>(interleaver.block_size());
+  const std::size_t n_symbols = (tx_bits.size() + n_cbps - 1) / n_cbps;
+  tx_bits.resize(n_symbols * n_cbps, 0);
+
+  const std::vector<std::uint8_t> inter =
+      interleaver.interleave_stream(tx_bits);
+  const std::vector<Cx> symbols = qam_modulate(inter, entry.modulation);
+  const std::vector<Cx> tx = ofdm.modulate(symbols, tx_mw);
+  const std::vector<Cx> rx = channel.transmit(tx, rng);
+  const std::vector<Cx> h = channel.frequency_response(
+      static_cast<std::size_t>(ofdm.fft_size()));
+  const std::vector<Cx> eq = ofdm.demodulate(rx, h, symbols.size(), tx_mw);
+
+  if (config.soft_decision) {
+    // Post-equalization noise variance per symbol: dividing bin k by H_k
+    // scales the FFT-domain noise (N * sigma^2) by 1/(amp^2 |H_k|^2).
+    const double amp = ofdm.subcarrier_amplitude(tx_mw);
+    const double post_fft_noise =
+        channel.noise_variance_mw() * ofdm.fft_size();
+    const auto data_bins = ofdm.data_bins();
+    const auto nd_bins = static_cast<std::size_t>(ofdm.num_data_subcarriers());
+    std::vector<double> noise_vars(symbols.size());
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      const auto bin = static_cast<std::size_t>(data_bins[i % nd_bins]);
+      const double h2 = std::max(std::norm(h[bin]), 1e-12);
+      noise_vars[i] = post_fft_noise / (amp * amp * h2);
+    }
+    std::vector<double> llrs =
+        qam_soft_demodulate(eq, entry.modulation, noise_vars);
+    llrs.resize(n_symbols * n_cbps, 0.0);
+    // Deinterleave the LLR stream block by block: position perm[k] in
+    // the received block came from pre-interleaver position k.
+    std::vector<double> deinter_llrs(llrs.size());
+    const auto block = static_cast<std::size_t>(interleaver.block_size());
+    const auto perm = interleaver.permutation();
+    for (std::size_t start = 0; start < llrs.size(); start += block) {
+      for (std::size_t k = 0; k < block; ++k) {
+        deinter_llrs[start + k] =
+            llrs[start + static_cast<std::size_t>(perm[k])];
+      }
+    }
+    deinter_llrs.resize(punctured_len);
+    const std::vector<double> depunct =
+        depuncture_soft(deinter_llrs, entry.code_rate, coded.size());
+    return descramble(code.decode_soft(depunct));
+  }
+
+  std::vector<std::uint8_t> rx_bits = qam_demodulate(eq, entry.modulation);
+  rx_bits.resize(n_symbols * n_cbps);  // drop pad-symbol demap residue
+
+  std::vector<std::uint8_t> deinter =
+      interleaver.deinterleave_stream(rx_bits);
+  deinter.resize(punctured_len);  // strip the zero padding
+  const std::vector<std::uint8_t> depunct =
+      depuncture(deinter, entry.code_rate, coded.size());
+  return descramble(code.decode(depunct));
+}
+
+PhyChainResult run_phy_chain(const PhyChainConfig& config, int packets,
+                             util::Rng& rng) {
+  if (packets <= 0 || config.packet_bytes <= 0) {
+    throw std::invalid_argument("packets and packet_bytes must be positive");
+  }
+  const Ofdm ofdm(config.width);
+  FadingChannel channel(channel_config(config), rng);
+  PhyChainResult result;
+  double snr_sum = 0.0;
+  for (int p = 0; p < packets; ++p) {
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(config.packet_bytes) * 8);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+    channel.redraw(rng);
+    const std::vector<std::uint8_t> decoded =
+        phy_chain_roundtrip(config, bits, channel, rng);
+
+    std::int64_t errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (decoded[i] != bits[i]) ++errors;
+    }
+    result.bits_sent += static_cast<std::int64_t>(bits.size());
+    result.bit_errors += errors;
+    result.packets_sent += 1;
+    if (errors > 0) result.packet_errors += 1;
+
+    // Mean per-subcarrier SNR from the genie CSI for this packet.
+    const std::vector<Cx> h = channel.frequency_response(
+        static_cast<std::size_t>(ofdm.fft_size()));
+    const double amp =
+        ofdm.subcarrier_amplitude(util::dbm_to_mw(config.tx_dbm));
+    const double post_fft_noise =
+        channel.noise_variance_mw() * ofdm.fft_size();
+    double snr = 0.0;
+    for (int bin : ofdm.data_bins()) {
+      snr += amp * amp * std::norm(h[static_cast<std::size_t>(bin)]) /
+             post_fft_noise;
+    }
+    snr_sum += snr / ofdm.num_data_subcarriers();
+  }
+  result.mean_snr_db = util::lin_to_db(snr_sum / packets);
+  return result;
+}
+
+}  // namespace acorn::baseband

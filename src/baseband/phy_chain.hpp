@@ -1,0 +1,74 @@
+// The full coded 802.11n PHY chain, end to end at sample level:
+//
+//   payload bits -> scrambler -> K=7 convolutional encoder (terminated)
+//   -> puncturing -> per-symbol HT block interleaving -> Gray QAM
+//   mapping -> OFDM with cyclic prefix -> multipath + AWGN channel ->
+//   genie-equalized OFDM demodulation -> hard demapping ->
+//   deinterleaving -> depuncturing -> Viterbi decoding -> descrambler ->
+//   payload bits.
+//
+// This is the "commodity 802.11n card" the paper measures in §3.2 —
+// coded PER at a given MCS and width — built from the same primitives as
+// the uncoded WARP chain. The calibration bench compares what this chain
+// *measures* against what phy::LinkModel *predicts*.
+//
+// Scope: single spatial stream (MCS 0-7), SISO antenna path. The MIMO
+// gains of STBC/SDM live in the link abstraction.
+#pragma once
+
+#include <cstdint>
+
+#include "baseband/channel.hpp"
+#include "phy/mcs.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+
+struct PhyChainConfig {
+  /// MCS 0-7 (single stream).
+  int mcs_index = 0;
+  phy::ChannelWidth width = phy::ChannelWidth::k20MHz;
+  int packet_bytes = 1500;
+  double tx_dbm = 10.0;
+  double path_loss_db = 90.0;
+  double noise_psd_dbm_per_hz = -174.0;
+  double noise_figure_db = 0.0;
+  bool rayleigh = true;
+  int num_taps = 3;
+  /// Soft-decision decoding: max-log LLR demapping (with per-subcarrier
+  /// noise variances from the genie CSI) feeding a soft Viterbi. Default
+  /// is hard decisions, matching the analytic model's hard-decision
+  /// union bound.
+  bool soft_decision = false;
+};
+
+struct PhyChainResult {
+  std::int64_t bits_sent = 0;
+  std::int64_t bit_errors = 0;  // residual errors after Viterbi
+  std::int64_t packets_sent = 0;
+  std::int64_t packet_errors = 0;
+  double mean_snr_db = 0.0;  // per-subcarrier, from genie CSI
+
+  double ber() const {
+    return bits_sent == 0 ? 0.0
+                          : static_cast<double>(bit_errors) /
+                                static_cast<double>(bits_sent);
+  }
+  double per() const {
+    return packets_sent == 0 ? 0.0
+                             : static_cast<double>(packet_errors) /
+                                   static_cast<double>(packets_sent);
+  }
+};
+
+/// Transmit one packet's bits through the chain; returns the decoded
+/// payload bits (same length as the input).
+std::vector<std::uint8_t> phy_chain_roundtrip(
+    const PhyChainConfig& config, std::span<const std::uint8_t> bits,
+    FadingChannel& channel, util::Rng& rng);
+
+/// Run `packets` random packets and collect error statistics.
+PhyChainResult run_phy_chain(const PhyChainConfig& config, int packets,
+                             util::Rng& rng);
+
+}  // namespace acorn::baseband

@@ -1,0 +1,51 @@
+#include "baseband/preamble.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace acorn::baseband {
+
+namespace {
+constexpr std::array<int, 11> kBarker11 = {+1, -1, +1, +1, -1, +1,
+                                           +1, +1, -1, -1, -1};
+}
+
+std::span<const int> barker11() { return kBarker11; }
+
+std::vector<Cx> make_preamble(int repeats, double amplitude) {
+  std::vector<Cx> out;
+  out.reserve(static_cast<std::size_t>(repeats) * kBarker11.size());
+  for (int r = 0; r < repeats; ++r) {
+    for (int chip : kBarker11) out.emplace_back(amplitude * chip, 0.0);
+  }
+  return out;
+}
+
+std::optional<std::size_t> detect_preamble(std::span<const Cx> rx, int repeats,
+                                           double threshold) {
+  const auto preamble = make_preamble(repeats, 1.0);
+  const std::size_t plen = preamble.size();
+  if (rx.size() < plen) return std::nullopt;
+
+  double best_metric = 0.0;
+  std::optional<std::size_t> best_pos;
+  for (std::size_t start = 0; start + plen <= rx.size(); ++start) {
+    Cx corr(0.0, 0.0);
+    double energy = 0.0;
+    for (std::size_t k = 0; k < plen; ++k) {
+      corr += rx[start + k] * std::conj(preamble[k]);
+      energy += std::norm(rx[start + k]);
+    }
+    if (energy <= 0.0) continue;
+    const double metric =
+        std::abs(corr) / std::sqrt(energy * static_cast<double>(plen));
+    if (metric > best_metric) {
+      best_metric = metric;
+      best_pos = start + plen;
+    }
+  }
+  if (best_metric < threshold) return std::nullopt;
+  return best_pos;
+}
+
+}  // namespace acorn::baseband

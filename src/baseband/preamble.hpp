@@ -1,0 +1,29 @@
+// Barker-sequence preamble for frame detection (paper §3.1: "A Barker
+// sequence is later prepended to facilitate symbol detection at the
+// receiver").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+
+namespace acorn::baseband {
+
+/// The length-11 Barker code (+1/-1 chips).
+std::span<const int> barker11();
+
+/// Preamble samples: `repeats` back-to-back Barker-11 sequences scaled to
+/// the given amplitude.
+std::vector<Cx> make_preamble(int repeats = 4, double amplitude = 1.0);
+
+/// Sliding correlation detector. Returns the sample index of the first
+/// payload sample (i.e. one past the preamble end), or nullopt when the
+/// normalized correlation never exceeds `threshold`.
+std::optional<std::size_t> detect_preamble(std::span<const Cx> rx,
+                                           int repeats = 4,
+                                           double threshold = 0.6);
+
+}  // namespace acorn::baseband

@@ -1,0 +1,74 @@
+#include "baseband/psd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+
+PsdEstimate welch_psd(std::span<const Cx> samples, std::size_t segment,
+                      double sample_rate_hz) {
+  if (!is_power_of_two(segment)) {
+    throw std::invalid_argument("segment must be a power of two");
+  }
+  if (samples.size() < segment) {
+    throw std::invalid_argument("fewer samples than one segment");
+  }
+  // Hann window and its power normalization.
+  std::vector<double> window(segment);
+  double window_power = 0.0;
+  for (std::size_t n = 0; n < segment; ++n) {
+    window[n] = 0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(n) /
+                                      static_cast<double>(segment - 1)));
+    window_power += window[n] * window[n];
+  }
+
+  const std::size_t hop = segment / 2;  // 50% overlap
+  std::vector<double> acc(segment, 0.0);
+  std::size_t n_segments = 0;
+  std::vector<Cx> buf(segment);
+  for (std::size_t start = 0; start + segment <= samples.size();
+       start += hop) {
+    for (std::size_t n = 0; n < segment; ++n) {
+      buf[n] = samples[start + n] * window[n];
+    }
+    fft_in_place(buf);
+    for (std::size_t k = 0; k < segment; ++k) acc[k] += std::norm(buf[k]);
+    ++n_segments;
+  }
+
+  // Periodogram scaling: P(f_k) = |X_k|^2 / (Fs * sum w^2).
+  const double scale =
+      1.0 / (sample_rate_hz * window_power * static_cast<double>(n_segments));
+
+  PsdEstimate out;
+  out.freq_hz.resize(segment);
+  out.psd_dbm_hz.resize(segment);
+  // Reorder FFT bins to ascending frequency (negative first).
+  for (std::size_t k = 0; k < segment; ++k) {
+    const std::size_t src = (k + segment / 2) % segment;
+    const double f =
+        (static_cast<double>(k) - static_cast<double>(segment) / 2.0) *
+        sample_rate_hz / static_cast<double>(segment);
+    out.freq_hz[k] = f;
+    const double p = std::max(acc[src] * scale, 1e-30);
+    out.psd_dbm_hz[k] = util::mw_to_dbm(p);
+  }
+  return out;
+}
+
+double inband_level_dbm_hz(const PsdEstimate& psd, double occupied_hz) {
+  std::vector<double> levels;
+  for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+    if (std::abs(psd.freq_hz[k]) <= occupied_hz / 2.0) {
+      levels.push_back(psd.psd_dbm_hz[k]);
+    }
+  }
+  if (levels.empty()) throw std::invalid_argument("no in-band bins");
+  return util::median(levels);
+}
+
+}  // namespace acorn::baseband

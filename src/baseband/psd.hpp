@@ -1,0 +1,30 @@
+// Welch power-spectral-density estimation, used to regenerate the paper's
+// Fig. 1 (the ~3 dB per-subcarrier PSD drop when bonding at fixed Tx).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+
+namespace acorn::baseband {
+
+struct PsdEstimate {
+  /// Baseband frequency of each bin, in Hz, centered on 0 (i.e. relative
+  /// to the carrier Fc), ascending.
+  std::vector<double> freq_hz;
+  /// PSD in dBm/Hz (assuming the input samples are in sqrt(mW)).
+  std::vector<double> psd_dbm_hz;
+};
+
+/// Welch's method with a Hann window and 50% overlap.
+/// `segment` must be a power of two and <= samples.size().
+PsdEstimate welch_psd(std::span<const Cx> samples, std::size_t segment,
+                      double sample_rate_hz);
+
+/// Median in-band PSD level over bins whose |freq| lies in
+/// [0, occupied_hz/2]; a robust single-number summary of the flat top of
+/// the OFDM spectrum (paper quotes -92 vs -95 dB).
+double inband_level_dbm_hz(const PsdEstimate& psd, double occupied_hz);
+
+}  // namespace acorn::baseband

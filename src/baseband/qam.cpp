@@ -1,0 +1,155 @@
+#include "baseband/qam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+namespace {
+
+// Gray mapping of m bits to one PAM axis with levels
+// {-(2^m - 1), ..., -1, 1, ..., 2^m - 1}: per IEEE 802.11 Table 18-9/10.
+double gray_to_level(unsigned gray_bits, int m) {
+  // Convert Gray code to binary index.
+  unsigned bin = gray_bits;
+  for (unsigned shift = 1; shift < static_cast<unsigned>(m); shift <<= 1) {
+    bin ^= bin >> shift;
+  }
+  const int levels = 1 << m;
+  return 2.0 * static_cast<double>(bin) - (levels - 1);
+}
+
+unsigned level_to_gray(double value, int m) {
+  const int levels = 1 << m;
+  // Slice to the nearest level index.
+  int idx = static_cast<int>(std::lround((value + (levels - 1)) / 2.0));
+  idx = std::clamp(idx, 0, levels - 1);
+  const auto bin = static_cast<unsigned>(idx);
+  return bin ^ (bin >> 1);
+}
+
+double normalization(phy::Modulation mod) {
+  switch (mod) {
+    case phy::Modulation::kBpsk: return 1.0;
+    case phy::Modulation::kQpsk: return 1.0 / std::sqrt(2.0);
+    case phy::Modulation::kQam16: return 1.0 / std::sqrt(10.0);
+    case phy::Modulation::kQam64: return 1.0 / std::sqrt(42.0);
+  }
+  throw std::invalid_argument("unknown modulation");
+}
+
+}  // namespace
+
+Cx qam_map_symbol(std::span<const std::uint8_t> bits, phy::Modulation mod) {
+  const int k = phy::bits_per_symbol(mod);
+  if (static_cast<int>(bits.size()) != k) {
+    throw std::invalid_argument("wrong bit count for symbol");
+  }
+  const double norm = normalization(mod);
+  if (mod == phy::Modulation::kBpsk) {
+    return Cx(bits[0] ? -1.0 : 1.0, 0.0);
+  }
+  const int half = k / 2;
+  unsigned i_bits = 0;
+  unsigned q_bits = 0;
+  for (int b = 0; b < half; ++b) {
+    i_bits = (i_bits << 1) | bits[static_cast<std::size_t>(b)];
+    q_bits = (q_bits << 1) | bits[static_cast<std::size_t>(half + b)];
+  }
+  return norm * Cx(gray_to_level(i_bits, half), gray_to_level(q_bits, half));
+}
+
+void qam_demap_symbol(Cx symbol, phy::Modulation mod,
+                      std::span<std::uint8_t> out) {
+  const int k = phy::bits_per_symbol(mod);
+  if (static_cast<int>(out.size()) != k) {
+    throw std::invalid_argument("wrong output size for symbol");
+  }
+  if (mod == phy::Modulation::kBpsk) {
+    out[0] = symbol.real() < 0.0 ? 1 : 0;
+    return;
+  }
+  const double norm = normalization(mod);
+  const int half = k / 2;
+  const unsigned i_bits = level_to_gray(symbol.real() / norm, half);
+  const unsigned q_bits = level_to_gray(symbol.imag() / norm, half);
+  for (int b = 0; b < half; ++b) {
+    out[static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>((i_bits >> (half - 1 - b)) & 1u);
+    out[static_cast<std::size_t>(half + b)] =
+        static_cast<std::uint8_t>((q_bits >> (half - 1 - b)) & 1u);
+  }
+}
+
+std::vector<Cx> qam_modulate(std::span<const std::uint8_t> bits,
+                             phy::Modulation mod) {
+  const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
+  const std::size_t n_symbols = (bits.size() + k - 1) / k;
+  std::vector<std::uint8_t> padded(bits.begin(), bits.end());
+  padded.resize(n_symbols * k, 0);
+  std::vector<Cx> out;
+  out.reserve(n_symbols);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    out.push_back(qam_map_symbol(
+        std::span<const std::uint8_t>(padded).subspan(s * k, k), mod));
+  }
+  return out;
+}
+
+std::vector<double> qam_soft_demodulate(std::span<const Cx> symbols,
+                                        phy::Modulation mod,
+                                        std::span<const double> noise_vars) {
+  if (symbols.size() != noise_vars.size()) {
+    throw std::invalid_argument("one noise variance per symbol required");
+  }
+  const int k = phy::bits_per_symbol(mod);
+  // Enumerate the constellation once: point + bit labels.
+  const int m = 1 << k;
+  std::vector<Cx> points(static_cast<std::size_t>(m));
+  std::vector<std::uint8_t> labels(static_cast<std::size_t>(m * k));
+  for (int v = 0; v < m; ++v) {
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
+    for (int b = 0; b < k; ++b) {
+      bits[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>((v >> (k - 1 - b)) & 1);
+      labels[static_cast<std::size_t>(v * k + b)] =
+          bits[static_cast<std::size_t>(b)];
+    }
+    points[static_cast<std::size_t>(v)] = qam_map_symbol(bits, mod);
+  }
+
+  std::vector<double> llrs;
+  llrs.reserve(symbols.size() * static_cast<std::size_t>(k));
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const double inv_var = 1.0 / std::max(noise_vars[s], 1e-12);
+    for (int b = 0; b < k; ++b) {
+      double best0 = 1e300;
+      double best1 = 1e300;
+      for (int v = 0; v < m; ++v) {
+        const double d2 =
+            std::norm(symbols[s] - points[static_cast<std::size_t>(v)]);
+        if (labels[static_cast<std::size_t>(v * k + b)] == 0) {
+          best0 = std::min(best0, d2);
+        } else {
+          best1 = std::min(best1, d2);
+        }
+      }
+      llrs.push_back((best1 - best0) * inv_var);
+    }
+  }
+  return llrs;
+}
+
+std::vector<std::uint8_t> qam_demodulate(std::span<const Cx> symbols,
+                                         phy::Modulation mod) {
+  const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
+  std::vector<std::uint8_t> out(symbols.size() * k);
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    qam_demap_symbol(symbols[s], mod,
+                     std::span<std::uint8_t>(out).subspan(s * k, k));
+  }
+  return out;
+}
+
+}  // namespace acorn::baseband

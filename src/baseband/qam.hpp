@@ -1,0 +1,41 @@
+// Gray-coded square QAM mapping for the coded PHY chain: BPSK, QPSK,
+// 16-QAM and 64-QAM with the 802.11 normalization factors (unit average
+// symbol energy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+#include "phy/modulation.hpp"
+
+namespace acorn::baseband {
+
+/// Map a bitstream to constellation symbols. The trailing partial symbol
+/// (if any) is zero-padded.
+std::vector<Cx> qam_modulate(std::span<const std::uint8_t> bits,
+                             phy::Modulation mod);
+
+/// Hard-decision demap; always returns a multiple of bits_per_symbol.
+std::vector<std::uint8_t> qam_demodulate(std::span<const Cx> symbols,
+                                         phy::Modulation mod);
+
+/// Soft demap: per-bit log-likelihood ratios, positive when bit 0 is
+/// more likely — the max-log approximation
+///   LLR_b = (min_{s: b=1} |y-s|^2 - min_{s: b=0} |y-s|^2) / sigma^2.
+/// `noise_vars` gives each symbol's post-equalization noise variance
+/// (one entry per symbol; equalization divides by H so the variance
+/// varies per subcarrier).
+std::vector<double> qam_soft_demodulate(std::span<const Cx> symbols,
+                                        phy::Modulation mod,
+                                        std::span<const double> noise_vars);
+
+/// Map one symbol from `bits_per_symbol(mod)` bits.
+Cx qam_map_symbol(std::span<const std::uint8_t> bits, phy::Modulation mod);
+
+/// Demap one symbol into `out` (`bits_per_symbol(mod)` entries).
+void qam_demap_symbol(Cx symbol, phy::Modulation mod,
+                      std::span<std::uint8_t> out);
+
+}  // namespace acorn::baseband

@@ -1,0 +1,99 @@
+#include "baseband/qpsk.hpp"
+
+#include <cmath>
+
+namespace acorn::baseband {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865476;
+}
+
+Cx qpsk_map(int bit0, int bit1) {
+  // Gray mapping: bit0 selects the I sign, bit1 the Q sign.
+  return Cx(bit0 ? -kInvSqrt2 : kInvSqrt2, bit1 ? -kInvSqrt2 : kInvSqrt2);
+}
+
+void qpsk_demap(Cx symbol, int& bit0, int& bit1) {
+  bit0 = symbol.real() < 0.0 ? 1 : 0;
+  bit1 = symbol.imag() < 0.0 ? 1 : 0;
+}
+
+std::vector<Cx> qpsk_modulate(std::span<const std::uint8_t> bits) {
+  std::vector<Cx> symbols;
+  symbols.reserve((bits.size() + 1) / 2);
+  for (std::size_t i = 0; i < bits.size(); i += 2) {
+    const int b0 = bits[i];
+    const int b1 = i + 1 < bits.size() ? bits[i + 1] : 0;
+    symbols.push_back(qpsk_map(b0, b1));
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> qpsk_demodulate(std::span<const Cx> symbols) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * 2);
+  for (const Cx s : symbols) {
+    int b0 = 0;
+    int b1 = 0;
+    qpsk_demap(s, b0, b1);
+    bits.push_back(static_cast<std::uint8_t>(b0));
+    bits.push_back(static_cast<std::uint8_t>(b1));
+  }
+  return bits;
+}
+
+namespace {
+// DQPSK phase increments per Gray-coded dibit.
+double dibit_phase(int b0, int b1) {
+  if (b0 == 0 && b1 == 0) return 0.0;
+  if (b0 == 0 && b1 == 1) return M_PI / 2.0;
+  if (b0 == 1 && b1 == 1) return M_PI;
+  return -M_PI / 2.0;  // b0 == 1, b1 == 0
+}
+
+void phase_to_dibit(double phase, int& b0, int& b1) {
+  // Fold into [-pi, pi) and pick the nearest of the four increments.
+  while (phase >= M_PI) phase -= 2.0 * M_PI;
+  while (phase < -M_PI) phase += 2.0 * M_PI;
+  if (phase >= -M_PI / 4.0 && phase < M_PI / 4.0) {
+    b0 = 0; b1 = 0;
+  } else if (phase >= M_PI / 4.0 && phase < 3.0 * M_PI / 4.0) {
+    b0 = 0; b1 = 1;
+  } else if (phase >= -3.0 * M_PI / 4.0 && phase < -M_PI / 4.0) {
+    b0 = 1; b1 = 0;
+  } else {
+    b0 = 1; b1 = 1;
+  }
+}
+}  // namespace
+
+std::vector<Cx> dqpsk_modulate(std::span<const std::uint8_t> bits) {
+  std::vector<Cx> symbols;
+  symbols.reserve((bits.size() + 1) / 2);
+  double phase = 0.0;  // reference symbol at phase 0 is implicit
+  for (std::size_t i = 0; i < bits.size(); i += 2) {
+    const int b0 = bits[i];
+    const int b1 = i + 1 < bits.size() ? bits[i + 1] : 0;
+    phase += dibit_phase(b0, b1);
+    symbols.emplace_back(std::cos(phase), std::sin(phase));
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> dqpsk_demodulate(std::span<const Cx> symbols) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * 2);
+  Cx prev(1.0, 0.0);
+  for (const Cx s : symbols) {
+    const double dphase = std::arg(s * std::conj(prev));
+    int b0 = 0;
+    int b1 = 0;
+    phase_to_dibit(dphase, b0, b1);
+    bits.push_back(static_cast<std::uint8_t>(b0));
+    bits.push_back(static_cast<std::uint8_t>(b1));
+    prev = s;
+  }
+  return bits;
+}
+
+}  // namespace acorn::baseband

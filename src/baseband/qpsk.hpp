@@ -1,0 +1,32 @@
+// QPSK and DQPSK symbol mapping, as used by the paper's WarpLab OFDM
+// experiments (§3.1: "We generate a random bitstream and modulate it
+// using DQPSK").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+
+namespace acorn::baseband {
+
+/// Gray-coded QPSK: 2 bits -> one unit-energy constellation point.
+Cx qpsk_map(int bit0, int bit1);
+
+/// Hard decision back to 2 bits.
+void qpsk_demap(Cx symbol, int& bit0, int& bit1);
+
+/// Map a bitstream (values 0/1) to QPSK symbols. Pads a trailing odd bit
+/// with zero.
+std::vector<Cx> qpsk_modulate(std::span<const std::uint8_t> bits);
+
+/// Hard-decision demap to bits (always even count).
+std::vector<std::uint8_t> qpsk_demodulate(std::span<const Cx> symbols);
+
+/// Differential QPSK: each symbol encodes the phase *increment* relative
+/// to the previous symbol, so no absolute phase reference is needed.
+std::vector<Cx> dqpsk_modulate(std::span<const std::uint8_t> bits);
+std::vector<std::uint8_t> dqpsk_demodulate(std::span<const Cx> symbols);
+
+}  // namespace acorn::baseband

@@ -1,0 +1,40 @@
+#include "baseband/scrambler.hpp"
+
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(0) { reset(seed); }
+
+void Scrambler::reset(std::uint8_t seed) {
+  if ((seed & 0x7F) == 0) {
+    throw std::invalid_argument("scrambler seed must be nonzero");
+  }
+  state_ = static_cast<std::uint8_t>(seed & 0x7F);
+}
+
+std::uint8_t Scrambler::next_bit() {
+  // Feedback = x^7 XOR x^4 (bits 6 and 3 of the 7-bit state).
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return fb;
+}
+
+std::vector<std::uint8_t> Scrambler::process(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size());
+  for (std::uint8_t b : bits) {
+    out.push_back(static_cast<std::uint8_t>((b ^ next_bit()) & 1u));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits,
+                                   std::uint8_t seed) {
+  Scrambler s(seed);
+  return s.process(bits);
+}
+
+}  // namespace acorn::baseband

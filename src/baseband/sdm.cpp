@@ -1,0 +1,83 @@
+#include "baseband/sdm.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+Cx mimo_determinant(const Mimo2x2& h) {
+  return h[0][0] * h[1][1] - h[0][1] * h[1][0];
+}
+
+std::array<Cx, 2> zf_detect(const Mimo2x2& h, Cx rx0, Cx rx1) {
+  const Cx det = mimo_determinant(h);
+  if (std::abs(det) < 1e-12) {
+    throw std::domain_error("singular MIMO channel");
+  }
+  // H^{-1} = 1/det * [ h11 -h01; -h10 h00 ].
+  const Cx x0 = (h[1][1] * rx0 - h[0][1] * rx1) / det;
+  const Cx x1 = (-h[1][0] * rx0 + h[0][0] * rx1) / det;
+  return {x0, x1};
+}
+
+std::array<double, 2> zf_noise_amplification(const Mimo2x2& h) {
+  const Cx det = mimo_determinant(h);
+  const double d2 = std::norm(det);
+  if (d2 < 1e-24) {
+    return {std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  // Rows of H^{-1}: (h11, -h01)/det and (-h10, h00)/det.
+  const double row0 = (std::norm(h[1][1]) + std::norm(h[0][1])) / d2;
+  const double row1 = (std::norm(h[1][0]) + std::norm(h[0][0])) / d2;
+  return {row0, row1};
+}
+
+std::array<Cx, 2> mmse_detect(const Mimo2x2& h, Cx rx0, Cx rx1,
+                              double noise_var) {
+  if (noise_var < 0.0) throw std::invalid_argument("negative noise_var");
+  // A = H^H H + sigma^2 I (2x2 Hermitian), b = H^H y.
+  const Cx a00 = std::conj(h[0][0]) * h[0][0] +
+                 std::conj(h[1][0]) * h[1][0] + noise_var;
+  const Cx a01 = std::conj(h[0][0]) * h[0][1] + std::conj(h[1][0]) * h[1][1];
+  const Cx a10 = std::conj(a01);
+  const Cx a11 = std::conj(h[0][1]) * h[0][1] +
+                 std::conj(h[1][1]) * h[1][1] + noise_var;
+  const Cx b0 = std::conj(h[0][0]) * rx0 + std::conj(h[1][0]) * rx1;
+  const Cx b1 = std::conj(h[0][1]) * rx0 + std::conj(h[1][1]) * rx1;
+  const Cx det = a00 * a11 - a01 * a10;
+  if (std::abs(det) < 1e-18) {
+    // Only possible when H == 0 and noise_var == 0: nothing to detect.
+    return {Cx{}, Cx{}};
+  }
+  return {(a11 * b0 - a01 * b1) / det, (-a10 * b0 + a00 * b1) / det};
+}
+
+SdmStreams sdm_split(std::span<const Cx> symbols) {
+  SdmStreams out;
+  const std::size_t n = (symbols.size() + 1) / 2;
+  out.stream0.reserve(n);
+  out.stream1.reserve(n);
+  for (std::size_t i = 0; i < symbols.size(); i += 2) {
+    out.stream0.push_back(symbols[i]);
+    out.stream1.push_back(i + 1 < symbols.size() ? symbols[i + 1] : Cx{});
+  }
+  return out;
+}
+
+std::vector<Cx> sdm_merge(std::span<const Cx> stream0,
+                          std::span<const Cx> stream1) {
+  if (stream0.size() != stream1.size()) {
+    throw std::invalid_argument("stream length mismatch");
+  }
+  std::vector<Cx> out;
+  out.reserve(stream0.size() * 2);
+  for (std::size_t i = 0; i < stream0.size(); ++i) {
+    out.push_back(stream0[i]);
+    out.push_back(stream1[i]);
+  }
+  return out;
+}
+
+}  // namespace acorn::baseband

@@ -1,0 +1,51 @@
+// 2x2 spatial division multiplexing (SDM): the 802.11n mode that sends
+// two independent streams for rate (paper §2: "SDM, which achieves
+// higher data rates"), in contrast to STBC's diversity. Per-subcarrier
+// zero-forcing detection: with y = H x + n, the receiver computes
+// x_hat = H^{-1} y; noise is amplified when H is ill-conditioned, which
+// is exactly why the auto-rate abandons SDM on weak links.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "baseband/fft.hpp"
+
+namespace acorn::baseband {
+
+/// A 2x2 complex channel matrix: h[rx][tx].
+using Mimo2x2 = std::array<std::array<Cx, 2>, 2>;
+
+/// Determinant of the channel matrix.
+Cx mimo_determinant(const Mimo2x2& h);
+
+/// Zero-forcing detection of one symbol pair from the two received
+/// values. Throws std::domain_error when the channel is singular.
+std::array<Cx, 2> zf_detect(const Mimo2x2& h, Cx rx0, Cx rx1);
+
+/// Post-detection noise amplification of the zero-forcing equalizer for
+/// each stream: the row norms of H^{-1} squared. Effective per-stream
+/// SNR = input SNR / amplification.
+std::array<double, 2> zf_noise_amplification(const Mimo2x2& h);
+
+/// MMSE detection: x_hat = (H^H H + sigma^2 I)^{-1} H^H y. Regularizing
+/// by the noise variance avoids the ZF noise blow-up on ill-conditioned
+/// channels; never throws on singular H (the estimate degrades
+/// gracefully instead).
+std::array<Cx, 2> mmse_detect(const Mimo2x2& h, Cx rx0, Cx rx1,
+                              double noise_var);
+
+/// Split a symbol stream round-robin into two spatial streams (even
+/// indices on stream 0). Pads to even length.
+struct SdmStreams {
+  std::vector<Cx> stream0;
+  std::vector<Cx> stream1;
+};
+SdmStreams sdm_split(std::span<const Cx> symbols);
+
+/// Re-merge detected streams into one stream (inverse of sdm_split).
+std::vector<Cx> sdm_merge(std::span<const Cx> stream0,
+                          std::span<const Cx> stream1);
+
+}  // namespace acorn::baseband

@@ -1,0 +1,57 @@
+#include "baseband/stbc.hpp"
+
+#include <stdexcept>
+
+namespace acorn::baseband {
+
+StbcStreams alamouti_encode(std::span<const Cx> symbols) {
+  StbcStreams out;
+  const std::size_t n = (symbols.size() + 1) / 2 * 2;
+  out.antenna_a.reserve(n);
+  out.antenna_b.reserve(n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    const Cx s0 = symbols[i];
+    const Cx s1 = i + 1 < symbols.size() ? symbols[i + 1] : Cx{};
+    out.antenna_a.push_back(s0);
+    out.antenna_b.push_back(s1);
+    out.antenna_a.push_back(-std::conj(s1));
+    out.antenna_b.push_back(std::conj(s0));
+  }
+  return out;
+}
+
+StbcDecoded alamouti_combine(Cx r_a0, Cx r_a1, Cx r_b0, Cx r_b1, Cx h_aa,
+                             Cx h_ab, Cx h_ba, Cx h_bb) {
+  StbcDecoded d;
+  // Standard Alamouti MRC across both receive antennas. Naming: h_xy is
+  // the gain from TX antenna x to RX antenna y; r_y<slot> the RX-antenna-y
+  // sample in the given slot.
+  d.s0 = std::conj(h_aa) * r_a0 + h_ba * std::conj(r_a1) +
+         std::conj(h_ab) * r_b0 + h_bb * std::conj(r_b1);
+  d.s1 = std::conj(h_ba) * r_a0 - h_aa * std::conj(r_a1) +
+         std::conj(h_bb) * r_b0 - h_ab * std::conj(r_b1);
+  d.gain = std::norm(h_aa) + std::norm(h_ab) + std::norm(h_ba) +
+           std::norm(h_bb);
+  return d;
+}
+
+std::vector<Cx> alamouti_combine_streams(std::span<const Cx> rx_a,
+                                         std::span<const Cx> rx_b, Cx h_aa,
+                                         Cx h_ab, Cx h_ba, Cx h_bb) {
+  if (rx_a.size() != rx_b.size() || rx_a.size() % 2 != 0) {
+    throw std::invalid_argument("RX streams must be equal, even length");
+  }
+  std::vector<Cx> out;
+  out.reserve(rx_a.size());
+  for (std::size_t i = 0; i < rx_a.size(); i += 2) {
+    const StbcDecoded d = alamouti_combine(rx_a[i], rx_a[i + 1], rx_b[i],
+                                           rx_b[i + 1], h_aa, h_ab, h_ba,
+                                           h_bb);
+    const double g = d.gain > 1e-12 ? d.gain : 1.0;
+    out.push_back(d.s0 / g);
+    out.push_back(d.s1 / g);
+  }
+  return out;
+}
+
+}  // namespace acorn::baseband

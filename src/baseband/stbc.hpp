@@ -1,0 +1,45 @@
+// 2x2 Alamouti space-time block coding (paper ref [20]) applied per
+// subcarrier across pairs of OFDM symbols — the transmission mode the
+// paper's WARP experiments use ("2x2 STBC ... since on poor quality links
+// the auto-rate function induces operations in this mode").
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "baseband/fft.hpp"
+
+namespace acorn::baseband {
+
+/// Alamouti-encode a symbol stream into two antenna streams. Input is
+/// padded to even length with zeros. For each pair (s0, s1):
+///   slot 0: antenna A sends s0,  antenna B sends s1;
+///   slot 1: antenna A sends -s1*, antenna B sends s0*.
+/// Each antenna stream has the same length as the (padded) input.
+struct StbcStreams {
+  std::vector<Cx> antenna_a;
+  std::vector<Cx> antenna_b;
+};
+StbcStreams alamouti_encode(std::span<const Cx> symbols);
+
+/// Maximum-ratio Alamouti combining for a 2x2 link on one subcarrier.
+/// r(rx, slot) are the four received values for one symbol pair;
+/// h(tx, rx) the four flat channel gains. Returns the two detected
+/// symbols scaled by the diversity gain g = sum |h|^2 (caller divides).
+struct StbcDecoded {
+  Cx s0;
+  Cx s1;
+  double gain;  // sum of |h_ij|^2 over the four paths
+};
+StbcDecoded alamouti_combine(Cx r_a0, Cx r_a1, Cx r_b0, Cx r_b1, Cx h_aa,
+                             Cx h_ab, Cx h_ba, Cx h_bb);
+
+/// Combine whole streams: inputs are per-RX-antenna slot sequences (even
+/// length), flat channel gains per path. Returns the recovered symbols
+/// (normalized by the diversity gain).
+std::vector<Cx> alamouti_combine_streams(std::span<const Cx> rx_a,
+                                         std::span<const Cx> rx_b, Cx h_aa,
+                                         Cx h_ab, Cx h_ba, Cx h_bb);
+
+}  // namespace acorn::baseband

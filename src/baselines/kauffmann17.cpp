@@ -1,0 +1,111 @@
+#include "baselines/kauffmann17.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "phy/noise.hpp"
+#include "sim/mgmt.hpp"
+#include "util/units.hpp"
+
+namespace acorn::baselines {
+
+Kauffmann17::Kauffmann17(net::ChannelPlan plan, Kauffmann17Config config)
+    : plan_(plan), config_(config) {}
+
+std::optional<int> Kauffmann17::select_ap(
+    const sim::Wlan& wlan, const net::Association& assoc,
+    const net::ChannelAssignment& assignment, int u) const {
+  const std::vector<int> in_range =
+      sim::aps_in_range(wlan, u, config_.min_rss_dbm);
+  if (in_range.empty()) return std::nullopt;
+  const net::InterferenceGraph graph(wlan.topology(), wlan.budget(), assoc,
+                                     wlan.config().interference);
+  double best_x = -1.0;
+  int best_ap = in_range.front();
+  for (int ap : in_range) {
+    const sim::Beacon beacon =
+        sim::make_beacon_with_client(wlan, graph, assoc, assignment, ap, u);
+    const double x = beacon.access_share / beacon.atd_s_per_bit;
+    if (x > best_x) {
+      best_x = x;
+      best_ap = ap;
+    }
+  }
+  return best_ap;
+}
+
+double Kauffmann17::noise_plus_interference_mw(
+    const sim::Wlan& wlan, const net::ChannelAssignment& assignment, int ap,
+    const net::Channel& channel) const {
+  double total_mw =
+      util::dbm_to_mw(phy::noise_floor_dbm(phy::width_hz(channel.width())));
+  for (int other = 0; other < wlan.topology().num_aps(); ++other) {
+    if (other == ap) continue;
+    const net::Channel& other_ch =
+        assignment[static_cast<std::size_t>(other)];
+    // Fraction of the other AP's transmit power that lands inside the
+    // candidate channel's band.
+    const double captured = other_ch.overlap_fraction(channel);
+    if (captured <= 0.0) continue;
+    const double rx_dbm =
+        wlan.budget().rx_at_ap_dbm(wlan.topology(), other, ap);
+    total_mw += captured * util::dbm_to_mw(rx_dbm);
+  }
+  return total_mw;
+}
+
+net::ChannelAssignment Kauffmann17::allocate(const sim::Wlan& wlan) const {
+  const int n_aps = wlan.topology().num_aps();
+  const std::vector<net::Channel> bonds = plan_.bonded_channels();
+  // Deterministic start: every AP on the first bond (worst case for the
+  // greedy to untangle).
+  net::ChannelAssignment assignment(static_cast<std::size_t>(n_aps),
+                                    bonds.front());
+  for (int pass = 0; pass < config_.passes; ++pass) {
+    bool changed = false;
+    for (int ap = 0; ap < n_aps; ++ap) {
+      double best_mw = noise_plus_interference_mw(
+          wlan, assignment, ap, assignment[static_cast<std::size_t>(ap)]);
+      net::Channel best = assignment[static_cast<std::size_t>(ap)];
+      for (const net::Channel& c : bonds) {
+        if (c == assignment[static_cast<std::size_t>(ap)]) continue;
+        const double mw =
+            noise_plus_interference_mw(wlan, assignment, ap, c);
+        if (mw < best_mw) {
+          best_mw = mw;
+          best = c;
+        }
+      }
+      if (best != assignment[static_cast<std::size_t>(ap)]) {
+        assignment[static_cast<std::size_t>(ap)] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return assignment;
+}
+
+Kauffmann17::Result Kauffmann17::configure(
+    const sim::Wlan& wlan, const std::vector<int>* arrival_order) const {
+  Result result;
+  result.assignment = allocate(wlan);
+  result.association.assign(
+      static_cast<std::size_t>(wlan.topology().num_clients()),
+      net::kUnassociated);
+  std::vector<int> order;
+  if (arrival_order != nullptr) {
+    order = *arrival_order;
+  } else {
+    order.resize(static_cast<std::size_t>(wlan.topology().num_clients()));
+    std::iota(order.begin(), order.end(), 0);
+  }
+  for (int u : order) {
+    const std::optional<int> ap =
+        select_ap(wlan, result.association, result.assignment, u);
+    if (ap) result.association[static_cast<std::size_t>(u)] = *ap;
+  }
+  return result;
+}
+
+}  // namespace acorn::baselines

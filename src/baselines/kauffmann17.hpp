@@ -1,0 +1,63 @@
+// The comparison scheme the paper evaluates against (its §5.2 "[17]"):
+// Kauffmann et al.'s measurement-based self-organization, adapted by the
+// paper's authors to 802.11n as follows.
+//
+//  * Association: selfish/greedy — the client picks the AP that maximizes
+//    its own per-client throughput M_i/ATD_i (equivalently, minimizes its
+//    transmission delay), with no regard for the impact on other cells.
+//  * Channel selection: a greedy single-width strategy where every AP
+//    aggressively uses 40 MHz channels: it scans the bonded channels and
+//    selects the one minimizing total noise plus interference measured at
+//    the AP.
+#pragma once
+
+#include <optional>
+
+#include "net/channels.hpp"
+#include "sim/wlan.hpp"
+
+namespace acorn::baselines {
+
+struct Kauffmann17Config {
+  double min_rss_dbm = -97.0;
+  /// Passes over the AP set during channel selection (the greedy usually
+  /// stabilizes in one or two).
+  int passes = 3;
+};
+
+class Kauffmann17 {
+ public:
+  Kauffmann17(net::ChannelPlan plan, Kauffmann17Config config = {});
+
+  /// Selfish association: AP maximizing the client's own throughput.
+  std::optional<int> select_ap(const sim::Wlan& wlan,
+                               const net::Association& assoc,
+                               const net::ChannelAssignment& assignment,
+                               int u) const;
+
+  /// Greedy all-40 MHz channel selection: each AP (in id order, for
+  /// `passes` rounds) picks the bonded channel with the least noise +
+  /// interference received from co-channel APs.
+  net::ChannelAssignment allocate(const sim::Wlan& wlan) const;
+
+  /// Interference + noise (mW) AP `ap` would measure on `channel`,
+  /// given the other APs' current channels.
+  double noise_plus_interference_mw(const sim::Wlan& wlan,
+                                    const net::ChannelAssignment& assignment,
+                                    int ap, const net::Channel& channel) const;
+
+  /// Full pipeline mirroring ACORN's configure(): greedy 40 MHz channels
+  /// first, then clients associate selfishly in `order`.
+  struct Result {
+    net::Association association;
+    net::ChannelAssignment assignment;
+  };
+  Result configure(const sim::Wlan& wlan,
+                   const std::vector<int>* arrival_order = nullptr) const;
+
+ private:
+  net::ChannelPlan plan_;
+  Kauffmann17Config config_;
+};
+
+}  // namespace acorn::baselines

@@ -1,0 +1,50 @@
+#include "baselines/optimal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::baselines {
+
+OptimalResult optimal_assignment(const sim::Wlan& wlan,
+                                 const net::Association& assoc,
+                                 const net::ChannelPlan& plan,
+                                 mac::TrafficType traffic,
+                                 long long max_evaluations) {
+  const int n_aps = wlan.topology().num_aps();
+  const std::vector<net::Channel> colors = plan.all_channels();
+  const double combos =
+      std::pow(static_cast<double>(colors.size()), n_aps);
+  if (combos > static_cast<double>(max_evaluations)) {
+    throw std::invalid_argument("search space too large for brute force");
+  }
+
+  OptimalResult best;
+  best.total_bps = -1.0;
+  net::ChannelAssignment current(static_cast<std::size_t>(n_aps),
+                                 colors.front());
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n_aps), 0);
+  while (true) {
+    for (int i = 0; i < n_aps; ++i) {
+      current[static_cast<std::size_t>(i)] =
+          colors[idx[static_cast<std::size_t>(i)]];
+    }
+    ++best.evaluated;
+    const double total =
+        wlan.evaluate(assoc, current, traffic).total_goodput_bps;
+    if (total > best.total_bps) {
+      best.total_bps = total;
+      best.assignment = current;
+    }
+    // Odometer increment.
+    int pos = 0;
+    while (pos < n_aps) {
+      if (++idx[static_cast<std::size_t>(pos)] < colors.size()) break;
+      idx[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == n_aps) break;
+  }
+  return best;
+}
+
+}  // namespace acorn::baselines

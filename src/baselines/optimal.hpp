@@ -1,0 +1,29 @@
+// Exhaustive-search comparators for small deployments: the exact optimal
+// channel assignment (the problem is NP-complete, so this is exponential
+// in the number of APs) and helpers for the approximation-ratio study of
+// Fig. 14.
+#pragma once
+
+#include "net/channels.hpp"
+#include "sim/wlan.hpp"
+
+namespace acorn::baselines {
+
+struct OptimalResult {
+  net::ChannelAssignment assignment;
+  double total_bps = 0.0;
+  /// Number of assignments evaluated (|colors|^num_aps).
+  long long evaluated = 0;
+};
+
+/// Brute-force the best channel assignment for a fixed association.
+/// Throws std::invalid_argument when |colors|^num_aps would exceed
+/// `max_evaluations`.
+OptimalResult optimal_assignment(const sim::Wlan& wlan,
+                                 const net::Association& assoc,
+                                 const net::ChannelPlan& plan,
+                                 mac::TrafficType traffic =
+                                     mac::TrafficType::kUdp,
+                                 long long max_evaluations = 20'000'000);
+
+}  // namespace acorn::baselines

@@ -1,0 +1,80 @@
+#include "baselines/simple.hpp"
+
+#include "sim/mgmt.hpp"
+
+namespace acorn::baselines {
+
+std::optional<int> rss_association(const sim::Wlan& wlan, int client,
+                                   double min_rss_dbm) {
+  const std::vector<int> in_range =
+      sim::aps_in_range(wlan, client, min_rss_dbm);
+  if (in_range.empty()) return std::nullopt;
+  int best_ap = in_range.front();
+  double best_rss = -1e9;
+  for (int ap : in_range) {
+    const double rss =
+        wlan.budget().rx_at_client_dbm(wlan.topology(), ap, client);
+    if (rss > best_rss) {
+      best_rss = rss;
+      best_ap = ap;
+    }
+  }
+  return best_ap;
+}
+
+net::Association rss_associate_all(const sim::Wlan& wlan,
+                                   double min_rss_dbm) {
+  net::Association assoc(
+      static_cast<std::size_t>(wlan.topology().num_clients()),
+      net::kUnassociated);
+  for (int c = 0; c < wlan.topology().num_clients(); ++c) {
+    const std::optional<int> ap = rss_association(wlan, c, min_rss_dbm);
+    if (ap) assoc[static_cast<std::size_t>(c)] = *ap;
+  }
+  return assoc;
+}
+
+net::Association random_associate_all(const sim::Wlan& wlan, util::Rng& rng,
+                                      double min_rss_dbm) {
+  net::Association assoc(
+      static_cast<std::size_t>(wlan.topology().num_clients()),
+      net::kUnassociated);
+  for (int c = 0; c < wlan.topology().num_clients(); ++c) {
+    const std::vector<int> in_range =
+        sim::aps_in_range(wlan, c, min_rss_dbm);
+    if (in_range.empty()) continue;
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(in_range.size()) - 1));
+    assoc[static_cast<std::size_t>(c)] = in_range[pick];
+  }
+  return assoc;
+}
+
+net::ChannelAssignment fixed_width_assignment(const net::ChannelPlan& plan,
+                                              int num_aps,
+                                              phy::ChannelWidth width) {
+  const std::vector<net::Channel> pool =
+      width == phy::ChannelWidth::k20MHz ? plan.basic_channels()
+                                         : plan.bonded_channels();
+  net::ChannelAssignment out;
+  out.reserve(static_cast<std::size_t>(num_aps));
+  for (int i = 0; i < num_aps; ++i) {
+    out.push_back(pool[static_cast<std::size_t>(i) % pool.size()]);
+  }
+  return out;
+}
+
+RandomConfig random_configuration(const sim::Wlan& wlan,
+                                  const net::ChannelPlan& plan,
+                                  util::Rng& rng, double min_rss_dbm) {
+  RandomConfig cfg;
+  const std::vector<net::Channel> colors = plan.all_channels();
+  for (int ap = 0; ap < wlan.topology().num_aps(); ++ap) {
+    cfg.assignment.push_back(colors[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(colors.size()) - 1))]);
+  }
+  cfg.association = random_associate_all(wlan, rng, min_rss_dbm);
+  return cfg;
+}
+
+}  // namespace acorn::baselines

@@ -1,0 +1,46 @@
+// Simple association and allocation policies used as controls:
+// RSS-greedy association (what stock clients do), uniform-random
+// association, fixed-width channel plans, and fully random manual
+// configurations (paper Table 3).
+#pragma once
+
+#include <optional>
+
+#include "net/channels.hpp"
+#include "sim/wlan.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baselines {
+
+/// Stock client behaviour: associate with the strongest-signal AP.
+std::optional<int> rss_association(const sim::Wlan& wlan, int client,
+                                   double min_rss_dbm = -97.0);
+
+/// Full-network RSS association.
+net::Association rss_associate_all(const sim::Wlan& wlan,
+                                   double min_rss_dbm = -97.0);
+
+/// Uniform-random association among in-range APs (Table 3's random
+/// configurations let "each client associate with one of the APs in
+/// range with equal probability").
+net::Association random_associate_all(const sim::Wlan& wlan, util::Rng& rng,
+                                      double min_rss_dbm = -97.0);
+
+/// Every AP on a fixed width; 20 MHz channels round-robin across the
+/// plan, 40 MHz bonds round-robin across the valid bonds.
+net::ChannelAssignment fixed_width_assignment(const net::ChannelPlan& plan,
+                                              int num_aps,
+                                              phy::ChannelWidth width);
+
+/// One random manual configuration: random colors (both widths) and
+/// random association.
+struct RandomConfig {
+  net::Association association;
+  net::ChannelAssignment assignment;
+};
+RandomConfig random_configuration(const sim::Wlan& wlan,
+                                  const net::ChannelPlan& plan,
+                                  util::Rng& rng,
+                                  double min_rss_dbm = -97.0);
+
+}  // namespace acorn::baselines

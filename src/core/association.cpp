@@ -1,0 +1,81 @@
+#include "core/association.hpp"
+
+#include <algorithm>
+
+namespace acorn::core {
+
+UserAssociation::UserAssociation(AssociationConfig config) : config_(config) {}
+
+std::vector<CandidateUtility> UserAssociation::candidate_utilities(
+    const sim::Wlan& wlan, const net::Association& assoc,
+    const net::ChannelAssignment& assignment, int u) const {
+  const std::vector<int> in_range =
+      sim::aps_in_range(wlan, u, config_.min_rss_dbm);
+  if (in_range.empty()) return {};
+
+  // The interference graph of the *current* state; the joining client
+  // reads M_i from broadcast beacons, which reflect the network before it
+  // commits anywhere.
+  const net::InterferenceGraph graph(wlan.topology(), wlan.budget(), assoc,
+                                     wlan.config().interference);
+
+  // Trial-association beacons: K_j, ATD_j and the delay list include u.
+  struct PerAp {
+    sim::Beacon beacon;
+    double d_u = 0.0;  // u's own delay at this AP
+  };
+  std::vector<PerAp> info;
+  info.reserve(in_range.size());
+  for (int ap : in_range) {
+    PerAp p;
+    p.beacon =
+        sim::make_beacon_with_client(wlan, graph, assoc, assignment, ap, u);
+    for (std::size_t k = 0; k < p.beacon.client_ids.size(); ++k) {
+      if (p.beacon.client_ids[k] == u) {
+        p.d_u = p.beacon.client_delays_s_per_bit[k];
+      }
+    }
+    info.push_back(std::move(p));
+  }
+
+  std::vector<CandidateUtility> out;
+  out.reserve(in_range.size());
+  for (std::size_t i = 0; i < in_range.size(); ++i) {
+    CandidateUtility cu;
+    cu.ap_id = in_range[i];
+    const sim::Beacon& bi = info[i].beacon;
+    cu.x_with = bi.access_share / bi.atd_s_per_bit;
+    const double atd_without = bi.atd_s_per_bit - info[i].d_u;
+    cu.x_without =
+        atd_without > 0.0 ? bi.access_share / atd_without : 0.0;
+    // First term of Eq. 4: the chosen cell's total throughput with u.
+    cu.utility = bi.num_clients * cu.x_with;
+    // Second term: every other in-range cell's throughput without u
+    // (K_j - 1 remaining clients at X_wo each).
+    for (std::size_t j = 0; j < in_range.size(); ++j) {
+      if (j == i) continue;
+      const sim::Beacon& bj = info[j].beacon;
+      const double atd_wo = bj.atd_s_per_bit - info[j].d_u;
+      const double x_wo = atd_wo > 0.0 ? bj.access_share / atd_wo : 0.0;
+      cu.utility += (bj.num_clients - 1) * x_wo;
+    }
+    out.push_back(cu);
+  }
+  return out;
+}
+
+std::optional<int> UserAssociation::select_ap(
+    const sim::Wlan& wlan, const net::Association& assoc,
+    const net::ChannelAssignment& assignment, int u) const {
+  const std::vector<CandidateUtility> utilities =
+      candidate_utilities(wlan, assoc, assignment, u);
+  if (utilities.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      utilities.begin(), utilities.end(),
+      [](const CandidateUtility& a, const CandidateUtility& b) {
+        return a.utility < b.utility;
+      });
+  return best->ap_id;
+}
+
+}  // namespace acorn::core

@@ -1,0 +1,59 @@
+// ACORN's user association — Algorithm 1 of the paper.
+//
+// A joining client u gathers modified beacons from every AP in range
+// (trial-associating so K_i, ATD_i and M_i include it), computes the
+// per-client throughputs with and without itself,
+//   X_w,u^i  = M_i / ATD_i,
+//   X_wo,u^i = M_i / (ATD_i - d_u^i),
+// and picks the AP maximizing the network-wide utility (Eq. 4):
+//   U(u, i) = K_i * X_w,u^i + sum_{j in Au, j != i} (K_j - 1) * X_wo,u^j.
+// Poor clients end up grouped with similar-quality clients, which is what
+// lets the channel module bond aggressively in the good cells.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/mgmt.hpp"
+
+namespace acorn::core {
+
+struct AssociationConfig {
+  /// Minimum beacon RSS for an AP to be considered in range (~MCS0
+  /// decode sensitivity; looser than the carrier-sense threshold).
+  double min_rss_dbm = -97.0;
+};
+
+/// Utility terms for one candidate AP (exposed for tests and tracing).
+struct CandidateUtility {
+  int ap_id = 0;
+  double x_with = 0.0;     // X_w,u
+  double x_without = 0.0;  // X_wo,u
+  double utility = 0.0;    // U_asoc(u, i)
+};
+
+class UserAssociation {
+ public:
+  explicit UserAssociation(AssociationConfig config = {});
+
+  const AssociationConfig& config() const { return config_; }
+
+  /// Evaluate Eq. 4 for every AP in range of client `u` given the current
+  /// network state. Beacons are the trial-association versions (they
+  /// include u), exactly as in the paper's info-gathering step.
+  std::vector<CandidateUtility> candidate_utilities(
+      const sim::Wlan& wlan, const net::Association& assoc,
+      const net::ChannelAssignment& assignment, int u) const;
+
+  /// Algorithm 1: the AP `u` should associate with, or nullopt when no AP
+  /// is in range.
+  std::optional<int> select_ap(const sim::Wlan& wlan,
+                               const net::Association& assoc,
+                               const net::ChannelAssignment& assignment,
+                               int u) const;
+
+ private:
+  AssociationConfig config_;
+};
+
+}  // namespace acorn::core

@@ -1,0 +1,77 @@
+#include "core/controller.hpp"
+
+#include <numeric>
+
+namespace acorn::core {
+
+AcornController::AcornController(AcornConfig config)
+    : config_(config),
+      association_(config.association),
+      allocator_(config.plan, config.allocation) {}
+
+std::optional<int> AcornController::associate_client(
+    const sim::Wlan& wlan, net::Association& assoc,
+    const net::ChannelAssignment& assignment, int u) const {
+  const std::optional<int> ap =
+      association_.select_ap(wlan, assoc, assignment, u);
+  if (ap) assoc[static_cast<std::size_t>(u)] = *ap;
+  return ap;
+}
+
+ConfigureResult AcornController::configure(
+    const sim::Wlan& wlan, util::Rng& rng,
+    const std::vector<int>* arrival_order, mac::TrafficType traffic) const {
+  const int n_clients = wlan.topology().num_clients();
+  ConfigureResult result;
+  result.association.assign(static_cast<std::size_t>(n_clients),
+                            net::kUnassociated);
+  net::ChannelAssignment initial =
+      allocator_.random_assignment(wlan.topology().num_aps(), rng);
+
+  std::vector<int> order;
+  if (arrival_order != nullptr) {
+    order = *arrival_order;
+  } else {
+    order.resize(static_cast<std::size_t>(n_clients));
+    std::iota(order.begin(), order.end(), 0);
+  }
+  for (int u : order) {
+    associate_client(wlan, result.association, initial, u);
+  }
+
+  result.allocation =
+      allocator_.allocate(wlan, result.association, std::move(initial));
+  result.assignment = result.allocation.assignment;
+  result.evaluation =
+      wlan.evaluate(result.association, result.assignment, traffic);
+
+  // Periodic refinement: re-run association under the settled channels,
+  // then re-tune channels; keep the best configuration actually measured.
+  for (int round = 0; round < config_.refine_rounds; ++round) {
+    net::Association assoc = result.association;
+    for (int u : order) {
+      assoc[static_cast<std::size_t>(u)] = net::kUnassociated;
+      associate_client(wlan, assoc, result.assignment, u);
+    }
+    AllocationResult realloc =
+        allocator_.allocate(wlan, assoc, result.assignment);
+    const sim::Evaluation eval =
+        wlan.evaluate(assoc, realloc.assignment, traffic);
+    if (eval.total_goodput_bps <= result.evaluation.total_goodput_bps) {
+      break;  // converged (or the move did not help): keep the incumbent
+    }
+    result.association = std::move(assoc);
+    result.assignment = realloc.assignment;
+    result.allocation = std::move(realloc);
+    result.evaluation = eval;
+  }
+  return result;
+}
+
+AllocationResult AcornController::reallocate(
+    const sim::Wlan& wlan, const net::Association& assoc,
+    net::ChannelAssignment current) const {
+  return allocator_.allocate(wlan, assoc, std::move(current));
+}
+
+}  // namespace acorn::core

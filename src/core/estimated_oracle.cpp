@@ -1,0 +1,51 @@
+#include "core/estimated_oracle.hpp"
+
+#include <stdexcept>
+
+#include "mac/anomaly.hpp"
+
+namespace acorn::core {
+
+ThroughputOracle make_measurement_oracle(const sim::Wlan& wlan,
+                                         net::ChannelAssignment measured_on,
+                                         phy::LinkEstimator estimator) {
+  if (static_cast<int>(measured_on.size()) != wlan.topology().num_aps()) {
+    throw std::invalid_argument("measured_on size != AP count");
+  }
+  return [&wlan, measured_on = std::move(measured_on),
+          estimator = std::move(estimator)](
+             const net::Association& assoc,
+             const net::ChannelAssignment& trial) {
+    const net::InterferenceGraph graph(wlan.topology(), wlan.budget(), assoc,
+                                       wlan.config().interference);
+    const int payload_bits = wlan.config().payload_bytes * 8;
+    double total = 0.0;
+    for (int ap = 0; ap < wlan.topology().num_aps(); ++ap) {
+      const std::vector<int> clients = wlan.clients_of(assoc, ap);
+      if (clients.empty()) continue;
+      const phy::ChannelWidth measured_width =
+          measured_on[static_cast<std::size_t>(ap)].width();
+      const phy::ChannelWidth target_width =
+          trial[static_cast<std::size_t>(ap)].width();
+      std::vector<mac::CellClient> cell;
+      cell.reserve(clients.size());
+      for (int c : clients) {
+        // What the AP actually measured: SNR on its current width.
+        const double measured_snr =
+            wlan.client_snr_db(ap, c, measured_width);
+        const phy::LinkEstimate best = estimator.best_estimate(
+            measured_snr, measured_width, target_width, wlan.config().gi);
+        const double rate = phy::mcs(best.mcs_index)
+                                .rate_bps(target_width, wlan.config().gi);
+        cell.push_back(mac::CellClient{c, rate, best.per});
+      }
+      const double share = net::medium_access_share(graph, trial, ap);
+      total += mac::anomaly_throughput(wlan.config().timing, cell, share,
+                                       payload_bits)
+                   .cell_bps;
+    }
+    return total;
+  };
+}
+
+}  // namespace acorn::core

@@ -1,0 +1,28 @@
+// Measurement-driven throughput oracle for Algorithm 2 (paper §4.2,
+// "Estimating throughput"). In the real system an AP cannot evaluate a
+// candidate channel exactly: it has the SNR measured on its *current*
+// channel, the paper's ±3 dB width calibration, theoretical BER/PER
+// formulas, and the IAPP census of co-channel neighbors. This oracle
+// reproduces that information set, so the allocator can be run exactly
+// the way the deployed system would run it — and compared against the
+// genie oracle (see the estimator ablation bench).
+#pragma once
+
+#include "core/allocation.hpp"
+#include "phy/estimator.hpp"
+
+namespace acorn::core {
+
+/// Build a ThroughputOracle that estimates the aggregate network
+/// throughput the way ACORN's implementation does:
+///  * each AP measured its clients' SNR on `measured_on[ap]`'s width;
+///  * candidate widths are predicted with the LinkEstimator (3.0 dB
+///    calibration + theoretical coded BER + Eq. 6 PER);
+///  * contention shares come from the interference graph census.
+/// The returned oracle captures `wlan`, `measured_on` and `estimator` by
+/// value/reference as appropriate; `wlan` must outlive it.
+ThroughputOracle make_measurement_oracle(
+    const sim::Wlan& wlan, net::ChannelAssignment measured_on,
+    phy::LinkEstimator estimator = phy::LinkEstimator{});
+
+}  // namespace acorn::core

@@ -1,0 +1,67 @@
+#include "core/runtime.hpp"
+
+#include <stdexcept>
+
+namespace acorn::core {
+
+PeriodicRuntime::PeriodicRuntime(const sim::Wlan& wlan,
+                                 const AcornController& controller,
+                                 net::ChannelAssignment initial)
+    : wlan_(wlan),
+      controller_(controller),
+      association_(static_cast<std::size_t>(wlan.topology().num_clients()),
+                   net::kUnassociated),
+      assignment_(std::move(initial)) {
+  if (static_cast<int>(assignment_.size()) != wlan.topology().num_aps()) {
+    throw std::invalid_argument("initial assignment size != AP count");
+  }
+}
+
+std::optional<int> PeriodicRuntime::client_arrived(int u) {
+  if (u < 0 || u >= wlan_.topology().num_clients()) {
+    throw std::out_of_range("client id");
+  }
+  if (association_[static_cast<std::size_t>(u)] != net::kUnassociated) {
+    throw std::logic_error("client already associated");
+  }
+  return controller_.associate_client(wlan_, association_, assignment_, u);
+}
+
+void PeriodicRuntime::client_departed(int u) {
+  if (u < 0 || u >= wlan_.topology().num_clients()) {
+    throw std::out_of_range("client id");
+  }
+  association_[static_cast<std::size_t>(u)] = net::kUnassociated;
+}
+
+void PeriodicRuntime::start(sim::EventQueue& queue, double horizon_s) {
+  schedule_next(queue, queue.now() + controller_.config().period_s,
+                horizon_s);
+}
+
+void PeriodicRuntime::schedule_next(sim::EventQueue& queue, double when,
+                                    double horizon_s) {
+  if (when > horizon_s) return;
+  queue.schedule(when, [this, &queue, horizon_s](double now) {
+    maintain(now);
+    schedule_next(queue, now + controller_.config().period_s, horizon_s);
+  });
+}
+
+void PeriodicRuntime::maintain(double now) {
+  const AllocationResult realloc =
+      controller_.reallocate(wlan_, association_, assignment_);
+  assignment_ = realloc.assignment;
+  MaintenanceReport report;
+  report.time_s = now;
+  report.switches = realloc.switches;
+  for (int owner : association_) {
+    if (owner != net::kUnassociated) ++report.active_clients;
+  }
+  report.total_goodput_bps =
+      wlan_.evaluate(association_, assignment_).total_goodput_bps;
+  reports_.push_back(report);
+  if (observer_) observer_(report);
+}
+
+}  // namespace acorn::core

@@ -1,0 +1,65 @@
+// The running ACORN system (paper Fig. 7, operationally): clients
+// associate through Algorithm 1 as they arrive, cells lose them when
+// they depart, and every period T the channel-allocation module re-tunes
+// the assignment for the clients currently present. Drives the
+// discrete-event engine; the paper's Click utility plays this role on
+// the real testbed.
+#pragma once
+
+#include <functional>
+
+#include "core/controller.hpp"
+#include "sim/events.hpp"
+
+namespace acorn::core {
+
+/// A snapshot the runtime reports after every maintenance pass.
+struct MaintenanceReport {
+  double time_s = 0.0;
+  int active_clients = 0;
+  int switches = 0;
+  double total_goodput_bps = 0.0;
+};
+
+class PeriodicRuntime {
+ public:
+  /// `initial` seeds the channel assignment (e.g. whatever the APs booted
+  /// with); the first maintenance pass runs after one period.
+  PeriodicRuntime(const sim::Wlan& wlan, const AcornController& controller,
+                  net::ChannelAssignment initial);
+
+  /// Current state.
+  const net::Association& association() const { return association_; }
+  const net::ChannelAssignment& assignment() const { return assignment_; }
+  const std::vector<MaintenanceReport>& reports() const { return reports_; }
+
+  /// Client `u` arrives now: Algorithm 1 picks its AP immediately.
+  /// Returns the chosen AP (nullopt if nothing is in range).
+  std::optional<int> client_arrived(int u);
+
+  /// Client `u` departs now.
+  void client_departed(int u);
+
+  /// Install the periodic maintenance timer on `queue`. Must be called
+  /// once; the timer reschedules itself every controller period until
+  /// `horizon_s`.
+  void start(sim::EventQueue& queue, double horizon_s);
+
+  /// Optional observer invoked after every maintenance pass.
+  void set_observer(std::function<void(const MaintenanceReport&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  void maintain(double now);
+  void schedule_next(sim::EventQueue& queue, double when, double horizon_s);
+
+  const sim::Wlan& wlan_;
+  const AcornController& controller_;
+  net::Association association_;
+  net::ChannelAssignment assignment_;
+  std::vector<MaintenanceReport> reports_;
+  std::function<void(const MaintenanceReport&)> observer_;
+};
+
+}  // namespace acorn::core

@@ -1,0 +1,23 @@
+#include "core/width_switch.hpp"
+
+namespace acorn::core {
+
+WidthDecision decide_width(const sim::Wlan& wlan, int ap,
+                           const std::vector<int>& clients,
+                           double medium_share) {
+  WidthDecision d;
+  // isolated_cell_bps evaluates at share 1; throughput scales linearly
+  // with the share, so the comparison is share-independent — we scale
+  // anyway so callers can log absolute numbers.
+  d.cell_bps_20 =
+      medium_share *
+      wlan.isolated_cell_bps(ap, clients, phy::ChannelWidth::k20MHz);
+  d.cell_bps_40 =
+      medium_share *
+      wlan.isolated_cell_bps(ap, clients, phy::ChannelWidth::k40MHz);
+  d.width = d.cell_bps_40 >= d.cell_bps_20 ? phy::ChannelWidth::k40MHz
+                                           : phy::ChannelWidth::k20MHz;
+  return d;
+}
+
+}  // namespace acorn::core

@@ -1,0 +1,28 @@
+// Opportunistic channel-width fallback (paper §5.2, "Evaluating ACORN
+// with mobility"): an AP holding a 40 MHz allocation may use either the
+// full bond or one of its 20 MHz halves without changing the interference
+// it projects on neighbors, so it can track its clients' link quality and
+// switch widths on the fly.
+#pragma once
+
+#include <vector>
+
+#include "sim/wlan.hpp"
+
+namespace acorn::core {
+
+struct WidthDecision {
+  phy::ChannelWidth width = phy::ChannelWidth::k40MHz;
+  double cell_bps_20 = 0.0;
+  double cell_bps_40 = 0.0;
+};
+
+/// Compare the cell's throughput on the bond vs on a single 20 MHz half,
+/// given the AP's current clients, and pick the better width. Only
+/// meaningful when the AP holds a 40 MHz allocation; medium share is
+/// unchanged by the choice (the occupied spectrum can only shrink).
+WidthDecision decide_width(const sim::Wlan& wlan, int ap,
+                           const std::vector<int>& clients,
+                           double medium_share = 1.0);
+
+}  // namespace acorn::core

@@ -1,0 +1,37 @@
+#include "mac/airtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acorn::mac {
+
+double frame_airtime_s(const MacTiming& timing, double rate_bps,
+                       int payload_bits) {
+  if (rate_bps <= 0.0) throw std::invalid_argument("rate_bps <= 0");
+  if (payload_bits <= 0) throw std::invalid_argument("payload_bits <= 0");
+  if (timing.ampdu_frames < 1) {
+    throw std::invalid_argument("ampdu_frames < 1");
+  }
+  // With A-MPDU, one channel access carries `ampdu_frames` MPDUs; the
+  // per-MPDU share of the fixed overhead shrinks accordingly.
+  const double overhead_us = timing.difs_us +
+                             timing.mean_backoff_slots * timing.slot_us +
+                             timing.preamble_us + timing.sifs_us +
+                             timing.ack_us;
+  const double payload_s = static_cast<double>(payload_bits) / rate_bps;
+  return overhead_us * 1e-6 / timing.ampdu_frames + payload_s;
+}
+
+double expected_attempts(const MacTiming& timing, double per) {
+  if (per < 0.0 || per > 1.0) throw std::invalid_argument("PER out of [0,1]");
+  const double p = std::min(per, timing.per_cap);
+  return 1.0 / (1.0 - p);
+}
+
+double per_bit_delay_s(const MacTiming& timing, double rate_bps,
+                       int payload_bits, double per) {
+  return frame_airtime_s(timing, rate_bps, payload_bits) *
+         expected_attempts(timing, per) / static_cast<double>(payload_bits);
+}
+
+}  // namespace acorn::mac

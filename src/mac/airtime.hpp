@@ -1,0 +1,45 @@
+// 802.11n frame airtime accounting: how long one downlink frame exchange
+// occupies the medium at a given PHY rate, and the expected medium time
+// per successfully delivered payload bit once losses and retries are
+// included. This is the "transmission delay per client" (d_cl) that
+// ACORN's modified beacons carry (paper §4.1, §5.1).
+#pragma once
+
+namespace acorn::mac {
+
+struct MacTiming {
+  double slot_us = 9.0;
+  double sifs_us = 16.0;
+  double difs_us = 34.0;
+  /// 802.11n mixed-format PLCP preamble + header.
+  double preamble_us = 36.0;
+  /// Block-ACK response at a basic rate.
+  double ack_us = 44.0;
+  /// Average DCF backoff: CWmin/2 slots.
+  double mean_backoff_slots = 7.5;
+  /// PER ceiling used to keep delays finite for starving links; a link at
+  /// the cap is effectively unable to communicate (paper Fig. 10 Topo 1).
+  double per_cap = 0.999;
+  /// A-MPDU aggregation: MPDUs per aggregate. 1 = no aggregation (the
+  /// paper's experiments); larger values amortize DIFS/backoff/preamble
+  /// over the aggregate, with per-MPDU loss recovered selectively via
+  /// block ACK.
+  int ampdu_frames = 1;
+};
+
+/// Medium time (seconds) of one transmission attempt of `payload_bits`
+/// at PHY rate `rate_bps`, including DIFS, mean backoff, preamble and ACK.
+double frame_airtime_s(const MacTiming& timing, double rate_bps,
+                       int payload_bits);
+
+/// Expected number of transmission attempts per delivered frame with
+/// unbounded retries, 1 / (1 - PER), with PER capped at timing.per_cap.
+double expected_attempts(const MacTiming& timing, double per);
+
+/// Expected medium time per successfully delivered payload bit:
+///   d = airtime(rate, L) * E[attempts] / L    (seconds per bit).
+/// This is what aggregates into the beacon's ATD.
+double per_bit_delay_s(const MacTiming& timing, double rate_bps,
+                       int payload_bits, double per);
+
+}  // namespace acorn::mac

@@ -1,0 +1,25 @@
+#include "mac/anomaly.hpp"
+
+#include <stdexcept>
+
+namespace acorn::mac {
+
+CellThroughput anomaly_throughput(const MacTiming& timing,
+                                  std::span<const CellClient> clients,
+                                  double medium_share, int payload_bits) {
+  if (medium_share <= 0.0 || medium_share > 1.0) {
+    throw std::invalid_argument("medium_share out of (0,1]");
+  }
+  CellThroughput out;
+  if (clients.empty()) return out;
+  for (const CellClient& c : clients) {
+    const double d = per_bit_delay_s(timing, c.rate_bps, payload_bits, c.per);
+    out.client_delay_s_per_bit.push_back(d);
+    out.atd_s_per_bit += d;
+  }
+  out.per_client_bps = medium_share / out.atd_s_per_bit;
+  out.cell_bps = static_cast<double>(clients.size()) * out.per_client_bps;
+  return out;
+}
+
+}  // namespace acorn::mac

@@ -1,0 +1,46 @@
+// The 802.11 performance anomaly (Heusse et al., the paper's ref [4])
+// at cell level: DCF gives every client equal long-term transmission
+// opportunities, so a slow client inflates everyone's share of medium
+// time and the whole cell's throughput collapses toward the slow link.
+//
+// The quantities here are exactly the ones ACORN's modified beacons carry
+// (paper §4.1): per-client delays d_cl, the aggregate transmission delay
+// ATD, the channel access share M, and the per-client throughput M/ATD.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mac/airtime.hpp"
+
+namespace acorn::mac {
+
+/// A client as seen by its serving AP.
+struct CellClient {
+  int client_id = 0;
+  /// PHY rate the auto-rate picked for this client (bits/s).
+  double rate_bps = 0.0;
+  /// PER at that rate.
+  double per = 0.0;
+};
+
+struct CellThroughput {
+  /// Aggregate transmission delay: sum of per-client d_u (s/bit).
+  double atd_s_per_bit = 0.0;
+  /// Per-client throughput X = M / ATD (bits/s) — equal across clients
+  /// under the anomaly.
+  double per_client_bps = 0.0;
+  /// Cell throughput K * M / ATD (bits/s).
+  double cell_bps = 0.0;
+  /// Per-client delays in the beacon's order (s/bit).
+  std::vector<double> client_delay_s_per_bit;
+};
+
+/// Evaluate a cell of `clients` that owns a fraction `medium_share` of
+/// the medium (M_a = 1/(|con_a|+1) under saturation). An empty cell
+/// yields all-zero throughput.
+CellThroughput anomaly_throughput(const MacTiming& timing,
+                                  std::span<const CellClient> clients,
+                                  double medium_share, int payload_bits);
+
+}  // namespace acorn::mac

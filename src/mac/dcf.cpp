@@ -1,0 +1,90 @@
+#include "mac/dcf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acorn::mac {
+
+namespace {
+
+struct Station {
+  int backoff = 0;
+  int cw = 15;
+  int retries = 0;
+};
+
+int draw_backoff(util::Rng& rng, int cw) {
+  return static_cast<int>(rng.uniform_int(0, cw));
+}
+
+}  // namespace
+
+DcfResult simulate_dcf(const DcfConfig& config, int n_stations,
+                       long long iterations, util::Rng& rng) {
+  if (n_stations < 1 || iterations < 1) {
+    throw std::invalid_argument("need stations >= 1 and iterations >= 1");
+  }
+  std::vector<Station> stations(static_cast<std::size_t>(n_stations));
+  for (Station& s : stations) {
+    s.cw = config.cw_min;
+    s.backoff = draw_backoff(rng, s.cw);
+  }
+
+  DcfResult result;
+  result.station_share.assign(static_cast<std::size_t>(n_stations), 0.0);
+  long long events = 0;
+  while (events < iterations) {
+    // Advance to the next transmission: all stations count down idle
+    // slots together; the minimum backoff decides who transmits.
+    int min_backoff = stations[0].backoff;
+    for (const Station& s : stations) {
+      min_backoff = std::min(min_backoff, s.backoff);
+    }
+    result.elapsed_us +=
+        config.difs_us + min_backoff * config.slot_us + config.frame_us;
+    std::vector<int> transmitters;
+    for (int i = 0; i < n_stations; ++i) {
+      stations[static_cast<std::size_t>(i)].backoff -= min_backoff;
+      if (stations[static_cast<std::size_t>(i)].backoff == 0) {
+        transmitters.push_back(i);
+      }
+    }
+    ++events;
+    if (transmitters.size() == 1) {
+      const int winner = transmitters.front();
+      ++result.successes;
+      result.station_share[static_cast<std::size_t>(winner)] +=
+          config.frame_us;
+      Station& s = stations[static_cast<std::size_t>(winner)];
+      s.cw = config.cw_min;
+      s.retries = 0;
+      s.backoff = draw_backoff(rng, s.cw);
+    } else {
+      ++result.collisions;
+      for (int i : transmitters) {
+        Station& s = stations[static_cast<std::size_t>(i)];
+        ++s.retries;
+        if (s.retries > config.retry_limit) {
+          s.cw = config.cw_min;
+          s.retries = 0;
+        } else {
+          s.cw = std::min(2 * s.cw + 1, config.cw_max);
+        }
+        s.backoff = draw_backoff(rng, s.cw);
+      }
+    }
+  }
+
+  double successful_us = 0.0;
+  for (double share_us : result.station_share) successful_us += share_us;
+  if (successful_us > 0.0) {
+    for (double& share : result.station_share) share /= successful_us;
+  }
+  result.utilization = successful_us / result.elapsed_us;
+  result.collision_rate =
+      static_cast<double>(result.collisions) /
+      static_cast<double>(result.successes + result.collisions);
+  return result;
+}
+
+}  // namespace acorn::mac

@@ -1,0 +1,50 @@
+// Slot-level DCF contention simulator: n saturated stations with binary
+// exponential backoff competing for one channel. Used to *validate* the
+// flow-level model's core assumption (paper §5.1): with |con_a|
+// contending neighbors, an AP's medium share is M_a = 1/(|con_a|+1) "with
+// very high accuracy when these APs can hear each other under saturated
+// traffic". The simulator also exposes what the closed form ignores —
+// collision and idle overhead.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acorn::mac {
+
+struct DcfConfig {
+  int cw_min = 15;
+  int cw_max = 1023;
+  double slot_us = 9.0;
+  double difs_us = 34.0;
+  /// Medium time of one frame exchange (payload + preamble + SIFS + ACK).
+  double frame_us = 300.0;
+  /// Retry limit after which the frame is dropped and CW resets.
+  int retry_limit = 7;
+};
+
+struct DcfResult {
+  /// Fraction of *successful air time* owned by each station.
+  std::vector<double> station_share;
+  /// Collisions per transmission attempt.
+  double collision_rate = 0.0;
+  /// Fraction of wall time spent in successful transmissions.
+  double utilization = 0.0;
+  /// Total simulated time (us).
+  double elapsed_us = 0.0;
+  long long successes = 0;
+  long long collisions = 0;
+};
+
+/// Simulate `n_stations` saturated stations for `iterations` transmission
+/// opportunities (successes + collisions).
+DcfResult simulate_dcf(const DcfConfig& config, int n_stations,
+                       long long iterations, util::Rng& rng);
+
+/// The flow-level model's share prediction for one of n stations.
+inline double predicted_share(int n_stations) {
+  return 1.0 / static_cast<double>(n_stations);
+}
+
+}  // namespace acorn::mac

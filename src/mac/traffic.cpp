@@ -1,0 +1,39 @@
+#include "mac/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace acorn::mac {
+
+double residual_loss(const TrafficModel& model, double per) {
+  if (per < 0.0 || per > 1.0) throw std::invalid_argument("PER out of [0,1]");
+  return std::pow(per, model.retry_limit + 1);
+}
+
+double mathis_cap_bps(const TrafficModel& model, double q) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("loss out of [0,1]");
+  if (q == 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(model.mss_bits) /
+         (model.rtt_s * std::sqrt(2.0 * q / 3.0));
+}
+
+double transport_goodput_bps(const TrafficModel& model, TrafficType type,
+                             double mac_bps, double per) {
+  if (mac_bps < 0.0) throw std::invalid_argument("negative mac_bps");
+  switch (type) {
+    case TrafficType::kUdp:
+      return model.udp_efficiency * mac_bps;
+    case TrafficType::kTcp: {
+      const double q = residual_loss(model, per);
+      const double window_factor =
+          std::pow(1.0 - per, model.tcp_loss_sensitivity);
+      return std::min(model.tcp_efficiency * window_factor * mac_bps,
+                      mathis_cap_bps(model, q));
+    }
+  }
+  throw std::logic_error("unknown traffic type");
+}
+
+}  // namespace acorn::mac

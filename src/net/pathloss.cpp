@@ -1,0 +1,88 @@
+#include "net/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::net {
+
+double PathLossModel::median_loss_db(double dist_m) const {
+  const double d = std::max(dist_m, 1.0);  // clamp inside reference distance
+  return ref_loss_db + 10.0 * exponent * std::log10(d);
+}
+
+LinkBudget::LinkBudget(const Topology& topo, const PathLossModel& model,
+                       util::Rng& rng)
+    : n_aps_(topo.num_aps()), n_clients_(topo.num_clients()) {
+  ap_client_.resize(static_cast<std::size_t>(n_aps_) *
+                    static_cast<std::size_t>(std::max(n_clients_, 1)));
+  ap_ap_.resize(static_cast<std::size_t>(n_aps_) *
+                static_cast<std::size_t>(n_aps_));
+  for (int a = 0; a < n_aps_; ++a) {
+    for (int c = 0; c < n_clients_; ++c) {
+      const double dist =
+          distance(topo.ap(a).position, topo.client(c).position);
+      const double shadow = model.shadowing_sigma_db > 0.0
+                                ? rng.normal(0.0, model.shadowing_sigma_db)
+                                : 0.0;
+      ap_client_[static_cast<std::size_t>(a * n_clients_ + c)] =
+          model.median_loss_db(dist) + shadow;
+    }
+  }
+  for (int a = 0; a < n_aps_; ++a) {
+    for (int b = a; b < n_aps_; ++b) {
+      double loss = 0.0;
+      if (a != b) {
+        const double dist = distance(topo.ap(a).position, topo.ap(b).position);
+        const double shadow = model.shadowing_sigma_db > 0.0
+                                  ? rng.normal(0.0, model.shadowing_sigma_db)
+                                  : 0.0;
+        loss = model.median_loss_db(dist) + shadow;
+      }
+      ap_ap_[static_cast<std::size_t>(a * n_aps_ + b)] = loss;
+      ap_ap_[static_cast<std::size_t>(b * n_aps_ + a)] = loss;
+    }
+  }
+}
+
+double LinkBudget::ap_client_loss_db(int ap, int client) const {
+  if (ap < 0 || ap >= n_aps_ || client < 0 || client >= n_clients_) {
+    throw std::out_of_range("LinkBudget ap/client id");
+  }
+  return ap_client_[static_cast<std::size_t>(ap * n_clients_ + client)];
+}
+
+double LinkBudget::ap_ap_loss_db(int ap_a, int ap_b) const {
+  if (ap_a < 0 || ap_a >= n_aps_ || ap_b < 0 || ap_b >= n_aps_) {
+    throw std::out_of_range("LinkBudget ap id");
+  }
+  return ap_ap_[static_cast<std::size_t>(ap_a * n_aps_ + ap_b)];
+}
+
+double LinkBudget::rx_at_client_dbm(const Topology& topo, int ap,
+                                    int client) const {
+  return topo.ap(ap).tx_dbm - ap_client_loss_db(ap, client);
+}
+
+double LinkBudget::rx_at_ap_dbm(const Topology& topo, int ap_a,
+                                int ap_b) const {
+  return topo.ap(ap_a).tx_dbm - ap_ap_loss_db(ap_a, ap_b);
+}
+
+void LinkBudget::set_ap_client_loss_db(int ap, int client, double loss_db) {
+  if (ap < 0 || ap >= n_aps_ || client < 0 || client >= n_clients_) {
+    throw std::out_of_range("LinkBudget ap/client id");
+  }
+  ap_client_[static_cast<std::size_t>(ap * n_clients_ + client)] = loss_db;
+}
+
+void LinkBudget::set_ap_ap_loss_db(int ap_a, int ap_b, double loss_db) {
+  if (ap_a < 0 || ap_a >= n_aps_ || ap_b < 0 || ap_b >= n_aps_ ||
+      ap_a == ap_b) {
+    throw std::out_of_range("LinkBudget ap id");
+  }
+  ap_ap_[static_cast<std::size_t>(ap_a * n_aps_ + ap_b)] = loss_db;
+  ap_ap_[static_cast<std::size_t>(ap_b * n_aps_ + ap_a)] = loss_db;
+}
+
+}  // namespace acorn::net

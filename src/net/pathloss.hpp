@@ -1,0 +1,53 @@
+// Large-scale propagation: log-distance path loss with optional
+// per-link log-normal shadowing, frozen at construction so that a
+// deployment's link budget is stable across the simulation (the paper's
+// Fig. 8 shows enterprise 802.11n links are slowly varying).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::net {
+
+struct PathLossModel {
+  /// Reference loss at 1 m. Free space at 5.2 GHz is ~46.8 dB.
+  double ref_loss_db = 46.8;
+  /// Path-loss exponent; 3.5 is typical for obstructed indoor.
+  double exponent = 3.5;
+  /// Per-link log-normal shadowing std-dev (dB); drawn once per link.
+  double shadowing_sigma_db = 0.0;
+
+  /// Deterministic (median) loss at `dist_m` meters.
+  double median_loss_db(double dist_m) const;
+};
+
+/// Pairwise link budget for a fixed topology: path losses between every
+/// AP-client and AP-AP pair, including the frozen shadowing draw.
+class LinkBudget {
+ public:
+  LinkBudget(const Topology& topo, const PathLossModel& model,
+             util::Rng& rng);
+
+  double ap_client_loss_db(int ap, int client) const;
+  double ap_ap_loss_db(int ap_a, int ap_b) const;
+
+  /// Received power at a client from an AP (its configured Tx power).
+  double rx_at_client_dbm(const Topology& topo, int ap, int client) const;
+  /// Received power at AP b from AP a.
+  double rx_at_ap_dbm(const Topology& topo, int ap_a, int ap_b) const;
+
+  /// Override a specific AP-client loss (used by tests and by benches
+  /// that script the paper's fixed topologies with known link classes).
+  void set_ap_client_loss_db(int ap, int client, double loss_db);
+  void set_ap_ap_loss_db(int ap_a, int ap_b, double loss_db);
+
+ private:
+  int n_aps_;
+  int n_clients_;
+  std::vector<double> ap_client_;  // [ap * n_clients + client]
+  std::vector<double> ap_ap_;      // [a * n_aps + b], symmetric
+};
+
+}  // namespace acorn::net

@@ -1,0 +1,69 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::net {
+
+double distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+int Topology::add_ap(Point position, double tx_dbm) {
+  const int id = num_aps();
+  aps_.push_back(ApNode{id, position, tx_dbm});
+  return id;
+}
+
+int Topology::add_client(Point position) {
+  const int id = num_clients();
+  clients_.push_back(ClientNode{id, position});
+  return id;
+}
+
+const ApNode& Topology::ap(int id) const {
+  return aps_.at(static_cast<std::size_t>(id));
+}
+
+const ClientNode& Topology::client(int id) const {
+  return clients_.at(static_cast<std::size_t>(id));
+}
+
+ApNode& Topology::ap(int id) { return aps_.at(static_cast<std::size_t>(id)); }
+
+ClientNode& Topology::client(int id) {
+  return clients_.at(static_cast<std::size_t>(id));
+}
+
+Topology Topology::random(int n_aps, int n_clients, double area_m,
+                          util::Rng& rng, bool grid_aps) {
+  if (n_aps < 1 || n_clients < 0 || area_m <= 0.0) {
+    throw std::invalid_argument("bad topology parameters");
+  }
+  Topology topo;
+  if (grid_aps) {
+    const int cols = static_cast<int>(std::ceil(std::sqrt(n_aps)));
+    const int rows = (n_aps + cols - 1) / cols;
+    const double dx = area_m / cols;
+    const double dy = area_m / rows;
+    for (int i = 0; i < n_aps; ++i) {
+      const int r = i / cols;
+      const int c = i % cols;
+      // Cell center plus up to 20% jitter, so deployments are not
+      // perfectly symmetric.
+      const double x = (c + 0.5) * dx + rng.uniform(-0.2, 0.2) * dx;
+      const double y = (r + 0.5) * dy + rng.uniform(-0.2, 0.2) * dy;
+      topo.add_ap(Point{x, y});
+    }
+  } else {
+    for (int i = 0; i < n_aps; ++i) {
+      topo.add_ap(Point{rng.uniform(0.0, area_m), rng.uniform(0.0, area_m)});
+    }
+  }
+  for (int i = 0; i < n_clients; ++i) {
+    topo.add_client(Point{rng.uniform(0.0, area_m), rng.uniform(0.0, area_m)});
+  }
+  return topo;
+}
+
+}  // namespace acorn::net

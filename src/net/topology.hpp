@@ -1,0 +1,56 @@
+// Physical deployment: AP and client placement on a 2-D floor plan.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acorn::net {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(Point a, Point b);
+
+struct ApNode {
+  int id = 0;
+  Point position;
+  /// Transmit power; the paper runs its testbed at the maximum power.
+  double tx_dbm = 15.0;
+};
+
+struct ClientNode {
+  int id = 0;
+  Point position;
+};
+
+class Topology {
+ public:
+  /// Add an AP; returns its id (dense, starting at 0).
+  int add_ap(Point position, double tx_dbm = 15.0);
+  /// Add a client; returns its id (dense, starting at 0).
+  int add_client(Point position);
+
+  int num_aps() const { return static_cast<int>(aps_.size()); }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  const ApNode& ap(int id) const;
+  const ClientNode& client(int id) const;
+  ApNode& ap(int id);
+  ClientNode& client(int id);
+  const std::vector<ApNode>& aps() const { return aps_; }
+  const std::vector<ClientNode>& clients() const { return clients_; }
+
+  /// Uniform-random deployment in a square of side `area_m`: APs first
+  /// (optionally on a jittered grid so cells tile the floor), then
+  /// clients uniformly.
+  static Topology random(int n_aps, int n_clients, double area_m,
+                         util::Rng& rng, bool grid_aps = true);
+
+ private:
+  std::vector<ApNode> aps_;
+  std::vector<ClientNode> clients_;
+};
+
+}  // namespace acorn::net

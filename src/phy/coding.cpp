@@ -1,0 +1,119 @@
+#include "phy/coding.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace acorn::phy {
+
+double code_rate_value(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate12: return 1.0 / 2.0;
+    case CodeRate::kRate23: return 2.0 / 3.0;
+    case CodeRate::kRate34: return 3.0 / 4.0;
+    case CodeRate::kRate56: return 5.0 / 6.0;
+  }
+  throw std::invalid_argument("unknown code rate");
+}
+
+std::string_view to_string(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate12: return "1/2";
+    case CodeRate::kRate23: return "2/3";
+    case CodeRate::kRate34: return "3/4";
+    case CodeRate::kRate56: return "5/6";
+  }
+  return "?";
+}
+
+int free_distance(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate12: return 10;
+    case CodeRate::kRate23: return 6;
+    case CodeRate::kRate34: return 5;
+    case CodeRate::kRate56: return 4;
+  }
+  throw std::invalid_argument("unknown code rate");
+}
+
+namespace {
+
+// Information-bit weight spectra c_d for the K=7 (133,171) code and its
+// standard 802.11 puncturing patterns, starting at d = dfree. Published
+// values (Haccoun & Begin, IEEE Trans. Comm. 1989), as used throughout
+// the 802.11 link-abstraction literature.
+constexpr std::array<double, 10> kSpectrum12 = {
+    36, 0, 211, 0, 1404, 0, 11633, 0, 77433, 0};
+constexpr std::array<double, 10> kSpectrum23 = {
+    3, 70, 285, 1276, 6160, 27128, 117019, 498860, 2103891, 8784123};
+constexpr std::array<double, 10> kSpectrum34 = {
+    42, 201, 1492, 10469, 62935, 379644, 2253373, 13073811, 75152755,
+    428005675};
+constexpr std::array<double, 10> kSpectrum56 = {
+    92, 528, 8694, 79453, 792114, 7375573, 67884974, 610875423,
+    5427275376.0, 47664215639.0};
+
+std::span<const double> spectrum(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate12: return kSpectrum12;
+    case CodeRate::kRate23: return kSpectrum23;
+    case CodeRate::kRate34: return kSpectrum34;
+    case CodeRate::kRate56: return kSpectrum56;
+  }
+  throw std::invalid_argument("unknown code rate");
+}
+
+double log_binomial(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+// Pairwise error probability of choosing a codeword at Hamming distance d
+// on a BSC with crossover probability p (hard-decision Viterbi).
+double pairwise_error(int d, double p) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 0.5) return 0.5;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double sum = 0.0;
+  if (d % 2 == 1) {
+    for (int k = (d + 1) / 2; k <= d; ++k) {
+      sum += std::exp(log_binomial(d, k) + k * log_p + (d - k) * log_q);
+    }
+  } else {
+    sum += 0.5 * std::exp(log_binomial(d, d / 2) + (d / 2) * (log_p + log_q));
+    for (int k = d / 2 + 1; k <= d; ++k) {
+      sum += std::exp(log_binomial(d, k) + k * log_p + (d - k) * log_q);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double coded_ber(CodeRate rate, double channel_ber) {
+  if (channel_ber < 0.0 || channel_ber > 1.0) {
+    throw std::invalid_argument("channel BER out of [0,1]");
+  }
+  const double p = std::min(channel_ber, 0.5);
+  const auto cds = spectrum(rate);
+  const int dfree = free_distance(rate);
+  double pb = 0.0;
+  for (std::size_t i = 0; i < cds.size(); ++i) {
+    pb += cds[i] * pairwise_error(dfree + static_cast<int>(i), p);
+  }
+  // The union bound diverges near p = 0.5; residual errors can never make
+  // decoded bits worse than a coin flip.
+  return std::clamp(pb, 0.0, 0.5);
+}
+
+double packet_error_rate(double ber, int payload_bits) {
+  if (payload_bits <= 0) throw std::invalid_argument("payload_bits <= 0");
+  if (ber <= 0.0) return 0.0;
+  if (ber >= 0.5) return 1.0;
+  // 1 - (1-b)^L computed stably for tiny b.
+  return -std::expm1(static_cast<double>(payload_bits) * std::log1p(-ber));
+}
+
+}  // namespace acorn::phy

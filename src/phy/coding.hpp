@@ -1,0 +1,33 @@
+// Forward error correction model for the 802.11n convolutional code
+// (K = 7, generators 133/171 octal, punctured to the higher rates).
+//
+// Coded BER is estimated with the classic hard-decision Viterbi union
+// bound over the code's distance spectrum — the standard link-abstraction
+// technique. The resulting curves are monotone in SNR and reproduce the
+// waterfall sharpening with code rate that drives the paper's Table 1.
+#pragma once
+
+#include <string_view>
+
+namespace acorn::phy {
+
+enum class CodeRate { kRate12, kRate23, kRate34, kRate56 };
+
+/// Numeric value of the code rate (0.5, 2/3, 3/4, 5/6).
+double code_rate_value(CodeRate rate);
+
+std::string_view to_string(CodeRate rate);
+
+/// Free distance of the (punctured) code.
+int free_distance(CodeRate rate);
+
+/// Coded BER after hard-decision Viterbi decoding, given the uncoded
+/// (channel) bit error probability `p`. Clamped to [0, 0.5].
+double coded_ber(CodeRate rate, double channel_ber);
+
+/// Probability that a packet of `payload_bits` bits is received in error,
+/// assuming independent residual bit errors (paper Eq. 6):
+///   PER = 1 - (1 - BER)^L.
+double packet_error_rate(double coded_ber, int payload_bits);
+
+}  // namespace acorn::phy

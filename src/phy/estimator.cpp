@@ -1,0 +1,66 @@
+#include "phy/estimator.hpp"
+
+namespace acorn::phy {
+
+namespace {
+LinkConfig to_link_config(const EstimatorConfig& cfg) {
+  LinkConfig lc;
+  lc.shadow_db = cfg.shadow_db;
+  lc.payload_bytes = cfg.payload_bytes;
+  lc.stbc_gain_db = cfg.stbc_gain_db;
+  lc.sdm_penalty_db = cfg.sdm_penalty_db;
+  return lc;
+}
+}  // namespace
+
+LinkEstimator::LinkEstimator(EstimatorConfig config)
+    : config_(config), model_(to_link_config(config)) {}
+
+double LinkEstimator::calibrate_snr_db(double measured_snr_db,
+                                       ChannelWidth measured_on,
+                                       ChannelWidth target) const {
+  if (measured_on == target) return measured_snr_db;
+  if (target == ChannelWidth::k40MHz) {
+    return measured_snr_db - config_.width_shift_db;
+  }
+  return measured_snr_db + config_.width_shift_db;
+}
+
+LinkEstimate LinkEstimator::estimate(const McsEntry& entry,
+                                     double measured_snr_db,
+                                     ChannelWidth measured_on,
+                                     ChannelWidth target,
+                                     GuardInterval gi) const {
+  LinkEstimate est;
+  est.mcs_index = entry.index;
+  est.snr_db = calibrate_snr_db(measured_snr_db, measured_on, target);
+  est.ber = model_.coded_ber(entry, est.snr_db);
+  est.per = packet_error_rate(est.ber, config_.payload_bytes * 8);
+  est.goodput_bps = (1.0 - est.per) * entry.rate_bps(target, gi);
+  return est;
+}
+
+LinkEstimate LinkEstimator::best_estimate(double measured_snr_db,
+                                          ChannelWidth measured_on,
+                                          ChannelWidth target,
+                                          GuardInterval gi) const {
+  LinkEstimate best;
+  best.goodput_bps = -1.0;
+  for (const auto& entry : mcs_table()) {
+    const LinkEstimate est =
+        estimate(entry, measured_snr_db, measured_on, target, gi);
+    if (est.goodput_bps > best.goodput_bps) best = est;
+  }
+  return best;
+}
+
+LinkQuality LinkEstimator::classify(double measured_snr_db,
+                                    ChannelWidth measured_on,
+                                    ChannelWidth target) const {
+  const LinkEstimate best =
+      best_estimate(measured_snr_db, measured_on, target);
+  return best.per <= config_.poor_per_threshold ? LinkQuality::kGood
+                                                : LinkQuality::kPoor;
+}
+
+}  // namespace acorn::phy

@@ -1,0 +1,77 @@
+// ACORN's link-quality estimator (paper §4.2, "Estimating throughput").
+//
+// APs measure SNR on the channel width they currently use; to predict the
+// link on the *other* width, the paper chains three modules:
+//   1. SNR calibration — apply a +/- 3 dB shift when the width changes;
+//   2. BER estimation — theoretical coded BER at the calibrated SNR;
+//   3. PER estimation — Eq. 6 under independent bit errors.
+// ACORN only needs a coarse good/poor classification, not exact PER.
+#pragma once
+
+#include "phy/link.hpp"
+
+namespace acorn::phy {
+
+enum class LinkQuality { kGood, kPoor };
+
+struct EstimatorConfig {
+  /// The calibration shift the paper applies on width change. The paper
+  /// rounds the true 10*log10(108/52) = 3.17 dB penalty to 3 dB.
+  double width_shift_db = 3.0;
+  /// Payload used for the PER estimate.
+  int payload_bytes = 1500;
+  /// Fading margin: per-packet SNR jitter assumed when evaluating the
+  /// theoretical BER. 0 reproduces the paper's raw formulas; the default
+  /// matches the link model's margin, which is what a deployed estimator
+  /// ends up with after calibrating against its own testbed (the paper's
+  /// §3.1 curve fit plays that role).
+  double shadow_db = 2.5;
+  /// STBC/SDM adjustments mirrored from the link model.
+  double stbc_gain_db = 3.0;
+  double sdm_penalty_db = 6.0;
+  /// PER above which a link is classified poor at its best usable MCS.
+  double poor_per_threshold = 0.30;
+};
+
+/// Prediction for one (MCS, width) choice.
+struct LinkEstimate {
+  double snr_db = 0.0;   // calibrated per-subcarrier SNR
+  double ber = 0.0;      // estimated coded BER
+  double per = 0.0;      // estimated PER (Eq. 6)
+  double goodput_bps = 0.0;  // (1 - PER) * nominal rate
+  int mcs_index = 0;         // the MCS this estimate is for
+};
+
+class LinkEstimator {
+ public:
+  explicit LinkEstimator(EstimatorConfig config = {});
+
+  const EstimatorConfig& config() const { return config_; }
+
+  /// Calibrate a measured per-subcarrier SNR from one width to another.
+  /// Same width -> unchanged; 20->40 subtracts the shift; 40->20 adds it.
+  double calibrate_snr_db(double measured_snr_db, ChannelWidth measured_on,
+                          ChannelWidth target) const;
+
+  /// Full pipeline: estimate BER/PER/goodput for (entry, target width)
+  /// from an SNR measured on `measured_on`.
+  LinkEstimate estimate(const McsEntry& entry, double measured_snr_db,
+                        ChannelWidth measured_on, ChannelWidth target,
+                        GuardInterval gi = GuardInterval::kLong800ns) const;
+
+  /// Best goodput across all MCS for a target width (what an auto-rate
+  /// link would achieve); used by ACORN's throughput estimates.
+  LinkEstimate best_estimate(double measured_snr_db, ChannelWidth measured_on,
+                             ChannelWidth target,
+                             GuardInterval gi = GuardInterval::kLong800ns) const;
+
+  /// Coarse classification at the target width.
+  LinkQuality classify(double measured_snr_db, ChannelWidth measured_on,
+                       ChannelWidth target) const;
+
+ private:
+  EstimatorConfig config_;
+  LinkModel model_;
+};
+
+}  // namespace acorn::phy

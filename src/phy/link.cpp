@@ -1,0 +1,57 @@
+#include "phy/link.hpp"
+
+#include <stdexcept>
+
+#include "phy/coding.hpp"
+#include "phy/modulation.hpp"
+#include "phy/noise.hpp"
+
+namespace acorn::phy {
+
+MimoMode mode_for(const McsEntry& entry) {
+  return entry.streams == 1 ? MimoMode::kStbc : MimoMode::kSdm;
+}
+
+LinkModel::LinkModel(LinkConfig config) : config_(config) {
+  if (config_.payload_bytes <= 0) {
+    throw std::invalid_argument("payload_bytes must be positive");
+  }
+}
+
+double LinkModel::snr_db(double tx_dbm, double path_loss_db,
+                         ChannelWidth width) const {
+  return snr_per_subcarrier_db(tx_dbm, path_loss_db, width,
+                               config_.noise_figure_db);
+}
+
+double LinkModel::effective_snr_db(double snr_db, const McsEntry& entry) const {
+  switch (mode_for(entry)) {
+    case MimoMode::kStbc: return snr_db + config_.stbc_gain_db;
+    case MimoMode::kSdm: return snr_db - config_.sdm_penalty_db;
+  }
+  throw std::logic_error("unknown MIMO mode");
+}
+
+double LinkModel::coded_ber(const McsEntry& entry, double snr_db) const {
+  const double eff = effective_snr_db(snr_db, entry);
+  const double raw =
+      uncoded_ber_shadowed_db(entry.modulation, eff, config_.shadow_db);
+  return acorn::phy::coded_ber(entry.code_rate, raw);
+}
+
+double LinkModel::per(const McsEntry& entry, double snr_db) const {
+  return packet_error_rate(coded_ber(entry, snr_db),
+                           config_.payload_bytes * 8);
+}
+
+double LinkModel::per_at(const McsEntry& entry, double tx_dbm,
+                         double path_loss_db, ChannelWidth width) const {
+  return per(entry, snr_db(tx_dbm, path_loss_db, width));
+}
+
+double LinkModel::goodput_bps(const McsEntry& entry, ChannelWidth width,
+                              GuardInterval gi, double snr_db) const {
+  return (1.0 - per(entry, snr_db)) * entry.rate_bps(width, gi);
+}
+
+}  // namespace acorn::phy

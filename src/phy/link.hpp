@@ -1,0 +1,63 @@
+// Link-level abstraction of an 802.11n AP-client link.
+//
+// Given transmit power, path loss and channel width, produces the
+// per-subcarrier SNR, coded BER, PER and goodput for any MCS. MIMO mode is
+// implied by the MCS stream count: single-stream MCS run as 2x2 Alamouti
+// STBC (diversity + array gain), two-stream MCS as SDM (power split across
+// streams plus separation loss). This mirrors the paper's observation that
+// the vendor auto-rate picks STBC on poor links and SDM on strong ones.
+#pragma once
+
+#include "phy/mcs.hpp"
+
+namespace acorn::phy {
+
+struct LinkConfig {
+  /// Receiver noise figure applied on top of thermal noise (dB).
+  double noise_figure_db = 5.0;
+  /// Std-dev of per-packet SNR jitter (dB); models residual small-scale
+  /// variation on a MIMO-stabilised link (paper Fig. 8 shows it is small).
+  double shadow_db = 2.5;
+  /// MAC payload carried by each PHY frame.
+  int payload_bytes = 1500;
+  /// Effective SNR gain of 2x2 Alamouti STBC (array + diversity gain).
+  double stbc_gain_db = 3.0;
+  /// Effective per-stream SNR loss of SDM (3 dB power split + separation).
+  double sdm_penalty_db = 6.0;
+};
+
+/// The MIMO mode implied by an MCS row (1 stream -> STBC, 2 -> SDM).
+MimoMode mode_for(const McsEntry& entry);
+
+class LinkModel {
+ public:
+  explicit LinkModel(LinkConfig config = {});
+
+  const LinkConfig& config() const { return config_; }
+
+  /// Per-subcarrier reference SNR (single-stream, before MIMO adjustment).
+  double snr_db(double tx_dbm, double path_loss_db, ChannelWidth width) const;
+
+  /// SNR after the MIMO-mode adjustment for the given MCS.
+  double effective_snr_db(double snr_db, const McsEntry& entry) const;
+
+  /// Coded BER at the given reference SNR for an MCS (includes the
+  /// MIMO-mode adjustment and per-packet SNR jitter averaging).
+  double coded_ber(const McsEntry& entry, double snr_db) const;
+
+  /// PER (Eq. 6) at the given reference per-subcarrier SNR.
+  double per(const McsEntry& entry, double snr_db) const;
+
+  /// PER for a concrete radio state (Tx power, path loss, width).
+  double per_at(const McsEntry& entry, double tx_dbm, double path_loss_db,
+                ChannelWidth width) const;
+
+  /// Goodput T = (1 - PER) * R for one MCS at the reference SNR.
+  double goodput_bps(const McsEntry& entry, ChannelWidth width,
+                     GuardInterval gi, double snr_db) const;
+
+ private:
+  LinkConfig config_;
+};
+
+}  // namespace acorn::phy

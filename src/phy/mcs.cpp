@@ -1,0 +1,70 @@
+#include "phy/mcs.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace acorn::phy {
+
+double width_hz(ChannelWidth width) {
+  return width == ChannelWidth::k20MHz ? 20.0 * util::kMHz : 40.0 * util::kMHz;
+}
+
+int data_subcarriers(ChannelWidth width) {
+  return width == ChannelWidth::k20MHz ? 52 : 108;
+}
+
+std::string to_string(ChannelWidth width) {
+  return width == ChannelWidth::k20MHz ? "20MHz" : "40MHz";
+}
+
+std::string to_string(MimoMode mode) {
+  return mode == MimoMode::kStbc ? "STBC" : "SDM";
+}
+
+double McsEntry::rate_bps(ChannelWidth width, GuardInterval gi) const {
+  // rate = data_subcarriers * bits_per_symbol * code_rate * streams / T_sym.
+  const double t_symbol =
+      gi == GuardInterval::kLong800ns ? 4.0e-6 : 3.6e-6;
+  return data_subcarriers(width) * bits_per_symbol(modulation) *
+         code_rate_value(code_rate) * streams / t_symbol;
+}
+
+namespace {
+
+constexpr McsEntry row(int index, int streams, Modulation mod, CodeRate rate) {
+  return McsEntry{index, streams, mod, rate};
+}
+
+const std::array<McsEntry, 16> kTable = {
+    // One spatial stream.
+    row(0, 1, Modulation::kBpsk, CodeRate::kRate12),
+    row(1, 1, Modulation::kQpsk, CodeRate::kRate12),
+    row(2, 1, Modulation::kQpsk, CodeRate::kRate34),
+    row(3, 1, Modulation::kQam16, CodeRate::kRate12),
+    row(4, 1, Modulation::kQam16, CodeRate::kRate34),
+    row(5, 1, Modulation::kQam64, CodeRate::kRate23),
+    row(6, 1, Modulation::kQam64, CodeRate::kRate34),
+    row(7, 1, Modulation::kQam64, CodeRate::kRate56),
+    // Two spatial streams.
+    row(8, 2, Modulation::kBpsk, CodeRate::kRate12),
+    row(9, 2, Modulation::kQpsk, CodeRate::kRate12),
+    row(10, 2, Modulation::kQpsk, CodeRate::kRate34),
+    row(11, 2, Modulation::kQam16, CodeRate::kRate12),
+    row(12, 2, Modulation::kQam16, CodeRate::kRate34),
+    row(13, 2, Modulation::kQam64, CodeRate::kRate23),
+    row(14, 2, Modulation::kQam64, CodeRate::kRate34),
+    row(15, 2, Modulation::kQam64, CodeRate::kRate56),
+};
+
+}  // namespace
+
+std::span<const McsEntry> mcs_table() { return kTable; }
+
+const McsEntry& mcs(int index) {
+  if (index < 0 || index > kMaxMcs) throw std::out_of_range("MCS index");
+  return kTable[static_cast<std::size_t>(index)];
+}
+
+}  // namespace acorn::phy

@@ -1,0 +1,54 @@
+// The 802.11n Modulation and Coding Scheme (MCS) table for one and two
+// spatial streams (MCS 0-15), both channel widths and both guard
+// intervals, plus the channel-width vocabulary used across the library.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "phy/coding.hpp"
+#include "phy/modulation.hpp"
+
+namespace acorn::phy {
+
+/// 20 MHz basic channel or 40 MHz bonded (CB) channel.
+enum class ChannelWidth { k20MHz, k40MHz };
+
+/// Bandwidth in Hz of a width.
+double width_hz(ChannelWidth width);
+
+/// Number of data subcarriers (52 for 20 MHz, 108 for 40 MHz).
+int data_subcarriers(ChannelWidth width);
+
+std::string to_string(ChannelWidth width);
+
+enum class GuardInterval { kLong800ns, kShort400ns };
+
+/// MIMO operating mode (paper §2): SDM doubles streams for rate, STBC
+/// trades the second stream for diversity/reliability.
+enum class MimoMode { kStbc, kSdm };
+
+std::string to_string(MimoMode mode);
+
+/// One row of the 802.11n MCS table.
+struct McsEntry {
+  int index = 0;  // 0..15
+  int streams = 1;
+  Modulation modulation = Modulation::kBpsk;
+  CodeRate code_rate = CodeRate::kRate12;
+
+  /// Nominal PHY bit rate in bits/s.
+  double rate_bps(ChannelWidth width, GuardInterval gi) const;
+};
+
+/// Full MCS 0-15 table.
+std::span<const McsEntry> mcs_table();
+
+/// Table row for a given index; throws std::out_of_range for index > 15.
+const McsEntry& mcs(int index);
+
+/// Highest single-stream MCS (7) and highest two-stream MCS (15).
+inline constexpr int kMaxSingleStreamMcs = 7;
+inline constexpr int kMaxMcs = 15;
+
+}  // namespace acorn::phy

@@ -1,0 +1,82 @@
+#include "phy/modulation.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace acorn::phy {
+
+int bits_per_symbol(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  throw std::invalid_argument("unknown modulation");
+}
+
+int constellation_size(Modulation mod) { return 1 << bits_per_symbol(mod); }
+
+std::string_view to_string(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16QAM";
+    case Modulation::kQam64: return "64QAM";
+  }
+  return "?";
+}
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double uncoded_ber(Modulation mod, double es_over_n0) {
+  if (es_over_n0 < 0.0) throw std::invalid_argument("negative SNR");
+  switch (mod) {
+    case Modulation::kBpsk:
+      // Es == Eb for BPSK.
+      return q_function(std::sqrt(2.0 * es_over_n0));
+    case Modulation::kQpsk:
+      // Gray-coded QPSK: per-bit error equals BPSK at the same Eb/N0;
+      // Eb/N0 = Es/N0 / 2, so Pb = Q(sqrt(Es/N0)).
+      return q_function(std::sqrt(es_over_n0));
+    case Modulation::kQam16:
+    case Modulation::kQam64: {
+      const double m = constellation_size(mod);
+      const double k = bits_per_symbol(mod);
+      // Nearest-neighbour bound for Gray-coded square M-QAM.
+      const double arg = std::sqrt(3.0 * es_over_n0 / (m - 1.0));
+      const double pb = 4.0 / k * (1.0 - 1.0 / std::sqrt(m)) * q_function(arg);
+      return std::min(pb, 0.5);
+    }
+  }
+  throw std::invalid_argument("unknown modulation");
+}
+
+double uncoded_ber_db(Modulation mod, double es_over_n0_db) {
+  return uncoded_ber(mod, util::db_to_lin(es_over_n0_db));
+}
+
+double uncoded_ber_shadowed_db(Modulation mod, double es_over_n0_db,
+                               double shadow_db) {
+  if (shadow_db <= 0.0) return uncoded_ber_db(mod, es_over_n0_db);
+  // 7-point Gauss-Hermite quadrature over N(0, shadow_db^2) dB offsets:
+  // E[BER] = (1/sqrt(pi)) * sum w_i * BER(snr + sqrt(2)*sigma*x_i).
+  static constexpr std::array<double, 7> kNodes = {
+      -2.651961356835233, -1.673551628767471, -0.816287882858965, 0.0,
+      0.816287882858965,  1.673551628767471,  2.651961356835233};
+  static constexpr std::array<double, 7> kWeights = {
+      9.71781245099519e-4, 5.45155828191270e-2, 4.25607252610128e-1,
+      8.10264617556807e-1, 4.25607252610128e-1, 5.45155828191270e-2,
+      9.71781245099519e-4};
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    const double snr = es_over_n0_db + std::sqrt(2.0) * shadow_db * kNodes[i];
+    acc += kWeights[i] * uncoded_ber_db(mod, snr);
+  }
+  return acc / std::sqrt(M_PI);
+}
+
+}  // namespace acorn::phy

@@ -1,0 +1,38 @@
+// Modulation schemes used by 802.11n and their uncoded AWGN bit-error
+// rates. These are the standard Gray-coded coherent-detection formulas
+// (Rappaport, "Wireless Communications" — the paper's reference [19]).
+#pragma once
+
+#include <string_view>
+
+namespace acorn::phy {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Bits carried per modulation symbol (1, 2, 4, 6).
+int bits_per_symbol(Modulation mod);
+
+/// Constellation size M (2, 4, 16, 64).
+int constellation_size(Modulation mod);
+
+std::string_view to_string(Modulation mod);
+
+/// Gaussian tail probability Q(x) = P[N(0,1) > x].
+double q_function(double x);
+
+/// Uncoded bit error rate on an AWGN channel given the per-subcarrier
+/// symbol SNR (Es/N0, linear). Uses exact BPSK/QPSK expressions and the
+/// nearest-neighbour approximation for square QAM.
+double uncoded_ber(Modulation mod, double es_over_n0);
+
+/// Same, taking Es/N0 in dB.
+double uncoded_ber_db(Modulation mod, double es_over_n0_db);
+
+/// Uncoded BER averaged over per-packet log-normal SNR jitter of
+/// `shadow_db` dB std-dev (Gauss-Hermite quadrature, deterministic).
+/// Models the residual small-scale variation of a MIMO-stabilised link;
+/// shadow_db = 0 reduces to `uncoded_ber_db`.
+double uncoded_ber_shadowed_db(Modulation mod, double es_over_n0_db,
+                               double shadow_db);
+
+}  // namespace acorn::phy

@@ -1,0 +1,48 @@
+#include "phy/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace acorn::phy {
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
+  if (bandwidth_hz <= 0.0) throw std::invalid_argument("bandwidth <= 0");
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+double noise_per_subcarrier_dbm(double noise_figure_db) {
+  return noise_floor_dbm(kSubcarrierSpacingHz, noise_figure_db);
+}
+
+double tx_per_subcarrier_dbm(double tx_dbm, ChannelWidth width) {
+  return tx_dbm - 10.0 * std::log10(static_cast<double>(data_subcarriers(width)));
+}
+
+double cb_snr_penalty_db() {
+  return 10.0 * std::log10(108.0 / 52.0);  // = 3.17 dB
+}
+
+double snr_per_subcarrier_db(double tx_dbm, double path_loss_db,
+                             ChannelWidth width, double noise_figure_db) {
+  const double rx_per_sc =
+      tx_per_subcarrier_dbm(tx_dbm, width) - path_loss_db;
+  return rx_per_sc - noise_per_subcarrier_dbm(noise_figure_db);
+}
+
+double shannon_capacity_bps(double bandwidth_hz, double snr_linear) {
+  if (snr_linear < 0.0) throw std::invalid_argument("negative SNR");
+  return bandwidth_hz * std::log2(1.0 + snr_linear);
+}
+
+double shannon_capacity_for_width_bps(double tx_dbm, double path_loss_db,
+                                      ChannelWidth width,
+                                      double noise_figure_db) {
+  const double rx_dbm = tx_dbm - path_loss_db;
+  const double noise_dbm = noise_floor_dbm(width_hz(width), noise_figure_db);
+  const double snr = util::db_to_lin(rx_dbm - noise_dbm);
+  return shannon_capacity_bps(width_hz(width), snr);
+}
+
+}  // namespace acorn::phy

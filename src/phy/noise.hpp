@@ -1,0 +1,50 @@
+// Noise-floor and SNR accounting for channel bonding (paper §3.1).
+//
+// Two facts drive everything in the paper:
+//   * total thermal noise grows 3 dB when the band doubles (Eq. 1), while
+//     the per-subcarrier noise stays nearly constant (the FFT bin width is
+//     312.5 kHz for both widths);
+//   * the fixed transmit power is spread over 108 instead of 52 data
+//     subcarriers, so energy per subcarrier drops 10*log10(108/52) =
+//     3.17 dB — the "3 dB SNR penalty" of CB.
+#pragma once
+
+#include "phy/mcs.hpp"
+
+namespace acorn::phy {
+
+/// OFDM subcarrier spacing, identical for 20 and 40 MHz 802.11n channels.
+inline constexpr double kSubcarrierSpacingHz = 312.5e3;
+
+/// Thermal noise floor over bandwidth `bandwidth_hz` (paper Eq. 1):
+///   N(dBm) = -174 + 10*log10(B) [+ receiver noise figure].
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db = 0.0);
+
+/// Noise power inside one FFT bin (one subcarrier).
+double noise_per_subcarrier_dbm(double noise_figure_db = 0.0);
+
+/// Transmit power allocated to a single data subcarrier when the total
+/// power `tx_dbm` is split evenly across the width's data subcarriers.
+double tx_per_subcarrier_dbm(double tx_dbm, ChannelWidth width);
+
+/// The CB SNR penalty: per-subcarrier SNR difference between a 20 MHz and
+/// a 40 MHz channel at equal total Tx (positive, = 10*log10(108/52)).
+double cb_snr_penalty_db();
+
+/// Per-subcarrier SNR at the receiver:
+///   Tx - path_loss - 10*log10(Nsc) - noise_per_bin.
+double snr_per_subcarrier_db(double tx_dbm, double path_loss_db,
+                             ChannelWidth width, double noise_figure_db = 0.0);
+
+/// Shannon capacity (paper Eq. 2): C = B * log2(1 + SNR), SNR linear over
+/// the whole band. Demonstrates the low-SNR regime where widening the band
+/// (and thus halving SNR) shrinks capacity.
+double shannon_capacity_bps(double bandwidth_hz, double snr_linear);
+
+/// Whole-band Shannon capacity for a width at given Tx/path loss, using
+/// the total-band SNR implied by Eq. 1.
+double shannon_capacity_for_width_bps(double tx_dbm, double path_loss_db,
+                                      ChannelWidth width,
+                                      double noise_figure_db = 0.0);
+
+}  // namespace acorn::phy

@@ -1,0 +1,38 @@
+#include "phy/rate_control.hpp"
+
+namespace acorn::phy {
+
+RateDecision best_rate(const LinkModel& link, ChannelWidth width,
+                       double snr_db, GuardInterval gi) {
+  RateDecision best;
+  double best_goodput = -1.0;
+  for (const auto& entry : mcs_table()) {
+    const double goodput = link.goodput_bps(entry, width, gi, snr_db);
+    if (goodput > best_goodput) {
+      best_goodput = goodput;
+      best.mcs_index = entry.index;
+      best.mode = mode_for(entry);
+      best.goodput_bps = goodput;
+      best.per = link.per(entry, snr_db);
+    }
+  }
+  return best;
+}
+
+RateDecision best_rate_at(const LinkModel& link, ChannelWidth width,
+                          double tx_dbm, double path_loss_db,
+                          GuardInterval gi) {
+  return best_rate(link, width, link.snr_db(tx_dbm, path_loss_db, width), gi);
+}
+
+WidthComparison compare_widths(const LinkModel& link, double tx_dbm,
+                               double path_loss_db, GuardInterval gi) {
+  WidthComparison cmp;
+  cmp.on20 =
+      best_rate_at(link, ChannelWidth::k20MHz, tx_dbm, path_loss_db, gi);
+  cmp.on40 =
+      best_rate_at(link, ChannelWidth::k40MHz, tx_dbm, path_loss_db, gi);
+  return cmp;
+}
+
+}  // namespace acorn::phy

@@ -1,0 +1,41 @@
+// Stand-in for the vendor's proprietary auto-rate: an exhaustive search
+// over MCS 0-15 (and thereby over the STBC/SDM mode split) that maximizes
+// goodput at the link's current SNR. This is exactly how the paper obtains
+// its Fig. 6(b) "optimal MCS" points.
+#pragma once
+
+#include "phy/link.hpp"
+
+namespace acorn::phy {
+
+struct RateDecision {
+  int mcs_index = 0;
+  MimoMode mode = MimoMode::kStbc;
+  double goodput_bps = 0.0;
+  double per = 0.0;
+};
+
+/// Best MCS (and implied mode) for a given width at per-subcarrier SNR
+/// `snr_db` measured on that width.
+RateDecision best_rate(const LinkModel& link, ChannelWidth width,
+                       double snr_db,
+                       GuardInterval gi = GuardInterval::kLong800ns);
+
+/// Best rate for a concrete radio state (Tx power + path loss).
+RateDecision best_rate_at(const LinkModel& link, ChannelWidth width,
+                          double tx_dbm, double path_loss_db,
+                          GuardInterval gi = GuardInterval::kLong800ns);
+
+/// Width comparison for one link: best-rate goodputs on 20 and 40 MHz at
+/// the same Tx. Used by Fig. 6 and by ACORN's opportunistic width switch.
+struct WidthComparison {
+  RateDecision on20;
+  RateDecision on40;
+  /// True when CB improves the link's goodput.
+  bool cb_wins() const { return on40.goodput_bps > on20.goodput_bps; }
+};
+WidthComparison compare_widths(const LinkModel& link, double tx_dbm,
+                               double path_loss_db,
+                               GuardInterval gi = GuardInterval::kLong800ns);
+
+}  // namespace acorn::phy

@@ -1,0 +1,75 @@
+#include "phy/sigma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "phy/noise.hpp"
+
+namespace acorn::phy {
+
+double rate_ratio_40_over_20(const McsEntry& entry) {
+  const GuardInterval gi = GuardInterval::kLong800ns;
+  return entry.rate_bps(ChannelWidth::k40MHz, gi) /
+         entry.rate_bps(ChannelWidth::k20MHz, gi);
+}
+
+double sigma_at_snr(const LinkModel& link, const McsEntry& entry,
+                    double snr20_db) {
+  const double per20 = link.per(entry, snr20_db);
+  const double per40 = link.per(entry, snr20_db - cb_snr_penalty_db());
+  const double deliver40 = 1.0 - per40;
+  if (deliver40 <= 0.0) {
+    return (1.0 - per20) <= 0.0 ? 1.0
+                                : std::numeric_limits<double>::infinity();
+  }
+  return (1.0 - per20) / deliver40;
+}
+
+double sigma(const LinkModel& link, const McsEntry& entry, double tx_dbm,
+             double path_loss_db) {
+  const double snr20 = link.snr_db(tx_dbm, path_loss_db, ChannelWidth::k20MHz);
+  return sigma_at_snr(link, entry, snr20);
+}
+
+std::optional<SigmaWindow> sigma_window(const LinkModel& link,
+                                        const McsEntry& entry,
+                                        double threshold, double snr_lo_db,
+                                        double snr_hi_db, double step_db) {
+  std::optional<double> enter;
+  std::optional<double> exit;
+  for (double snr = snr_lo_db; snr <= snr_hi_db; snr += step_db) {
+    const double s = sigma_at_snr(link, entry, snr);
+    // At very low SNR both PERs are ~1, so sigma is numerically unstable
+    // (0/0); the paper treats this regime as sigma ~ 1. Require a minimum
+    // delivery probability on the 20 MHz side before counting a crossing.
+    const double per20 = link.per(entry, snr);
+    if (per20 > 1.0 - 1e-6) continue;
+    if (!enter && s >= threshold) enter = snr;
+    if (enter && !exit && s < threshold) {
+      exit = snr;
+      break;
+    }
+  }
+  if (!enter) return std::nullopt;
+  return SigmaWindow{*enter, exit.value_or(snr_hi_db)};
+}
+
+std::vector<SigmaSweepPoint> sigma_sweep(const LinkModel& link,
+                                         const McsEntry& entry,
+                                         double path_loss_db, double tx_lo_dbm,
+                                         double tx_hi_dbm, int steps,
+                                         double cap) {
+  std::vector<SigmaSweepPoint> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double tx =
+        tx_lo_dbm + (tx_hi_dbm - tx_lo_dbm) * i / std::max(1, steps - 1);
+    double s = sigma(link, entry, tx, path_loss_db);
+    if (!std::isfinite(s)) s = cap;
+    out.push_back(SigmaSweepPoint{i, tx, std::min(s, cap)});
+  }
+  return out;
+}
+
+}  // namespace acorn::phy

@@ -1,0 +1,61 @@
+// The paper's sigma ratio (Eq. 3):
+//
+//   sigma = (1 - PER20) / (1 - PER40)
+//
+// CB hurts throughput whenever sigma > R40/R20 (~ 2). This header provides
+// sigma evaluation on a link model plus the Table 1 transition-point search
+// (the SNR window in which sigma >= 2 for each modulation/code pair).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "phy/link.hpp"
+
+namespace acorn::phy {
+
+/// Ratio of nominal rates R40/R20 for an MCS (independent of GI).
+double rate_ratio_40_over_20(const McsEntry& entry);
+
+/// sigma (Eq. 3) for one link state: the 20 and 40 MHz PERs are evaluated
+/// at the per-subcarrier SNRs implied by the same Tx and path loss.
+/// Returns +inf when the 40 MHz side delivers no packets at all.
+double sigma(const LinkModel& link, const McsEntry& entry, double tx_dbm,
+             double path_loss_db);
+
+/// sigma as a function of the 20 MHz per-subcarrier SNR directly; the
+/// 40 MHz SNR is lower by the CB penalty.
+double sigma_at_snr(const LinkModel& link, const McsEntry& entry,
+                    double snr20_db);
+
+/// The SNR window [enter, exit] (in 20 MHz per-subcarrier SNR, dB) where
+/// sigma >= threshold; std::nullopt when sigma never reaches the
+/// threshold. This regenerates the paper's Table 1: the window rises with
+/// modulation aggressiveness and spans roughly 2-3 dB.
+struct SigmaWindow {
+  double enter_db = 0.0;  // lowest SNR with sigma >= threshold
+  double exit_db = 0.0;   // lowest SNR beyond which sigma < threshold again
+};
+std::optional<SigmaWindow> sigma_window(const LinkModel& link,
+                                        const McsEntry& entry,
+                                        double threshold = 2.0,
+                                        double snr_lo_db = -15.0,
+                                        double snr_hi_db = 40.0,
+                                        double step_db = 0.05);
+
+/// sigma sweep over a transmit-power index scale (the paper's Fig. 5 uses
+/// a 0..100 driver power scale). Values are capped at `cap` as in the
+/// paper's plots.
+struct SigmaSweepPoint {
+  int power_index = 0;
+  double tx_dbm = 0.0;
+  double sigma = 0.0;
+};
+std::vector<SigmaSweepPoint> sigma_sweep(const LinkModel& link,
+                                         const McsEntry& entry,
+                                         double path_loss_db,
+                                         double tx_lo_dbm = -10.0,
+                                         double tx_hi_dbm = 25.0,
+                                         int steps = 101, double cap = 10.0);
+
+}  // namespace acorn::phy

@@ -1,0 +1,39 @@
+#include "sim/arrivals.hpp"
+
+#include <stdexcept>
+
+namespace acorn::sim {
+
+std::vector<ArrivalEvent> generate_arrivals(const ArrivalConfig& config,
+                                            const DurationSampler& durations,
+                                            util::Rng& rng) {
+  if (config.rate_per_s <= 0.0 || config.horizon_s <= 0.0 ||
+      config.num_client_slots < 1) {
+    throw std::invalid_argument("bad arrival config");
+  }
+  if (!durations) throw std::invalid_argument("empty duration sampler");
+  std::vector<ArrivalEvent> out;
+  double t = 0.0;
+  int slot = 0;
+  while (true) {
+    t += rng.exponential(config.rate_per_s);
+    if (t >= config.horizon_s) break;
+    ArrivalEvent ev;
+    ev.arrive_s = t;
+    ev.depart_s = t + durations(rng);
+    ev.client_slot = slot;
+    slot = (slot + 1) % config.num_client_slots;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+int active_sessions(const std::vector<ArrivalEvent>& sessions, double t_s) {
+  int n = 0;
+  for (const ArrivalEvent& s : sessions) {
+    if (s.arrive_s <= t_s && t_s < s.depart_s) ++n;
+  }
+  return n;
+}
+
+}  // namespace acorn::sim

@@ -1,0 +1,41 @@
+// Client arrival/departure process: Poisson arrivals with caller-supplied
+// association durations. Drives the dynamic experiments (periodic channel
+// re-allocation, the Fig. 9 / periodicity-T analysis).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acorn::sim {
+
+struct ArrivalEvent {
+  double arrive_s = 0.0;
+  double depart_s = 0.0;
+  /// Which client slot of the topology this session occupies.
+  int client_slot = 0;
+};
+
+struct ArrivalConfig {
+  /// Mean arrivals per second across the WLAN.
+  double rate_per_s = 1.0 / 120.0;
+  /// Generation horizon.
+  double horizon_s = 3600.0;
+  /// Number of client slots to cycle sessions through.
+  int num_client_slots = 1;
+};
+
+/// Sampler for one association duration (seconds); typically
+/// trace::AssociationDurationModel::sample bound to an Rng.
+using DurationSampler = std::function<double(util::Rng&)>;
+
+/// Generate a session list sorted by arrival time.
+std::vector<ArrivalEvent> generate_arrivals(const ArrivalConfig& config,
+                                            const DurationSampler& durations,
+                                            util::Rng& rng);
+
+/// Number of sessions active at time `t_s`.
+int active_sessions(const std::vector<ArrivalEvent>& sessions, double t_s);
+
+}  // namespace acorn::sim

@@ -1,0 +1,119 @@
+#include "sim/client_fsm.hpp"
+
+#include <stdexcept>
+
+namespace acorn::sim {
+
+const char* to_string(ClientState state) {
+  switch (state) {
+    case ClientState::kIdle: return "IDLE";
+    case ClientState::kScanning: return "SCANNING";
+    case ClientState::kAssociating: return "ASSOCIATING";
+    case ClientState::kAssociated: return "ASSOCIATED";
+  }
+  return "?";
+}
+
+ClientFsm::ClientFsm(int client_id, ClientFsmConfig config, RssProvider rss,
+                     Selector selector)
+    : client_id_(client_id),
+      config_(config),
+      rss_(std::move(rss)),
+      selector_(std::move(selector)) {
+  if (!rss_ || !selector_) {
+    throw std::invalid_argument("ClientFsm needs rss and selector hooks");
+  }
+}
+
+void ClientFsm::transition(double now, ClientState to) {
+  history_.push_back(ClientTransition{now, state_, to, serving_ap_});
+  state_ = to;
+  history_.back().ap = serving_ap_;
+}
+
+void ClientFsm::join(EventQueue& queue) {
+  if (state_ != ClientState::kIdle) {
+    throw std::logic_error("join() while not idle");
+  }
+  begin_scan(queue, queue.now());
+}
+
+void ClientFsm::leave(EventQueue& queue) {
+  ++generation_;  // orphan any in-flight timer
+  serving_ap_ = -1;
+  if (state_ != ClientState::kIdle) transition(queue.now(), ClientState::kIdle);
+}
+
+void ClientFsm::begin_scan(EventQueue& queue, double now) {
+  ++generation_;
+  serving_ap_ = -1;
+  transition(now, ClientState::kScanning);
+  const std::uint64_t gen = generation_;
+  queue.schedule(now + config_.scan_duration_s, [this, &queue, gen](double t) {
+    if (gen != generation_) return;
+    finish_scan(queue, t);
+  });
+}
+
+void ClientFsm::finish_scan(EventQueue& queue, double now) {
+  const std::optional<int> target = selector_();
+  if (!target) {
+    // Nothing reachable: back off for one monitor interval and rescan.
+    const std::uint64_t gen = generation_;
+    transition(now, ClientState::kIdle);
+    queue.schedule(now + config_.monitor_interval_s,
+                   [this, &queue, gen](double t) {
+                     if (gen != generation_) return;
+                     begin_scan(queue, t);
+                   });
+    return;
+  }
+  transition(now, ClientState::kAssociating);
+  const std::uint64_t gen = generation_;
+  const int ap = *target;
+  queue.schedule(now + config_.associate_duration_s,
+                 [this, &queue, gen, ap](double t) {
+                   if (gen != generation_) return;
+                   finish_association(queue, t, ap);
+                 });
+}
+
+void ClientFsm::finish_association(EventQueue& queue, double now, int ap) {
+  serving_ap_ = ap;
+  transition(now, ClientState::kAssociated);
+  const std::uint64_t gen = generation_;
+  queue.schedule(now + config_.monitor_interval_s,
+                 [this, &queue, gen](double t) {
+                   if (gen != generation_) return;
+                   monitor(queue, t);
+                 });
+}
+
+void ClientFsm::monitor(EventQueue& queue, double now) {
+  if (state_ != ClientState::kAssociated) return;
+  const double serving = rss_(serving_ap_);
+  // Find the strongest alternative the provider knows about by probing
+  // increasing AP ids until the provider throws (out of range) — the
+  // selector owns full topology knowledge, so we only need the serving
+  // link here plus the roam decision via the selector.
+  bool roam = serving < config_.min_serving_rss_dbm;
+  if (!roam) {
+    const std::optional<int> better = selector_();
+    if (better && *better != serving_ap_ &&
+        rss_(*better) >= serving + config_.roam_hysteresis_db) {
+      roam = true;
+    }
+  }
+  if (roam) {
+    begin_scan(queue, now);
+    return;
+  }
+  const std::uint64_t gen = generation_;
+  queue.schedule(now + config_.monitor_interval_s,
+                 [this, &queue, gen](double t) {
+                   if (gen != generation_) return;
+                   monitor(queue, t);
+                 });
+}
+
+}  // namespace acorn::sim

@@ -1,0 +1,87 @@
+// Client-side association state machine: the 802.11 station lifecycle
+// the paper's Click utility drives — scan for beacons, pick an AP (the
+// policy is pluggable: ACORN's Algorithm 1 or a baseline), associate,
+// monitor the link, roam when a sufficiently better AP appears, and
+// detach on departure. Runs on the discrete-event engine.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/events.hpp"
+
+namespace acorn::sim {
+
+enum class ClientState {
+  kIdle,         // not on the network
+  kScanning,     // collecting beacons
+  kAssociating,  // handshake with the chosen AP
+  kAssociated,   // on the network, link monitor running
+};
+
+const char* to_string(ClientState state);
+
+struct ClientFsmConfig {
+  /// Full passive scan duration.
+  double scan_duration_s = 0.5;
+  /// Association handshake duration.
+  double associate_duration_s = 0.1;
+  /// Link-monitor cadence while associated.
+  double monitor_interval_s = 2.0;
+  /// Roam when another AP beats the serving AP by this margin (dB).
+  double roam_hysteresis_db = 6.0;
+  /// Below this serving RSS the client rescans regardless of margin.
+  double min_serving_rss_dbm = -97.0;
+};
+
+/// One state transition, recorded for inspection.
+struct ClientTransition {
+  double time_s = 0.0;
+  ClientState from = ClientState::kIdle;
+  ClientState to = ClientState::kIdle;
+  int ap = -1;  // serving AP after the transition (-1 = none)
+};
+
+class ClientFsm {
+ public:
+  /// RSS of (ap, this client) in dBm at the current instant; the test or
+  /// simulation scripts time variation through this hook.
+  using RssProvider = std::function<double(int ap)>;
+  /// Association policy: the AP to join right now (nullopt = none
+  /// reachable). Called at the end of each scan.
+  using Selector = std::function<std::optional<int>()>;
+
+  ClientFsm(int client_id, ClientFsmConfig config, RssProvider rss,
+            Selector selector);
+
+  int client_id() const { return client_id_; }
+  ClientState state() const { return state_; }
+  /// Serving AP id, or -1 when not associated.
+  int serving_ap() const { return serving_ap_; }
+  const std::vector<ClientTransition>& history() const { return history_; }
+
+  /// Join the network: schedules a scan on `queue` starting now.
+  void join(EventQueue& queue);
+  /// Detach immediately (departure). Pending events become no-ops.
+  void leave(EventQueue& queue);
+
+ private:
+  void transition(double now, ClientState to);
+  void begin_scan(EventQueue& queue, double now);
+  void finish_scan(EventQueue& queue, double now);
+  void finish_association(EventQueue& queue, double now, int ap);
+  void monitor(EventQueue& queue, double now);
+
+  int client_id_;
+  ClientFsmConfig config_;
+  RssProvider rss_;
+  Selector selector_;
+  ClientState state_ = ClientState::kIdle;
+  int serving_ap_ = -1;
+  // Generation counter: leave()/new scans invalidate in-flight events.
+  std::uint64_t generation_ = 0;
+  std::vector<ClientTransition> history_;
+};
+
+}  // namespace acorn::sim

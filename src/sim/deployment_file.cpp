@@ -1,0 +1,88 @@
+#include "sim/deployment_file.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace acorn::sim {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("deployment line " + std::to_string(line) +
+                              ": " + message);
+}
+
+}  // namespace
+
+Wlan DeploymentSpec::build(const WlanConfig& config) const {
+  util::Rng rng(seed);
+  net::LinkBudget budget(topology, pathloss, rng);
+  return Wlan(topology, std::move(budget), config);
+}
+
+DeploymentSpec parse_deployment(std::istream& in) {
+  DeploymentSpec spec;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank / comment-only line
+
+    if (keyword == "ap") {
+      double x = 0.0;
+      double y = 0.0;
+      if (!(tokens >> x >> y)) fail(line_no, "ap needs <x> <y>");
+      double tx = 15.0;
+      tokens >> tx;  // optional
+      spec.topology.add_ap(net::Point{x, y}, tx);
+    } else if (keyword == "client") {
+      double x = 0.0;
+      double y = 0.0;
+      if (!(tokens >> x >> y)) fail(line_no, "client needs <x> <y>");
+      spec.topology.add_client(net::Point{x, y});
+    } else if (keyword == "pathloss") {
+      std::string which;
+      double value = 0.0;
+      if (!(tokens >> which >> value)) {
+        fail(line_no, "pathloss needs <field> <value>");
+      }
+      if (which == "exponent") {
+        spec.pathloss.exponent = value;
+      } else if (which == "ref") {
+        spec.pathloss.ref_loss_db = value;
+      } else if (which == "shadowing") {
+        spec.pathloss.shadowing_sigma_db = value;
+      } else {
+        fail(line_no, "unknown pathloss field '" + which + "'");
+      }
+    } else if (keyword == "channels") {
+      int n = 0;
+      if (!(tokens >> n) || n < 1) fail(line_no, "channels needs n >= 1");
+      spec.num_channels = n;
+    } else if (keyword == "seed") {
+      std::uint64_t s = 0;
+      if (!(tokens >> s)) fail(line_no, "seed needs an integer");
+      spec.seed = s;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+    // Trailing garbage after the recognized fields is an error.
+    std::string extra;
+    if (tokens >> extra) fail(line_no, "unexpected token '" + extra + "'");
+  }
+  if (spec.topology.num_aps() == 0) {
+    throw std::invalid_argument("deployment has no APs");
+  }
+  return spec;
+}
+
+DeploymentSpec parse_deployment(const std::string& text) {
+  std::istringstream in(text);
+  return parse_deployment(in);
+}
+
+}  // namespace acorn::sim

@@ -1,0 +1,40 @@
+// Plain-text deployment descriptions, so tools (and users) can configure
+// real floor plans without writing C++. Line-oriented format, '#' starts
+// a comment:
+//
+//   ap <x> <y> [tx_dbm]        # one access point
+//   client <x> <y>             # one client
+//   pathloss exponent <n>      # log-distance exponent (default 3.5)
+//   pathloss ref <dB>          # loss at 1 m (default 46.8)
+//   pathloss shadowing <dB>    # log-normal sigma (default 0)
+//   channels <n>               # 20 MHz channels in the plan (default 12)
+//   seed <n>                   # RNG seed for shadowing draws (default 1)
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "net/channels.hpp"
+#include "net/pathloss.hpp"
+#include "sim/wlan.hpp"
+
+namespace acorn::sim {
+
+struct DeploymentSpec {
+  net::Topology topology;
+  net::PathLossModel pathloss;
+  int num_channels = 12;
+  std::uint64_t seed = 1;
+
+  /// Materialize the Wlan (draws shadowing with the spec's seed).
+  Wlan build(const WlanConfig& config = {}) const;
+};
+
+/// Parse a deployment description. Throws std::invalid_argument with a
+/// line number on malformed input.
+DeploymentSpec parse_deployment(std::istream& in);
+
+/// Convenience: parse from a string.
+DeploymentSpec parse_deployment(const std::string& text);
+
+}  // namespace acorn::sim

@@ -1,0 +1,36 @@
+#include "sim/events.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace acorn::sim {
+
+void EventQueue::schedule(double time_s, Handler handler) {
+  if (time_s < now_) throw std::invalid_argument("scheduling in the past");
+  if (!handler) throw std::invalid_argument("empty handler");
+  heap_.push(Entry{time_s, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(double delay_s, Handler handler) {
+  if (delay_s < 0.0) throw std::invalid_argument("negative delay");
+  schedule(now_ + delay_s, std::move(handler));
+}
+
+void EventQueue::run_until(double t_end_s) {
+  while (!heap_.empty() && heap_.top().time <= t_end_s) {
+    // Copy out before pop: the handler may schedule new events.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.time;
+    ++processed_;
+    entry.handler(now_);
+  }
+  // Advance the clock to the boundary, but never to an infinite horizon
+  // (run() drains the queue and leaves now() at the last event time).
+  if (std::isfinite(t_end_s) && now_ < t_end_s) now_ = t_end_s;
+}
+
+void EventQueue::run() { run_until(std::numeric_limits<double>::infinity()); }
+
+}  // namespace acorn::sim

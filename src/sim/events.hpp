@@ -1,0 +1,52 @@
+// A small discrete-event engine used by the dynamic experiments
+// (client arrivals/departures, periodic channel re-allocation, mobility
+// time-stepping). Deterministic: ties in time are broken by insertion
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace acorn::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(double now)>;
+
+  /// Schedule `handler` at absolute time `time_s` (>= now).
+  void schedule(double time_s, Handler handler);
+  /// Schedule `handler` `delay_s` seconds from now.
+  void schedule_in(double delay_s, Handler handler);
+
+  /// Process events in time order until the queue is empty or the next
+  /// event is after `t_end_s`. Events scheduled by handlers are included.
+  void run_until(double t_end_s);
+
+  /// Process every remaining event.
+  void run();
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace acorn::sim

@@ -1,0 +1,53 @@
+// The management plane ACORN's implementation builds with Click and
+// driver hooks (paper §5.1): modified beacons carrying (K_i, d_cl,
+// ATD_i, M_i), the client-side scan that collects them, and the
+// IAPP-style census of co-channel neighbor APs used to estimate M_a.
+#pragma once
+
+#include <vector>
+
+#include "sim/wlan.hpp"
+
+namespace acorn::sim {
+
+/// The paper's modified beacon contents.
+struct Beacon {
+  int ap_id = 0;
+  net::Channel channel = net::Channel::basic(0);
+  /// K_i: number of associated clients (including a joining client when
+  /// the beacon is computed for a prospective association).
+  int num_clients = 0;
+  /// ATD_i: aggregate transmission delay (s/bit).
+  double atd_s_per_bit = 0.0;
+  /// M_i: channel access share (1 with saturated traffic, no contention).
+  double access_share = 0.0;
+  /// d_cl for each client, aligned with client_ids.
+  std::vector<int> client_ids;
+  std::vector<double> client_delays_s_per_bit;
+};
+
+/// IAPP census: |con_a| co-channel contenders from the interference
+/// graph, the basis of the paper's M_a = 1/(|con_a|+1) estimate.
+int co_channel_neighbors(const net::InterferenceGraph& graph,
+                         const net::ChannelAssignment& assignment, int ap);
+
+/// Build the beacon AP `ap` would broadcast under the given network
+/// state. Delays are computed at the AP's assigned channel width.
+Beacon make_beacon(const Wlan& wlan, const net::InterferenceGraph& graph,
+                   const net::Association& assoc,
+                   const net::ChannelAssignment& assignment, int ap);
+
+/// The beacon AP `ap` would broadcast if `joining_client` were also
+/// associated (the paper's info-gathering trial association): K_i,
+/// ATD_i and the delay list include the prospective client.
+Beacon make_beacon_with_client(const Wlan& wlan,
+                               const net::InterferenceGraph& graph,
+                               const net::Association& assoc,
+                               const net::ChannelAssignment& assignment,
+                               int ap, int joining_client);
+
+/// APs whose beacons client `u` can receive (RSS above `min_rss_dbm`).
+std::vector<int> aps_in_range(const Wlan& wlan, int client,
+                              double min_rss_dbm = -97.0);
+
+}  // namespace acorn::sim

@@ -1,0 +1,40 @@
+#include "sim/mobility.hpp"
+
+#include <stdexcept>
+
+namespace acorn::sim {
+
+Trajectory::Trajectory(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  if (waypoints_.size() < 2) {
+    throw std::invalid_argument("trajectory needs >= 2 waypoints");
+  }
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (waypoints_[i].time_s <= waypoints_[i - 1].time_s) {
+      throw std::invalid_argument("waypoint times must strictly increase");
+    }
+  }
+}
+
+net::Point Trajectory::position_at(double time_s) const {
+  if (time_s <= waypoints_.front().time_s) return waypoints_.front().position;
+  if (time_s >= waypoints_.back().time_s) return waypoints_.back().position;
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (time_s <= waypoints_[i].time_s) {
+      const Waypoint& a = waypoints_[i - 1];
+      const Waypoint& b = waypoints_[i];
+      const double f = (time_s - a.time_s) / (b.time_s - a.time_s);
+      return net::Point{a.position.x + f * (b.position.x - a.position.x),
+                        a.position.y + f * (b.position.y - a.position.y)};
+    }
+  }
+  return waypoints_.back().position;  // unreachable
+}
+
+Trajectory Trajectory::line(net::Point from, net::Point to, double start_s,
+                            double dur_s) {
+  if (dur_s <= 0.0) throw std::invalid_argument("duration must be positive");
+  return Trajectory({Waypoint{start_s, from}, Waypoint{start_s + dur_s, to}});
+}
+
+}  // namespace acorn::sim

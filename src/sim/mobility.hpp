@@ -1,0 +1,38 @@
+// Pedestrian mobility for the paper's Fig. 12/13 experiment: a client
+// walks along a piecewise-linear trajectory while its AP link quality
+// changes; ACORN tracks it and switches widths opportunistically.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace acorn::sim {
+
+struct Waypoint {
+  double time_s = 0.0;
+  net::Point position;
+};
+
+class Trajectory {
+ public:
+  /// Waypoints must be in strictly increasing time order.
+  explicit Trajectory(std::vector<Waypoint> waypoints);
+
+  /// Linear interpolation; clamped to the first/last waypoint outside
+  /// the trajectory's time span.
+  net::Point position_at(double time_s) const;
+
+  double start_s() const { return waypoints_.front().time_s; }
+  double end_s() const { return waypoints_.back().time_s; }
+  double duration_s() const { return end_s() - start_s(); }
+
+  /// Straight walk from `from` to `to` over [start_s, start_s + dur_s].
+  static Trajectory line(net::Point from, net::Point to, double start_s,
+                         double dur_s);
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace acorn::sim

@@ -1,0 +1,46 @@
+#include "sim/scenario.hpp"
+
+#include <utility>
+
+namespace acorn::sim {
+
+Wlan ScenarioBuilder::build() const {
+  net::Topology topo;
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    topo.add_ap(net::Point{static_cast<double>(a) * 100.0, 0.0});
+  }
+  std::vector<std::pair<int, double>> client_spec;  // (home ap, loss)
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    for (double loss : cells[a].client_losses_db) {
+      topo.add_client(net::Point{
+          static_cast<double>(a) * 100.0 + 1.0,
+          1.0 + static_cast<double>(client_spec.size())});
+      client_spec.emplace_back(static_cast<int>(a), loss);
+    }
+  }
+  util::Rng rng(7);
+  net::PathLossModel plm;
+  net::LinkBudget budget(topo, plm, rng);
+  for (int a = 0; a < topo.num_aps(); ++a) {
+    for (int b = a + 1; b < topo.num_aps(); ++b) {
+      budget.set_ap_ap_loss_db(a, b, ap_ap_loss_db);
+    }
+    for (int c = 0; c < topo.num_clients(); ++c) {
+      const auto& [home, loss] = client_spec[static_cast<std::size_t>(c)];
+      budget.set_ap_client_loss_db(a, c, a == home ? loss : cross_loss_db);
+    }
+  }
+  return Wlan(std::move(topo), std::move(budget), config);
+}
+
+net::Association ScenarioBuilder::intended_association() const {
+  net::Association assoc;
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    for (std::size_t c = 0; c < cells[a].client_losses_db.size(); ++c) {
+      assoc.push_back(static_cast<int>(a));
+    }
+  }
+  return assoc;
+}
+
+}  // namespace acorn::sim

@@ -1,0 +1,47 @@
+// Scripted deployments with known link classes. The paper's evaluation
+// uses fixed topologies whose links are characterized by quality (good /
+// marginal / poor); this builder lets callers state exactly that, with
+// every pairwise loss pinned, so experiments are reproducible and the
+// geometry is irrelevant.
+#pragma once
+
+#include <vector>
+
+#include "sim/wlan.hpp"
+
+namespace acorn::sim {
+
+/// Path losses that land a 15 dBm AP in a given link class under the
+/// default LinkConfig (NF 5 dB): per-subcarrier snr20 ~= 111.9 - loss.
+inline constexpr double kGoodLinkLoss = 80.0;       // snr20 ~ 32 dB
+inline constexpr double kMediumLinkLoss = 95.0;     // snr20 ~ 17 dB
+inline constexpr double kMarginalLinkLoss = 105.0;  // snr20 ~ 7 dB
+/// CB is mildly harmful: 20 MHz beats the bond by ~1.5x.
+inline constexpr double kWeakLinkLoss = 107.8;
+/// CB is badly harmful: 20 MHz beats the bond by ~3-6x, link still alive.
+inline constexpr double kPoorLinkLoss = 108.0;
+/// Far enough to be out of carrier-sense and association range.
+inline constexpr double kIsolatedLoss = 140.0;
+
+/// Per-AP list of client path losses.
+struct CellSpec {
+  std::vector<double> client_losses_db;
+};
+
+/// Builds a Wlan in which client i of cell a sees its own AP at the
+/// configured loss and every other AP at `cross_loss_db` (default:
+/// isolated); AP-AP losses are uniformly `ap_ap_loss_db`.
+struct ScenarioBuilder {
+  std::vector<CellSpec> cells;
+  double ap_ap_loss_db = kIsolatedLoss;
+  /// Loss from a client to every AP other than its own.
+  double cross_loss_db = kIsolatedLoss;
+  WlanConfig config;
+
+  Wlan build() const;
+
+  /// Association putting every client on its home AP.
+  net::Association intended_association() const;
+};
+
+}  // namespace acorn::sim

@@ -1,0 +1,127 @@
+// Flow-level WLAN evaluator: given a deployment (topology + link budget),
+// a user association and a channel assignment, compute what every cell
+// and the whole network achieve under saturated downlink traffic.
+//
+// The pipeline per AP is the paper's measurement chain in reverse:
+// client SNR at the assigned width -> auto-rate (MCS + SDM/STBC mode and
+// its PER) -> per-client transmission delay -> performance-anomaly cell
+// throughput scaled by the contention share M_a -> transport goodput.
+#pragma once
+
+#include <vector>
+
+#include "mac/anomaly.hpp"
+#include "mac/traffic.hpp"
+#include "net/interference.hpp"
+#include "phy/rate_control.hpp"
+
+namespace acorn::sim {
+
+struct WlanConfig {
+  phy::LinkConfig link;
+  mac::MacTiming timing;
+  mac::TrafficModel traffic;
+  net::InterferenceConfig interference;
+  int payload_bytes = 1500;
+  phy::GuardInterval gi = phy::GuardInterval::kLong800ns;
+  /// Contention model: false = the paper's M = 1/(|con|+1); true = the
+  /// overlap-weighted variant (partial spectral overlap costs a partial
+  /// contention slot). See the contention-model ablation bench.
+  bool weighted_contention = false;
+  /// Hidden-interference model: when true, co-channel APs *outside*
+  /// carrier-sense range raise the effective noise floor at each client
+  /// (SINR instead of SNR), weighted by the interferer's busy fraction.
+  /// Captures the paper's §1 point that wider bands both project and
+  /// suffer more interference. Off by default (the paper's evaluation
+  /// topologies are contention- or isolation-dominated).
+  bool sinr_interference = false;
+};
+
+/// Everything measured about one AP's cell in one evaluation.
+struct ApStats {
+  int ap_id = 0;
+  int num_clients = 0;            // K_i
+  double medium_share = 0.0;      // M_i
+  double atd_s_per_bit = 0.0;     // ATD_i
+  double mac_throughput_bps = 0.0;
+  double goodput_bps = 0.0;       // transport-level cell goodput
+  std::vector<int> client_ids;
+  std::vector<double> client_delay_s_per_bit;  // d_cl, same order
+  std::vector<double> client_goodput_bps;
+};
+
+struct Evaluation {
+  std::vector<ApStats> per_ap;
+  double total_goodput_bps = 0.0;
+};
+
+class Wlan {
+ public:
+  Wlan(net::Topology topology, net::LinkBudget budget, WlanConfig config);
+
+  const net::Topology& topology() const { return topology_; }
+  const net::LinkBudget& budget() const { return budget_; }
+  net::LinkBudget& budget() { return budget_; }
+  const WlanConfig& config() const { return config_; }
+  const phy::LinkModel& link_model() const { return link_model_; }
+
+  /// Per-subcarrier SNR of the AP->client link at a width.
+  double client_snr_db(int ap, int client, phy::ChannelWidth width) const;
+
+  /// Auto-rate decision (MCS, mode, PER, goodput) for a client at a width.
+  phy::RateDecision client_rate(int ap, int client,
+                                phy::ChannelWidth width) const;
+
+  /// Per-client transmission delay d_u (s/bit) at a width.
+  double client_delay_s_per_bit(int ap, int client,
+                                phy::ChannelWidth width) const;
+
+  /// Evaluate one cell in isolation (medium share 1) at a given width;
+  /// used for the isolated-throughput bound Y* (paper §4.2, Fig. 14).
+  double isolated_cell_bps(int ap, const std::vector<int>& clients,
+                           phy::ChannelWidth width,
+                           mac::TrafficType traffic =
+                               mac::TrafficType::kUdp) const;
+
+  /// max over widths of the isolated cell throughput, X_i^isol.
+  double isolated_best_bps(int ap, const std::vector<int>& clients,
+                           mac::TrafficType traffic =
+                               mac::TrafficType::kUdp) const;
+
+  /// Full-network evaluation under an association + channel assignment.
+  Evaluation evaluate(const net::Association& assoc,
+                      const net::ChannelAssignment& assignment,
+                      mac::TrafficType traffic =
+                          mac::TrafficType::kUdp) const;
+
+  /// Clients of an AP under an association.
+  std::vector<int> clients_of(const net::Association& assoc, int ap) const;
+
+  /// Per-subcarrier interference power (mW) a client would see on
+  /// `channel` from co-channel APs that its serving AP does NOT contend
+  /// with (hidden interferers), each weighted by its busy fraction
+  /// (1 - its medium share is idle; we charge its share as activity).
+  double hidden_interference_mw(int serving_ap, int client,
+                                const net::Channel& channel,
+                                const net::InterferenceGraph& graph,
+                                const net::ChannelAssignment& assignment)
+      const;
+
+ private:
+  struct CellContext {
+    const net::InterferenceGraph* graph = nullptr;
+    const net::ChannelAssignment* assignment = nullptr;
+    net::Channel channel = net::Channel::basic(0);
+  };
+  ApStats evaluate_cell(int ap, const std::vector<int>& clients,
+                        phy::ChannelWidth width, double medium_share,
+                        mac::TrafficType traffic,
+                        const CellContext* context = nullptr) const;
+
+  net::Topology topology_;
+  net::LinkBudget budget_;
+  WlanConfig config_;
+  phy::LinkModel link_model_;
+};
+
+}  // namespace acorn::sim

@@ -1,0 +1,83 @@
+#include "trace/association_trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::trace {
+
+namespace {
+double lognormal_cdf(double x, double median, double sigma) {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - std::log(median)) / sigma;
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+}  // namespace
+
+double AssociationDurationModel::sample(util::Rng& rng) const {
+  if (rng.bernoulli(tail_weight)) {
+    return rng.lognormal(std::log(tail_median_s), tail_sigma);
+  }
+  return rng.lognormal(std::log(body_median_s), body_sigma);
+}
+
+double AssociationDurationModel::cdf(double duration_s) const {
+  return (1.0 - tail_weight) *
+             lognormal_cdf(duration_s, body_median_s, body_sigma) +
+         tail_weight * lognormal_cdf(duration_s, tail_median_s, tail_sigma);
+}
+
+double AssociationDurationModel::quantile(double p) const {
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument("p out of (0,1)");
+  double lo = 1.0;
+  double hi = 1.0e6;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<AssociationRecord> generate_trace(
+    const TraceConfig& config, const AssociationDurationModel& model,
+    util::Rng& rng) {
+  if (config.num_aps < 1 || config.sessions_per_ap < 1 ||
+      config.mean_gap_s <= 0.0) {
+    throw std::invalid_argument("bad trace config");
+  }
+  std::vector<AssociationRecord> out;
+  out.reserve(static_cast<std::size_t>(config.num_aps) *
+              static_cast<std::size_t>(config.sessions_per_ap));
+  for (int ap = 0; ap < config.num_aps; ++ap) {
+    double t = 0.0;
+    for (int s = 0; s < config.sessions_per_ap; ++s) {
+      t += rng.exponential(1.0 / config.mean_gap_s);
+      AssociationRecord rec;
+      rec.ap_id = ap;
+      rec.start_s = t;
+      rec.duration_s = model.sample(rng);
+      t += rec.duration_s;
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<double> durations_of(
+    const std::vector<AssociationRecord>& trace) {
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const AssociationRecord& r : trace) out.push_back(r.duration_s);
+  return out;
+}
+
+double recommended_period_s(const AssociationDurationModel& model) {
+  const double median = model.quantile(0.5);
+  const double grid = 300.0;  // 5-minute grid
+  return std::max(grid, std::round(median / grid) * grid);
+}
+
+}  // namespace acorn::trace

@@ -1,0 +1,67 @@
+// Synthetic stand-in for the CRAWDAD ile-sans-fil association trace the
+// paper analyzes (206 commercial APs over 3 years). The paper extracts
+// the CDF of association durations and reports: median ~31 minutes, more
+// than 90% below 40 minutes, with a tail reaching several hours (Fig. 9);
+// from this it picks a channel-allocation period T = 30 minutes.
+//
+// The generator is a two-component log-normal mixture fitted to exactly
+// those reported statistics: a tight body around the ~30-minute median
+// plus a small heavy tail of long-lived associations.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace acorn::trace {
+
+struct AssociationDurationModel {
+  /// Body: log-normal around the reported ~31-minute median.
+  double body_median_s = 1800.0;
+  double body_sigma = 0.18;
+  /// Tail: a few percent of day-scale associations.
+  double tail_weight = 0.07;
+  double tail_median_s = 5000.0;
+  double tail_sigma = 0.9;
+
+  /// Draw one association duration (seconds).
+  double sample(util::Rng& rng) const;
+
+  /// Analytic CDF of the mixture.
+  double cdf(double duration_s) const;
+
+  /// Quantile by bisection on the analytic CDF.
+  double quantile(double p) const;
+};
+
+/// One association session in the synthetic trace.
+struct AssociationRecord {
+  int ap_id = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+struct TraceConfig {
+  /// The CRAWDAD set covers 206 APs.
+  int num_aps = 206;
+  /// Sessions generated per AP.
+  int sessions_per_ap = 100;
+  /// Mean gap between consecutive sessions at one AP (Poisson).
+  double mean_gap_s = 600.0;
+};
+
+/// Generate a synthetic multi-AP association trace.
+std::vector<AssociationRecord> generate_trace(
+    const TraceConfig& config, const AssociationDurationModel& model,
+    util::Rng& rng);
+
+/// Durations only (for CDF analysis).
+std::vector<double> durations_of(const std::vector<AssociationRecord>& trace);
+
+/// The paper's periodicity rule: run channel allocation roughly at the
+/// median association duration, rounded to a 5-minute grid (their data
+/// says 31 min -> they run every 30 min).
+double recommended_period_s(const AssociationDurationModel& model);
+
+}  // namespace acorn::trace

@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double jain_fairness(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("jain_fairness of empty set");
+  double sum = 0.0;
+  double sq = 0.0;
+  for (double x : xs) {
+    if (x < 0.0) throw std::invalid_argument("negative allocation");
+    sum += x;
+    sq += x * x;
+  }
+  if (sq == 0.0) return 1.0;  // all-zero allocation is trivially equal
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted) {
+  if (observed.size() != predicted.size() || observed.empty()) {
+    throw std::invalid_argument("r_squared requires equal nonzero lengths");
+  }
+  const double m = mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - m) * (observed[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("linear_fit requires >= 2 paired samples");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  LinearFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pred[i] = fit.intercept + fit.slope * xs[i];
+  }
+  fit.r2 = r_squared(ys, pred);
+  return fit;
+}
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf of empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("quantile p out of range");
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram needs bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+}  // namespace acorn::util

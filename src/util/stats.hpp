@@ -1,0 +1,79 @@
+// Small statistics toolkit used by the benches and the trace analysis:
+// summary statistics, percentiles, empirical CDFs, and the coefficient of
+// determination (R^2) used in the paper's Fig. 3(a) theory-fit check.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acorn::util {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator). Returns 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+double median(std::span<const double> xs);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means
+/// perfectly equal allocation. Used for the paper's throughput-vs-
+/// fairness tradeoff discussion (§4).
+double jain_fairness(std::span<const double> xs);
+
+/// Coefficient of determination of `predicted` against `observed`:
+/// R^2 = 1 - SS_res / SS_tot. Spans must have equal, nonzero length.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+/// Ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Empirical CDF over a sample. Evaluation is O(log n).
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P[X <= x].
+  double at(double x) const;
+  /// Smallest sample value q with P[X <= q] >= p, p in (0, 1].
+  double quantile(double p) const;
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped to the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace acorn::util

@@ -1,0 +1,29 @@
+// Plain-text table rendering for bench output. Benches print paper tables
+// and figure series as aligned columns so the harness output is directly
+// comparable to the paper's rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acorn::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column padding and a header separator.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acorn::util

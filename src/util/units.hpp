@@ -1,0 +1,36 @@
+// Unit helpers for RF quantities: decibel conversions, dBm power, bandwidth.
+//
+// Conventions used across the library:
+//   * absolute power is carried in dBm (double), linear power in milliwatts;
+//   * ratios (SNR, gains, losses) are carried in dB;
+//   * bandwidth is in Hz.
+#pragma once
+
+#include <cmath>
+
+namespace acorn::util {
+
+/// Convert a linear power ratio to decibels. `ratio` must be > 0.
+inline double lin_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Convert decibels to a linear power ratio.
+inline double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert milliwatts to dBm. `mw` must be > 0.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Convert dBm to milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Sum two powers expressed in dBm (linear-domain addition).
+inline double dbm_sum(double a_dbm, double b_dbm) {
+  return mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm));
+}
+
+constexpr double kMHz = 1.0e6;
+constexpr double kGHz = 1.0e9;
+
+/// Speed of light (m/s), used by free-space path-loss reference terms.
+constexpr double kSpeedOfLight = 299'792'458.0;
+
+}  // namespace acorn::util

@@ -1,0 +1,202 @@
+#include "baseband/bermac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "phy/modulation.hpp"
+#include "phy/noise.hpp"
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+BermacConfig quick_config() {
+  BermacConfig cfg;
+  cfg.packets = 20;
+  cfg.packet_bytes = 200;
+  cfg.tx_dbm = 10.0;
+  cfg.path_loss_db = 85.0;
+  return cfg;
+}
+
+TEST(Bermac, RejectsBadConfig) {
+  util::Rng rng(1);
+  BermacConfig cfg = quick_config();
+  cfg.packets = 0;
+  EXPECT_THROW(run_bermac(cfg, rng), std::invalid_argument);
+  cfg = quick_config();
+  cfg.packet_bytes = -1;
+  EXPECT_THROW(run_bermac(cfg, rng), std::invalid_argument);
+}
+
+TEST(Bermac, AccountingIsConsistent) {
+  util::Rng rng(2);
+  const BermacConfig cfg = quick_config();
+  const BermacResult r = run_bermac(cfg, rng);
+  EXPECT_EQ(r.packets_sent, 20);
+  EXPECT_EQ(r.bits_sent, 20 * 200 * 8);
+  EXPECT_LE(r.packet_errors, r.packets_sent);
+  EXPECT_LE(r.bit_errors, r.bits_sent);
+  EXPECT_GE(r.ber(), 0.0);
+  EXPECT_LE(r.ber(), 1.0);
+}
+
+TEST(Bermac, DeterministicForSameSeed) {
+  const BermacConfig cfg = quick_config();
+  util::Rng r1(7);
+  util::Rng r2(7);
+  const BermacResult a = run_bermac(cfg, r1);
+  const BermacResult b = run_bermac(cfg, r2);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.packet_errors, b.packet_errors);
+  EXPECT_DOUBLE_EQ(a.mean_snr_db, b.mean_snr_db);
+}
+
+TEST(Bermac, CleanChannelHasNoErrors) {
+  util::Rng rng(3);
+  BermacConfig cfg = quick_config();
+  cfg.tx_dbm = 20.0;
+  cfg.path_loss_db = 60.0;  // enormous SNR
+  cfg.rayleigh = false;
+  cfg.num_taps = 1;
+  const BermacResult r = run_bermac(cfg, rng);
+  EXPECT_EQ(r.bit_errors, 0);
+  EXPECT_EQ(r.packet_errors, 0);
+}
+
+TEST(Bermac, HopelessChannelLosesEverything) {
+  util::Rng rng(4);
+  BermacConfig cfg = quick_config();
+  cfg.tx_dbm = 0.0;
+  cfg.path_loss_db = 130.0;
+  const BermacResult r = run_bermac(cfg, rng);
+  EXPECT_EQ(r.packet_errors, r.packets_sent);
+  EXPECT_GT(r.ber(), 0.2);
+}
+
+TEST(Bermac, BerDecreasesWithTxPower) {
+  BermacConfig cfg = quick_config();
+  cfg.packets = 40;
+  cfg.path_loss_db = 98.0;
+  util::Rng r1(5);
+  cfg.tx_dbm = 2.0;
+  const double low = run_bermac(cfg, r1).ber();
+  util::Rng r2(5);
+  cfg.tx_dbm = 14.0;
+  const double high = run_bermac(cfg, r2).ber();
+  EXPECT_LT(high, low);
+}
+
+TEST(Bermac, FortyMhzWorseAtSameTx) {
+  // Fig. 3(b)/4(b): fixed Tx, wider channel -> lower SNR -> more errors.
+  BermacConfig cfg = quick_config();
+  cfg.packets = 40;
+  cfg.path_loss_db = 96.0;
+  cfg.tx_dbm = 6.0;
+  util::Rng r1(6);
+  const BermacResult res20 = run_bermac(cfg, r1);
+  cfg.width = phy::ChannelWidth::k40MHz;
+  util::Rng r2(6);
+  const BermacResult res40 = run_bermac(cfg, r2);
+  EXPECT_GT(res40.ber(), res20.ber());
+  EXPECT_NEAR(res20.mean_snr_db - res40.mean_snr_db,
+              phy::cb_snr_penalty_db(), 0.8);
+}
+
+TEST(Bermac, MeasuredSnrTracksLinkBudget) {
+  util::Rng rng(8);
+  BermacConfig cfg = quick_config();
+  cfg.rayleigh = false;
+  cfg.num_taps = 1;
+  cfg.use_stbc = false;
+  const BermacResult r = run_bermac(cfg, rng);
+  EXPECT_NEAR(r.mean_snr_db,
+              phy::snr_per_subcarrier_db(cfg.tx_dbm, cfg.path_loss_db,
+                                         cfg.width),
+              0.6);
+}
+
+TEST(Bermac, StbcMeasuredSnrGainsDiversity) {
+  // 2x2 MRC over 4 unit-mean paths with per-antenna power P/2:
+  // E[gain] = 4 * P/2 = 2P -> ~3 dB above the SISO budget.
+  BermacConfig cfg = quick_config();
+  cfg.packets = 60;
+  util::Rng r1(9);
+  const BermacResult stbc = run_bermac(cfg, r1);
+  cfg.use_stbc = false;
+  util::Rng r2(9);
+  const BermacResult siso = run_bermac(cfg, r2);
+  EXPECT_NEAR(stbc.mean_snr_db - siso.mean_snr_db, 3.0, 1.5);
+}
+
+TEST(Bermac, StbcBeatsSisoAtSameBudget) {
+  BermacConfig cfg = quick_config();
+  cfg.packets = 50;
+  cfg.path_loss_db = 99.0;
+  cfg.tx_dbm = 8.0;
+  util::Rng r1(10);
+  const BermacResult stbc = run_bermac(cfg, r1);
+  cfg.use_stbc = false;
+  util::Rng r2(10);
+  const BermacResult siso = run_bermac(cfg, r2);
+  EXPECT_LE(stbc.ber(), siso.ber());
+}
+
+TEST(Bermac, ConstellationCaptureWorks) {
+  util::Rng rng(11);
+  BermacConfig cfg = quick_config();
+  cfg.capture_symbols = 500;
+  const BermacResult r = run_bermac(cfg, rng);
+  EXPECT_EQ(r.constellation.size(), 500u);
+  EXPECT_GT(r.evm_rms, 0.0);
+}
+
+TEST(Bermac, EvmGrowsWhenBonding) {
+  // Fig. 2: wider channel at the same Tx -> fuzzier constellation.
+  BermacConfig cfg = quick_config();
+  cfg.packets = 10;
+  cfg.capture_symbols = 2000;
+  cfg.path_loss_db = 92.0;
+  util::Rng r1(12);
+  const BermacResult on20 = run_bermac(cfg, r1);
+  cfg.width = phy::ChannelWidth::k40MHz;
+  util::Rng r2(12);
+  const BermacResult on40 = run_bermac(cfg, r2);
+  EXPECT_GT(on40.evm_rms, on20.evm_rms);
+}
+
+TEST(Bermac, DqpskRoundTripAtHighSnr) {
+  util::Rng rng(13);
+  BermacConfig cfg = quick_config();
+  cfg.dqpsk = true;
+  cfg.tx_dbm = 20.0;
+  cfg.path_loss_db = 70.0;
+  cfg.rayleigh = false;
+  const BermacResult r = run_bermac(cfg, rng);
+  EXPECT_EQ(r.bit_errors, 0);
+}
+
+TEST(Bermac, UncodedBerTracksTheoryOnAwgn) {
+  // Fig. 3(a): measured points should sit near the theoretical QPSK curve
+  // when fading is disabled (pure AWGN).
+  BermacConfig cfg;
+  cfg.packets = 60;
+  cfg.packet_bytes = 500;
+  cfg.use_stbc = false;
+  cfg.rayleigh = false;
+  cfg.num_taps = 1;
+  cfg.tx_dbm = 0.0;
+  cfg.path_loss_db = 95.5;  // ~6.4 dB per-subcarrier SNR
+  util::Rng rng(14);
+  const BermacResult r = run_bermac(cfg, rng);
+  const double theory =
+      phy::uncoded_ber_db(phy::Modulation::kQpsk, r.mean_snr_db);
+  ASSERT_GT(r.ber(), 0.0);
+  const double ratio = r.ber() / theory;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace acorn::baseband

@@ -1,0 +1,122 @@
+#include "baseband/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+TEST(Fft, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_TRUE(is_power_of_two(128));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_FALSE(is_power_of_two(100));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Cx> data(12);
+  EXPECT_THROW(fft_in_place(data), std::invalid_argument);
+  EXPECT_THROW(ifft_in_place(data), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<Cx> data(8, Cx{});
+  data[0] = Cx(1.0, 0.0);
+  const auto spec = fft(data);
+  for (const Cx& x : spec) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDcBin) {
+  std::vector<Cx> data(16, Cx(1.0, 0.0));
+  const auto spec = fft(data);
+  EXPECT_NEAR(spec[0].real(), 16.0, 1e-12);
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInCorrectBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  std::vector<Cx> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * M_PI * tone * i / n;
+    data[i] = Cx(std::cos(phase), std::sin(phase));
+  }
+  const auto spec = fft(data);
+  EXPECT_NEAR(std::abs(spec[tone]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != tone) {
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  util::Rng rng(5);
+  for (std::size_t n : {8u, 64u, 128u, 256u}) {
+    std::vector<Cx> data(n);
+    for (auto& x : data) x = Cx(rng.normal(), rng.normal());
+    const auto back = ifft(fft(data));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i].real(), data[i].real(), 1e-10);
+      EXPECT_NEAR(back[i].imag(), data[i].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  util::Rng rng(6);
+  const std::size_t n = 128;
+  std::vector<Cx> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = Cx(rng.normal(), rng.normal());
+    time_energy += std::norm(x);
+  }
+  const auto spec = fft(data);
+  double freq_energy = 0.0;
+  for (const Cx& x : spec) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n), 1e-6);
+}
+
+TEST(Fft, Linearity) {
+  util::Rng rng(7);
+  const std::size_t n = 32;
+  std::vector<Cx> a(n);
+  std::vector<Cx> b(n);
+  std::vector<Cx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Cx(rng.normal(), rng.normal());
+    b[i] = Cx(rng.normal(), rng.normal());
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fs = fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fs[k] - (fa[k] + 2.0 * fb[k])), 0.0, 1e-9);
+  }
+}
+
+TEST(Ifft, NormalizationGivesUnitRoundTrip) {
+  // IFFT of a one-hot frequency grid has 1/N amplitude per sample.
+  std::vector<Cx> grid(64, Cx{});
+  grid[3] = Cx(1.0, 0.0);
+  const auto time = ifft(grid);
+  for (const Cx& x : time) {
+    EXPECT_NEAR(std::abs(x), 1.0 / 64.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace acorn::baseband

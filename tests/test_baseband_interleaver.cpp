@@ -1,0 +1,100 @@
+#include "baseband/interleaver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+  return bits;
+}
+
+TEST(Interleaver, RejectsBadParameters) {
+  EXPECT_THROW(BlockInterleaver(0, 1), std::invalid_argument);
+  EXPECT_THROW(BlockInterleaver(50, 1, 16), std::invalid_argument);
+  EXPECT_THROW(BlockInterleaver(48, 0), std::invalid_argument);
+}
+
+TEST(Interleaver, RoundTripLegacySizes) {
+  // Legacy 802.11a sizes: Ncbps for BPSK..64QAM on 48 carriers.
+  for (const auto& [n_cbps, n_bpsc] :
+       {std::pair{48, 1}, {96, 2}, {192, 4}, {288, 6}}) {
+    const BlockInterleaver il(n_cbps, n_bpsc);
+    const auto bits = random_bits(static_cast<std::size_t>(n_cbps), 1);
+    EXPECT_EQ(il.deinterleave(il.interleave(bits)), bits)
+        << n_cbps << "/" << n_bpsc;
+  }
+}
+
+TEST(Interleaver, RoundTripHtSizes) {
+  for (const auto width :
+       {phy::ChannelWidth::k20MHz, phy::ChannelWidth::k40MHz}) {
+    for (const auto mod :
+         {phy::Modulation::kBpsk, phy::Modulation::kQpsk,
+          phy::Modulation::kQam16, phy::Modulation::kQam64}) {
+      const BlockInterleaver il = BlockInterleaver::for_ht(width, mod);
+      EXPECT_EQ(il.block_size(),
+                phy::data_subcarriers(width) * phy::bits_per_symbol(mod));
+      const auto bits =
+          random_bits(static_cast<std::size_t>(il.block_size()), 2);
+      EXPECT_EQ(il.deinterleave(il.interleave(bits)), bits);
+    }
+  }
+}
+
+TEST(Interleaver, ActuallyPermutes) {
+  const BlockInterleaver il = BlockInterleaver::for_ht(
+      phy::ChannelWidth::k20MHz, phy::Modulation::kQam16);
+  // An aperiodic pattern (a strictly periodic one can be invariant under
+  // the permutation's parity structure).
+  std::vector<std::uint8_t> ramp(
+      static_cast<std::size_t>(il.block_size()));
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<std::uint8_t>((i * 7 % 13) & 1);
+  }
+  EXPECT_NE(il.interleave(ramp), ramp);
+}
+
+TEST(Interleaver, BreaksUpBursts) {
+  // The whole point: a run of adjacent pre-interleaver bits must land on
+  // widely separated positions.
+  const BlockInterleaver il = BlockInterleaver::for_ht(
+      phy::ChannelWidth::k20MHz, phy::Modulation::kQpsk);
+  const int n = il.block_size();
+  std::vector<std::uint8_t> marker(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < 8; ++i) marker[static_cast<std::size_t>(i)] = 1;
+  const auto spread = il.interleave(marker);
+  // Find marked positions and check min pairwise distance.
+  std::vector<int> positions;
+  for (int i = 0; i < n; ++i) {
+    if (spread[static_cast<std::size_t>(i)]) positions.push_back(i);
+  }
+  ASSERT_EQ(positions.size(), 8u);
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    EXPECT_GE(positions[i] - positions[i - 1], 4);
+  }
+}
+
+TEST(Interleaver, StreamValidatesLength) {
+  const BlockInterleaver il(48, 1);
+  const auto bits = random_bits(50, 3);
+  EXPECT_THROW(il.interleave_stream(bits), std::invalid_argument);
+  EXPECT_THROW(il.deinterleave_stream(bits), std::invalid_argument);
+}
+
+TEST(Interleaver, StreamRoundTrip) {
+  const BlockInterleaver il(96, 2);
+  const auto bits = random_bits(96 * 5, 4);
+  EXPECT_EQ(il.deinterleave_stream(il.interleave_stream(bits)), bits);
+}
+
+}  // namespace
+}  // namespace acorn::baseband

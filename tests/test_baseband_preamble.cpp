@@ -1,0 +1,79 @@
+#include "baseband/preamble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseband/channel.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+TEST(Barker, SequenceProperties) {
+  const auto seq = barker11();
+  ASSERT_EQ(seq.size(), 11u);
+  for (int chip : seq) EXPECT_TRUE(chip == 1 || chip == -1);
+  // Barker codes have off-peak aperiodic autocorrelation magnitude <= 1.
+  for (std::size_t shift = 1; shift < seq.size(); ++shift) {
+    int corr = 0;
+    for (std::size_t i = 0; i + shift < seq.size(); ++i) {
+      corr += seq[i] * seq[i + shift];
+    }
+    EXPECT_LE(std::abs(corr), 1) << "shift " << shift;
+  }
+}
+
+TEST(Preamble, LengthAndAmplitude) {
+  const auto p = make_preamble(4, 2.0);
+  EXPECT_EQ(p.size(), 44u);
+  for (const Cx& x : p) EXPECT_NEAR(std::abs(x), 2.0, 1e-12);
+}
+
+TEST(Preamble, DetectsCleanPreambleAtOffset) {
+  const auto p = make_preamble();
+  std::vector<Cx> rx(30, Cx{});
+  rx.insert(rx.end(), p.begin(), p.end());
+  rx.insert(rx.end(), 100, Cx(0.1, 0.0));  // payload-ish
+  const auto pos = detect_preamble(rx);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 30u + p.size());
+}
+
+TEST(Preamble, DetectsUnderModerateNoise) {
+  util::Rng rng(3);
+  const auto p = make_preamble(4, 1.0);
+  std::vector<Cx> rx(50, Cx{});
+  rx.insert(rx.end(), p.begin(), p.end());
+  rx.insert(rx.end(), 50, Cx{});
+  add_awgn(rx, 0.05, rng);
+  const auto pos = detect_preamble(rx);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_NEAR(static_cast<double>(*pos), 50.0 + p.size(), 2.0);
+}
+
+TEST(Preamble, NoDetectionInPureNoise) {
+  util::Rng rng(4);
+  std::vector<Cx> rx(300, Cx{});
+  add_awgn(rx, 1.0, rng);
+  EXPECT_FALSE(detect_preamble(rx, 4, 0.9).has_value());
+}
+
+TEST(Preamble, NoDetectionWhenBufferTooShort) {
+  const std::vector<Cx> rx(10, Cx(1.0, 0.0));
+  EXPECT_FALSE(detect_preamble(rx).has_value());
+}
+
+TEST(Preamble, DetectionSurvivesPhaseRotation) {
+  const auto p = make_preamble();
+  std::vector<Cx> rx(20, Cx{});
+  const Cx rot = std::polar(1.0, 1.2);
+  for (const Cx& x : p) rx.push_back(x * rot);
+  rx.insert(rx.end(), 40, Cx{});
+  const auto pos = detect_preamble(rx);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 20u + p.size());
+}
+
+}  // namespace
+}  // namespace acorn::baseband

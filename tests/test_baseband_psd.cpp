@@ -1,0 +1,120 @@
+#include "baseband/psd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baseband/ofdm.hpp"
+#include "baseband/qpsk.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+std::vector<Cx> tone(double freq_hz, double fs, std::size_t n,
+                     double amplitude) {
+  std::vector<Cx> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * M_PI * freq_hz * static_cast<double>(i) / fs;
+    out[i] = amplitude * Cx(std::cos(phase), std::sin(phase));
+  }
+  return out;
+}
+
+TEST(WelchPsd, RejectsBadArguments) {
+  const std::vector<Cx> samples(100);
+  EXPECT_THROW(welch_psd(samples, 48, 20e6), std::invalid_argument);
+  EXPECT_THROW(welch_psd(samples, 256, 20e6), std::invalid_argument);
+}
+
+TEST(WelchPsd, OutputShape) {
+  const std::vector<Cx> samples(1024, Cx(1.0, 0.0));
+  const PsdEstimate psd = welch_psd(samples, 256, 20e6);
+  EXPECT_EQ(psd.freq_hz.size(), 256u);
+  EXPECT_EQ(psd.psd_dbm_hz.size(), 256u);
+}
+
+TEST(WelchPsd, FrequencyAxisIsCenteredAndAscending) {
+  const std::vector<Cx> samples(512, Cx(1.0, 0.0));
+  const PsdEstimate psd = welch_psd(samples, 128, 20e6);
+  EXPECT_LT(psd.freq_hz.front(), 0.0);
+  EXPECT_GT(psd.freq_hz.back(), 0.0);
+  for (std::size_t i = 1; i < psd.freq_hz.size(); ++i) {
+    EXPECT_GT(psd.freq_hz[i], psd.freq_hz[i - 1]);
+  }
+  EXPECT_NEAR(psd.freq_hz.front(), -10e6, 1.0);
+}
+
+TEST(WelchPsd, ToneAppearsAtItsFrequency) {
+  const double fs = 20e6;
+  const double f0 = 2.5e6;
+  const auto samples = tone(f0, fs, 4096, 1.0);
+  const PsdEstimate psd = welch_psd(samples, 256, fs);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < psd.psd_dbm_hz.size(); ++k) {
+    if (psd.psd_dbm_hz[k] > psd.psd_dbm_hz[peak]) peak = k;
+  }
+  EXPECT_NEAR(psd.freq_hz[peak], f0, fs / 256.0 + 1.0);
+}
+
+TEST(WelchPsd, PowerScalingTracksAmplitude) {
+  const double fs = 20e6;
+  const auto weak = tone(1e6, fs, 4096, 1.0);
+  const auto strong = tone(1e6, fs, 4096, 2.0);
+  const PsdEstimate p_weak = welch_psd(weak, 256, fs);
+  const PsdEstimate p_strong = welch_psd(strong, 256, fs);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < p_weak.psd_dbm_hz.size(); ++k) {
+    if (p_weak.psd_dbm_hz[k] > p_weak.psd_dbm_hz[peak]) peak = k;
+  }
+  // 2x amplitude = +6 dB.
+  EXPECT_NEAR(p_strong.psd_dbm_hz[peak] - p_weak.psd_dbm_hz[peak], 6.0, 0.5);
+}
+
+std::vector<Cx> ofdm_waveform(phy::ChannelWidth width, double power_mw,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  const Ofdm ofdm(width);
+  std::vector<std::uint8_t> bits(60000);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+  return ofdm.modulate(qpsk_modulate(bits), power_mw);
+}
+
+TEST(WelchPsd, Figure1ThreeDbPerSubcarrierDrop) {
+  // The paper's Fig. 1: same total Tx power, the 40 MHz channel's
+  // per-subcarrier (in-band) PSD sits ~3 dB below the 20 MHz channel's.
+  const double p = util::dbm_to_mw(15.0);
+  const auto tx20 = ofdm_waveform(phy::ChannelWidth::k20MHz, p, 11);
+  const auto tx40 = ofdm_waveform(phy::ChannelWidth::k40MHz, p, 12);
+  const PsdEstimate psd20 = welch_psd(tx20, 256, 20e6);
+  const PsdEstimate psd40 = welch_psd(tx40, 256, 40e6);
+  const double lvl20 = inband_level_dbm_hz(psd20, 0.7 * 17.5e6);
+  const double lvl40 = inband_level_dbm_hz(psd40, 0.7 * 35.6e6);
+  EXPECT_NEAR(lvl20 - lvl40, 3.17, 0.6);
+}
+
+TEST(InbandLevel, ThrowsWhenNoBins) {
+  PsdEstimate psd;
+  psd.freq_hz = {5e6};
+  psd.psd_dbm_hz = {-90.0};
+  EXPECT_THROW(inband_level_dbm_hz(psd, 1e3), std::invalid_argument);
+}
+
+TEST(WelchPsd, OutOfBandFloorWellBelowInband) {
+  const auto tx = ofdm_waveform(phy::ChannelWidth::k20MHz, 1.0, 13);
+  const PsdEstimate psd = welch_psd(tx, 512, 20e6);
+  const double inband = inband_level_dbm_hz(psd, 10e6);
+  // Guard band near the Nyquist edges carries far less power.
+  double edge = -1e9;
+  for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+    if (std::abs(psd.freq_hz[k]) > 9.5e6) {
+      edge = std::max(edge, psd.psd_dbm_hz[k]);
+    }
+  }
+  EXPECT_GT(inband - edge, 10.0);
+}
+
+}  // namespace
+}  // namespace acorn::baseband

@@ -1,0 +1,181 @@
+#include "baseband/qam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+  return bits;
+}
+
+constexpr phy::Modulation kAll[] = {
+    phy::Modulation::kBpsk, phy::Modulation::kQpsk, phy::Modulation::kQam16,
+    phy::Modulation::kQam64};
+
+TEST(Qam, UnitAverageEnergy) {
+  // Over all symbols of the constellation, mean |s|^2 = 1.
+  for (const auto mod : kAll) {
+    const int k = phy::bits_per_symbol(mod);
+    double energy = 0.0;
+    const int count = 1 << k;
+    for (int v = 0; v < count; ++v) {
+      std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
+      for (int b = 0; b < k; ++b) {
+        bits[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>((v >> (k - 1 - b)) & 1);
+      }
+      energy += std::norm(qam_map_symbol(bits, mod));
+    }
+    EXPECT_NEAR(energy / count, 1.0, 1e-9) << to_string(mod);
+  }
+}
+
+TEST(Qam, AllConstellationPointsDistinct) {
+  for (const auto mod : kAll) {
+    const int k = phy::bits_per_symbol(mod);
+    std::set<std::pair<long, long>> seen;
+    for (int v = 0; v < (1 << k); ++v) {
+      std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
+      for (int b = 0; b < k; ++b) {
+        bits[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>((v >> (k - 1 - b)) & 1);
+      }
+      const Cx s = qam_map_symbol(bits, mod);
+      seen.insert({std::lround(s.real() * 1e6), std::lround(s.imag() * 1e6)});
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(1 << k))
+        << to_string(mod);
+  }
+}
+
+TEST(Qam, RoundTripNoiseless) {
+  for (const auto mod : kAll) {
+    const auto bits = random_bits(1200, 3);
+    const auto symbols = qam_modulate(bits, mod);
+    const auto decoded = qam_demodulate(symbols, mod);
+    ASSERT_GE(decoded.size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      EXPECT_EQ(decoded[i], bits[i]) << to_string(mod) << " bit " << i;
+    }
+  }
+}
+
+TEST(Qam, GrayNeighborsDifferInOneBit) {
+  // Walk adjacent I-levels of 16-QAM: Gray coding means one bit flip.
+  const auto mod = phy::Modulation::kQam16;
+  std::vector<std::uint8_t> prev_bits;
+  const double norm = 1.0 / std::sqrt(10.0);
+  for (double level = -3.0; level <= 3.0; level += 2.0) {
+    std::vector<std::uint8_t> bits(4);
+    qam_demap_symbol(Cx(level * norm, 3.0 * norm), mod, bits);
+    if (!prev_bits.empty()) {
+      int diff = 0;
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] != prev_bits[i]) ++diff;
+      }
+      EXPECT_EQ(diff, 1) << "level " << level;
+    }
+    prev_bits = bits;
+  }
+}
+
+TEST(Qam, HardDecisionNearestNeighbor) {
+  // A small perturbation decodes to the original point.
+  util::Rng rng(4);
+  for (const auto mod : kAll) {
+    const auto bits = random_bits(600, 5);
+    auto symbols = qam_modulate(bits, mod);
+    const double margin = mod == phy::Modulation::kQam64 ? 0.05 : 0.15;
+    for (auto& s : symbols) {
+      s += Cx(rng.uniform(-margin, margin), rng.uniform(-margin, margin));
+    }
+    const auto decoded = qam_demodulate(symbols, mod);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      EXPECT_EQ(decoded[i], bits[i]) << to_string(mod);
+    }
+  }
+}
+
+TEST(Qam, PadsPartialSymbols) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1};  // 3 bits into 64-QAM
+  const auto symbols = qam_modulate(bits, phy::Modulation::kQam64);
+  EXPECT_EQ(symbols.size(), 1u);
+  const auto decoded = qam_demodulate(symbols, phy::Modulation::kQam64);
+  EXPECT_EQ(decoded.size(), 6u);
+  EXPECT_EQ(decoded[0], 1);
+  EXPECT_EQ(decoded[1], 0);
+  EXPECT_EQ(decoded[2], 1);
+}
+
+TEST(Qam, MapValidatesBitCount) {
+  const std::vector<std::uint8_t> three(3, 0);
+  EXPECT_THROW(qam_map_symbol(three, phy::Modulation::kQam16),
+               std::invalid_argument);
+  std::vector<std::uint8_t> out(3);
+  EXPECT_THROW(qam_demap_symbol(Cx{}, phy::Modulation::kQam16, out),
+               std::invalid_argument);
+}
+
+TEST(Qam, QpskMatchesLegacyMapper) {
+  // The dedicated QPSK mapper and the generic QAM mapper agree up to the
+  // same Gray convention: both produce unit-energy points on (+-1,+-1)/sqrt(2).
+  const auto bits = random_bits(100, 6);
+  const auto symbols = qam_modulate(bits, phy::Modulation::kQpsk);
+  for (const Cx s : symbols) {
+    EXPECT_NEAR(std::abs(s.real()), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(s.imag()), 1.0 / std::sqrt(2.0), 1e-12);
+  }
+}
+
+TEST(QamSoft, SignsAgreeWithHardDecisions) {
+  util::Rng rng(7);
+  for (const auto mod : kAll) {
+    const auto bits = random_bits(240, 8);
+    auto symbols = qam_modulate(bits, mod);
+    for (auto& s : symbols) {
+      s += Cx(rng.normal(0.0, 0.05), rng.normal(0.0, 0.05));
+    }
+    const std::vector<double> vars(symbols.size(), 0.05 * 0.05 * 2.0);
+    const auto llrs = qam_soft_demodulate(symbols, mod, vars);
+    const auto hard = qam_demodulate(symbols, mod);
+    ASSERT_EQ(llrs.size(), hard.size());
+    for (std::size_t i = 0; i < hard.size(); ++i) {
+      // Positive LLR = bit 0; sign must agree with the hard slicer.
+      EXPECT_EQ(hard[i], llrs[i] < 0.0 ? 1 : 0) << to_string(mod) << i;
+    }
+  }
+}
+
+TEST(QamSoft, ConfidenceScalesWithNoiseVariance) {
+  const std::vector<Cx> one = {qam_map_symbol(
+      std::vector<std::uint8_t>{0, 0}, phy::Modulation::kQpsk)};
+  const std::vector<double> quiet = {0.01};
+  const std::vector<double> loud = {1.0};
+  const auto llr_quiet =
+      qam_soft_demodulate(one, phy::Modulation::kQpsk, quiet);
+  const auto llr_loud =
+      qam_soft_demodulate(one, phy::Modulation::kQpsk, loud);
+  EXPECT_GT(llr_quiet[0], llr_loud[0]);
+  EXPECT_GT(llr_loud[0], 0.0);
+}
+
+TEST(QamSoft, ValidatesVarianceCount) {
+  const std::vector<Cx> two(2);
+  const std::vector<double> one_var = {0.1};
+  EXPECT_THROW(
+      qam_soft_demodulate(two, phy::Modulation::kQpsk, one_var),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acorn::baseband

@@ -1,0 +1,222 @@
+#include "baseband/sdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baseband/channel.hpp"
+#include "baseband/qpsk.hpp"
+#include "baseband/stbc.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+Mimo2x2 random_channel(util::Rng& rng) {
+  Mimo2x2 h;
+  for (auto& row : h) {
+    for (auto& x : row) {
+      x = Cx(rng.normal(0.0, std::sqrt(0.5)),
+             rng.normal(0.0, std::sqrt(0.5)));
+    }
+  }
+  return h;
+}
+
+TEST(Sdm, DeterminantOfIdentityIsOne) {
+  const Mimo2x2 eye = {{{Cx(1, 0), Cx(0, 0)}, {Cx(0, 0), Cx(1, 0)}}};
+  EXPECT_NEAR(std::abs(mimo_determinant(eye) - Cx(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Sdm, ZfRecoversNoiselessStreams) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mimo2x2 h = random_channel(rng);
+    const Cx x0(rng.normal(), rng.normal());
+    const Cx x1(rng.normal(), rng.normal());
+    const Cx r0 = h[0][0] * x0 + h[0][1] * x1;
+    const Cx r1 = h[1][0] * x0 + h[1][1] * x1;
+    const auto detected = zf_detect(h, r0, r1);
+    EXPECT_NEAR(std::abs(detected[0] - x0), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(detected[1] - x1), 0.0, 1e-9);
+  }
+}
+
+TEST(Sdm, ZfThrowsOnSingularChannel) {
+  const Mimo2x2 singular = {{{Cx(1, 0), Cx(1, 0)}, {Cx(1, 0), Cx(1, 0)}}};
+  EXPECT_THROW(zf_detect(singular, Cx{}, Cx{}), std::domain_error);
+}
+
+TEST(Sdm, NoiseAmplificationIdentityIsOne) {
+  const Mimo2x2 eye = {{{Cx(1, 0), Cx(0, 0)}, {Cx(0, 0), Cx(1, 0)}}};
+  const auto amp = zf_noise_amplification(eye);
+  EXPECT_NEAR(amp[0], 1.0, 1e-12);
+  EXPECT_NEAR(amp[1], 1.0, 1e-12);
+}
+
+TEST(Sdm, NoiseAmplificationGrowsAsChannelDegenerates) {
+  // Nearly collinear columns: ZF must amplify noise heavily.
+  const Mimo2x2 bad = {{{Cx(1, 0), Cx(0.99, 0)}, {Cx(1, 0), Cx(1.0, 0)}}};
+  const auto amp = zf_noise_amplification(bad);
+  EXPECT_GT(amp[0], 100.0);
+  EXPECT_GT(amp[1], 100.0);
+}
+
+TEST(Sdm, SplitMergeRoundTrip) {
+  util::Rng rng(2);
+  std::vector<Cx> symbols(40);
+  for (auto& s : symbols) s = Cx(rng.normal(), rng.normal());
+  const SdmStreams streams = sdm_split(symbols);
+  const auto merged = sdm_merge(streams.stream0, streams.stream1);
+  ASSERT_EQ(merged.size(), symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(merged[i], symbols[i]);
+  }
+}
+
+TEST(Sdm, SplitPadsOddLength) {
+  const std::vector<Cx> symbols = {Cx(1, 0), Cx(2, 0), Cx(3, 0)};
+  const SdmStreams streams = sdm_split(symbols);
+  EXPECT_EQ(streams.stream0.size(), 2u);
+  EXPECT_EQ(streams.stream1.size(), 2u);
+  EXPECT_EQ(streams.stream1[1], Cx{});
+}
+
+TEST(Sdm, MergeValidatesLengths) {
+  const std::vector<Cx> a(3);
+  const std::vector<Cx> b(4);
+  EXPECT_THROW(sdm_merge(a, b), std::invalid_argument);
+}
+
+// The mode tradeoff the auto-rate exploits: at equal total Tx and the
+// same QPSK symbols, STBC has (much) lower BER than SDM, while SDM moves
+// twice the symbols per channel use.
+TEST(Sdm, StbcBeatsSdmInReliabilityAtSameSnr) {
+  util::Rng rng(3);
+  const int kSymbols = 4000;
+  const double noise_var = 0.25;  // per receive antenna
+  int sdm_errors = 0;
+  int stbc_errors = 0;
+  int total_bits = 0;
+  for (int block = 0; block < kSymbols / 2; ++block) {
+    const Mimo2x2 h = random_channel(rng);
+    std::vector<std::uint8_t> bits(4);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+    const auto symbols = qpsk_modulate(bits);  // 2 symbols
+    auto awgn = [&rng, noise_var] {
+      return Cx(rng.normal(0.0, std::sqrt(noise_var / 2.0)),
+                rng.normal(0.0, std::sqrt(noise_var / 2.0)));
+    };
+
+    // SDM: both symbols in one use; per-antenna power split by sqrt(2).
+    const double g = 1.0 / std::sqrt(2.0);
+    const Cx r0 =
+        g * (h[0][0] * symbols[0] + h[0][1] * symbols[1]) + awgn();
+    const Cx r1 =
+        g * (h[1][0] * symbols[0] + h[1][1] * symbols[1]) + awgn();
+    const auto det = zf_detect(h, r0 / g, r1 / g);
+    const auto sdm_bits =
+        qpsk_demodulate(std::vector<Cx>{det[0], det[1]});
+
+    // STBC: the same two symbols over two uses via Alamouti (h[rx][tx]
+    // maps to the combiner's h_xy = tx x -> rx y convention).
+    const Cx ra0 = g * (h[0][0] * symbols[0] + h[0][1] * symbols[1]) + awgn();
+    const Cx ra1 = g * (h[0][0] * (-std::conj(symbols[1])) +
+                        h[0][1] * std::conj(symbols[0])) +
+                   awgn();
+    const Cx rb0 = g * (h[1][0] * symbols[0] + h[1][1] * symbols[1]) + awgn();
+    const Cx rb1 = g * (h[1][0] * (-std::conj(symbols[1])) +
+                        h[1][1] * std::conj(symbols[0])) +
+                   awgn();
+    const StbcDecoded d = alamouti_combine(
+        ra0 / g, ra1 / g, rb0 / g, rb1 / g, h[0][0], h[1][0], h[0][1],
+        h[1][1]);
+    const double gain = d.gain > 1e-12 ? d.gain : 1.0;
+    const auto stbc_bits =
+        qpsk_demodulate(std::vector<Cx>{d.s0 / gain, d.s1 / gain});
+
+    for (int i = 0; i < 4; ++i) {
+      if (sdm_bits[static_cast<std::size_t>(i)] != bits[static_cast<std::size_t>(i)]) ++sdm_errors;
+      if (stbc_bits[static_cast<std::size_t>(i)] != bits[static_cast<std::size_t>(i)]) ++stbc_errors;
+      ++total_bits;
+    }
+  }
+  EXPECT_GT(total_bits, 0);
+  EXPECT_LT(stbc_errors, sdm_errors / 2)
+      << "STBC " << stbc_errors << " vs SDM " << sdm_errors;
+}
+
+
+TEST(Mmse, MatchesZfWithoutNoise) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mimo2x2 h = random_channel(rng);
+    const Cx x0(rng.normal(), rng.normal());
+    const Cx x1(rng.normal(), rng.normal());
+    const Cx r0 = h[0][0] * x0 + h[0][1] * x1;
+    const Cx r1 = h[1][0] * x0 + h[1][1] * x1;
+    const auto zf = zf_detect(h, r0, r1);
+    const auto mmse = mmse_detect(h, r0, r1, 0.0);
+    EXPECT_NEAR(std::abs(zf[0] - mmse[0]), 0.0, 1e-8);
+    EXPECT_NEAR(std::abs(zf[1] - mmse[1]), 0.0, 1e-8);
+  }
+}
+
+TEST(Mmse, SurvivesSingularChannel) {
+  const Mimo2x2 singular = {{{Cx(1, 0), Cx(1, 0)}, {Cx(1, 0), Cx(1, 0)}}};
+  // ZF throws; MMSE regularizes and returns a finite estimate.
+  const auto out = mmse_detect(singular, Cx(2, 0), Cx(2, 0), 0.1);
+  EXPECT_TRUE(std::isfinite(out[0].real()));
+  EXPECT_TRUE(std::isfinite(out[1].real()));
+}
+
+TEST(Mmse, RejectsNegativeNoise) {
+  const Mimo2x2 eye = {{{Cx(1, 0), Cx(0, 0)}, {Cx(0, 0), Cx(1, 0)}}};
+  EXPECT_THROW(mmse_detect(eye, Cx{}, Cx{}, -0.1), std::invalid_argument);
+}
+
+TEST(Mmse, BeatsZfOnIllConditionedChannels) {
+  // Bit errors of hard-sliced QPSK under noise, channels near-singular:
+  // MMSE's regularization must win.
+  util::Rng rng(11);
+  int zf_errors = 0;
+  int mmse_errors = 0;
+  const double noise_var = 0.05;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Mimo2x2 h = random_channel(rng);
+    // Force near-collinearity.
+    h[0][1] = h[0][0] * 1.05 + Cx(rng.normal(0.0, 0.05), 0.0);
+    h[1][1] = h[1][0] * 1.05 + Cx(rng.normal(0.0, 0.05), 0.0);
+    std::vector<std::uint8_t> bits(4);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+    const auto symbols = qpsk_modulate(bits);
+    auto awgn = [&rng, noise_var] {
+      return Cx(rng.normal(0.0, std::sqrt(noise_var / 2.0)),
+                rng.normal(0.0, std::sqrt(noise_var / 2.0)));
+    };
+    const Cx r0 = h[0][0] * symbols[0] + h[0][1] * symbols[1] + awgn();
+    const Cx r1 = h[1][0] * symbols[0] + h[1][1] * symbols[1] + awgn();
+    std::vector<Cx> zf_syms;
+    try {
+      const auto zf = zf_detect(h, r0, r1);
+      zf_syms = {zf[0], zf[1]};
+    } catch (const std::domain_error&) {
+      zf_syms = {Cx{}, Cx{}};
+    }
+    const auto mmse = mmse_detect(h, r0, r1, noise_var);
+    const auto zf_bits = qpsk_demodulate(zf_syms);
+    const auto mmse_bits =
+        qpsk_demodulate(std::vector<Cx>{mmse[0], mmse[1]});
+    for (int i = 0; i < 4; ++i) {
+      if (zf_bits[static_cast<std::size_t>(i)] !=
+          bits[static_cast<std::size_t>(i)]) ++zf_errors;
+      if (mmse_bits[static_cast<std::size_t>(i)] !=
+          bits[static_cast<std::size_t>(i)]) ++mmse_errors;
+    }
+  }
+  EXPECT_LT(mmse_errors, zf_errors);
+}
+
+}  // namespace
+}  // namespace acorn::baseband

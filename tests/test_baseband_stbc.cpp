@@ -1,0 +1,114 @@
+#include "baseband/stbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace acorn::baseband {
+namespace {
+
+TEST(Alamouti, EncodeStructure) {
+  const std::vector<Cx> syms = {Cx(1.0, 0.0), Cx(0.0, 1.0)};
+  const StbcStreams s = alamouti_encode(syms);
+  ASSERT_EQ(s.antenna_a.size(), 2u);
+  ASSERT_EQ(s.antenna_b.size(), 2u);
+  EXPECT_EQ(s.antenna_a[0], syms[0]);
+  EXPECT_EQ(s.antenna_b[0], syms[1]);
+  EXPECT_EQ(s.antenna_a[1], -std::conj(syms[1]));
+  EXPECT_EQ(s.antenna_b[1], std::conj(syms[0]));
+}
+
+TEST(Alamouti, EncodePadsOddLength) {
+  const std::vector<Cx> syms = {Cx(1.0, 0.0)};
+  const StbcStreams s = alamouti_encode(syms);
+  EXPECT_EQ(s.antenna_a.size(), 2u);
+  EXPECT_EQ(s.antenna_b[0], Cx{});
+}
+
+TEST(Alamouti, PerfectRecoveryNoiseless2x2) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Cx s0(rng.normal(), rng.normal());
+    const Cx s1(rng.normal(), rng.normal());
+    const Cx h_aa(rng.normal(), rng.normal());
+    const Cx h_ab(rng.normal(), rng.normal());
+    const Cx h_ba(rng.normal(), rng.normal());
+    const Cx h_bb(rng.normal(), rng.normal());
+    // Received: slot0 r = h_A * a0 + h_B * b0; slot1 with the conjugates.
+    const Cx r_a0 = h_aa * s0 + h_ba * s1;
+    const Cx r_a1 = h_aa * (-std::conj(s1)) + h_ba * std::conj(s0);
+    const Cx r_b0 = h_ab * s0 + h_bb * s1;
+    const Cx r_b1 = h_ab * (-std::conj(s1)) + h_bb * std::conj(s0);
+    const StbcDecoded d =
+        alamouti_combine(r_a0, r_a1, r_b0, r_b1, h_aa, h_ab, h_ba, h_bb);
+    EXPECT_NEAR(std::abs(d.s0 / d.gain - s0), 0.0, 1e-10);
+    EXPECT_NEAR(std::abs(d.s1 / d.gain - s1), 0.0, 1e-10);
+  }
+}
+
+TEST(Alamouti, GainIsSumOfPathPowers) {
+  const Cx h(3.0, 4.0);  // |h|^2 = 25
+  const StbcDecoded d = alamouti_combine(Cx{}, Cx{}, Cx{}, Cx{}, h, h, h, h);
+  EXPECT_NEAR(d.gain, 100.0, 1e-12);
+}
+
+TEST(Alamouti, CombineStreamsRoundTrip) {
+  util::Rng rng(5);
+  std::vector<Cx> syms(40);
+  for (auto& s : syms) s = Cx(rng.normal(), rng.normal());
+  const Cx h_aa(0.7, -0.1);
+  const Cx h_ab(-0.3, 0.4);
+  const Cx h_ba(0.1, 0.9);
+  const Cx h_bb(0.5, 0.2);
+  const StbcStreams tx = alamouti_encode(syms);
+  std::vector<Cx> rx_a(tx.antenna_a.size());
+  std::vector<Cx> rx_b(tx.antenna_a.size());
+  for (std::size_t i = 0; i < tx.antenna_a.size(); ++i) {
+    rx_a[i] = h_aa * tx.antenna_a[i] + h_ba * tx.antenna_b[i];
+    rx_b[i] = h_ab * tx.antenna_a[i] + h_bb * tx.antenna_b[i];
+  }
+  const auto decoded = alamouti_combine_streams(rx_a, rx_b, h_aa, h_ab,
+                                                h_ba, h_bb);
+  ASSERT_EQ(decoded.size(), syms.size());
+  for (std::size_t i = 0; i < syms.size(); ++i) {
+    EXPECT_NEAR(std::abs(decoded[i] - syms[i]), 0.0, 1e-10) << i;
+  }
+}
+
+TEST(Alamouti, CombineStreamsRejectsBadLengths) {
+  const std::vector<Cx> even(4);
+  const std::vector<Cx> odd(3);
+  const std::vector<Cx> other(6);
+  EXPECT_THROW(
+      alamouti_combine_streams(odd, odd, Cx{1.0}, Cx{}, Cx{}, Cx{1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      alamouti_combine_streams(even, other, Cx{1.0}, Cx{}, Cx{}, Cx{1.0}),
+      std::invalid_argument);
+}
+
+TEST(Alamouti, DiversityImprovesWorstCase) {
+  // With one dead path the 2x2 combiner still recovers the symbols.
+  util::Rng rng(7);
+  const Cx s0(1.0, 0.0);
+  const Cx s1(0.0, -1.0);
+  const Cx dead{};
+  const Cx h_ab(0.8, 0.1);
+  const Cx h_ba(0.2, -0.5);
+  const Cx h_bb(0.4, 0.4);
+  const Cx r_a0 = dead * s0 + h_ba * s1;
+  const Cx r_a1 = dead * (-std::conj(s1)) + h_ba * std::conj(s0);
+  const Cx r_b0 = h_ab * s0 + h_bb * s1;
+  const Cx r_b1 = h_ab * (-std::conj(s1)) + h_bb * std::conj(s0);
+  const StbcDecoded d =
+      alamouti_combine(r_a0, r_a1, r_b0, r_b1, dead, h_ab, h_ba, h_bb);
+  ASSERT_GT(d.gain, 0.0);
+  EXPECT_NEAR(std::abs(d.s0 / d.gain - s0), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(d.s1 / d.gain - s1), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace acorn::baseband

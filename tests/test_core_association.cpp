@@ -1,0 +1,155 @@
+#include "core/association.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace acorn::core {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+// Two APs both audible to every client (cross_loss picks the visibility).
+ScenarioBuilder open_builder(double cross_loss) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}},
+             CellSpec{{testutil::kGoodLinkLoss}}};
+  b.cross_loss_db = cross_loss;
+  return b;
+}
+
+TEST(Association, NoApInRangeReturnsNullopt) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kIsolatedLoss}}};
+  const sim::Wlan wlan = b.build();
+  const UserAssociation ua;
+  net::Association assoc = {net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0)};
+  EXPECT_FALSE(ua.select_ap(wlan, assoc, ch, 0).has_value());
+}
+
+TEST(Association, SingleVisibleApIsChosen) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}},
+             CellSpec{{}}};
+  const sim::Wlan wlan = b.build();
+  const UserAssociation ua;
+  net::Association assoc = {net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(1)};
+  EXPECT_EQ(ua.select_ap(wlan, assoc, ch, 0), std::optional<int>(0));
+}
+
+TEST(Association, UtilitiesComputedForAllInRange) {
+  ScenarioBuilder b = open_builder(82.0);
+  const sim::Wlan wlan = b.build();
+  const UserAssociation ua;
+  net::Association assoc = {net::kUnassociated, net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(1)};
+  const auto utils = ua.candidate_utilities(wlan, assoc, ch, 0);
+  EXPECT_EQ(utils.size(), 2u);
+  for (const CandidateUtility& u : utils) {
+    EXPECT_GT(u.x_with, 0.0);
+    EXPECT_GT(u.utility, 0.0);
+  }
+}
+
+TEST(Association, JoinsEmptierOfTwoEqualAps) {
+  // AP0 already serves a client; an identical new client should join AP1
+  // (network throughput is higher with one client per AP).
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss, testutil::kGoodLinkLoss}},
+             CellSpec{{}}};
+  b.cross_loss_db = testutil::kGoodLinkLoss + 1.0;  // both APs audible
+  const sim::Wlan wlan = b.build();
+  const UserAssociation ua;
+  net::Association assoc = {0, net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(2)};
+  EXPECT_EQ(ua.select_ap(wlan, assoc, ch, 1), std::optional<int>(1));
+}
+
+TEST(Association, GroupsPoorClientWithPoorCell) {
+  // The ACORN signature behaviour: a poor client joins the AP already
+  // serving poor clients rather than wrecking the good cell, even when
+  // the good AP's signal is somewhat stronger.
+  net::Topology topo;
+  topo.add_ap({0, 0});
+  topo.add_ap({60, 0});
+  topo.add_client({1, 1});    // good client of AP0
+  topo.add_client({59, 1});   // poor client of AP1
+  topo.add_client({30, 10});  // joining poor client
+  util::Rng rng(3);
+  net::PathLossModel plm;
+  net::LinkBudget budget(topo, plm, rng);
+  budget.set_ap_ap_loss_db(0, 1, testutil::kIsolatedLoss);
+  budget.set_ap_client_loss_db(0, 0, testutil::kGoodLinkLoss);
+  budget.set_ap_client_loss_db(1, 0, testutil::kIsolatedLoss);
+  budget.set_ap_client_loss_db(1, 1, testutil::kPoorLinkLoss);
+  budget.set_ap_client_loss_db(0, 1, testutil::kIsolatedLoss);
+  // The joiner is poor to both APs (slightly stronger toward AP0).
+  budget.set_ap_client_loss_db(0, 2, testutil::kPoorLinkLoss - 1.0);
+  budget.set_ap_client_loss_db(1, 2, testutil::kPoorLinkLoss);
+  const sim::Wlan wlan(topo, budget, sim::WlanConfig{});
+  const UserAssociation ua;
+  net::Association assoc = {0, 1, net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::bonded(0),
+                                     net::Channel::basic(4)};
+  EXPECT_EQ(ua.select_ap(wlan, assoc, ch, 2), std::optional<int>(1));
+}
+
+TEST(Association, UtilityMatchesEquationFour) {
+  // Hand-check Eq. 4 on a tiny instance: one AP with one existing client
+  // plus the joiner; a second AP out of the client's range.
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss, testutil::kGoodLinkLoss}},
+             CellSpec{{}}};
+  const sim::Wlan wlan = b.build();
+  const UserAssociation ua;
+  net::Association assoc = {0, net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(1)};
+  const auto utils = ua.candidate_utilities(wlan, assoc, ch, 1);
+  ASSERT_EQ(utils.size(), 1u);
+  // U = K_i * X_w with no other APs in range; K_i = 2.
+  EXPECT_NEAR(utils[0].utility, 2.0 * utils[0].x_with, 1e-9);
+}
+
+TEST(Association, XWithoutExceedsXWith) {
+  // Removing the joiner's delay raises the per-client throughput.
+  ScenarioBuilder b = open_builder(90.0);
+  const sim::Wlan wlan = b.build();
+  const UserAssociation ua;
+  net::Association assoc = {0, net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(1)};
+  const auto utils = ua.candidate_utilities(wlan, assoc, ch, 1);
+  for (const CandidateUtility& u : utils) {
+    if (u.ap_id == 0) {
+      // AP0 already serves client 0: removing the joiner's delay raises
+      // the per-client throughput.
+      EXPECT_GE(u.x_without, u.x_with);
+    } else {
+      // AP1 would be empty without the joiner; X_wo is the 0 sentinel.
+      EXPECT_EQ(u.x_without, 0.0);
+    }
+  }
+}
+
+TEST(Association, RespectsRssThresholdConfig) {
+  ScenarioBuilder b = open_builder(90.0);
+  const sim::Wlan wlan = b.build();
+  AssociationConfig cfg;
+  cfg.min_rss_dbm = -70.0;  // strict: only the home AP (loss 80) is heard
+  const UserAssociation ua(cfg);
+  net::Association assoc = {net::kUnassociated, net::kUnassociated};
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(1)};
+  const auto utils = ua.candidate_utilities(wlan, assoc, ch, 0);
+  EXPECT_EQ(utils.size(), 1u);
+}
+
+}  // namespace
+}  // namespace acorn::core

@@ -1,0 +1,118 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace acorn::core {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+TEST(Controller, DefaultPeriodIsThirtyMinutes) {
+  const AcornController acorn;
+  EXPECT_DOUBLE_EQ(acorn.config().period_s, 1800.0);
+}
+
+TEST(Controller, ConfigureAssociatesEveryReachableClient) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  util::Rng rng(1);
+  const ConfigureResult result = acorn.configure(wlan, rng);
+  for (int c = 0; c < wlan.topology().num_clients(); ++c) {
+    EXPECT_NE(result.association[static_cast<std::size_t>(c)],
+              net::kUnassociated)
+        << "client " << c;
+  }
+}
+
+TEST(Controller, ConfigureReproducesTopology1Shape) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  util::Rng rng(2);
+  const ConfigureResult result = acorn.configure(wlan, rng);
+  // Poor cell on 20 MHz, good cell on 40 MHz.
+  EXPECT_EQ(result.assignment[0].width(), phy::ChannelWidth::k20MHz);
+  EXPECT_EQ(result.assignment[1].width(), phy::ChannelWidth::k40MHz);
+  // Both cells have positive throughput.
+  EXPECT_GT(result.evaluation.per_ap[0].goodput_bps, 1e6);
+  EXPECT_GT(result.evaluation.per_ap[1].goodput_bps, 10e6);
+}
+
+TEST(Controller, ArrivalOrderIsRespected) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  util::Rng rng(3);
+  const std::vector<int> order = {3, 2, 1, 0};
+  const ConfigureResult result = acorn.configure(wlan, rng, &order);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(result.association[static_cast<std::size_t>(c)],
+              net::kUnassociated);
+  }
+}
+
+TEST(Controller, AssociateClientMutatesAssociation) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  net::Association assoc(4, net::kUnassociated);
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(2)};
+  const auto ap = acorn.associate_client(wlan, assoc, ch, 2);
+  ASSERT_TRUE(ap.has_value());
+  EXPECT_EQ(assoc[2], *ap);
+}
+
+TEST(Controller, ReallocateFromFixedPointIsStable) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  util::Rng rng(4);
+  const ConfigureResult result = acorn.configure(wlan, rng);
+  const AllocationResult again =
+      acorn.reallocate(wlan, result.association, result.assignment);
+  EXPECT_EQ(again.switches, 0);
+}
+
+TEST(Controller, DeterministicForSeed) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  util::Rng r1(5);
+  util::Rng r2(5);
+  const ConfigureResult a = acorn.configure(wlan, r1);
+  const ConfigureResult c = acorn.configure(wlan, r2);
+  EXPECT_EQ(a.association, c.association);
+  EXPECT_NEAR(a.evaluation.total_goodput_bps,
+              c.evaluation.total_goodput_bps, 1.0);
+}
+
+TEST(Controller, TcpConfigurationAlsoWorks) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const AcornController acorn;
+  util::Rng rng(6);
+  const ConfigureResult result =
+      acorn.configure(wlan, rng, nullptr, mac::TrafficType::kTcp);
+  EXPECT_GT(result.evaluation.total_goodput_bps, 0.0);
+}
+
+TEST(Controller, CustomPlanIsUsed) {
+  AcornConfig cfg;
+  cfg.plan = net::ChannelPlan(2);
+  const AcornController acorn(cfg);
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  util::Rng rng(7);
+  const ConfigureResult result = acorn.configure(wlan, rng);
+  for (const net::Channel& c : result.assignment) {
+    for (int occ : c.occupied()) EXPECT_LT(occ, 2);
+  }
+}
+
+}  // namespace
+}  // namespace acorn::core

@@ -1,0 +1,82 @@
+#include "core/estimated_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace acorn::core {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+TEST(MeasurementOracle, ValidatesMeasuredOnSize) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  EXPECT_THROW(make_measurement_oracle(wlan, {net::Channel::basic(0)}),
+               std::invalid_argument);
+}
+
+TEST(MeasurementOracle, TracksExactEvaluatorOrdering) {
+  // The estimator need not match absolute throughput, but it must rank
+  // "poor cell on 20" above "poor cell on 40" like the truth does.
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const net::ChannelAssignment current = {net::Channel::bonded(0),
+                                          net::Channel::bonded(1)};
+  const ThroughputOracle oracle = make_measurement_oracle(wlan, current);
+  const net::ChannelAssignment poor_on_20 = {net::Channel::basic(5),
+                                             net::Channel::bonded(1)};
+  EXPECT_GT(oracle(assoc, poor_on_20), oracle(assoc, current));
+}
+
+TEST(MeasurementOracle, EmptyCellsContributeNothing) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association none(4, net::kUnassociated);
+  const net::ChannelAssignment ch = {net::Channel::basic(0),
+                                     net::Channel::basic(1)};
+  const ThroughputOracle oracle = make_measurement_oracle(wlan, ch);
+  EXPECT_EQ(oracle(none, ch), 0.0);
+}
+
+TEST(MeasurementOracle, WithinBallparkOfExactEvaluator) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const net::ChannelAssignment ch = {net::Channel::basic(5),
+                                     net::Channel::bonded(0)};
+  const ThroughputOracle oracle = make_measurement_oracle(wlan, ch);
+  const double estimated = oracle(assoc, ch);
+  const double exact = wlan.evaluate(assoc, ch).total_goodput_bps;
+  // Same width as measured: only the estimator's fading-margin
+  // difference separates them. Coarse agreement is the requirement
+  // (the paper: "only needs a coarse estimate").
+  EXPECT_GT(estimated, 0.4 * exact);
+  EXPECT_LT(estimated, 2.5 * exact);
+}
+
+TEST(MeasurementOracle, AllocatorReachesSameStructureAsGenie) {
+  // Run Algorithm 2 with the measurement oracle and with the exact
+  // evaluator: the structural outcome (which APs bond) must agree on the
+  // canonical poor/good deployment.
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const net::ChannelAssignment start = {net::Channel::bonded(0),
+                                        net::Channel::bonded(0)};
+  const ChannelAllocator alloc{net::ChannelPlan(12)};
+  const AllocationResult genie = alloc.allocate(wlan, assoc, start);
+  const AllocationResult measured = alloc.allocate(
+      wlan, assoc, start, make_measurement_oracle(wlan, start));
+  EXPECT_EQ(measured.assignment[0].width(), genie.assignment[0].width());
+  EXPECT_EQ(measured.assignment[1].width(), genie.assignment[1].width());
+  // And the measured-oracle allocation scores well under the truth.
+  const double truth_of_measured =
+      wlan.evaluate(assoc, measured.assignment).total_goodput_bps;
+  EXPECT_GT(truth_of_measured, 0.9 * genie.final_bps);
+}
+
+}  // namespace
+}  // namespace acorn::core

@@ -1,0 +1,143 @@
+// Randomized property sweeps over deployments (TEST_P over seeds): the
+// invariants of the configuration pipeline that must hold on *any*
+// instance, not just the scripted topologies.
+#include <gtest/gtest.h>
+
+#include "baselines/simple.hpp"
+#include "core/controller.hpp"
+#include "testutil.hpp"
+
+namespace acorn::core {
+namespace {
+
+sim::Wlan random_wlan(std::uint64_t seed, int n_aps = 4, int n_clients = 10) {
+  util::Rng rng(seed);
+  net::Topology topo =
+      net::Topology::random(n_aps, n_clients, 120.0, rng);
+  net::PathLossModel plm;
+  plm.shadowing_sigma_db = 4.0;
+  net::LinkBudget budget(topo, plm, rng);
+  return sim::Wlan(std::move(topo), std::move(budget), sim::WlanConfig{});
+}
+
+class RandomDeployment : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDeployment, AllocationTrajectoryIsMonotone) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const net::Association assoc = baselines::rss_associate_all(wlan);
+  const ChannelAllocator alloc{net::ChannelPlan(12)};
+  util::Rng rng(GetParam() + 1);
+  const AllocationResult r = alloc.allocate(
+      wlan, assoc, alloc.random_assignment(wlan.topology().num_aps(), rng));
+  for (std::size_t i = 1; i < r.trajectory_bps.size(); ++i) {
+    EXPECT_GE(r.trajectory_bps[i], r.trajectory_bps[i - 1] - 1.0);
+  }
+  EXPECT_NEAR(r.final_bps, r.trajectory_bps.back(), 1.0);
+}
+
+TEST_P(RandomDeployment, AllocationIsIdempotentAtFixedPoint) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const net::Association assoc = baselines::rss_associate_all(wlan);
+  const ChannelAllocator alloc{net::ChannelPlan(12)};
+  util::Rng rng(GetParam() + 2);
+  const AllocationResult first = alloc.allocate(
+      wlan, assoc, alloc.random_assignment(wlan.topology().num_aps(), rng));
+  const AllocationResult second =
+      alloc.allocate(wlan, assoc, first.assignment);
+  EXPECT_EQ(second.switches, 0);
+}
+
+TEST_P(RandomDeployment, AssignedColorsComeFromThePlan) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const AcornController acorn({net::ChannelPlan(6), {}, {}, 1800.0});
+  util::Rng rng(GetParam() + 3);
+  const ConfigureResult r = acorn.configure(wlan, rng);
+  for (const net::Channel& c : r.assignment) {
+    for (int occ : c.occupied()) {
+      EXPECT_GE(occ, 0);
+      EXPECT_LT(occ, 6);
+    }
+  }
+}
+
+TEST_P(RandomDeployment, AssociationTargetsAreValidAps) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const AcornController acorn;
+  util::Rng rng(GetParam() + 4);
+  const ConfigureResult r = acorn.configure(wlan, rng);
+  for (int owner : r.association) {
+    EXPECT_GE(owner, net::kUnassociated);
+    EXPECT_LT(owner, wlan.topology().num_aps());
+  }
+}
+
+TEST_P(RandomDeployment, EvaluationTotalsAreConsistent) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const AcornController acorn;
+  util::Rng rng(GetParam() + 5);
+  const ConfigureResult r = acorn.configure(wlan, rng);
+  double sum = 0.0;
+  for (const sim::ApStats& ap : r.evaluation.per_ap) {
+    EXPECT_GE(ap.medium_share, 0.0);
+    EXPECT_LE(ap.medium_share, 1.0);
+    sum += ap.goodput_bps;
+  }
+  EXPECT_NEAR(sum, r.evaluation.total_goodput_bps, 1.0);
+}
+
+TEST_P(RandomDeployment, AcornNotWorseThanStockConfiguration) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const AcornController acorn;
+  util::Rng rng(GetParam() + 6);
+  const ConfigureResult ours = acorn.configure(wlan, rng);
+  const net::Association rss = baselines::rss_associate_all(wlan);
+  const net::ChannelAssignment fixed40 = baselines::fixed_width_assignment(
+      net::ChannelPlan(12), wlan.topology().num_aps(),
+      phy::ChannelWidth::k40MHz);
+  const double stock = wlan.evaluate(rss, fixed40).total_goodput_bps;
+  // ACORN configures from beacon *estimates*, so it is not an oracle; it
+  // must land at least in the stock configuration's ballpark on every
+  // instance (and beats it on average — see the ablation bench).
+  EXPECT_GE(ours.evaluation.total_goodput_bps, stock * 0.9);
+}
+
+TEST_P(RandomDeployment, TcpNeverExceedsUdp) {
+  const sim::Wlan wlan = random_wlan(GetParam());
+  const net::Association rss = baselines::rss_associate_all(wlan);
+  const net::ChannelAssignment ch = baselines::fixed_width_assignment(
+      net::ChannelPlan(12), wlan.topology().num_aps(),
+      phy::ChannelWidth::k20MHz);
+  const double udp =
+      wlan.evaluate(rss, ch, mac::TrafficType::kUdp).total_goodput_bps;
+  const double tcp =
+      wlan.evaluate(rss, ch, mac::TrafficType::kTcp).total_goodput_bps;
+  EXPECT_LE(tcp, udp + 1.0);
+}
+
+TEST_P(RandomDeployment, WeightedContentionNeverBelowBinary) {
+  // The weighted model charges at most a full slot per neighbor, so each
+  // AP's share (and hence total throughput) can only grow.
+  util::Rng rng(GetParam());
+  net::Topology topo = net::Topology::random(4, 10, 100.0, rng);
+  net::PathLossModel plm;
+  plm.shadowing_sigma_db = 4.0;
+  net::LinkBudget budget(topo, plm, rng);
+  sim::WlanConfig binary_cfg;
+  sim::WlanConfig weighted_cfg;
+  weighted_cfg.weighted_contention = true;
+  const sim::Wlan binary(topo, budget, binary_cfg);
+  const sim::Wlan weighted(topo, budget, weighted_cfg);
+  const net::Association rss = baselines::rss_associate_all(binary);
+  const ChannelAllocator alloc{net::ChannelPlan(4)};
+  util::Rng rng2(GetParam() + 7);
+  const net::ChannelAssignment assignment =
+      alloc.random_assignment(4, rng2);
+  EXPECT_GE(weighted.evaluate(rss, assignment).total_goodput_bps,
+            binary.evaluate(rss, assignment).total_goodput_bps - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDeployment,
+                         ::testing::Values(11u, 23u, 37u, 51u, 77u, 93u));
+
+}  // namespace
+}  // namespace acorn::core

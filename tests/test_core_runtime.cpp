@@ -1,0 +1,128 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace acorn::core {
+namespace {
+
+struct Fixture {
+  testutil::ScenarioBuilder builder = testutil::topology1_builder();
+  sim::Wlan wlan = builder.build();
+  AcornController controller{make_config()};
+  sim::EventQueue queue;
+
+  static AcornConfig make_config() {
+    AcornConfig cfg;
+    cfg.period_s = 100.0;  // fast periods for tests
+    return cfg;
+  }
+
+  PeriodicRuntime make_runtime() {
+    return PeriodicRuntime(
+        wlan, controller,
+        net::ChannelAssignment(2, net::Channel::bonded(0)));
+  }
+};
+
+TEST(Runtime, RejectsWrongInitialSize) {
+  Fixture f;
+  EXPECT_THROW(PeriodicRuntime(f.wlan, f.controller,
+                               {net::Channel::basic(0)}),
+               std::invalid_argument);
+}
+
+TEST(Runtime, ClientsStartUnassociated) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  for (int owner : rt.association()) {
+    EXPECT_EQ(owner, net::kUnassociated);
+  }
+}
+
+TEST(Runtime, ArrivalAssociatesImmediately) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  const auto ap = rt.client_arrived(0);
+  ASSERT_TRUE(ap.has_value());
+  EXPECT_EQ(rt.association()[0], *ap);
+}
+
+TEST(Runtime, DoubleArrivalIsAnError) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  rt.client_arrived(0);
+  EXPECT_THROW(rt.client_arrived(0), std::logic_error);
+  EXPECT_THROW(rt.client_arrived(99), std::out_of_range);
+}
+
+TEST(Runtime, DepartureDetaches) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  rt.client_arrived(0);
+  rt.client_departed(0);
+  EXPECT_EQ(rt.association()[0], net::kUnassociated);
+  // Re-arrival works.
+  EXPECT_TRUE(rt.client_arrived(0).has_value());
+}
+
+TEST(Runtime, MaintenancePassesFireOnPeriod) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  for (int u = 0; u < 4; ++u) rt.client_arrived(u);
+  rt.start(f.queue, 350.0);
+  f.queue.run_until(1000.0);
+  // Periods at 100, 200, 300 (350 horizon cuts the 400 firing).
+  EXPECT_EQ(rt.reports().size(), 3u);
+  EXPECT_DOUBLE_EQ(rt.reports()[0].time_s, 100.0);
+  EXPECT_DOUBLE_EQ(rt.reports()[2].time_s, 300.0);
+}
+
+TEST(Runtime, MaintenanceFixesBadInitialAssignment) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();  // both APs on the same bond
+  for (int u = 0; u < 4; ++u) rt.client_arrived(u);
+  rt.start(f.queue, 150.0);
+  f.queue.run();
+  // After the first pass the poor cell must sit on 20 MHz.
+  EXPECT_EQ(rt.assignment()[0].width(), phy::ChannelWidth::k20MHz);
+  EXPECT_EQ(rt.assignment()[1].width(), phy::ChannelWidth::k40MHz);
+  ASSERT_FALSE(rt.reports().empty());
+  EXPECT_GT(rt.reports().front().switches, 0);
+  EXPECT_EQ(rt.reports().front().active_clients, 4);
+}
+
+TEST(Runtime, SecondPassIsQuiescent) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  for (int u = 0; u < 4; ++u) rt.client_arrived(u);
+  rt.start(f.queue, 250.0);
+  f.queue.run();
+  ASSERT_EQ(rt.reports().size(), 2u);
+  EXPECT_EQ(rt.reports()[1].switches, 0);
+}
+
+TEST(Runtime, ObserverSeesEveryReport) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  int calls = 0;
+  rt.set_observer([&calls](const MaintenanceReport&) { ++calls; });
+  rt.start(f.queue, 300.0);
+  f.queue.run();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Runtime, ReportsThroughputOfCurrentPopulation) {
+  Fixture f;
+  PeriodicRuntime rt = f.make_runtime();
+  rt.client_arrived(2);  // one good client only
+  rt.start(f.queue, 100.0);
+  f.queue.run();
+  ASSERT_EQ(rt.reports().size(), 1u);
+  EXPECT_EQ(rt.reports()[0].active_clients, 1);
+  EXPECT_GT(rt.reports()[0].total_goodput_bps, 10e6);
+}
+
+}  // namespace
+}  // namespace acorn::core

@@ -1,0 +1,71 @@
+#include "core/width_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace acorn::core {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+TEST(WidthSwitch, GoodCellStaysBonded) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss, testutil::kGoodLinkLoss}}};
+  const sim::Wlan wlan = b.build();
+  const WidthDecision d = decide_width(wlan, 0, {0, 1});
+  EXPECT_EQ(d.width, phy::ChannelWidth::k40MHz);
+  EXPECT_GT(d.cell_bps_40, d.cell_bps_20);
+}
+
+TEST(WidthSwitch, PoorClientForcesFallback) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss, testutil::kPoorLinkLoss}}};
+  const sim::Wlan wlan = b.build();
+  const WidthDecision d = decide_width(wlan, 0, {0, 1});
+  EXPECT_EQ(d.width, phy::ChannelWidth::k20MHz);
+}
+
+TEST(WidthSwitch, EmptyCellDefaultsToBond) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{}}};
+  const sim::Wlan wlan = b.build();
+  const WidthDecision d = decide_width(wlan, 0, {});
+  EXPECT_EQ(d.width, phy::ChannelWidth::k40MHz);
+  EXPECT_EQ(d.cell_bps_20, 0.0);
+  EXPECT_EQ(d.cell_bps_40, 0.0);
+}
+
+TEST(WidthSwitch, MediumShareScalesBothSidesEqually) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}}};
+  const sim::Wlan wlan = b.build();
+  const WidthDecision full = decide_width(wlan, 0, {0}, 1.0);
+  const WidthDecision half = decide_width(wlan, 0, {0}, 0.5);
+  EXPECT_EQ(full.width, half.width);
+  EXPECT_NEAR(half.cell_bps_40, full.cell_bps_40 / 2.0, 1.0);
+}
+
+TEST(WidthSwitch, DecisionFlipsAsLinkDegrades) {
+  // Sweep the single client's loss: the decision must flip from 40 to 20
+  // exactly once (the mobility experiment's switch point).
+  // Sweep the connected regime only: past ~111 dB the client is dead on
+  // both widths and the comparison degenerates.
+  bool seen_20 = false;
+  for (double loss = 85.0; loss <= 111.0; loss += 1.0) {
+    ScenarioBuilder b;
+    b.cells = {CellSpec{{loss}}};
+    const sim::Wlan wlan = b.build();
+    const WidthDecision d = decide_width(wlan, 0, {0});
+    if (d.width == phy::ChannelWidth::k20MHz) seen_20 = true;
+    if (seen_20) {
+      EXPECT_EQ(d.width, phy::ChannelWidth::k20MHz)
+          << "flapped back at loss " << loss;
+    }
+  }
+  EXPECT_TRUE(seen_20);
+}
+
+}  // namespace
+}  // namespace acorn::core

@@ -1,0 +1,144 @@
+// Cross-cutting edge cases: degenerate deployments, single-element
+// inputs, and copy semantics that the benches rely on.
+#include <gtest/gtest.h>
+
+#include "baselines/simple.hpp"
+#include "core/controller.hpp"
+#include "sim/deployment_file.hpp"
+#include "testutil.hpp"
+
+namespace acorn {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+TEST(EdgeCases, SingleApSingleClientConfigures) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}}};
+  const sim::Wlan wlan = b.build();
+  const core::AcornController acorn;
+  util::Rng rng(1);
+  const core::ConfigureResult r = acorn.configure(wlan, rng);
+  EXPECT_EQ(r.association[0], 0);
+  EXPECT_EQ(r.assignment[0].width(), phy::ChannelWidth::k40MHz);
+  EXPECT_GT(r.evaluation.total_goodput_bps, 10e6);
+}
+
+TEST(EdgeCases, ApWithNoClientsIsHarmless) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}}, CellSpec{{}}};
+  const sim::Wlan wlan = b.build();
+  const core::AcornController acorn;
+  util::Rng rng(2);
+  const core::ConfigureResult r = acorn.configure(wlan, rng);
+  EXPECT_EQ(r.evaluation.per_ap[1].num_clients, 0);
+  EXPECT_EQ(r.evaluation.per_ap[1].goodput_bps, 0.0);
+  EXPECT_GT(r.evaluation.total_goodput_bps, 10e6);
+}
+
+TEST(EdgeCases, ClientOutOfAllRangeStaysUnassociated) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss, testutil::kIsolatedLoss}}};
+  const sim::Wlan wlan = b.build();
+  const core::AcornController acorn;
+  util::Rng rng(3);
+  const core::ConfigureResult r = acorn.configure(wlan, rng);
+  EXPECT_EQ(r.association[0], 0);
+  EXPECT_EQ(r.association[1], net::kUnassociated);
+}
+
+TEST(EdgeCases, SingleChannelPlanStillWorks) {
+  // With one 20 MHz channel and no bond, the allocator has exactly one
+  // color — everything shares it.
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}},
+             CellSpec{{testutil::kGoodLinkLoss}}};
+  b.ap_ap_loss_db = 85.0;
+  const sim::Wlan wlan = b.build();
+  core::AcornConfig cfg;
+  cfg.plan = net::ChannelPlan(1);
+  const core::AcornController acorn(cfg);
+  util::Rng rng(4);
+  const core::ConfigureResult r = acorn.configure(wlan, rng);
+  EXPECT_EQ(r.assignment[0], net::Channel::basic(0));
+  EXPECT_EQ(r.assignment[1], net::Channel::basic(0));
+  EXPECT_NEAR(r.evaluation.per_ap[0].medium_share, 0.5, 1e-9);
+}
+
+TEST(EdgeCases, WlanCopyIsIndependent) {
+  // The scanning ablation copies a Wlan and perturbs the copy's budget;
+  // the original must not move.
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan original = b.build();
+  sim::Wlan copy = original;
+  const double before = original.budget().ap_client_loss_db(0, 0);
+  copy.budget().set_ap_client_loss_db(0, 0, before - 20.0);
+  EXPECT_DOUBLE_EQ(original.budget().ap_client_loss_db(0, 0), before);
+  EXPECT_DOUBLE_EQ(copy.budget().ap_client_loss_db(0, 0), before - 20.0);
+}
+
+TEST(EdgeCases, ZeroClientNetworkEvaluates) {
+  net::Topology topo;
+  topo.add_ap({0, 0});
+  util::Rng rng(5);
+  net::PathLossModel plm;
+  net::LinkBudget budget(topo, plm, rng);
+  const sim::Wlan wlan(std::move(topo), std::move(budget),
+                       sim::WlanConfig{});
+  const sim::Evaluation eval =
+      wlan.evaluate({}, {net::Channel::bonded(0)});
+  EXPECT_EQ(eval.total_goodput_bps, 0.0);
+}
+
+TEST(EdgeCases, DeploymentFileDrivesFullPipeline) {
+  const sim::DeploymentSpec spec = sim::parse_deployment(
+      "channels 4\n"
+      "seed 9\n"
+      "pathloss shadowing 2\n"
+      "ap 0 0\n"
+      "ap 50 0\n"
+      "client 1 1\n"
+      "client 49 1\n"
+      "client 26 0\n");
+  const sim::Wlan wlan = spec.build();
+  core::AcornConfig cfg;
+  cfg.plan = net::ChannelPlan(spec.num_channels);
+  const core::AcornController acorn(cfg);
+  util::Rng rng(spec.seed);
+  const core::ConfigureResult r = acorn.configure(wlan, rng);
+  EXPECT_GT(r.evaluation.total_goodput_bps, 1e6);
+  for (const net::Channel& c : r.assignment) {
+    for (int occ : c.occupied()) EXPECT_LT(occ, 4);
+  }
+}
+
+TEST(EdgeCases, AllClientsOnOneApUnderScarcity) {
+  // 6 clients, one AP: the anomaly model must keep totals finite and
+  // shares equal.
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{80.0, 82.0, 84.0, 86.0, 88.0, 90.0}}};
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const sim::Evaluation eval =
+      wlan.evaluate(assoc, {net::Channel::bonded(0)});
+  ASSERT_EQ(eval.per_ap[0].client_goodput_bps.size(), 6u);
+  const double first = eval.per_ap[0].client_goodput_bps[0];
+  for (double g : eval.per_ap[0].client_goodput_bps) {
+    EXPECT_NEAR(g, first, first * 0.01);  // equal long-term shares
+  }
+}
+
+TEST(EdgeCases, RssTieBreaksDeterministically) {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}}, CellSpec{{}}};
+  b.cross_loss_db = testutil::kGoodLinkLoss;  // exact RSS tie
+  const sim::Wlan wlan = b.build();
+  const auto pick1 = baselines::rss_association(wlan, 0);
+  const auto pick2 = baselines::rss_association(wlan, 0);
+  ASSERT_TRUE(pick1.has_value());
+  EXPECT_EQ(*pick1, *pick2);
+}
+
+}  // namespace
+}  // namespace acorn

@@ -1,0 +1,107 @@
+#include "mac/airtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::mac {
+namespace {
+
+TEST(FrameAirtime, RejectsBadArgs) {
+  const MacTiming t;
+  EXPECT_THROW(frame_airtime_s(t, 0.0, 12000), std::invalid_argument);
+  EXPECT_THROW(frame_airtime_s(t, 65e6, 0), std::invalid_argument);
+}
+
+TEST(FrameAirtime, OverheadPlusPayload) {
+  MacTiming t;
+  const double overhead_us = t.difs_us + t.mean_backoff_slots * t.slot_us +
+                             t.preamble_us + t.sifs_us + t.ack_us;
+  const double airtime = frame_airtime_s(t, 65e6, 12000);
+  EXPECT_NEAR(airtime, overhead_us * 1e-6 + 12000.0 / 65e6, 1e-12);
+}
+
+TEST(FrameAirtime, SlowerRateTakesLonger) {
+  const MacTiming t;
+  EXPECT_GT(frame_airtime_s(t, 6.5e6, 12000),
+            frame_airtime_s(t, 65e6, 12000));
+}
+
+TEST(FrameAirtime, OverheadDominatesShortFrames) {
+  // A tiny frame at a high rate is nearly all overhead — the reason MAC
+  // efficiency falls at high MCS.
+  const MacTiming t;
+  const double airtime = frame_airtime_s(t, 270e6, 100);
+  EXPECT_GT(airtime, 100e-6);  // >> payload time of 0.37 us
+}
+
+TEST(FrameAirtime, AmpduAmortizesOverhead) {
+  MacTiming plain;
+  MacTiming aggregated;
+  aggregated.ampdu_frames = 16;
+  const double t1 = frame_airtime_s(plain, 65e6, 12000);
+  const double t16 = frame_airtime_s(aggregated, 65e6, 12000);
+  // Per-MPDU airtime shrinks but never below the pure payload time.
+  EXPECT_LT(t16, t1);
+  EXPECT_GT(t16, 12000.0 / 65e6);
+}
+
+TEST(FrameAirtime, AmpduApproachesPayloadTimeAsymptotically) {
+  MacTiming timing;
+  timing.ampdu_frames = 1024;
+  const double t = frame_airtime_s(timing, 135e6, 12000);
+  EXPECT_NEAR(t, 12000.0 / 135e6, 2e-6);
+}
+
+TEST(FrameAirtime, RejectsBadAmpdu) {
+  MacTiming timing;
+  timing.ampdu_frames = 0;
+  EXPECT_THROW(frame_airtime_s(timing, 65e6, 12000), std::invalid_argument);
+}
+
+TEST(ExpectedAttempts, NoLossIsOneAttempt) {
+  const MacTiming t;
+  EXPECT_DOUBLE_EQ(expected_attempts(t, 0.0), 1.0);
+}
+
+TEST(ExpectedAttempts, MatchesGeometricMean) {
+  const MacTiming t;
+  EXPECT_NEAR(expected_attempts(t, 0.5), 2.0, 1e-12);
+  EXPECT_NEAR(expected_attempts(t, 0.9), 10.0, 1e-9);
+}
+
+TEST(ExpectedAttempts, CappedForStarvingLinks) {
+  const MacTiming t;
+  EXPECT_NEAR(expected_attempts(t, 1.0), 1.0 / (1.0 - t.per_cap), 1e-6);
+}
+
+TEST(ExpectedAttempts, RejectsOutOfRangePer) {
+  const MacTiming t;
+  EXPECT_THROW(expected_attempts(t, -0.1), std::invalid_argument);
+  EXPECT_THROW(expected_attempts(t, 1.1), std::invalid_argument);
+}
+
+TEST(PerBitDelay, InverseOfGoodput) {
+  const MacTiming t;
+  const double d = per_bit_delay_s(t, 65e6, 12000, 0.0);
+  // 1/d is the per-client MAC goodput: below the PHY rate, above half.
+  EXPECT_LT(1.0 / d, 65e6);
+  EXPECT_GT(1.0 / d, 30e6);
+}
+
+TEST(PerBitDelay, LossInflatesDelayProportionally) {
+  const MacTiming t;
+  const double clean = per_bit_delay_s(t, 65e6, 12000, 0.0);
+  const double lossy = per_bit_delay_s(t, 65e6, 12000, 0.5);
+  EXPECT_NEAR(lossy / clean, 2.0, 1e-9);
+}
+
+TEST(PerBitDelay, PoorLinkDelayExplodes) {
+  const MacTiming t;
+  const double dead = per_bit_delay_s(t, 6.5e6, 12000, 0.9999);
+  const double fine = per_bit_delay_s(t, 6.5e6, 12000, 0.0);
+  EXPECT_GT(dead / fine, 500.0);
+}
+
+}  // namespace
+}  // namespace acorn::mac

@@ -1,0 +1,118 @@
+#include "mac/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace acorn::mac {
+namespace {
+
+constexpr int kPayloadBits = 1500 * 8;
+
+TEST(Anomaly, EmptyCellIsZero) {
+  const MacTiming t;
+  const CellThroughput out = anomaly_throughput(t, {}, 1.0, kPayloadBits);
+  EXPECT_EQ(out.cell_bps, 0.0);
+  EXPECT_EQ(out.per_client_bps, 0.0);
+}
+
+TEST(Anomaly, RejectsBadShare) {
+  const MacTiming t;
+  const std::vector<CellClient> clients = {{0, 65e6, 0.0}};
+  EXPECT_THROW(anomaly_throughput(t, clients, 0.0, kPayloadBits),
+               std::invalid_argument);
+  EXPECT_THROW(anomaly_throughput(t, clients, 1.5, kPayloadBits),
+               std::invalid_argument);
+}
+
+TEST(Anomaly, SingleClientGetsLinkGoodput) {
+  const MacTiming t;
+  const std::vector<CellClient> clients = {{0, 65e6, 0.0}};
+  const CellThroughput out = anomaly_throughput(t, clients, 1.0, kPayloadBits);
+  const double expected = 1.0 / per_bit_delay_s(t, 65e6, kPayloadBits, 0.0);
+  EXPECT_NEAR(out.cell_bps, expected, 1.0);
+  EXPECT_NEAR(out.per_client_bps, expected, 1.0);
+}
+
+TEST(Anomaly, EqualClientsSplitEvenly) {
+  const MacTiming t;
+  const std::vector<CellClient> clients = {{0, 65e6, 0.0}, {1, 65e6, 0.0}};
+  const CellThroughput out = anomaly_throughput(t, clients, 1.0, kPayloadBits);
+  const double single = 1.0 / per_bit_delay_s(t, 65e6, kPayloadBits, 0.0);
+  EXPECT_NEAR(out.per_client_bps, single / 2.0, 1.0);
+  EXPECT_NEAR(out.cell_bps, single, 1.0);
+}
+
+TEST(Anomaly, SlowClientDragsEveryoneDown) {
+  // The Heusse et al. anomaly: one 6.5 Mbps client in a 65 Mbps cell
+  // pulls the fast client far below its fair share.
+  const MacTiming t;
+  const std::vector<CellClient> fast_only = {{0, 65e6, 0.0}, {1, 65e6, 0.0}};
+  const std::vector<CellClient> mixed = {{0, 65e6, 0.0}, {1, 6.5e6, 0.0}};
+  const CellThroughput fast = anomaly_throughput(t, fast_only, 1.0,
+                                                 kPayloadBits);
+  const CellThroughput slow = anomaly_throughput(t, mixed, 1.0, kPayloadBits);
+  EXPECT_LT(slow.per_client_bps, 0.4 * fast.per_client_bps);
+  // Both clients in the mixed cell get the *same* throughput.
+  EXPECT_NEAR(slow.per_client_bps * 2.0, slow.cell_bps, 1.0);
+}
+
+TEST(Anomaly, CellThroughputNearHarmonicMean) {
+  const MacTiming t;
+  const std::vector<CellClient> mixed = {{0, 65e6, 0.0}, {1, 13e6, 0.0}};
+  const CellThroughput out = anomaly_throughput(t, mixed, 1.0, kPayloadBits);
+  // ATD = d1 + d2; cell = 2/ATD, which is the harmonic-mean structure.
+  const double d1 = per_bit_delay_s(t, 65e6, kPayloadBits, 0.0);
+  const double d2 = per_bit_delay_s(t, 13e6, kPayloadBits, 0.0);
+  EXPECT_NEAR(out.cell_bps, 2.0 / (d1 + d2), 1.0);
+}
+
+TEST(Anomaly, MediumShareScalesLinearly) {
+  const MacTiming t;
+  const std::vector<CellClient> clients = {{0, 65e6, 0.0}, {1, 26e6, 0.1}};
+  const CellThroughput full = anomaly_throughput(t, clients, 1.0,
+                                                 kPayloadBits);
+  const CellThroughput half = anomaly_throughput(t, clients, 0.5,
+                                                 kPayloadBits);
+  EXPECT_NEAR(half.cell_bps, full.cell_bps / 2.0, 1.0);
+}
+
+TEST(Anomaly, PerClientDelaysExposedInBeaconOrder) {
+  const MacTiming t;
+  const std::vector<CellClient> clients = {{7, 65e6, 0.0}, {9, 13e6, 0.2}};
+  const CellThroughput out = anomaly_throughput(t, clients, 1.0,
+                                                kPayloadBits);
+  ASSERT_EQ(out.client_delay_s_per_bit.size(), 2u);
+  EXPECT_LT(out.client_delay_s_per_bit[0], out.client_delay_s_per_bit[1]);
+  EXPECT_NEAR(out.atd_s_per_bit,
+              out.client_delay_s_per_bit[0] + out.client_delay_s_per_bit[1],
+              1e-15);
+}
+
+TEST(Anomaly, LossyClientCountsLikeSlowClient) {
+  const MacTiming t;
+  // 50% PER at 65 Mbps ~ equivalent delay to a clean ~32.5 Mbps link
+  // (modulo constant overhead).
+  const std::vector<CellClient> lossy = {{0, 65e6, 0.5}};
+  const std::vector<CellClient> slow = {{0, 32.5e6, 0.0}};
+  const double d_lossy =
+      anomaly_throughput(t, lossy, 1.0, kPayloadBits).atd_s_per_bit;
+  const double d_slow =
+      anomaly_throughput(t, slow, 1.0, kPayloadBits).atd_s_per_bit;
+  EXPECT_NEAR(d_lossy / d_slow, 1.0, 0.35);
+}
+
+TEST(Anomaly, ManyClientsScaleAtd) {
+  const MacTiming t;
+  std::vector<CellClient> clients;
+  for (int i = 0; i < 10; ++i) clients.push_back({i, 65e6, 0.0});
+  const CellThroughput out = anomaly_throughput(t, clients, 1.0,
+                                                kPayloadBits);
+  const double single = per_bit_delay_s(t, 65e6, kPayloadBits, 0.0);
+  EXPECT_NEAR(out.atd_s_per_bit, 10.0 * single, 1e-12);
+  EXPECT_NEAR(out.per_client_bps, 0.1 / single, 1.0);
+}
+
+}  // namespace
+}  // namespace acorn::mac

@@ -1,0 +1,95 @@
+#include "mac/dcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace acorn::mac {
+namespace {
+
+TEST(Dcf, RejectsBadArguments) {
+  util::Rng rng(1);
+  const DcfConfig cfg;
+  EXPECT_THROW(simulate_dcf(cfg, 0, 100, rng), std::invalid_argument);
+  EXPECT_THROW(simulate_dcf(cfg, 2, 0, rng), std::invalid_argument);
+}
+
+TEST(Dcf, SingleStationOwnsTheMedium) {
+  util::Rng rng(2);
+  const DcfResult r = simulate_dcf(DcfConfig{}, 1, 2000, rng);
+  ASSERT_EQ(r.station_share.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.station_share[0], 1.0);
+  EXPECT_EQ(r.collisions, 0);
+  EXPECT_GT(r.utilization, 0.5);  // only DIFS+backoff overhead
+}
+
+TEST(Dcf, SharesSumToOne) {
+  util::Rng rng(3);
+  const DcfResult r = simulate_dcf(DcfConfig{}, 4, 20000, rng);
+  double sum = 0.0;
+  for (double s : r.station_share) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Dcf, SaturatedStationsShareEqually) {
+  // The paper's M = 1/(n+1) claim: each of n+1 stations gets an equal
+  // share of the successful airtime.
+  for (int n : {2, 3, 5, 8}) {
+    util::Rng rng(100 + static_cast<std::uint64_t>(n));
+    const DcfResult r = simulate_dcf(DcfConfig{}, n, 60000, rng);
+    for (double share : r.station_share) {
+      EXPECT_NEAR(share, predicted_share(n), 0.015)
+          << n << " stations";
+    }
+  }
+}
+
+TEST(Dcf, CollisionRateGrowsWithContention) {
+  util::Rng rng(4);
+  const double c2 = simulate_dcf(DcfConfig{}, 2, 30000, rng).collision_rate;
+  const double c8 = simulate_dcf(DcfConfig{}, 8, 30000, rng).collision_rate;
+  const double c16 =
+      simulate_dcf(DcfConfig{}, 16, 30000, rng).collision_rate;
+  EXPECT_LT(c2, c8);
+  EXPECT_LT(c8, c16);
+  EXPECT_GT(c2, 0.0);
+  EXPECT_LT(c16, 0.5);
+}
+
+TEST(Dcf, UtilizationDegradesGracefully) {
+  // Collisions waste air time, so utilization falls with n but stays
+  // high — the flow-level model's "share only" view is a few percent
+  // optimistic, not qualitatively wrong.
+  util::Rng rng(5);
+  const double u1 = simulate_dcf(DcfConfig{}, 1, 20000, rng).utilization;
+  const double u8 = simulate_dcf(DcfConfig{}, 8, 20000, rng).utilization;
+  EXPECT_GT(u1, u8);
+  EXPECT_GT(u8, 0.55);
+}
+
+TEST(Dcf, DeterministicPerSeed) {
+  util::Rng r1(6);
+  util::Rng r2(6);
+  const DcfResult a = simulate_dcf(DcfConfig{}, 3, 5000, r1);
+  const DcfResult b = simulate_dcf(DcfConfig{}, 3, 5000, r2);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.collisions, b.collisions);
+}
+
+TEST(Dcf, LongerFramesRaiseUtilization) {
+  util::Rng r1(7);
+  util::Rng r2(7);
+  DcfConfig short_frames;
+  short_frames.frame_us = 100.0;
+  DcfConfig long_frames;
+  long_frames.frame_us = 1000.0;
+  const double u_short =
+      simulate_dcf(short_frames, 4, 20000, r1).utilization;
+  const double u_long = simulate_dcf(long_frames, 4, 20000, r2).utilization;
+  EXPECT_GT(u_long, u_short);
+}
+
+}  // namespace
+}  // namespace acorn::mac

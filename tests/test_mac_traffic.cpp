@@ -1,0 +1,121 @@
+#include "mac/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace acorn::mac {
+namespace {
+
+TEST(ResidualLoss, ZeroPerIsZero) {
+  const TrafficModel m;
+  EXPECT_EQ(residual_loss(m, 0.0), 0.0);
+}
+
+TEST(ResidualLoss, RetriesSuppressLossGeometrically) {
+  TrafficModel m;
+  m.retry_limit = 3;
+  EXPECT_NEAR(residual_loss(m, 0.1), std::pow(0.1, 4), 1e-15);
+}
+
+TEST(ResidualLoss, CertainPerSurvivesRetries) {
+  const TrafficModel m;
+  EXPECT_DOUBLE_EQ(residual_loss(m, 1.0), 1.0);
+}
+
+TEST(ResidualLoss, RejectsOutOfRange) {
+  const TrafficModel m;
+  EXPECT_THROW(residual_loss(m, -0.1), std::invalid_argument);
+  EXPECT_THROW(residual_loss(m, 1.1), std::invalid_argument);
+}
+
+TEST(MathisCap, InfiniteWithoutLoss) {
+  const TrafficModel m;
+  EXPECT_TRUE(std::isinf(mathis_cap_bps(m, 0.0)));
+}
+
+TEST(MathisCap, KnownValue) {
+  TrafficModel m;
+  m.rtt_s = 0.01;
+  m.mss_bits = 1460 * 8;
+  // q = 0.01: MSS/(RTT*sqrt(2q/3)).
+  const double expected = 1460.0 * 8.0 / (0.01 * std::sqrt(2.0 * 0.01 / 3.0));
+  EXPECT_NEAR(mathis_cap_bps(m, 0.01), expected, 1.0);
+}
+
+TEST(MathisCap, DecreasesWithLoss) {
+  const TrafficModel m;
+  EXPECT_GT(mathis_cap_bps(m, 1e-4), mathis_cap_bps(m, 1e-2));
+}
+
+TEST(TransportGoodput, UdpIsEfficiencyScaled) {
+  const TrafficModel m;
+  EXPECT_NEAR(transport_goodput_bps(m, TrafficType::kUdp, 100e6, 0.9),
+              m.udp_efficiency * 100e6, 1.0);
+}
+
+TEST(TransportGoodput, UdpIgnoresPer) {
+  // The MAC throughput already accounts for retries; UDP adds nothing.
+  const TrafficModel m;
+  EXPECT_DOUBLE_EQ(transport_goodput_bps(m, TrafficType::kUdp, 50e6, 0.0),
+                   transport_goodput_bps(m, TrafficType::kUdp, 50e6, 0.6));
+}
+
+TEST(TransportGoodput, TcpBelowUdpOnCleanLink) {
+  const TrafficModel m;
+  const double udp = transport_goodput_bps(m, TrafficType::kUdp, 100e6, 0.0);
+  const double tcp = transport_goodput_bps(m, TrafficType::kTcp, 100e6, 0.0);
+  EXPECT_LT(tcp, udp);
+  EXPECT_NEAR(tcp, m.tcp_efficiency * 100e6, 1.0);
+}
+
+TEST(TransportGoodput, TcpCollapsesUnderHeavyLoss) {
+  const TrafficModel m;
+  const double clean = transport_goodput_bps(m, TrafficType::kTcp, 50e6, 0.0);
+  const double lossy = transport_goodput_bps(m, TrafficType::kTcp, 50e6, 0.8);
+  EXPECT_LT(lossy, 0.5 * clean);
+}
+
+TEST(TransportGoodput, TcpMoreSensitiveThanUdp) {
+  // Paper §3.2: "TCP is more sensitive to packet losses" — the relative
+  // drop from a PER increase is larger for TCP.
+  const TrafficModel m;
+  const double udp_drop =
+      transport_goodput_bps(m, TrafficType::kUdp, 50e6, 0.7) /
+      transport_goodput_bps(m, TrafficType::kUdp, 50e6, 0.0);
+  const double tcp_drop =
+      transport_goodput_bps(m, TrafficType::kTcp, 50e6, 0.7) /
+      transport_goodput_bps(m, TrafficType::kTcp, 50e6, 0.0);
+  EXPECT_LT(tcp_drop, udp_drop);
+}
+
+TEST(TransportGoodput, RejectsNegativeThroughput) {
+  const TrafficModel m;
+  EXPECT_THROW(transport_goodput_bps(m, TrafficType::kUdp, -1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(TransportGoodput, ModerateLossDoesNotBindMathis) {
+  // With default retry limit 7, PER 0.3 leaves residual ~2e-4: the Mathis
+  // cap sits far above the MAC goodput, so the short-timescale window
+  // factor (1 - PER)^k is what shapes the result.
+  const TrafficModel m;
+  const double tcp = transport_goodput_bps(m, TrafficType::kTcp, 60e6, 0.3);
+  EXPECT_NEAR(tcp,
+              m.tcp_efficiency * std::pow(0.7, m.tcp_loss_sensitivity) * 60e6,
+              1e3);
+}
+
+TEST(TransportGoodput, WindowFactorPenalizesPerDirectly) {
+  // Two links with the same MAC goodput but different PERs: TCP prefers
+  // the cleaner one even though MAC retries already equalized them.
+  const TrafficModel m;
+  const double clean = transport_goodput_bps(m, TrafficType::kTcp, 40e6, 0.05);
+  const double dirty = transport_goodput_bps(m, TrafficType::kTcp, 40e6, 0.30);
+  EXPECT_GT(clean, 1.2 * dirty);
+}
+
+}  // namespace
+}  // namespace acorn::mac

@@ -1,0 +1,112 @@
+#include "net/channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::net {
+namespace {
+
+TEST(Channel, BasicProperties) {
+  const Channel c = Channel::basic(3);
+  EXPECT_EQ(c.width(), phy::ChannelWidth::k20MHz);
+  EXPECT_FALSE(c.is_bonded());
+  EXPECT_EQ(c.primary(), 3);
+  EXPECT_EQ(c.occupied(), std::vector<int>{3});
+}
+
+TEST(Channel, BondedProperties) {
+  const Channel c = Channel::bonded(2);
+  EXPECT_EQ(c.width(), phy::ChannelWidth::k40MHz);
+  EXPECT_TRUE(c.is_bonded());
+  EXPECT_EQ(c.primary(), 4);
+  EXPECT_EQ(c.occupied(), (std::vector<int>{4, 5}));
+}
+
+TEST(Channel, RejectsNegativeIndices) {
+  EXPECT_THROW(Channel::basic(-1), std::invalid_argument);
+  EXPECT_THROW(Channel::bonded(-1), std::invalid_argument);
+}
+
+TEST(Channel, DistinctBasicsDoNotConflict) {
+  EXPECT_FALSE(Channel::basic(0).conflicts(Channel::basic(1)));
+  EXPECT_TRUE(Channel::basic(0).conflicts(Channel::basic(0)));
+}
+
+TEST(Channel, CompositeConflictsWithItsHalves) {
+  // The paper's coloring rule: {c_i, c_j} conflicts with c_i and c_j but
+  // c_i and c_j do not conflict with each other.
+  const Channel bond = Channel::bonded(0);  // {0, 1}
+  EXPECT_TRUE(bond.conflicts(Channel::basic(0)));
+  EXPECT_TRUE(bond.conflicts(Channel::basic(1)));
+  EXPECT_FALSE(bond.conflicts(Channel::basic(2)));
+  EXPECT_FALSE(Channel::basic(0).conflicts(Channel::basic(1)));
+}
+
+TEST(Channel, ConflictIsSymmetric) {
+  const Channel bond = Channel::bonded(1);  // {2, 3}
+  const Channel basic = Channel::basic(3);
+  EXPECT_EQ(bond.conflicts(basic), basic.conflicts(bond));
+}
+
+TEST(Channel, AdjacentBondsDoNotConflict) {
+  EXPECT_FALSE(Channel::bonded(0).conflicts(Channel::bonded(1)));
+  EXPECT_TRUE(Channel::bonded(0).conflicts(Channel::bonded(0)));
+}
+
+TEST(Channel, OverlapFractions) {
+  const Channel bond = Channel::bonded(0);  // {0,1}
+  EXPECT_DOUBLE_EQ(bond.overlap_fraction(Channel::basic(0)), 0.5);
+  EXPECT_DOUBLE_EQ(Channel::basic(0).overlap_fraction(bond), 1.0);
+  EXPECT_DOUBLE_EQ(bond.overlap_fraction(bond), 1.0);
+  EXPECT_DOUBLE_EQ(bond.overlap_fraction(Channel::bonded(1)), 0.0);
+}
+
+TEST(Channel, EqualityAndToString) {
+  EXPECT_EQ(Channel::basic(2), Channel::basic(2));
+  EXPECT_NE(Channel::basic(2), Channel::basic(3));
+  EXPECT_NE(Channel::basic(0), Channel::bonded(0));
+  EXPECT_EQ(Channel::basic(2).to_string(), "ch2 (20MHz)");
+  EXPECT_EQ(Channel::bonded(1).to_string(), "ch2+3 (40MHz)");
+}
+
+TEST(ChannelPlan, DefaultTwelveChannels) {
+  const ChannelPlan plan;
+  EXPECT_EQ(plan.num_basic(), 12);
+  EXPECT_EQ(plan.num_bonded(), 6);
+  EXPECT_EQ(plan.basic_channels().size(), 12u);
+  EXPECT_EQ(plan.bonded_channels().size(), 6u);
+  EXPECT_EQ(plan.all_channels().size(), 18u);
+}
+
+TEST(ChannelPlan, OddChannelCountFloorsBonds) {
+  const ChannelPlan plan(5);
+  EXPECT_EQ(plan.num_bonded(), 2);
+}
+
+TEST(ChannelPlan, RejectsEmptyPlan) {
+  EXPECT_THROW(ChannelPlan(0), std::invalid_argument);
+}
+
+TEST(ChannelPlan, BondsCoverDisjointPairs) {
+  const ChannelPlan plan(12);
+  const auto bonds = plan.bonded_channels();
+  for (std::size_t i = 0; i < bonds.size(); ++i) {
+    for (std::size_t j = i + 1; j < bonds.size(); ++j) {
+      EXPECT_FALSE(bonds[i].conflicts(bonds[j]));
+    }
+  }
+}
+
+TEST(ChannelPlan, AllChannelsBasicFirst) {
+  const ChannelPlan plan(4);
+  const auto all = plan.all_channels();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_FALSE(all[0].is_bonded());
+  EXPECT_FALSE(all[3].is_bonded());
+  EXPECT_TRUE(all[4].is_bonded());
+  EXPECT_TRUE(all[5].is_bonded());
+}
+
+}  // namespace
+}  // namespace acorn::net

@@ -1,0 +1,178 @@
+#include "net/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::net {
+namespace {
+
+// Three APs on a line; AP0-AP1 within CS range, AP2 isolated. One client
+// per AP.
+struct Fixture {
+  Topology topo;
+  PathLossModel model;
+  util::Rng rng{1};
+  LinkBudget budget;
+  Association assoc;
+
+  Fixture()
+      : topo(make_topo()),
+        budget(topo, model, rng),
+        assoc{0, 1, 2} {
+    budget.set_ap_ap_loss_db(0, 1, 90.0);   // 15 - 90 = -75 > CS
+    budget.set_ap_ap_loss_db(0, 2, 130.0);  // below CS
+    budget.set_ap_ap_loss_db(1, 2, 130.0);
+    for (int a = 0; a < 3; ++a) {
+      for (int c = 0; c < 3; ++c) {
+        budget.set_ap_client_loss_db(a, c, a == c ? 80.0 : 130.0);
+      }
+    }
+  }
+
+  static Topology make_topo() {
+    Topology t;
+    t.add_ap(Point{0, 0});
+    t.add_ap(Point{30, 0});
+    t.add_ap(Point{300, 0});
+    t.add_client(Point{1, 1});
+    t.add_client(Point{31, 1});
+    t.add_client(Point{301, 1});
+    return t;
+  }
+};
+
+TEST(InterferenceGraph, DirectApApEdges) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_FALSE(g.adjacent(0, 2));
+  EXPECT_FALSE(g.adjacent(1, 2));
+}
+
+TEST(InterferenceGraph, RejectsWrongAssociationSize) {
+  Fixture f;
+  const Association bad = {0, 1};
+  EXPECT_THROW(InterferenceGraph(f.topo, f.budget, bad),
+               std::invalid_argument);
+}
+
+TEST(InterferenceGraph, ClientEdgeCreatesApEdge) {
+  // AP2 cannot hear AP1, but AP2's client is within AP1's range
+  // (footnote 5: competing with the other AP's clients).
+  Fixture f;
+  f.budget.set_ap_client_loss_db(1, 2, 85.0);  // AP1 heard by client 2
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  EXPECT_TRUE(g.adjacent(1, 2));
+}
+
+TEST(InterferenceGraph, DegreeAndMaxDegree) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_EQ(g.max_degree(), 1);
+}
+
+TEST(InterferenceGraph, NeighborsList) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  EXPECT_EQ(g.neighbors(0), std::vector<int>{1});
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(InterferenceGraph, BoundsChecking) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  EXPECT_THROW(g.adjacent(0, 3), std::out_of_range);
+  EXPECT_THROW(g.adjacent(-1, 0), std::out_of_range);
+}
+
+TEST(InterferenceGraph, CsThresholdRespected) {
+  Fixture f;
+  InterferenceConfig cfg;
+  cfg.carrier_sense_dbm = -60.0;  // very deaf: nothing contends
+  const InterferenceGraph g(f.topo, f.budget, f.assoc, cfg);
+  EXPECT_FALSE(g.adjacent(0, 1));
+}
+
+TEST(Contenders, OnlyOverlappingChannelsCount) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment same = {Channel::basic(0), Channel::basic(0),
+                            Channel::basic(0)};
+  EXPECT_EQ(contenders(g, same, 0), std::vector<int>{1});
+  ChannelAssignment split = {Channel::basic(0), Channel::basic(1),
+                             Channel::basic(0)};
+  EXPECT_TRUE(contenders(g, split, 0).empty());
+}
+
+TEST(Contenders, BondOverlapsItsHalves) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment mix = {Channel::bonded(0), Channel::basic(1),
+                           Channel::basic(5)};
+  // AP0's bond {0,1} overlaps AP1's basic 1.
+  EXPECT_EQ(contenders(g, mix, 0), std::vector<int>{1});
+  EXPECT_EQ(contenders(g, mix, 1), std::vector<int>{0});
+}
+
+TEST(Contenders, NonAdjacentApsNeverContend) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment same = {Channel::basic(0), Channel::basic(0),
+                            Channel::basic(0)};
+  // AP2 shares the channel but is out of range of both.
+  EXPECT_TRUE(contenders(g, same, 2).empty());
+}
+
+TEST(MediumShare, MatchesPaperFormula) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment same = {Channel::basic(0), Channel::basic(0),
+                            Channel::basic(0)};
+  EXPECT_DOUBLE_EQ(medium_access_share(g, same, 0), 0.5);
+  EXPECT_DOUBLE_EQ(medium_access_share(g, same, 2), 1.0);
+}
+
+TEST(WeightedShare, MatchesBinaryOnFullOverlap) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment same = {Channel::basic(0), Channel::basic(0),
+                            Channel::basic(0)};
+  EXPECT_DOUBLE_EQ(medium_access_share_weighted(g, same, 0),
+                   medium_access_share(g, same, 0));
+}
+
+TEST(WeightedShare, PartialOverlapCostsHalf) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  // AP0 on a bond {0,1}, neighbor AP1 on basic 1: overlap fraction of
+  // AP0's band is 1/2 -> M = 1 / 1.5.
+  ChannelAssignment mix = {Channel::bonded(0), Channel::basic(1),
+                           Channel::basic(5)};
+  EXPECT_DOUBLE_EQ(medium_access_share_weighted(g, mix, 0), 1.0 / 1.5);
+  // The binary model charges a full slot.
+  EXPECT_DOUBLE_EQ(medium_access_share(g, mix, 0), 0.5);
+  // From the 20 MHz AP's perspective the bond covers its whole band.
+  EXPECT_DOUBLE_EQ(medium_access_share_weighted(g, mix, 1), 0.5);
+}
+
+TEST(WeightedShare, NoOverlapIsFullShare) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment split = {Channel::basic(0), Channel::basic(1),
+                             Channel::basic(2)};
+  EXPECT_DOUBLE_EQ(medium_access_share_weighted(g, split, 0), 1.0);
+}
+
+TEST(MediumShare, AssignmentSizeValidated) {
+  Fixture f;
+  const InterferenceGraph g(f.topo, f.budget, f.assoc);
+  ChannelAssignment wrong = {Channel::basic(0)};
+  EXPECT_THROW(contenders(g, wrong, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acorn::net

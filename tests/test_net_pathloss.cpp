@@ -1,0 +1,116 @@
+#include "net/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::net {
+namespace {
+
+TEST(PathLossModel, ReferenceLossAtOneMeter) {
+  const PathLossModel m;
+  EXPECT_DOUBLE_EQ(m.median_loss_db(1.0), m.ref_loss_db);
+}
+
+TEST(PathLossModel, ClampsInsideReferenceDistance) {
+  const PathLossModel m;
+  EXPECT_DOUBLE_EQ(m.median_loss_db(0.1), m.ref_loss_db);
+}
+
+TEST(PathLossModel, TenXDistanceAddsTenNExponentDb) {
+  PathLossModel m;
+  m.exponent = 3.5;
+  EXPECT_NEAR(m.median_loss_db(10.0) - m.median_loss_db(1.0), 35.0, 1e-9);
+  EXPECT_NEAR(m.median_loss_db(100.0) - m.median_loss_db(10.0), 35.0, 1e-9);
+}
+
+TEST(PathLossModel, MonotoneInDistance) {
+  const PathLossModel m;
+  double prev = 0.0;
+  for (double d = 1.0; d < 200.0; d += 5.0) {
+    const double loss = m.median_loss_db(d);
+    EXPECT_GE(loss, prev);
+    prev = loss;
+  }
+}
+
+Topology two_by_two() {
+  Topology topo;
+  topo.add_ap(Point{0, 0});
+  topo.add_ap(Point{50, 0});
+  topo.add_client(Point{10, 0});
+  topo.add_client(Point{40, 0});
+  return topo;
+}
+
+TEST(LinkBudget, NoShadowingMatchesMedianLoss) {
+  util::Rng rng(1);
+  const Topology topo = two_by_two();
+  PathLossModel m;
+  m.shadowing_sigma_db = 0.0;
+  const LinkBudget budget(topo, m, rng);
+  EXPECT_NEAR(budget.ap_client_loss_db(0, 0), m.median_loss_db(10.0), 1e-9);
+  EXPECT_NEAR(budget.ap_client_loss_db(1, 1), m.median_loss_db(10.0), 1e-9);
+  EXPECT_NEAR(budget.ap_ap_loss_db(0, 1), m.median_loss_db(50.0), 1e-9);
+}
+
+TEST(LinkBudget, ApApLossIsSymmetricAndZeroOnDiagonal) {
+  util::Rng rng(2);
+  const Topology topo = two_by_two();
+  PathLossModel m;
+  m.shadowing_sigma_db = 4.0;
+  const LinkBudget budget(topo, m, rng);
+  EXPECT_DOUBLE_EQ(budget.ap_ap_loss_db(0, 1), budget.ap_ap_loss_db(1, 0));
+  EXPECT_DOUBLE_EQ(budget.ap_ap_loss_db(0, 0), 0.0);
+}
+
+TEST(LinkBudget, ShadowingPerturbsLosses) {
+  util::Rng rng(3);
+  const Topology topo = two_by_two();
+  PathLossModel m;
+  m.shadowing_sigma_db = 6.0;
+  const LinkBudget budget(topo, m, rng);
+  // At least one link should deviate visibly from the median.
+  const double deviation =
+      std::abs(budget.ap_client_loss_db(0, 0) - m.median_loss_db(10.0));
+  EXPECT_GT(deviation + std::abs(budget.ap_client_loss_db(1, 1) -
+                                 m.median_loss_db(10.0)),
+            0.1);
+}
+
+TEST(LinkBudget, RxPowerUsesApTxPower) {
+  util::Rng rng(4);
+  Topology topo = two_by_two();
+  topo.ap(0).tx_dbm = 18.0;
+  PathLossModel m;
+  m.shadowing_sigma_db = 0.0;
+  const LinkBudget budget(topo, m, rng);
+  EXPECT_NEAR(budget.rx_at_client_dbm(topo, 0, 0),
+              18.0 - m.median_loss_db(10.0), 1e-9);
+}
+
+TEST(LinkBudget, OverridesApply) {
+  util::Rng rng(5);
+  const Topology topo = two_by_two();
+  const PathLossModel m;
+  LinkBudget budget(topo, m, rng);
+  budget.set_ap_client_loss_db(0, 1, 77.0);
+  EXPECT_DOUBLE_EQ(budget.ap_client_loss_db(0, 1), 77.0);
+  budget.set_ap_ap_loss_db(0, 1, 120.0);
+  EXPECT_DOUBLE_EQ(budget.ap_ap_loss_db(0, 1), 120.0);
+  EXPECT_DOUBLE_EQ(budget.ap_ap_loss_db(1, 0), 120.0);
+}
+
+TEST(LinkBudget, BoundsChecking) {
+  util::Rng rng(6);
+  const Topology topo = two_by_two();
+  const PathLossModel m;
+  LinkBudget budget(topo, m, rng);
+  EXPECT_THROW(budget.ap_client_loss_db(2, 0), std::out_of_range);
+  EXPECT_THROW(budget.ap_client_loss_db(0, 2), std::out_of_range);
+  EXPECT_THROW(budget.ap_ap_loss_db(-1, 0), std::out_of_range);
+  EXPECT_THROW(budget.set_ap_ap_loss_db(0, 0, 10.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace acorn::net

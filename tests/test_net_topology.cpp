@@ -1,0 +1,95 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::net {
+namespace {
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+TEST(Topology, IdsAreDense) {
+  Topology topo;
+  EXPECT_EQ(topo.add_ap(Point{0, 0}), 0);
+  EXPECT_EQ(topo.add_ap(Point{1, 0}), 1);
+  EXPECT_EQ(topo.add_client(Point{0, 1}), 0);
+  EXPECT_EQ(topo.add_client(Point{1, 1}), 1);
+  EXPECT_EQ(topo.num_aps(), 2);
+  EXPECT_EQ(topo.num_clients(), 2);
+}
+
+TEST(Topology, StoresPositionsAndPower) {
+  Topology topo;
+  topo.add_ap(Point{2, 3}, 18.0);
+  EXPECT_DOUBLE_EQ(topo.ap(0).position.x, 2.0);
+  EXPECT_DOUBLE_EQ(topo.ap(0).tx_dbm, 18.0);
+  topo.add_client(Point{5, 6});
+  EXPECT_DOUBLE_EQ(topo.client(0).position.y, 6.0);
+}
+
+TEST(Topology, AccessorsThrowOnBadId) {
+  Topology topo;
+  topo.add_ap(Point{0, 0});
+  EXPECT_THROW(topo.ap(1), std::out_of_range);
+  EXPECT_THROW(topo.client(0), std::out_of_range);
+}
+
+TEST(Topology, MutableAccessors) {
+  Topology topo;
+  topo.add_ap(Point{0, 0});
+  topo.ap(0).tx_dbm = 10.0;
+  EXPECT_DOUBLE_EQ(topo.ap(0).tx_dbm, 10.0);
+}
+
+TEST(Topology, RandomRejectsBadParams) {
+  util::Rng rng(1);
+  EXPECT_THROW(Topology::random(0, 5, 100.0, rng), std::invalid_argument);
+  EXPECT_THROW(Topology::random(2, -1, 100.0, rng), std::invalid_argument);
+  EXPECT_THROW(Topology::random(2, 5, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Topology, RandomGeneratesRequestedCounts) {
+  util::Rng rng(2);
+  const Topology topo = Topology::random(5, 20, 100.0, rng);
+  EXPECT_EQ(topo.num_aps(), 5);
+  EXPECT_EQ(topo.num_clients(), 20);
+}
+
+TEST(Topology, RandomClientsInsideArea) {
+  util::Rng rng(3);
+  const Topology topo = Topology::random(4, 50, 80.0, rng);
+  for (const ClientNode& c : topo.clients()) {
+    EXPECT_GE(c.position.x, 0.0);
+    EXPECT_LE(c.position.x, 80.0);
+    EXPECT_GE(c.position.y, 0.0);
+    EXPECT_LE(c.position.y, 80.0);
+  }
+}
+
+TEST(Topology, GridApsSpreadOut) {
+  util::Rng rng(4);
+  const Topology topo = Topology::random(4, 0, 100.0, rng, true);
+  // Jittered 2x2 grid: pairwise distances stay well above zero.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_GT(distance(topo.ap(a).position, topo.ap(b).position), 15.0);
+    }
+  }
+}
+
+TEST(Topology, RandomIsDeterministicPerSeed) {
+  util::Rng r1(5);
+  util::Rng r2(5);
+  const Topology a = Topology::random(3, 10, 50.0, r1);
+  const Topology b = Topology::random(3, 10, 50.0, r2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.client(i).position.x, b.client(i).position.x);
+  }
+}
+
+}  // namespace
+}  // namespace acorn::net

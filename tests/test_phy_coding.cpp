@@ -1,0 +1,134 @@
+#include "phy/coding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acorn::phy {
+namespace {
+
+TEST(CodeRate, NumericValues) {
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate12), 0.5);
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate23), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate34), 0.75);
+  EXPECT_DOUBLE_EQ(code_rate_value(CodeRate::kRate56), 5.0 / 6.0);
+}
+
+TEST(CodeRate, Names) {
+  EXPECT_EQ(to_string(CodeRate::kRate12), "1/2");
+  EXPECT_EQ(to_string(CodeRate::kRate56), "5/6");
+}
+
+TEST(CodeRate, FreeDistancesDecreaseWithPuncturing) {
+  EXPECT_EQ(free_distance(CodeRate::kRate12), 10);
+  EXPECT_EQ(free_distance(CodeRate::kRate23), 6);
+  EXPECT_EQ(free_distance(CodeRate::kRate34), 5);
+  EXPECT_EQ(free_distance(CodeRate::kRate56), 4);
+}
+
+TEST(CodedBer, ZeroChannelErrorsGiveZero) {
+  for (const CodeRate r : {CodeRate::kRate12, CodeRate::kRate23,
+                           CodeRate::kRate34, CodeRate::kRate56}) {
+    EXPECT_EQ(coded_ber(r, 0.0), 0.0);
+  }
+}
+
+TEST(CodedBer, SaturatesAtHalf) {
+  EXPECT_DOUBLE_EQ(coded_ber(CodeRate::kRate12, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(coded_ber(CodeRate::kRate34, 0.49), 0.5);
+}
+
+TEST(CodedBer, RejectsOutOfRangeInput) {
+  EXPECT_THROW(coded_ber(CodeRate::kRate12, -0.01), std::invalid_argument);
+  EXPECT_THROW(coded_ber(CodeRate::kRate12, 1.01), std::invalid_argument);
+}
+
+TEST(CodedBer, CodingGainAtLowChannelBer) {
+  // At p = 1e-3 the rate-1/2 K=7 code must be far below the channel BER.
+  const double out = coded_ber(CodeRate::kRate12, 1e-3);
+  EXPECT_LT(out, 1e-8);
+}
+
+TEST(CodedBer, StrongerCodeIsBetterAtSameChannelBer) {
+  for (double p : {1e-4, 1e-3, 1e-2}) {
+    const double r12 = coded_ber(CodeRate::kRate12, p);
+    const double r23 = coded_ber(CodeRate::kRate23, p);
+    const double r34 = coded_ber(CodeRate::kRate34, p);
+    const double r56 = coded_ber(CodeRate::kRate56, p);
+    EXPECT_LE(r12, r23) << "p=" << p;
+    EXPECT_LE(r23, r34) << "p=" << p;
+    EXPECT_LE(r34, r56) << "p=" << p;
+  }
+}
+
+TEST(CodedBer, MonotoneInChannelBer) {
+  for (const CodeRate r : {CodeRate::kRate12, CodeRate::kRate23,
+                           CodeRate::kRate34, CodeRate::kRate56}) {
+    double prev = 0.0;
+    for (double p = 0.0; p <= 0.2; p += 0.002) {
+      const double out = coded_ber(r, p);
+      EXPECT_GE(out, prev - 1e-15) << to_string(r) << " at p=" << p;
+      prev = out;
+    }
+  }
+}
+
+TEST(PacketErrorRate, ZeroBerGivesZeroPer) {
+  EXPECT_EQ(packet_error_rate(0.0, 12000), 0.0);
+}
+
+TEST(PacketErrorRate, CertainBerGivesCertainLoss) {
+  EXPECT_EQ(packet_error_rate(0.5, 12000), 1.0);
+}
+
+TEST(PacketErrorRate, MatchesClosedForm) {
+  const double ber = 1e-4;
+  const int bits = 1000;
+  EXPECT_NEAR(packet_error_rate(ber, bits),
+              1.0 - std::pow(1.0 - ber, bits), 1e-12);
+}
+
+TEST(PacketErrorRate, StableForTinyBer) {
+  // 1 - (1-1e-15)^12000 ~ 1.2e-11; naive pow would lose precision.
+  const double per = packet_error_rate(1e-15, 12000);
+  EXPECT_NEAR(per, 12000e-15, 1e-16);
+}
+
+TEST(PacketErrorRate, LongerPacketsFailMoreOften) {
+  const double short_per = packet_error_rate(1e-5, 800);
+  const double long_per = packet_error_rate(1e-5, 12000);
+  EXPECT_LT(short_per, long_per);
+}
+
+TEST(PacketErrorRate, RejectsNonPositiveLength) {
+  EXPECT_THROW(packet_error_rate(0.1, 0), std::invalid_argument);
+  EXPECT_THROW(packet_error_rate(0.1, -5), std::invalid_argument);
+}
+
+// Parameterized waterfall check: each rate's coded BER crosses 1e-5
+// somewhere in a sane channel-BER range, and more puncturing needs a
+// cleaner channel.
+class CodingWaterfall : public ::testing::TestWithParam<CodeRate> {};
+
+TEST_P(CodingWaterfall, CrossesTargetInSaneRange) {
+  double crossing = -1.0;
+  for (double p = 1e-4; p <= 0.2; p *= 1.05) {
+    if (coded_ber(GetParam(), p) > 1e-5) {
+      crossing = p;
+      break;
+    }
+  }
+  ASSERT_GT(crossing, 0.0);
+  EXPECT_GT(crossing, 1e-4);
+  EXPECT_LT(crossing, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, CodingWaterfall,
+                         ::testing::Values(CodeRate::kRate12,
+                                           CodeRate::kRate23,
+                                           CodeRate::kRate34,
+                                           CodeRate::kRate56));
+
+}  // namespace
+}  // namespace acorn::phy

@@ -1,0 +1,135 @@
+#include "phy/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/noise.hpp"
+
+namespace acorn::phy {
+namespace {
+
+TEST(Calibration, SameWidthIsIdentity) {
+  const LinkEstimator est;
+  EXPECT_DOUBLE_EQ(est.calibrate_snr_db(12.0, ChannelWidth::k20MHz,
+                                        ChannelWidth::k20MHz),
+                   12.0);
+  EXPECT_DOUBLE_EQ(est.calibrate_snr_db(12.0, ChannelWidth::k40MHz,
+                                        ChannelWidth::k40MHz),
+                   12.0);
+}
+
+TEST(Calibration, TwentyToFortySubtractsShift) {
+  const LinkEstimator est;
+  EXPECT_DOUBLE_EQ(est.calibrate_snr_db(12.0, ChannelWidth::k20MHz,
+                                        ChannelWidth::k40MHz),
+                   9.0);
+}
+
+TEST(Calibration, FortyToTwentyAddsShift) {
+  const LinkEstimator est;
+  EXPECT_DOUBLE_EQ(est.calibrate_snr_db(12.0, ChannelWidth::k40MHz,
+                                        ChannelWidth::k20MHz),
+                   15.0);
+}
+
+TEST(Calibration, RoundTripIsIdentity) {
+  const LinkEstimator est;
+  const double snr = 7.3;
+  const double there = est.calibrate_snr_db(snr, ChannelWidth::k20MHz,
+                                            ChannelWidth::k40MHz);
+  EXPECT_DOUBLE_EQ(est.calibrate_snr_db(there, ChannelWidth::k40MHz,
+                                        ChannelWidth::k20MHz),
+                   snr);
+}
+
+TEST(Calibration, PaperShiftApproximatesTruePenalty) {
+  // The paper uses 3 dB; the physical penalty is 3.17 dB. The estimator
+  // should be within a quarter dB of the truth.
+  const EstimatorConfig cfg;
+  EXPECT_NEAR(cfg.width_shift_db, cb_snr_penalty_db(), 0.25);
+}
+
+TEST(Estimate, PipelineProducesConsistentPer) {
+  const LinkEstimator est;
+  const LinkEstimate e = est.estimate(mcs(2), 10.0, ChannelWidth::k20MHz,
+                                      ChannelWidth::k20MHz);
+  EXPECT_NEAR(e.per, packet_error_rate(e.ber, 1500 * 8), 1e-12);
+}
+
+TEST(Estimate, FortyPredictionWorseOnMarginalLink) {
+  const LinkEstimator est;
+  const double snr20 = 8.0;
+  const LinkEstimate on20 = est.estimate(mcs(2), snr20, ChannelWidth::k20MHz,
+                                         ChannelWidth::k20MHz);
+  const LinkEstimate on40 = est.estimate(mcs(2), snr20, ChannelWidth::k20MHz,
+                                         ChannelWidth::k40MHz);
+  EXPECT_GT(on40.per, on20.per);
+}
+
+TEST(Estimate, GoodputUsesTargetWidthRate) {
+  const LinkEstimator est;
+  const LinkEstimate on40 = est.estimate(mcs(7), 38.0, ChannelWidth::k20MHz,
+                                         ChannelWidth::k40MHz);
+  // Near-zero PER at 35 dB: goodput ~ nominal 40 MHz rate.
+  EXPECT_NEAR(on40.goodput_bps, 135e6, 1e6);
+}
+
+TEST(BestEstimate, PicksHighestGoodput) {
+  const LinkEstimator est;
+  const LinkEstimate best = est.best_estimate(20.0, ChannelWidth::k20MHz,
+                                              ChannelWidth::k20MHz);
+  for (const McsEntry& e : mcs_table()) {
+    const LinkEstimate cand = est.estimate(e, 20.0, ChannelWidth::k20MHz,
+                                           ChannelWidth::k20MHz);
+    EXPECT_GE(best.goodput_bps, cand.goodput_bps - 1e-9);
+  }
+}
+
+TEST(Classify, StrongLinkIsGood) {
+  const LinkEstimator est;
+  EXPECT_EQ(est.classify(30.0, ChannelWidth::k20MHz, ChannelWidth::k40MHz),
+            LinkQuality::kGood);
+}
+
+TEST(Classify, HopelessLinkIsPoor) {
+  const LinkEstimator est;
+  EXPECT_EQ(est.classify(-8.0, ChannelWidth::k20MHz, ChannelWidth::k40MHz),
+            LinkQuality::kPoor);
+}
+
+TEST(Classify, WidthChangesClassificationNearBoundary) {
+  const LinkEstimator est;
+  // Find an SNR that is good on 20 MHz but poor on 40 MHz — the heart of
+  // ACORN's CB decision.
+  bool found = false;
+  for (double snr = -5.0; snr <= 15.0; snr += 0.25) {
+    if (est.classify(snr, ChannelWidth::k20MHz, ChannelWidth::k20MHz) ==
+            LinkQuality::kGood &&
+        est.classify(snr, ChannelWidth::k20MHz, ChannelWidth::k40MHz) ==
+            LinkQuality::kPoor) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Estimator, EstimateTracksLinkModelWithinTolerance) {
+  // The estimator (3.0 dB shift, no fading margin) should be a coarse but
+  // sane predictor of the true model (3.17 dB, shadowed): within an
+  // order of magnitude in PER on the waterfall.
+  EstimatorConfig ecfg;
+  const LinkEstimator est(ecfg);
+  LinkConfig lcfg;
+  const LinkModel truth(lcfg);
+  const double snr20 = 12.0;
+  const double true_per40 =
+      truth.per(mcs(2), snr20 - cb_snr_penalty_db());
+  const LinkEstimate pred = est.estimate(mcs(2), snr20, ChannelWidth::k20MHz,
+                                         ChannelWidth::k40MHz);
+  // Coarse classification agreement (paper: "only needs a coarse
+  // estimate").
+  EXPECT_EQ(pred.per > 0.5, true_per40 > 0.5);
+}
+
+}  // namespace
+}  // namespace acorn::phy

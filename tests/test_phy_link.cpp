@@ -1,0 +1,151 @@
+#include "phy/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "phy/noise.hpp"
+
+namespace acorn::phy {
+namespace {
+
+TEST(LinkModel, RejectsBadPayload) {
+  LinkConfig cfg;
+  cfg.payload_bytes = 0;
+  EXPECT_THROW(LinkModel{cfg}, std::invalid_argument);
+}
+
+TEST(LinkModel, ModeImpliedByStreams) {
+  EXPECT_EQ(mode_for(mcs(0)), MimoMode::kStbc);
+  EXPECT_EQ(mode_for(mcs(7)), MimoMode::kStbc);
+  EXPECT_EQ(mode_for(mcs(8)), MimoMode::kSdm);
+  EXPECT_EQ(mode_for(mcs(15)), MimoMode::kSdm);
+}
+
+TEST(LinkModel, SnrUsesNoiseFigure) {
+  LinkConfig cfg;
+  cfg.noise_figure_db = 5.0;
+  const LinkModel link(cfg);
+  EXPECT_NEAR(link.snr_db(15.0, 90.0, ChannelWidth::k20MHz),
+              snr_per_subcarrier_db(15.0, 90.0, ChannelWidth::k20MHz, 5.0),
+              1e-9);
+}
+
+TEST(LinkModel, EffectiveSnrStbcGainSdmPenalty) {
+  LinkConfig cfg;
+  cfg.stbc_gain_db = 3.0;
+  cfg.sdm_penalty_db = 6.0;
+  const LinkModel link(cfg);
+  EXPECT_NEAR(link.effective_snr_db(10.0, mcs(3)), 13.0, 1e-12);
+  EXPECT_NEAR(link.effective_snr_db(10.0, mcs(11)), 4.0, 1e-12);
+}
+
+TEST(LinkModel, PerDecreasesWithSnr) {
+  const LinkModel link;
+  for (int idx : {0, 4, 7, 12, 15}) {
+    double prev = 1.1;
+    for (double snr = -5.0; snr <= 40.0; snr += 1.0) {
+      const double per = link.per(mcs(idx), snr);
+      EXPECT_LE(per, prev + 1e-12) << "MCS " << idx << " snr " << snr;
+      prev = per;
+    }
+  }
+}
+
+TEST(LinkModel, PerIsProbability) {
+  const LinkModel link;
+  for (const McsEntry& e : mcs_table()) {
+    for (double snr = -20.0; snr <= 50.0; snr += 5.0) {
+      const double per = link.per(e, snr);
+      EXPECT_GE(per, 0.0);
+      EXPECT_LE(per, 1.0);
+    }
+  }
+}
+
+TEST(LinkModel, FortyMhzWorseAtSameTxPower) {
+  const LinkModel link;
+  // Marginal link: the 3.17 dB penalty must show in PER.
+  const double per20 = link.per_at(mcs(2), 15.0, 104.0, ChannelWidth::k20MHz);
+  const double per40 = link.per_at(mcs(2), 15.0, 104.0, ChannelWidth::k40MHz);
+  EXPECT_LT(per20, per40);
+}
+
+TEST(LinkModel, SameSnrSamePerRegardlessOfWidth) {
+  // Paper Fig. 3(a)/4(a): for equal per-subcarrier SNR, error rates do
+  // not depend on the width (the model's PER depends on SNR only).
+  const LinkModel link;
+  const double snr = 9.0;
+  EXPECT_DOUBLE_EQ(link.per(mcs(2), snr), link.per(mcs(2), snr));
+}
+
+TEST(LinkModel, GoodputApproachesNominalRateAtHighSnr) {
+  const LinkModel link;
+  const double goodput = link.goodput_bps(
+      mcs(7), ChannelWidth::k20MHz, GuardInterval::kLong800ns, 40.0);
+  EXPECT_NEAR(goodput, 65e6, 0.05e6);
+}
+
+TEST(LinkModel, GoodputZeroAtAbysmalSnr) {
+  const LinkModel link;
+  const double goodput = link.goodput_bps(
+      mcs(15), ChannelWidth::k40MHz, GuardInterval::kLong800ns, -10.0);
+  EXPECT_LT(goodput, 1e3);
+}
+
+TEST(LinkModel, StbcOutlivesSdmAtLowSnr) {
+  const LinkModel link;
+  // Same modulation/code (MCS 4 vs 12) at a marginal SNR: the single
+  // stream with diversity must deliver more.
+  const double snr = 16.0;
+  const double stbc = link.goodput_bps(mcs(4), ChannelWidth::k20MHz,
+                                       GuardInterval::kLong800ns, snr);
+  const double sdm = link.goodput_bps(mcs(12), ChannelWidth::k20MHz,
+                                      GuardInterval::kLong800ns, snr);
+  EXPECT_GT(stbc, sdm);
+}
+
+TEST(LinkModel, SdmWinsAtHighSnr) {
+  const LinkModel link;
+  const double snr = 35.0;
+  const double stbc = link.goodput_bps(mcs(7), ChannelWidth::k20MHz,
+                                       GuardInterval::kLong800ns, snr);
+  const double sdm = link.goodput_bps(mcs(15), ChannelWidth::k20MHz,
+                                      GuardInterval::kLong800ns, snr);
+  EXPECT_GT(sdm, stbc);
+}
+
+TEST(LinkModel, PerAtMatchesSnrPath) {
+  const LinkModel link;
+  const double snr = link.snr_db(15.0, 100.0, ChannelWidth::k20MHz);
+  EXPECT_DOUBLE_EQ(link.per_at(mcs(3), 15.0, 100.0, ChannelWidth::k20MHz),
+                   link.per(mcs(3), snr));
+}
+
+// Parameterized: every MCS has a usable SNR operating point where PER is
+// low but not yet trivially zero at a slightly lower SNR.
+class McsOperatingPoint : public ::testing::TestWithParam<int> {};
+
+TEST_P(McsOperatingPoint, HasWaterfallRegion) {
+  const LinkModel link;
+  const McsEntry& entry = mcs(GetParam());
+  double low_snr = -25.0;
+  double high_snr = 55.0;
+  EXPECT_GT(link.per(entry, low_snr), 0.99);
+  EXPECT_LT(link.per(entry, high_snr), 1e-4);
+  // Find the 50% point and check it is strictly inside the sweep.
+  double mid = low_snr;
+  for (double snr = low_snr; snr <= high_snr; snr += 0.25) {
+    if (link.per(entry, snr) < 0.5) {
+      mid = snr;
+      break;
+    }
+  }
+  EXPECT_GT(mid, low_snr);
+  EXPECT_LT(mid, high_snr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, McsOperatingPoint, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace acorn::phy

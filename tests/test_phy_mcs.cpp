@@ -1,0 +1,115 @@
+#include "phy/mcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::phy {
+namespace {
+
+constexpr double kMbps = 1e6;
+
+TEST(McsTable, HasSixteenRows) { EXPECT_EQ(mcs_table().size(), 16u); }
+
+TEST(McsTable, IndicesAreDense) {
+  for (int i = 0; i <= kMaxMcs; ++i) EXPECT_EQ(mcs(i).index, i);
+}
+
+TEST(McsTable, RejectsOutOfRange) {
+  EXPECT_THROW(mcs(-1), std::out_of_range);
+  EXPECT_THROW(mcs(16), std::out_of_range);
+}
+
+TEST(McsTable, StreamCounts) {
+  for (int i = 0; i <= 7; ++i) EXPECT_EQ(mcs(i).streams, 1);
+  for (int i = 8; i <= 15; ++i) EXPECT_EQ(mcs(i).streams, 2);
+}
+
+TEST(McsTable, SecondEightRowsMirrorFirstEight) {
+  for (int i = 0; i <= 7; ++i) {
+    EXPECT_EQ(mcs(i).modulation, mcs(i + 8).modulation);
+    EXPECT_EQ(mcs(i).code_rate, mcs(i + 8).code_rate);
+  }
+}
+
+// The standard's nominal rates (long GI).
+TEST(McsRates, Mcs0_20MHzIs6p5Mbps) {
+  EXPECT_NEAR(mcs(0).rate_bps(ChannelWidth::k20MHz, GuardInterval::kLong800ns),
+              6.5 * kMbps, 1e3);
+}
+
+TEST(McsRates, Mcs7_20MHzIs65Mbps) {
+  EXPECT_NEAR(mcs(7).rate_bps(ChannelWidth::k20MHz, GuardInterval::kLong800ns),
+              65.0 * kMbps, 1e3);
+}
+
+TEST(McsRates, Mcs7_40MHzIs135Mbps) {
+  EXPECT_NEAR(mcs(7).rate_bps(ChannelWidth::k40MHz, GuardInterval::kLong800ns),
+              135.0 * kMbps, 1e3);
+}
+
+TEST(McsRates, Mcs15_40MHzIs270Mbps) {
+  EXPECT_NEAR(
+      mcs(15).rate_bps(ChannelWidth::k40MHz, GuardInterval::kLong800ns),
+      270.0 * kMbps, 1e3);
+}
+
+TEST(McsRates, ShortGiBoostsByTenNinths) {
+  const double lgi =
+      mcs(7).rate_bps(ChannelWidth::k20MHz, GuardInterval::kLong800ns);
+  const double sgi =
+      mcs(7).rate_bps(ChannelWidth::k20MHz, GuardInterval::kShort400ns);
+  EXPECT_NEAR(sgi / lgi, 10.0 / 9.0, 1e-9);
+}
+
+TEST(McsRates, FortyIsSlightlyMoreThanDoubleTwenty) {
+  // 108/52 ~ 2.077: the paper's "slightly higher than double".
+  for (const McsEntry& e : mcs_table()) {
+    const double r20 = e.rate_bps(ChannelWidth::k20MHz,
+                                  GuardInterval::kLong800ns);
+    const double r40 = e.rate_bps(ChannelWidth::k40MHz,
+                                  GuardInterval::kLong800ns);
+    EXPECT_NEAR(r40 / r20, 108.0 / 52.0, 1e-9) << "MCS " << e.index;
+    EXPECT_GT(r40, 2.0 * r20);
+  }
+}
+
+TEST(McsRates, MonotoneWithinStreamGroup) {
+  for (int i = 1; i <= 7; ++i) {
+    EXPECT_GT(mcs(i).rate_bps(ChannelWidth::k20MHz, GuardInterval::kLong800ns),
+              mcs(i - 1).rate_bps(ChannelWidth::k20MHz,
+                                  GuardInterval::kLong800ns));
+  }
+  for (int i = 9; i <= 15; ++i) {
+    EXPECT_GT(mcs(i).rate_bps(ChannelWidth::k40MHz, GuardInterval::kLong800ns),
+              mcs(i - 1).rate_bps(ChannelWidth::k40MHz,
+                                  GuardInterval::kLong800ns));
+  }
+}
+
+TEST(McsRates, TwoStreamsDoubleOneStream) {
+  for (int i = 0; i <= 7; ++i) {
+    const double one =
+        mcs(i).rate_bps(ChannelWidth::k20MHz, GuardInterval::kLong800ns);
+    const double two =
+        mcs(i + 8).rate_bps(ChannelWidth::k20MHz, GuardInterval::kLong800ns);
+    EXPECT_NEAR(two, 2.0 * one, 1e-6);
+  }
+}
+
+TEST(ChannelWidth, BandwidthAndSubcarriers) {
+  EXPECT_DOUBLE_EQ(width_hz(ChannelWidth::k20MHz), 20e6);
+  EXPECT_DOUBLE_EQ(width_hz(ChannelWidth::k40MHz), 40e6);
+  EXPECT_EQ(data_subcarriers(ChannelWidth::k20MHz), 52);
+  EXPECT_EQ(data_subcarriers(ChannelWidth::k40MHz), 108);
+}
+
+TEST(ChannelWidth, Names) {
+  EXPECT_EQ(to_string(ChannelWidth::k20MHz), "20MHz");
+  EXPECT_EQ(to_string(ChannelWidth::k40MHz), "40MHz");
+  EXPECT_EQ(to_string(MimoMode::kStbc), "STBC");
+  EXPECT_EQ(to_string(MimoMode::kSdm), "SDM");
+}
+
+}  // namespace
+}  // namespace acorn::phy

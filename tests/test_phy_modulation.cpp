@@ -1,0 +1,135 @@
+#include "phy/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace acorn::phy {
+namespace {
+
+TEST(Modulation, BitsPerSymbol) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6);
+}
+
+TEST(Modulation, ConstellationSizes) {
+  EXPECT_EQ(constellation_size(Modulation::kBpsk), 2);
+  EXPECT_EQ(constellation_size(Modulation::kQpsk), 4);
+  EXPECT_EQ(constellation_size(Modulation::kQam16), 16);
+  EXPECT_EQ(constellation_size(Modulation::kQam64), 64);
+}
+
+TEST(Modulation, Names) {
+  EXPECT_EQ(to_string(Modulation::kBpsk), "BPSK");
+  EXPECT_EQ(to_string(Modulation::kQam64), "64QAM");
+}
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(q_function(3.0), 0.001349, 1e-5);
+}
+
+TEST(QFunction, SymmetryAroundZero) {
+  EXPECT_NEAR(q_function(-1.0) + q_function(1.0), 1.0, 1e-12);
+}
+
+TEST(UncodedBer, BpskKnownPoint) {
+  // At Eb/N0 = 10 dB, BPSK BER ~ 3.87e-6.
+  const double ber = uncoded_ber(Modulation::kBpsk, util::db_to_lin(10.0));
+  EXPECT_NEAR(ber, 3.87e-6, 0.2e-6);
+}
+
+TEST(UncodedBer, QpskMatchesBpskAtSameEbN0) {
+  // QPSK Es/N0 = 2 Eb/N0, so doubling the symbol SNR must reproduce BPSK.
+  const double eb = util::db_to_lin(6.0);
+  EXPECT_NEAR(uncoded_ber(Modulation::kQpsk, 2.0 * eb),
+              uncoded_ber(Modulation::kBpsk, eb), 1e-12);
+}
+
+TEST(UncodedBer, MonotoneDecreasingInSnr) {
+  for (const Modulation mod : {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64}) {
+    double prev = 1.0;
+    for (double snr_db = -10.0; snr_db <= 35.0; snr_db += 1.0) {
+      const double ber = uncoded_ber_db(mod, snr_db);
+      EXPECT_LE(ber, prev + 1e-15) << to_string(mod) << " at " << snr_db;
+      prev = ber;
+    }
+  }
+}
+
+TEST(UncodedBer, HigherOrderModulationIsWorseAtSameSnr) {
+  for (double snr_db = 5.0; snr_db <= 25.0; snr_db += 5.0) {
+    const double qpsk = uncoded_ber_db(Modulation::kQpsk, snr_db);
+    const double qam16 = uncoded_ber_db(Modulation::kQam16, snr_db);
+    const double qam64 = uncoded_ber_db(Modulation::kQam64, snr_db);
+    EXPECT_LE(qpsk, qam16);
+    EXPECT_LE(qam16, qam64);
+  }
+}
+
+TEST(UncodedBer, CappedAtHalf) {
+  EXPECT_LE(uncoded_ber(Modulation::kQam64, 0.0), 0.5);
+  EXPECT_LE(uncoded_ber(Modulation::kQam16, 1e-9), 0.5);
+}
+
+TEST(UncodedBer, RejectsNegativeSnr) {
+  EXPECT_THROW(uncoded_ber(Modulation::kBpsk, -0.1), std::invalid_argument);
+}
+
+TEST(ShadowedBer, ZeroShadowReducesToAwgn) {
+  EXPECT_DOUBLE_EQ(uncoded_ber_shadowed_db(Modulation::kQpsk, 8.0, 0.0),
+                   uncoded_ber_db(Modulation::kQpsk, 8.0));
+}
+
+TEST(ShadowedBer, ShadowingRaisesBerAtHighSnr) {
+  // Jensen: BER is convex in SNR(dB) in the waterfall, so averaging over
+  // jitter increases it where the curve is steep.
+  const double plain = uncoded_ber_db(Modulation::kQpsk, 12.0);
+  const double shadowed = uncoded_ber_shadowed_db(Modulation::kQpsk, 12.0, 3.0);
+  EXPECT_GT(shadowed, plain);
+}
+
+TEST(ShadowedBer, StillMonotoneInSnr) {
+  double prev = 1.0;
+  for (double snr = -5.0; snr <= 30.0; snr += 1.0) {
+    const double ber = uncoded_ber_shadowed_db(Modulation::kQam16, snr, 2.5);
+    EXPECT_LE(ber, prev + 1e-15);
+    prev = ber;
+  }
+}
+
+// Property sweep: per-modulation BER sanity over a parameter grid.
+class ModulationSweep : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModulationSweep, BerWithinProbabilityBounds) {
+  for (double snr_db = -20.0; snr_db <= 40.0; snr_db += 0.5) {
+    const double ber = uncoded_ber_db(GetParam(), snr_db);
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LE(ber, 0.5);
+  }
+}
+
+TEST_P(ModulationSweep, ShadowedBerWithinBounds) {
+  for (double shadow = 0.5; shadow <= 6.0; shadow += 0.5) {
+    for (double snr_db = -10.0; snr_db <= 30.0; snr_db += 2.0) {
+      const double ber = uncoded_ber_shadowed_db(GetParam(), snr_db, shadow);
+      EXPECT_GE(ber, 0.0);
+      EXPECT_LE(ber, 0.5 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, ModulationSweep,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+}  // namespace
+}  // namespace acorn::phy

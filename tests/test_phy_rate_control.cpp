@@ -1,0 +1,150 @@
+#include "phy/rate_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acorn::phy {
+namespace {
+
+TEST(RateControl, PicksTopMcsOnPerfectLink) {
+  const LinkModel link;
+  const RateDecision d = best_rate(link, ChannelWidth::k20MHz, 45.0);
+  EXPECT_EQ(d.mcs_index, 15);
+  EXPECT_EQ(d.mode, MimoMode::kSdm);
+  EXPECT_LT(d.per, 1e-6);
+}
+
+TEST(RateControl, FallsBackToStbcOnWeakLink) {
+  const LinkModel link;
+  const RateDecision d = best_rate(link, ChannelWidth::k20MHz, 6.0);
+  EXPECT_EQ(d.mode, MimoMode::kStbc);
+  EXPECT_LE(d.mcs_index, 2);
+}
+
+TEST(RateControl, GoodputNeverNegative) {
+  const LinkModel link;
+  for (double snr = -20.0; snr <= 50.0; snr += 2.5) {
+    const RateDecision d = best_rate(link, ChannelWidth::k40MHz, snr);
+    EXPECT_GE(d.goodput_bps, 0.0);
+  }
+}
+
+TEST(RateControl, GoodputMonotoneInSnr) {
+  const LinkModel link;
+  for (const ChannelWidth w : {ChannelWidth::k20MHz, ChannelWidth::k40MHz}) {
+    double prev = -1.0;
+    for (double snr = -15.0; snr <= 45.0; snr += 1.0) {
+      const double g = best_rate(link, w, snr).goodput_bps;
+      EXPECT_GE(g, prev - 1e-6);
+      prev = g;
+    }
+  }
+}
+
+TEST(RateControl, SelectedMcsNondecreasingInSnr) {
+  const LinkModel link;
+  int prev = 0;
+  for (double snr = 0.0; snr <= 45.0; snr += 1.0) {
+    const int idx = best_rate(link, ChannelWidth::k20MHz, snr).mcs_index;
+    // Mode switches can step the index around 7 -> 8, but the goodput
+    // ordering keeps the nominal rate nondecreasing.
+    const double rate = mcs(idx).rate_bps(ChannelWidth::k20MHz,
+                                          GuardInterval::kLong800ns);
+    const double prev_rate = mcs(prev).rate_bps(ChannelWidth::k20MHz,
+                                                GuardInterval::kLong800ns);
+    EXPECT_GE(rate, prev_rate * 0.99) << "snr " << snr;
+    prev = idx;
+  }
+}
+
+TEST(RateControl, FortySelectsLessAggressiveMcsAtFixedTx) {
+  // Paper Fig. 6(b): MCS*(40) <= MCS*(20) for the same link.
+  const LinkModel link;
+  for (double pl = 80.0; pl <= 108.0; pl += 2.0) {
+    const WidthComparison cmp = compare_widths(link, 15.0, pl);
+    const double rate20 = mcs(cmp.on20.mcs_index)
+                              .rate_bps(ChannelWidth::k20MHz,
+                                        GuardInterval::kLong800ns);
+    const double rate40_as20 = mcs(cmp.on40.mcs_index)
+                                   .rate_bps(ChannelWidth::k20MHz,
+                                             GuardInterval::kLong800ns);
+    EXPECT_LE(rate40_as20, rate20 + 1e-6) << "PL " << pl;
+  }
+}
+
+TEST(RateControl, CbGainNeverExceedsNominalRateRatio) {
+  // The CB gain is bounded by the nominal rate ratio 108/52 ~ 2.077,
+  // reached only when both widths run error-free at MCS 15.
+  const LinkModel link;
+  for (double pl = 70.0; pl <= 112.0; pl += 1.0) {
+    const WidthComparison cmp = compare_widths(link, 15.0, pl);
+    if (cmp.on20.goodput_bps > 1e5) {
+      EXPECT_LE(cmp.on40.goodput_bps,
+                108.0 / 52.0 * cmp.on20.goodput_bps + 1e5)
+          << "PL " << pl;
+    }
+  }
+}
+
+TEST(RateControl, CbGainBelowDoubleOffTheRateCeiling) {
+  // Paper Fig. 6(a): away from the MCS-15 ceiling, the measured points
+  // sit below y = 2x because the 40 MHz side runs at higher PER / lower
+  // MCS for the same Tx.
+  const LinkModel link;
+  bool any_checked = false;
+  for (double pl = 84.0; pl <= 108.0; pl += 1.0) {
+    const WidthComparison cmp = compare_widths(link, 15.0, pl);
+    if (cmp.on20.goodput_bps > 1e5 && cmp.on20.mcs_index < 15) {
+      EXPECT_LE(cmp.on40.goodput_bps, 2.0 * cmp.on20.goodput_bps + 1e5)
+          << "PL " << pl;
+      any_checked = true;
+    }
+  }
+  EXPECT_TRUE(any_checked);
+}
+
+TEST(RateControl, TwentyWinsOnPoorLinks) {
+  // Paper §3.2: below ~6 dB SNR the 20 MHz channel gives more throughput.
+  const LinkModel link;
+  const WidthComparison cmp = compare_widths(link, 15.0, 110.0);
+  EXPECT_FALSE(cmp.cb_wins());
+  EXPECT_GT(cmp.on20.goodput_bps, 0.0);
+}
+
+TEST(RateControl, CbWinsOnStrongLinks) {
+  const LinkModel link;
+  const WidthComparison cmp = compare_widths(link, 15.0, 80.0);
+  EXPECT_TRUE(cmp.cb_wins());
+  EXPECT_GT(cmp.on40.goodput_bps, 1.5 * cmp.on20.goodput_bps);
+}
+
+TEST(RateControl, BestRateAtUsesLinkBudget) {
+  const LinkModel link;
+  const RateDecision via_at =
+      best_rate_at(link, ChannelWidth::k20MHz, 15.0, 95.0);
+  const RateDecision via_snr = best_rate(
+      link, ChannelWidth::k20MHz, link.snr_db(15.0, 95.0,
+                                              ChannelWidth::k20MHz));
+  EXPECT_EQ(via_at.mcs_index, via_snr.mcs_index);
+  EXPECT_DOUBLE_EQ(via_at.goodput_bps, via_snr.goodput_bps);
+}
+
+// Width-crossover property: scanning path loss from strong to weak, CB
+// must win first and lose beyond some crossover, with no flapping back.
+TEST(RateControl, SingleCrossoverInPathLoss) {
+  const LinkModel link;
+  bool seen_loss = false;
+  for (double pl = 70.0; pl <= 118.0; pl += 0.5) {
+    const WidthComparison cmp = compare_widths(link, 15.0, pl);
+    const bool both_dead =
+        cmp.on20.goodput_bps < 1e4 && cmp.on40.goodput_bps < 1e4;
+    if (both_dead) break;
+    if (!cmp.cb_wins()) seen_loss = true;
+    if (seen_loss) {
+      EXPECT_FALSE(cmp.cb_wins()) << "CB flapped back at PL " << pl;
+    }
+  }
+  EXPECT_TRUE(seen_loss);
+}
+
+}  // namespace
+}  // namespace acorn::phy

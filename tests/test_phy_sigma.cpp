@@ -1,0 +1,126 @@
+#include "phy/sigma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/noise.hpp"
+
+namespace acorn::phy {
+namespace {
+
+TEST(RateRatio, IsAboutTwo) {
+  for (const McsEntry& e : mcs_table()) {
+    EXPECT_NEAR(rate_ratio_40_over_20(e), 108.0 / 52.0, 1e-9);
+  }
+}
+
+TEST(Sigma, ApproachesOneAtHighSnr) {
+  const LinkModel link;
+  // Both widths deliver everything: sigma -> 1.
+  EXPECT_NEAR(sigma_at_snr(link, mcs(2), 35.0), 1.0, 1e-3);
+}
+
+TEST(Sigma, NearOneDeepInOutage) {
+  const LinkModel link;
+  // Both PERs ~ 1; the ratio of tiny delivery probabilities stays small
+  // or is treated as 1 (paper: "sigma ~ 1" at low Tx).
+  const double s = sigma_at_snr(link, mcs(6), -15.0);
+  EXPECT_TRUE(s >= 0.0);
+}
+
+TEST(Sigma, ExceedsTwoInTransitionWindow) {
+  const LinkModel link;
+  // Paper Fig. 5: for each modcod there is a power band where CB hurts.
+  const auto window = sigma_window(link, mcs(2));
+  ASSERT_TRUE(window.has_value());
+  const double mid = 0.5 * (window->enter_db + window->exit_db);
+  EXPECT_GE(sigma_at_snr(link, mcs(2), mid), 2.0);
+}
+
+TEST(Sigma, WindowsRiseWithModulationAggressiveness) {
+  const LinkModel link;
+  // Table 1 ordering: QPSK3/4 < 16QAM3/4 < 64QAM3/4 < 64QAM5/6.
+  const auto qpsk = sigma_window(link, mcs(2));
+  const auto qam16 = sigma_window(link, mcs(4));
+  const auto qam64 = sigma_window(link, mcs(6));
+  const auto qam64h = sigma_window(link, mcs(7));
+  ASSERT_TRUE(qpsk && qam16 && qam64 && qam64h);
+  EXPECT_LT(qpsk->enter_db, qam16->enter_db);
+  EXPECT_LT(qam16->enter_db, qam64->enter_db);
+  EXPECT_LT(qam64->enter_db, qam64h->enter_db);
+}
+
+TEST(Sigma, WindowSpansFewDb) {
+  const LinkModel link;
+  // Paper: "maps to a 2-3 dB difference in SNR". Allow some slack for the
+  // model's fading margin.
+  for (int idx : {2, 4, 6, 7}) {
+    const auto window = sigma_window(link, mcs(idx));
+    ASSERT_TRUE(window.has_value()) << "MCS " << idx;
+    const double span = window->exit_db - window->enter_db;
+    EXPECT_GT(span, 1.0) << "MCS " << idx;
+    EXPECT_LT(span, 8.0) << "MCS " << idx;
+  }
+}
+
+TEST(Sigma, NoWindowWhenSweepStartsAboveTransition) {
+  const LinkModel link;
+  // Both widths are error-free above 30 dB, so sigma never reaches 2.
+  EXPECT_FALSE(sigma_window(link, mcs(2), 2.0, 30.0, 40.0).has_value());
+}
+
+TEST(Sigma, SweepRespectsCap) {
+  const LinkModel link;
+  const auto sweep = sigma_sweep(link, mcs(4), 100.0);
+  EXPECT_EQ(sweep.size(), 101u);
+  for (const auto& pt : sweep) {
+    EXPECT_LE(pt.sigma, 10.0);
+    EXPECT_GE(pt.sigma, 0.0);
+  }
+}
+
+TEST(Sigma, SweepPowerAxisIsMonotone) {
+  const LinkModel link;
+  const auto sweep = sigma_sweep(link, mcs(4), 100.0, -10.0, 25.0, 51);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].tx_dbm, sweep[i - 1].tx_dbm);
+  }
+  EXPECT_NEAR(sweep.front().tx_dbm, -10.0, 1e-9);
+  EXPECT_NEAR(sweep.back().tx_dbm, 25.0, 1e-9);
+}
+
+TEST(Sigma, SweepShowsHumpShape) {
+  const LinkModel link;
+  // On a mid-quality link, sigma starts ~1ish, rises >= 2, returns ~1.
+  const auto sweep = sigma_sweep(link, mcs(2), 112.0, -5.0, 30.0, 141);
+  double peak = 0.0;
+  for (const auto& pt : sweep) peak = std::max(peak, pt.sigma);
+  EXPECT_GE(peak, 2.0);
+  EXPECT_NEAR(sweep.back().sigma, 1.0, 0.05);
+}
+
+TEST(Sigma, ConsistentWithTxFormulation) {
+  const LinkModel link;
+  const double tx = 10.0;
+  const double pl = 100.0;
+  const double snr20 = link.snr_db(tx, pl, ChannelWidth::k20MHz);
+  EXPECT_DOUBLE_EQ(sigma(link, mcs(4), tx, pl),
+                   sigma_at_snr(link, mcs(4), snr20));
+}
+
+// Table 1 regeneration property: each modcod's window exists within the
+// sweep range used by the bench.
+class SigmaWindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SigmaWindowSweep, WindowInsideSweepRange) {
+  const LinkModel link;
+  const auto window = sigma_window(link, mcs(GetParam()), 2.0, -15.0, 40.0);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_GT(window->enter_db, -15.0);
+  EXPECT_LT(window->exit_db, 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Modcods, SigmaWindowSweep,
+                         ::testing::Values(2, 4, 6, 7));
+
+}  // namespace
+}  // namespace acorn::phy

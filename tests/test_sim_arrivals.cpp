@@ -1,0 +1,109 @@
+#include "sim/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::sim {
+namespace {
+
+DurationSampler constant(double d) {
+  return [d](util::Rng&) { return d; };
+}
+
+TEST(Arrivals, RejectsBadConfig) {
+  util::Rng rng(1);
+  ArrivalConfig cfg;
+  cfg.rate_per_s = 0.0;
+  EXPECT_THROW(generate_arrivals(cfg, constant(1.0), rng),
+               std::invalid_argument);
+  cfg = ArrivalConfig{};
+  cfg.horizon_s = -1.0;
+  EXPECT_THROW(generate_arrivals(cfg, constant(1.0), rng),
+               std::invalid_argument);
+  cfg = ArrivalConfig{};
+  EXPECT_THROW(generate_arrivals(cfg, DurationSampler{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Arrivals, AllWithinHorizonAndSorted) {
+  util::Rng rng(2);
+  ArrivalConfig cfg;
+  cfg.rate_per_s = 0.1;
+  cfg.horizon_s = 1000.0;
+  const auto sessions = generate_arrivals(cfg, constant(60.0), rng);
+  double prev = 0.0;
+  for (const ArrivalEvent& s : sessions) {
+    EXPECT_GE(s.arrive_s, prev);
+    EXPECT_LT(s.arrive_s, cfg.horizon_s);
+    EXPECT_NEAR(s.depart_s - s.arrive_s, 60.0, 1e-9);
+    prev = s.arrive_s;
+  }
+}
+
+TEST(Arrivals, CountMatchesPoissonRate) {
+  util::Rng rng(3);
+  ArrivalConfig cfg;
+  cfg.rate_per_s = 0.05;
+  cfg.horizon_s = 100000.0;
+  const auto sessions = generate_arrivals(cfg, constant(10.0), rng);
+  EXPECT_NEAR(static_cast<double>(sessions.size()), 5000.0, 300.0);
+}
+
+TEST(Arrivals, SlotsCycleRoundRobin) {
+  util::Rng rng(4);
+  ArrivalConfig cfg;
+  cfg.rate_per_s = 0.1;
+  cfg.horizon_s = 2000.0;
+  cfg.num_client_slots = 3;
+  const auto sessions = generate_arrivals(cfg, constant(5.0), rng);
+  ASSERT_GE(sessions.size(), 6u);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ(sessions[i].client_slot, static_cast<int>(i % 3));
+  }
+}
+
+TEST(Arrivals, ActiveSessionCounting) {
+  std::vector<ArrivalEvent> sessions = {
+      {0.0, 10.0, 0}, {5.0, 15.0, 1}, {20.0, 30.0, 2}};
+  EXPECT_EQ(active_sessions(sessions, -1.0), 0);
+  EXPECT_EQ(active_sessions(sessions, 0.0), 1);
+  EXPECT_EQ(active_sessions(sessions, 7.0), 2);
+  EXPECT_EQ(active_sessions(sessions, 12.0), 1);
+  EXPECT_EQ(active_sessions(sessions, 17.0), 0);
+  EXPECT_EQ(active_sessions(sessions, 25.0), 1);
+  EXPECT_EQ(active_sessions(sessions, 30.0), 0);  // half-open interval
+}
+
+TEST(Arrivals, DurationSamplerIsUsed) {
+  util::Rng rng(5);
+  ArrivalConfig cfg;
+  cfg.rate_per_s = 0.01;
+  cfg.horizon_s = 10000.0;
+  int calls = 0;
+  const auto sessions = generate_arrivals(
+      cfg,
+      [&calls](util::Rng&) {
+        ++calls;
+        return 42.0;
+      },
+      rng);
+  EXPECT_EQ(static_cast<std::size_t>(calls), sessions.size());
+}
+
+TEST(Arrivals, DeterministicPerSeed) {
+  ArrivalConfig cfg;
+  cfg.rate_per_s = 0.02;
+  cfg.horizon_s = 5000.0;
+  util::Rng r1(9);
+  util::Rng r2(9);
+  const auto a = generate_arrivals(cfg, constant(30.0), r1);
+  const auto b = generate_arrivals(cfg, constant(30.0), r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrive_s, b[i].arrive_s);
+  }
+}
+
+}  // namespace
+}  // namespace acorn::sim

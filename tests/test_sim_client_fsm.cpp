@@ -1,0 +1,158 @@
+#include "sim/client_fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::sim {
+namespace {
+
+struct Harness {
+  EventQueue queue;
+  double rss_ap0 = -60.0;
+  double rss_ap1 = -80.0;
+  std::optional<int> pick = 0;
+
+  ClientFsm make(ClientFsmConfig cfg = {}) {
+    return ClientFsm(
+        7, cfg,
+        [this](int ap) { return ap == 0 ? rss_ap0 : rss_ap1; },
+        [this]() { return pick; });
+  }
+};
+
+TEST(ClientFsm, RejectsMissingHooks) {
+  EXPECT_THROW(ClientFsm(0, {}, nullptr, []() { return std::nullopt; }),
+               std::invalid_argument);
+}
+
+TEST(ClientFsm, StartsIdle) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  EXPECT_EQ(fsm.state(), ClientState::kIdle);
+  EXPECT_EQ(fsm.serving_ap(), -1);
+}
+
+TEST(ClientFsm, JoinWalksThroughScanAndAssociation) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  EXPECT_EQ(fsm.state(), ClientState::kScanning);
+  h.queue.run_until(0.4);  // scan takes 0.5 s
+  EXPECT_EQ(fsm.state(), ClientState::kScanning);
+  h.queue.run_until(0.55);
+  EXPECT_EQ(fsm.state(), ClientState::kAssociating);
+  h.queue.run_until(0.7);
+  EXPECT_EQ(fsm.state(), ClientState::kAssociated);
+  EXPECT_EQ(fsm.serving_ap(), 0);
+}
+
+TEST(ClientFsm, JoinTwiceIsAnError) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  EXPECT_THROW(fsm.join(h.queue), std::logic_error);
+}
+
+TEST(ClientFsm, NoApMeansIdleWithRetry) {
+  Harness h;
+  h.pick = std::nullopt;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(1.0);
+  EXPECT_EQ(fsm.state(), ClientState::kIdle);
+  // An AP appears: the scheduled rescan finds it.
+  h.pick = 1;
+  h.queue.run_until(5.0);
+  EXPECT_EQ(fsm.state(), ClientState::kAssociated);
+  EXPECT_EQ(fsm.serving_ap(), 1);
+}
+
+TEST(ClientFsm, StaysPutWithoutBetterAp) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(30.0);
+  EXPECT_EQ(fsm.state(), ClientState::kAssociated);
+  EXPECT_EQ(fsm.serving_ap(), 0);
+  // Exactly one association in the history.
+  int associations = 0;
+  for (const ClientTransition& tr : fsm.history()) {
+    if (tr.to == ClientState::kAssociated) ++associations;
+  }
+  EXPECT_EQ(associations, 1);
+}
+
+TEST(ClientFsm, RoamsWhenAlternativeClearsHysteresis) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(1.0);
+  ASSERT_EQ(fsm.serving_ap(), 0);
+  // AP1 becomes much stronger and the policy starts picking it.
+  h.rss_ap1 = -50.0;
+  h.pick = 1;
+  h.queue.run_until(10.0);
+  EXPECT_EQ(fsm.state(), ClientState::kAssociated);
+  EXPECT_EQ(fsm.serving_ap(), 1);
+}
+
+TEST(ClientFsm, DoesNotRoamWithinHysteresis) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(1.0);
+  // AP1 only 3 dB better (< default 6 dB hysteresis), policy prefers it.
+  h.rss_ap1 = h.rss_ap0 + 3.0;
+  h.pick = 1;
+  h.queue.run_until(20.0);
+  EXPECT_EQ(fsm.serving_ap(), 0);
+}
+
+TEST(ClientFsm, RescansWhenServingLinkDies) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(1.0);
+  ASSERT_EQ(fsm.serving_ap(), 0);
+  h.rss_ap0 = -105.0;  // below min_serving_rss
+  h.pick = 1;
+  h.queue.run_until(10.0);
+  EXPECT_EQ(fsm.serving_ap(), 1);
+}
+
+TEST(ClientFsm, LeaveDetachesAndCancelsTimers) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(1.0);
+  ASSERT_EQ(fsm.state(), ClientState::kAssociated);
+  fsm.leave(h.queue);
+  EXPECT_EQ(fsm.state(), ClientState::kIdle);
+  EXPECT_EQ(fsm.serving_ap(), -1);
+  // Any still-queued monitor events are no-ops.
+  h.queue.run_until(60.0);
+  EXPECT_EQ(fsm.state(), ClientState::kIdle);
+}
+
+TEST(ClientFsm, HistoryRecordsTimesInOrder) {
+  Harness h;
+  ClientFsm fsm = h.make();
+  fsm.join(h.queue);
+  h.queue.run_until(2.0);
+  const auto& history = fsm.history();
+  ASSERT_GE(history.size(), 3u);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i].time_s, history[i - 1].time_s);
+  }
+  EXPECT_EQ(history.front().to, ClientState::kScanning);
+  EXPECT_EQ(history.back().to, ClientState::kAssociated);
+}
+
+TEST(ClientFsm, StateNames) {
+  EXPECT_STREQ(to_string(ClientState::kIdle), "IDLE");
+  EXPECT_STREQ(to_string(ClientState::kAssociated), "ASSOCIATED");
+}
+
+}  // namespace
+}  // namespace acorn::sim

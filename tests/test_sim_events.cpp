@@ -1,0 +1,95 @@
+#include "sim/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace acorn::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.processed(), 0u);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(1.0, [&](double) { order.push_back(2); });
+  q.schedule(1.0, [&](double) { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(5.0, [&](double now) { seen = now; });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](double) { ++fired; });
+  q.schedule(10.0, [&](double) { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_FALSE(q.empty());
+  q.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(double)> periodic = [&](double) {
+    ++count;
+    if (count < 5) q.schedule_in(1.0, periodic);
+  };
+  q.schedule(0.0, periodic);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, RejectsPastSchedulingAndEmptyHandlers) {
+  EventQueue q;
+  q.schedule(5.0, [](double) {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(10.0, EventQueue::Handler{}),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule(4.0, [&](double) {
+    q.schedule_in(2.5, [&](double now) { fired_at = now; });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 6.5);
+}
+
+}  // namespace
+}  // namespace acorn::sim

@@ -1,0 +1,130 @@
+#include "sim/mgmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace acorn::sim {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+struct Fixture {
+  ScenarioBuilder builder;
+  Wlan wlan;
+  net::Association assoc;
+  net::ChannelAssignment assignment;
+
+  Fixture()
+      : builder(make_builder()),
+        wlan(builder.build()),
+        assoc(builder.intended_association()),
+        assignment{net::Channel::basic(0), net::Channel::basic(0)} {}
+
+  static ScenarioBuilder make_builder() {
+    ScenarioBuilder b;
+    b.cells = {CellSpec{{testutil::kGoodLinkLoss, testutil::kMediumLinkLoss}},
+               CellSpec{{testutil::kGoodLinkLoss}}};
+    b.ap_ap_loss_db = 90.0;  // contending pair
+    return b;
+  }
+
+  net::InterferenceGraph graph() const {
+    return net::InterferenceGraph(wlan.topology(), wlan.budget(), assoc,
+                                  wlan.config().interference);
+  }
+};
+
+TEST(Mgmt, BeaconCarriesPaperFields) {
+  Fixture f;
+  const auto g = f.graph();
+  const Beacon beacon = make_beacon(f.wlan, g, f.assoc, f.assignment, 0);
+  EXPECT_EQ(beacon.ap_id, 0);
+  EXPECT_EQ(beacon.num_clients, 2);
+  EXPECT_EQ(beacon.client_ids.size(), 2u);
+  EXPECT_EQ(beacon.client_delays_s_per_bit.size(), 2u);
+  EXPECT_GT(beacon.atd_s_per_bit, 0.0);
+  EXPECT_DOUBLE_EQ(beacon.access_share, 0.5);  // one co-channel contender
+}
+
+TEST(Mgmt, AtdIsSumOfClientDelays) {
+  Fixture f;
+  const auto g = f.graph();
+  const Beacon beacon = make_beacon(f.wlan, g, f.assoc, f.assignment, 0);
+  double sum = 0.0;
+  for (double d : beacon.client_delays_s_per_bit) sum += d;
+  EXPECT_NEAR(beacon.atd_s_per_bit, sum, 1e-15);
+}
+
+TEST(Mgmt, EmptyCellBeaconIsZero) {
+  Fixture f;
+  net::Association none(f.assoc.size(), net::kUnassociated);
+  const net::InterferenceGraph g(f.wlan.topology(), f.wlan.budget(), none,
+                                 f.wlan.config().interference);
+  const Beacon beacon = make_beacon(f.wlan, g, none, f.assignment, 1);
+  EXPECT_EQ(beacon.num_clients, 0);
+  EXPECT_EQ(beacon.atd_s_per_bit, 0.0);
+}
+
+TEST(Mgmt, TrialBeaconIncludesJoiningClient) {
+  Fixture f;
+  net::Association without = f.assoc;
+  without[2] = net::kUnassociated;  // client 2 not yet joined
+  const net::InterferenceGraph g(f.wlan.topology(), f.wlan.budget(), without,
+                                 f.wlan.config().interference);
+  const Beacon plain = make_beacon(f.wlan, g, without, f.assignment, 1);
+  const Beacon trial =
+      make_beacon_with_client(f.wlan, g, without, f.assignment, 1, 2);
+  EXPECT_EQ(plain.num_clients, 0);
+  EXPECT_EQ(trial.num_clients, 1);
+  EXPECT_GT(trial.atd_s_per_bit, plain.atd_s_per_bit);
+}
+
+TEST(Mgmt, TrialBeaconIdempotentForExistingClient) {
+  Fixture f;
+  const auto g = f.graph();
+  const Beacon trial =
+      make_beacon_with_client(f.wlan, g, f.assoc, f.assignment, 0, 0);
+  EXPECT_EQ(trial.num_clients, 2);  // client 0 already associated
+}
+
+TEST(Mgmt, ChannelWidthAffectsBeaconDelays) {
+  Fixture f;
+  const auto g = f.graph();
+  net::ChannelAssignment bonded = {net::Channel::bonded(0),
+                                   net::Channel::basic(5)};
+  const Beacon on40 = make_beacon(f.wlan, g, f.assoc, bonded, 0);
+  const Beacon on20 = make_beacon(f.wlan, g, f.assoc, f.assignment, 0);
+  // Good links: wider channel lowers per-bit delay.
+  EXPECT_LT(on40.atd_s_per_bit, on20.atd_s_per_bit);
+}
+
+TEST(Mgmt, CoChannelCensusMatchesContenders) {
+  Fixture f;
+  const auto g = f.graph();
+  EXPECT_EQ(co_channel_neighbors(g, f.assignment, 0), 1);
+  net::ChannelAssignment split = {net::Channel::basic(0),
+                                  net::Channel::basic(3)};
+  EXPECT_EQ(co_channel_neighbors(g, split, 0), 0);
+}
+
+TEST(Mgmt, ApsInRangeRespectsThreshold) {
+  Fixture f;
+  // Client 0 has loss 80 to AP0 (rx -65) and isolated loss to AP1.
+  const auto in_range = aps_in_range(f.wlan, 0);
+  EXPECT_EQ(in_range, std::vector<int>{0});
+  // A stricter threshold empties the list.
+  EXPECT_TRUE(aps_in_range(f.wlan, 0, -50.0).empty());
+}
+
+TEST(Mgmt, ApsInRangeSeesCrossCellWhenConfigured) {
+  ScenarioBuilder b = Fixture::make_builder();
+  b.cross_loss_db = 95.0;  // every client hears every AP
+  const Wlan wlan = b.build();
+  const auto in_range = aps_in_range(wlan, 0);
+  EXPECT_EQ(in_range.size(), 2u);
+}
+
+}  // namespace
+}  // namespace acorn::sim

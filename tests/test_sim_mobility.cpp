@@ -1,0 +1,74 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::sim {
+namespace {
+
+TEST(Trajectory, RejectsDegenerateInput) {
+  EXPECT_THROW(Trajectory({Waypoint{0.0, {0, 0}}}), std::invalid_argument);
+  EXPECT_THROW(
+      Trajectory({Waypoint{1.0, {0, 0}}, Waypoint{1.0, {1, 0}}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Trajectory({Waypoint{2.0, {0, 0}}, Waypoint{1.0, {1, 0}}}),
+      std::invalid_argument);
+}
+
+TEST(Trajectory, InterpolatesLinearly) {
+  const Trajectory t({Waypoint{0.0, {0, 0}}, Waypoint{10.0, {100, 50}}});
+  const net::Point mid = t.position_at(5.0);
+  EXPECT_DOUBLE_EQ(mid.x, 50.0);
+  EXPECT_DOUBLE_EQ(mid.y, 25.0);
+}
+
+TEST(Trajectory, ClampsOutsideSpan) {
+  const Trajectory t({Waypoint{1.0, {10, 0}}, Waypoint{2.0, {20, 0}}});
+  EXPECT_DOUBLE_EQ(t.position_at(0.0).x, 10.0);
+  EXPECT_DOUBLE_EQ(t.position_at(5.0).x, 20.0);
+}
+
+TEST(Trajectory, MultiSegmentPath) {
+  const Trajectory t({Waypoint{0.0, {0, 0}}, Waypoint{1.0, {10, 0}},
+                      Waypoint{3.0, {10, 20}}});
+  EXPECT_DOUBLE_EQ(t.position_at(0.5).x, 5.0);
+  EXPECT_DOUBLE_EQ(t.position_at(2.0).y, 10.0);
+  EXPECT_DOUBLE_EQ(t.position_at(2.0).x, 10.0);
+}
+
+TEST(Trajectory, SpanAccessors) {
+  const Trajectory t({Waypoint{2.0, {0, 0}}, Waypoint{7.0, {1, 1}}});
+  EXPECT_DOUBLE_EQ(t.start_s(), 2.0);
+  EXPECT_DOUBLE_EQ(t.end_s(), 7.0);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 5.0);
+}
+
+TEST(Trajectory, LineFactory) {
+  const Trajectory t = Trajectory::line({0, 0}, {30, 40}, 10.0, 50.0);
+  EXPECT_DOUBLE_EQ(t.start_s(), 10.0);
+  EXPECT_DOUBLE_EQ(t.end_s(), 60.0);
+  const net::Point mid = t.position_at(35.0);
+  EXPECT_DOUBLE_EQ(mid.x, 15.0);
+  EXPECT_DOUBLE_EQ(mid.y, 20.0);
+}
+
+TEST(Trajectory, LineRejectsNonPositiveDuration) {
+  EXPECT_THROW(Trajectory::line({0, 0}, {1, 1}, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, WalkAwayIncreasesDistanceMonotonically) {
+  const net::Point ap{0, 0};
+  const Trajectory t = Trajectory::line({2, 0}, {60, 0}, 0.0, 50.0);
+  double prev = 0.0;
+  for (double s = 0.0; s <= 50.0; s += 5.0) {
+    const double d = net::distance(ap, t.position_at(s));
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace acorn::sim

@@ -1,0 +1,133 @@
+#include "trace/association_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acorn::trace {
+namespace {
+
+TEST(DurationModel, CdfIsAValidDistribution) {
+  const AssociationDurationModel m;
+  EXPECT_EQ(m.cdf(0.0), 0.0);
+  EXPECT_EQ(m.cdf(-5.0), 0.0);
+  EXPECT_NEAR(m.cdf(1e7), 1.0, 1e-6);
+  double prev = 0.0;
+  for (double x = 10.0; x < 30000.0; x *= 1.3) {
+    const double c = m.cdf(x);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(DurationModel, MedianNearThirtyOneMinutes) {
+  // The paper reports ~31 min; the synthetic model targets that band.
+  const AssociationDurationModel m;
+  const double median = m.quantile(0.5);
+  EXPECT_GT(median, 25.0 * 60.0);
+  EXPECT_LT(median, 35.0 * 60.0);
+}
+
+TEST(DurationModel, NinetyPercentBelowFortyMinutes) {
+  const AssociationDurationModel m;
+  EXPECT_GE(m.cdf(40.0 * 60.0), 0.88);  // paper: "more than 90%"
+}
+
+TEST(DurationModel, HeavyTailExists) {
+  const AssociationDurationModel m;
+  // A visible fraction of sessions outlast two hours (Fig. 9's tail).
+  const double above_2h = 1.0 - m.cdf(7200.0);
+  EXPECT_GT(above_2h, 0.005);
+  EXPECT_LT(above_2h, 0.10);
+}
+
+TEST(DurationModel, QuantileInvertsCdf) {
+  const AssociationDurationModel m;
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    const double q = m.quantile(p);
+    EXPECT_NEAR(m.cdf(q), p, 1e-3);
+  }
+}
+
+TEST(DurationModel, QuantileRejectsBadP) {
+  const AssociationDurationModel m;
+  EXPECT_THROW(m.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(m.quantile(1.0), std::invalid_argument);
+}
+
+TEST(DurationModel, SamplesMatchAnalyticCdf) {
+  const AssociationDurationModel m;
+  util::Rng rng(1);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = m.sample(rng);
+  const util::Ecdf ecdf(std::move(samples));
+  for (double x : {900.0, 1800.0, 2400.0, 5000.0}) {
+    EXPECT_NEAR(ecdf.at(x), m.cdf(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(TraceGenerator, RejectsBadConfig) {
+  const AssociationDurationModel m;
+  util::Rng rng(2);
+  TraceConfig cfg;
+  cfg.num_aps = 0;
+  EXPECT_THROW(generate_trace(cfg, m, rng), std::invalid_argument);
+  cfg = TraceConfig{};
+  cfg.mean_gap_s = 0.0;
+  EXPECT_THROW(generate_trace(cfg, m, rng), std::invalid_argument);
+}
+
+TEST(TraceGenerator, ProducesRequestedVolume) {
+  const AssociationDurationModel m;
+  util::Rng rng(3);
+  TraceConfig cfg;
+  cfg.num_aps = 10;
+  cfg.sessions_per_ap = 20;
+  const auto trace = generate_trace(cfg, m, rng);
+  EXPECT_EQ(trace.size(), 200u);
+}
+
+TEST(TraceGenerator, SessionsPerApDoNotOverlap) {
+  const AssociationDurationModel m;
+  util::Rng rng(4);
+  TraceConfig cfg;
+  cfg.num_aps = 3;
+  cfg.sessions_per_ap = 30;
+  const auto trace = generate_trace(cfg, m, rng);
+  double last_end[3] = {0.0, 0.0, 0.0};
+  for (const AssociationRecord& r : trace) {
+    EXPECT_GE(r.start_s, last_end[r.ap_id]);
+    last_end[r.ap_id] = r.start_s + r.duration_s;
+  }
+}
+
+TEST(TraceGenerator, DurationsOfExtractsAll) {
+  const AssociationDurationModel m;
+  util::Rng rng(5);
+  TraceConfig cfg;
+  cfg.num_aps = 2;
+  cfg.sessions_per_ap = 5;
+  const auto trace = generate_trace(cfg, m, rng);
+  const auto durations = durations_of(trace);
+  ASSERT_EQ(durations.size(), trace.size());
+  for (double d : durations) EXPECT_GT(d, 0.0);
+}
+
+TEST(Periodicity, RecommendsThirtyMinutes) {
+  // The paper runs channel allocation every 30 min because the median
+  // association lasts ~31 min.
+  const AssociationDurationModel m;
+  EXPECT_DOUBLE_EQ(recommended_period_s(m), 1800.0);
+}
+
+TEST(Periodicity, TracksTheMedian) {
+  AssociationDurationModel m;
+  m.body_median_s = 600.0;  // 10-minute sessions
+  const double period = recommended_period_s(m);
+  EXPECT_GE(period, 300.0);
+  EXPECT_LE(period, 900.0);
+}
+
+}  // namespace
+}  // namespace acorn::trace

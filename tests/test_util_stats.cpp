@@ -1,0 +1,173 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace acorn::util {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, SimpleAverage) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Variance, FewerThanTwoSamplesIsZero) {
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(variance(one), 0.0);
+}
+
+TEST(Variance, KnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; sample variance = 4 * 8 / 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stddev, IsSqrtOfVariance) {
+  const std::vector<double> xs = {1.0, 3.0};
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Percentile, EndpointsAreMinAndMax) {
+  const std::vector<double> xs = {4.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
+TEST(Percentile, ThrowsOnEmptyOrBadP) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, pred), 0.0);
+}
+
+TEST(RSquared, ThrowsOnLengthMismatch) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(r_squared(a, b), std::invalid_argument);
+}
+
+TEST(RSquared, ConstantObservedHandled) {
+  const std::vector<double> obs = {2.0, 2.0};
+  const std::vector<double> same = {2.0, 2.0};
+  const std::vector<double> off = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, same), 1.0);
+  EXPECT_DOUBLE_EQ(r_squared(obs, off), 0.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ThrowsOnTooFewPoints) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(linear_fit(xs, xs), std::invalid_argument);
+}
+
+TEST(Ecdf, ThrowsOnEmpty) {
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+TEST(Ecdf, StepFunctionValues) {
+  const Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.at(100.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInverseOfAt) {
+  const Ecdf ecdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, QuantileRejectsOutOfRange) {
+  const Ecdf ecdf({1.0});
+  EXPECT_THROW(ecdf.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(ecdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClampsValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamped to bin 0
+  h.add(25.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(JainFairness, PerfectlyEqualIsOne) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 1.0);
+}
+
+TEST(JainFairness, SingleWinnerIsOneOverN) {
+  const std::vector<double> xs = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 0.25);
+}
+
+TEST(JainFairness, KnownMixedValue) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  // (6)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(jain_fairness(xs), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainFairness, AllZeroIsTriviallyFair) {
+  const std::vector<double> xs = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 1.0);
+}
+
+TEST(JainFairness, RejectsEmptyAndNegative) {
+  EXPECT_THROW(jain_fairness({}), std::invalid_argument);
+  const std::vector<double> neg = {1.0, -0.5};
+  EXPECT_THROW(jain_fairness(neg), std::invalid_argument);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+}  // namespace
+}  // namespace acorn::util

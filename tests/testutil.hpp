@@ -1,0 +1,28 @@
+// Shared scenario helpers for the test suite, re-exporting the library's
+// scripted-deployment builder plus a canned Topology-1 shape.
+#pragma once
+
+#include "sim/scenario.hpp"
+
+namespace acorn::testutil {
+
+using acorn::sim::CellSpec;
+using acorn::sim::ScenarioBuilder;
+
+inline constexpr double kGoodLinkLoss = sim::kGoodLinkLoss;
+inline constexpr double kMediumLinkLoss = sim::kMediumLinkLoss;
+inline constexpr double kMarginalLinkLoss = sim::kMarginalLinkLoss;
+inline constexpr double kWeakLinkLoss = sim::kWeakLinkLoss;
+inline constexpr double kPoorLinkLoss = sim::kPoorLinkLoss;
+inline constexpr double kIsolatedLoss = sim::kIsolatedLoss;
+
+/// Two isolated cells: AP0 with two poor clients, AP1 with two good ones
+/// (the paper's Topology 1 shape).
+inline ScenarioBuilder topology1_builder() {
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{kPoorLinkLoss, kPoorLinkLoss + 0.2}},
+             CellSpec{{kGoodLinkLoss, kGoodLinkLoss + 2.0}}};
+  return b;
+}
+
+}  // namespace acorn::testutil
