@@ -95,6 +95,9 @@ void BM_Association(benchmark::State& state) {
 }
 BENCHMARK(BM_Association);
 
+// Algorithm 2 with the incremental cached oracle (the default): the
+// interference graph and client lists are built once per allocate() run
+// and per-cell results are memoized across candidate trials.
 void BM_Allocation(benchmark::State& state) {
   const sim::ScenarioBuilder b = bench::topology2();
   const sim::Wlan wlan = b.build();
@@ -110,6 +113,25 @@ void BM_Allocation(benchmark::State& state) {
 }
 BENCHMARK(BM_Allocation)->Arg(4)->Arg(12);
 
+// The uncached path (one full Wlan::evaluate per candidate) for
+// comparison; results are bit-identical, only the speed differs.
+void BM_AllocationUncached(benchmark::State& state) {
+  const sim::ScenarioBuilder b = bench::topology2();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  core::AllocationConfig cfg;
+  cfg.cache_oracle = false;
+  const core::ChannelAllocator alloc{
+      net::ChannelPlan(static_cast<int>(state.range(0))), cfg};
+  util::Rng rng(3);
+  const net::ChannelAssignment start = alloc.random_assignment(5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc.allocate(wlan, assoc, start).final_bps);
+  }
+}
+BENCHMARK(BM_AllocationUncached)->Arg(4)->Arg(12);
+
 void BM_FullConfigure(benchmark::State& state) {
   const sim::ScenarioBuilder b = bench::topology2();
   const sim::Wlan wlan = b.build();
@@ -121,6 +143,20 @@ void BM_FullConfigure(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullConfigure);
+
+void BM_FullConfigureUncached(benchmark::State& state) {
+  const sim::ScenarioBuilder b = bench::topology2();
+  const sim::Wlan wlan = b.build();
+  core::AcornConfig cfg;
+  cfg.allocation.cache_oracle = false;
+  const core::AcornController acorn{cfg};
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        acorn.configure(wlan, rng).evaluation.total_goodput_bps);
+  }
+}
+BENCHMARK(BM_FullConfigureUncached);
 
 }  // namespace
 

@@ -38,6 +38,39 @@ double GibbsAllocator::energy_mw(const sim::Wlan& wlan,
   return energy;
 }
 
+void GibbsAllocator::sweep(const sim::Wlan& wlan,
+                           net::ChannelAssignment& assignment,
+                           const std::vector<net::Channel>& colors,
+                           double temperature, util::Rng& rng) const {
+  std::vector<double> weights(colors.size());
+  for (int ap = 0; ap < wlan.topology().num_aps(); ++ap) {
+    // Boltzmann weights over the candidate colors. Energies are
+    // rescaled by their minimum so exp() stays in range.
+    double min_energy = 1e300;
+    std::vector<double> energies(colors.size());
+    for (std::size_t k = 0; k < colors.size(); ++k) {
+      energies[k] = energy_mw(wlan, assignment, ap, colors[k]);
+      min_energy = std::min(min_energy, energies[k]);
+    }
+    double total = 0.0;
+    for (std::size_t k = 0; k < colors.size(); ++k) {
+      weights[k] = std::exp(-(energies[k] - min_energy) /
+                            (temperature * std::max(min_energy, 1e-15)));
+      total += weights[k];
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = colors.size() - 1;
+    for (std::size_t k = 0; k < colors.size(); ++k) {
+      pick -= weights[k];
+      if (pick <= 0.0) {
+        chosen = k;
+        break;
+      }
+    }
+    assignment[static_cast<std::size_t>(ap)] = colors[chosen];
+  }
+}
+
 net::ChannelAssignment GibbsAllocator::allocate(const sim::Wlan& wlan,
                                                 util::Rng& rng) const {
   const std::vector<net::Channel> colors =
@@ -53,38 +86,42 @@ net::ChannelAssignment GibbsAllocator::allocate(const sim::Wlan& wlan,
   }
 
   double temperature = config_.initial_temperature;
-  std::vector<double> weights(colors.size());
-  for (int sweep = 0; sweep < config_.sweeps; ++sweep) {
-    for (int ap = 0; ap < n_aps; ++ap) {
-      // Boltzmann weights over the candidate colors. Energies are
-      // rescaled by their minimum so exp() stays in range.
-      double min_energy = 1e300;
-      std::vector<double> energies(colors.size());
-      for (std::size_t k = 0; k < colors.size(); ++k) {
-        energies[k] = energy_mw(wlan, assignment, ap, colors[k]);
-        min_energy = std::min(min_energy, energies[k]);
-      }
-      double total = 0.0;
-      for (std::size_t k = 0; k < colors.size(); ++k) {
-        weights[k] =
-            std::exp(-(energies[k] - min_energy) /
-                     (temperature * std::max(min_energy, 1e-15)));
-        total += weights[k];
-      }
-      double pick = rng.uniform() * total;
-      std::size_t chosen = colors.size() - 1;
-      for (std::size_t k = 0; k < colors.size(); ++k) {
-        pick -= weights[k];
-        if (pick <= 0.0) {
-          chosen = k;
-          break;
-        }
-      }
-      assignment[static_cast<std::size_t>(ap)] = colors[chosen];
-    }
+  for (int s = 0; s < config_.sweeps; ++s) {
+    sweep(wlan, assignment, colors, temperature, rng);
     temperature *= config_.cooling;
   }
   return assignment;
+}
+
+net::ChannelAssignment GibbsAllocator::allocate_best(
+    const sim::Wlan& wlan, const net::Association& assoc, util::Rng& rng,
+    const core::ThroughputOracle& oracle) const {
+  const std::vector<net::Channel> colors =
+      config_.bonds_only ? plan_.bonded_channels() : plan_.all_channels();
+  if (colors.empty()) throw std::logic_error("empty color set");
+  if (!oracle) throw std::invalid_argument("null oracle");
+  const int n_aps = wlan.topology().num_aps();
+
+  net::ChannelAssignment assignment;
+  assignment.reserve(static_cast<std::size_t>(n_aps));
+  for (int i = 0; i < n_aps; ++i) {
+    assignment.push_back(colors[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(colors.size()) - 1))]);
+  }
+  net::ChannelAssignment best = assignment;
+  double best_bps = oracle(assoc, assignment);
+
+  double temperature = config_.initial_temperature;
+  for (int s = 0; s < config_.sweeps; ++s) {
+    sweep(wlan, assignment, colors, temperature, rng);
+    temperature *= config_.cooling;
+    const double bps = oracle(assoc, assignment);
+    if (bps > best_bps) {
+      best_bps = bps;
+      best = assignment;
+    }
+  }
+  return best;
 }
 
 }  // namespace acorn::baselines

@@ -1,7 +1,11 @@
 #include "core/allocation.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <thread>
+
+#include "core/oracle_cache.hpp"
 
 namespace acorn::core {
 
@@ -35,54 +39,122 @@ AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
   if (static_cast<int>(initial.size()) != wlan.topology().num_aps()) {
     throw std::invalid_argument("initial assignment size != AP count");
   }
+  // The default oracle: incremental cached evaluation (graph + client
+  // lists built once for this run, cells memoized), or a full
+  // Wlan::evaluate per candidate when caching is disabled. Both return
+  // bit-identical values.
+  std::optional<CachedOracle> cache;
   if (!oracle) {
-    oracle = [&wlan](const net::Association& a,
-                     const net::ChannelAssignment& f) {
-      return wlan.evaluate(a, f).total_goodput_bps;
-    };
+    if (config_.cache_oracle) {
+      cache.emplace(wlan, assoc);
+      oracle = [&cache](const net::Association&,
+                        const net::ChannelAssignment& f) {
+        return cache->total_bps(f);
+      };
+    } else {
+      oracle = [&wlan](const net::Association& a,
+                       const net::ChannelAssignment& f) {
+        return wlan.evaluate(a, f).total_goodput_bps;
+      };
+    }
   }
   const std::vector<net::Channel> colors = plan_.all_channels();
   const int n_aps = wlan.topology().num_aps();
 
   AllocationResult result;
   result.assignment = std::move(initial);
+  ++result.evaluations;  // k counts the initial y(F_0) measurement too
   double y = oracle(assoc, result.assignment);
   result.trajectory_bps.push_back(y);
+
+  struct Candidate {
+    int ap;
+    std::size_t color_idx;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<double> trial_y;
 
   for (int round = 0; round < config_.max_rounds; ++round) {
     const double y_round_start = y;
     // Every AP gets at most one switch per round (the paper's AP / AP'
     // bookkeeping).
     std::vector<char> switched(static_cast<std::size_t>(n_aps), 0);
+    int round_switches = 0;
     while (true) {
-      int winner = -1;
-      net::Channel winner_channel = net::Channel::basic(0);
-      double winner_y = y;
+      candidates.clear();
       for (int i = 0; i < n_aps; ++i) {
         if (switched[static_cast<std::size_t>(i)]) continue;
-        const net::Channel current = result.assignment[
-            static_cast<std::size_t>(i)];
-        for (const net::Channel& c : colors) {
-          if (c == current) continue;
-          net::ChannelAssignment trial = result.assignment;
-          trial[static_cast<std::size_t>(i)] = c;
-          ++result.evaluations;
-          const double tmp = oracle(assoc, trial);
-          if (tmp > winner_y) {
-            winner_y = tmp;
-            winner = i;
-            winner_channel = c;
-          }
+        const net::Channel current =
+            result.assignment[static_cast<std::size_t>(i)];
+        for (std::size_t k = 0; k < colors.size(); ++k) {
+          if (colors[k] == current) continue;
+          candidates.push_back(Candidate{i, k});
+        }
+      }
+      if (candidates.empty()) break;
+      result.evaluations += static_cast<int>(candidates.size());
+      trial_y.assign(candidates.size(), 0.0);
+      // Evaluate a contiguous slice of candidates, reusing one trial
+      // vector (flip, evaluate, restore).
+      const auto scan = [&](std::size_t begin, std::size_t end) {
+        net::ChannelAssignment trial = result.assignment;
+        for (std::size_t j = begin; j < end; ++j) {
+          const Candidate& cand = candidates[j];
+          const std::size_t ap = static_cast<std::size_t>(cand.ap);
+          trial[ap] = colors[cand.color_idx];
+          trial_y[j] = oracle(assoc, trial);
+          trial[ap] = result.assignment[ap];
+        }
+      };
+      const std::size_t n_threads = std::min<std::size_t>(
+          config_.num_threads > 1 ? static_cast<std::size_t>(
+                                        config_.num_threads)
+                                  : 1,
+          candidates.size());
+      if (n_threads <= 1) {
+        scan(0, candidates.size());
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        const std::size_t chunk =
+            (candidates.size() + n_threads - 1) / n_threads;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          const std::size_t begin = t * chunk;
+          const std::size_t end =
+              std::min(begin + chunk, candidates.size());
+          if (begin >= end) break;
+          pool.emplace_back(scan, begin, end);
+        }
+        for (std::thread& th : pool) th.join();
+      }
+      // Winner: the first candidate in scan order whose throughput
+      // strictly beats everything before it — identical to the serial
+      // running-max, regardless of how the scan was partitioned.
+      int winner = -1;
+      double winner_y = y;
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        if (trial_y[j] > winner_y) {
+          winner_y = trial_y[j];
+          winner = static_cast<int>(j);
         }
       }
       if (winner < 0) break;  // max rank over remaining APs is <= 0
-      result.assignment[static_cast<std::size_t>(winner)] = winner_channel;
-      switched[static_cast<std::size_t>(winner)] = 1;
+      const Candidate& best = candidates[static_cast<std::size_t>(winner)];
+      result.assignment[static_cast<std::size_t>(best.ap)] =
+          colors[best.color_idx];
+      switched[static_cast<std::size_t>(best.ap)] = 1;
       ++result.switches;
+      ++round_switches;
       y = winner_y;
       result.trajectory_bps.push_back(y);
     }
-    // Stop when the round improved aggregate throughput by <= (eps - 1).
+    // A round that committed nothing found no improving move anywhere:
+    // the assignment is a fixed point and further rounds would rescan the
+    // identical landscape (this also covers degenerate networks whose
+    // goodput is stuck at zero, where the epsilon test below can never
+    // fire). Otherwise stop when the round improved aggregate throughput
+    // by <= (eps - 1).
+    if (round_switches == 0) break;
     if (y < config_.epsilon * y_round_start) break;
   }
   result.final_bps = y;

@@ -28,6 +28,17 @@ struct AllocationConfig {
   double epsilon = 1.05;
   /// Safety bound on rounds (the paper's loop always terminated quickly).
   int max_rounds = 16;
+  /// When no oracle is supplied, use the incremental CachedOracle
+  /// (interference graph + client lists built once per allocate() run,
+  /// per-cell results memoized) instead of a full Wlan::evaluate per
+  /// candidate. Results are bit-identical; this only changes speed.
+  bool cache_oracle = true;
+  /// Worker threads for the candidate (AP, color) scan. 1 = serial. The
+  /// parallel scan picks the same winner as the serial one (first
+  /// candidate in scan order attaining the maximum), so results are
+  /// bit-identical. With > 1 the oracle must be thread-safe — the default
+  /// oracles (cached and uncached) are; a custom stateful one may not be.
+  int num_threads = 1;
 };
 
 /// What an AP can observe when estimating "aggregate throughput with me
@@ -38,7 +49,8 @@ using ThroughputOracle = std::function<double(
 
 struct AllocationResult {
   net::ChannelAssignment assignment;
-  /// Total candidate evaluations (the paper's k counter).
+  /// Total oracle evaluations (the paper's k counter): the initial
+  /// y(F_0) call plus one per candidate (AP, color) trial.
   int evaluations = 0;
   /// Number of committed channel switches.
   int switches = 0;
@@ -55,8 +67,10 @@ class ChannelAllocator {
   const net::ChannelPlan& plan() const { return plan_; }
   const AllocationConfig& config() const { return config_; }
 
-  /// Run Algorithm 2 from `initial`. The oracle defaults to
-  /// wlan.evaluate(...).total_goodput_bps.
+  /// Run Algorithm 2 from `initial`. The oracle defaults to the exact
+  /// evaluator — the incremental CachedOracle when config.cache_oracle is
+  /// set (bit-identical to, and much faster than, a full
+  /// wlan.evaluate(...).total_goodput_bps per candidate).
   AllocationResult allocate(const sim::Wlan& wlan,
                             const net::Association& assoc,
                             net::ChannelAssignment initial,

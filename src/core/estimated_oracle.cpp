@@ -1,6 +1,12 @@
 #include "core/estimated_oracle.hpp"
 
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
 #include "mac/anomaly.hpp"
 
@@ -12,21 +18,59 @@ ThroughputOracle make_measurement_oracle(const sim::Wlan& wlan,
   if (static_cast<int>(measured_on.size()) != wlan.topology().num_aps()) {
     throw std::invalid_argument("measured_on size != AP count");
   }
+  // Per-association caches, same shape as CachedOracle: the graph and
+  // client lists depend only on the association and are rebuilt only when
+  // the association changes; per-cell throughput depends only on the
+  // cell's target width and medium share once the association is fixed,
+  // so it is memoized on (ap, width) x share.
+  struct State {
+    std::mutex mutex;
+    net::Association assoc;
+    std::unique_ptr<net::InterferenceGraph> graph;
+    std::vector<std::vector<int>> clients;
+    // memo[2 * ap + width_index]: share bit-pattern -> cell_bps.
+    std::vector<std::unordered_map<std::uint64_t, double>> memo;
+  };
+  auto state = std::make_shared<State>();
   return [&wlan, measured_on = std::move(measured_on),
-          estimator = std::move(estimator)](
+          estimator = std::move(estimator), state](
              const net::Association& assoc,
              const net::ChannelAssignment& trial) {
-    const net::InterferenceGraph graph(wlan.topology(), wlan.budget(), assoc,
-                                       wlan.config().interference);
+    const int n_aps = wlan.topology().num_aps();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!state->graph || state->assoc != assoc) {
+        state->assoc = assoc;
+        state->graph = std::make_unique<net::InterferenceGraph>(
+            wlan.topology(), wlan.budget(), assoc,
+            wlan.config().interference);
+        state->clients = wlan.clients_by_ap(assoc);
+        state->memo.assign(static_cast<std::size_t>(2 * n_aps), {});
+      }
+    }
     const int payload_bits = wlan.config().payload_bytes * 8;
     double total = 0.0;
-    for (int ap = 0; ap < wlan.topology().num_aps(); ++ap) {
-      const std::vector<int> clients = wlan.clients_of(assoc, ap);
+    for (int ap = 0; ap < n_aps; ++ap) {
+      const std::vector<int>& clients =
+          state->clients[static_cast<std::size_t>(ap)];
       if (clients.empty()) continue;
-      const phy::ChannelWidth measured_width =
-          measured_on[static_cast<std::size_t>(ap)].width();
       const phy::ChannelWidth target_width =
           trial[static_cast<std::size_t>(ap)].width();
+      const double share =
+          net::medium_access_share(*state->graph, trial, ap);
+      const std::size_t slot = static_cast<std::size_t>(
+          2 * ap + (target_width == phy::ChannelWidth::k40MHz ? 1 : 0));
+      const std::uint64_t key = std::bit_cast<std::uint64_t>(share);
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        const auto it = state->memo[slot].find(key);
+        if (it != state->memo[slot].end()) {
+          total += it->second;
+          continue;
+        }
+      }
+      const phy::ChannelWidth measured_width =
+          measured_on[static_cast<std::size_t>(ap)].width();
       std::vector<mac::CellClient> cell;
       cell.reserve(clients.size());
       for (int c : clients) {
@@ -39,10 +83,15 @@ ThroughputOracle make_measurement_oracle(const sim::Wlan& wlan,
                                 .rate_bps(target_width, wlan.config().gi);
         cell.push_back(mac::CellClient{c, rate, best.per});
       }
-      const double share = net::medium_access_share(graph, trial, ap);
-      total += mac::anomaly_throughput(wlan.config().timing, cell, share,
-                                       payload_bits)
-                   .cell_bps;
+      const double cell_bps =
+          mac::anomaly_throughput(wlan.config().timing, cell, share,
+                                  payload_bits)
+              .cell_bps;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->memo[slot].emplace(key, cell_bps);
+      }
+      total += cell_bps;
     }
     return total;
   };

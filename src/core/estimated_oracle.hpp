@@ -21,6 +21,13 @@ namespace acorn::core {
 ///  * contention shares come from the interference graph census.
 /// The returned oracle captures `wlan`, `measured_on` and `estimator` by
 /// value/reference as appropriate; `wlan` must outlive it.
+///
+/// Like the exact CachedOracle, the returned callable is incremental: the
+/// interference graph and per-AP client lists are built once per
+/// association, and per-cell estimates are memoized on (AP, target width,
+/// medium share), so repeated candidate scans over the same association
+/// only recompute the cells a channel flip actually changed. Values are
+/// bit-identical to the uncached formulation. Thread-safe.
 ThroughputOracle make_measurement_oracle(
     const sim::Wlan& wlan, net::ChannelAssignment measured_on,
     phy::LinkEstimator estimator = phy::LinkEstimator{});

@@ -1,0 +1,136 @@
+#include "core/oracle_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace acorn::core {
+
+namespace {
+
+// A Channel packed into one word: width tag in the high half, primary
+// (lowest occupied basic index) in the low half.
+std::uint64_t channel_code(const net::Channel& c) {
+  return (static_cast<std::uint64_t>(c.width()) << 32) |
+         static_cast<std::uint32_t>(c.primary());
+}
+
+std::uint64_t double_bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+}  // namespace
+
+std::size_t CachedOracle::CellKeyHash::operator()(const CellKey& k) const {
+  // FNV-1a over the key words.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : k) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CachedOracle::CachedOracle(const sim::Wlan& wlan, net::Association assoc,
+                           mac::TrafficType traffic)
+    : wlan_(wlan),
+      assoc_(std::move(assoc)),
+      traffic_(traffic),
+      graph_(wlan.topology(), wlan.budget(), assoc_,
+             wlan.config().interference),
+      clients_(wlan.clients_by_ap(assoc_)),
+      memo_(static_cast<std::size_t>(wlan.topology().num_aps())) {}
+
+CachedOracle::CellKey CachedOracle::cell_key(
+    int ap, const net::ChannelAssignment& assignment,
+    double medium_share) const {
+  const net::Channel& own = assignment[static_cast<std::size_t>(ap)];
+  CellKey key;
+  key.reserve(2);
+  key.push_back(channel_code(own));
+  key.push_back(double_bits(medium_share));
+  if (wlan_.config().sinr_interference) {
+    // Hidden-interference signature: channel + activity of every
+    // co-channel AP the serving AP does not contend with (mirrors
+    // Wlan::hidden_interference_mw's contribution terms; APs with zero
+    // spectral overlap contribute exactly nothing and are omitted).
+    for (int other = 0; other < graph_.num_aps(); ++other) {
+      if (other == ap || graph_.adjacent(ap, other)) continue;
+      const net::Channel& other_ch =
+          assignment[static_cast<std::size_t>(other)];
+      if (other_ch.overlap_fraction(own) <= 0.0) continue;
+      key.push_back(static_cast<std::uint64_t>(other));
+      key.push_back(channel_code(other_ch));
+      key.push_back(
+          double_bits(net::medium_access_share(graph_, assignment, other)));
+    }
+  }
+  return key;
+}
+
+double CachedOracle::total_bps(const net::ChannelAssignment& assignment) const {
+  if (static_cast<int>(assignment.size()) != graph_.num_aps()) {
+    throw std::invalid_argument("assignment size != AP count");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
+  }
+  const bool weighted = wlan_.config().weighted_contention;
+  double total = 0.0;
+  for (int ap = 0; ap < graph_.num_aps(); ++ap) {
+    const std::vector<int>& clients = clients_[static_cast<std::size_t>(ap)];
+    if (clients.empty()) continue;  // goodput is exactly 0
+    const double share =
+        weighted ? net::medium_access_share_weighted(graph_, assignment, ap)
+                 : net::medium_access_share(graph_, assignment, ap);
+    CellKey key = cell_key(ap, assignment, share);
+    auto& memo = memo_[static_cast<std::size_t>(ap)];
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = memo.find(key);
+      if (it != memo.end()) {
+        ++stats_.cell_hits;
+        total += it->second;
+        continue;
+      }
+    }
+    const double goodput =
+        wlan_.evaluate_cell_in(ap, clients, share, graph_, assignment,
+                               traffic_)
+            .goodput_bps;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cell_evals;
+      memo.emplace(std::move(key), goodput);
+    }
+    total += goodput;
+  }
+  return total;
+}
+
+OracleCacheStats CachedOracle::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ThroughputOracle make_cached_oracle(const sim::Wlan& wlan,
+                                    mac::TrafficType traffic) {
+  struct State {
+    std::mutex mutex;
+    std::shared_ptr<CachedOracle> cache;
+  };
+  auto state = std::make_shared<State>();
+  return [&wlan, traffic, state](const net::Association& assoc,
+                                 const net::ChannelAssignment& trial) {
+    std::shared_ptr<CachedOracle> cache;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!state->cache || state->cache->association() != assoc) {
+        state->cache = std::make_shared<CachedOracle>(wlan, assoc, traffic);
+      }
+      cache = state->cache;
+    }
+    return cache->total_bps(trial);
+  };
+}
+
+}  // namespace acorn::core

@@ -1,0 +1,91 @@
+// Incremental, memoizing throughput oracle for the control plane.
+//
+// Algorithm 2 calls its oracle once per candidate (AP, color) move, and
+// the exact oracle (`Wlan::evaluate`) rebuilds the interference graph and
+// rescans every client for every cell on every call — even though both
+// depend only on the association, which is invariant across an entire
+// `allocate()` run. CachedOracle hoists that work out of the hot loop:
+//
+//  * the InterferenceGraph and per-AP client lists are built ONCE per
+//    (wlan, association) and reused across all candidate evaluations;
+//  * per-cell results are memoized keyed by everything a cell's goodput
+//    can depend on once the association is fixed — the cell's own
+//    channel, its medium share, and (when `sinr_interference` is on) the
+//    hidden-interferer signature (channel + activity of every co-channel
+//    AP outside carrier-sense range). A single-AP channel flip therefore
+//    only re-evaluates the flipped cell plus the cells whose contender
+//    set or hidden-interference term actually changed; every other cell
+//    is a hash lookup.
+//
+// Results are bit-identical to `Wlan::evaluate(...).total_goodput_bps`:
+// cache misses run the exact same per-cell code (`Wlan::evaluate_cell_in`)
+// and cache hits replay a previously computed double unchanged. The
+// memoization is guarded by a mutex, so one CachedOracle may be shared by
+// the allocator's optional scan threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocation.hpp"
+
+namespace acorn::core {
+
+struct OracleCacheStats {
+  std::uint64_t calls = 0;       // oracle invocations (full assignments)
+  std::uint64_t cell_evals = 0;  // full per-cell computations (misses)
+  std::uint64_t cell_hits = 0;   // memoized per-cell replays
+};
+
+/// Exact throughput oracle bound to one (wlan, association, traffic).
+/// `wlan` must outlive the oracle; the association is copied.
+class CachedOracle {
+ public:
+  CachedOracle(const sim::Wlan& wlan, net::Association assoc,
+               mac::TrafficType traffic = mac::TrafficType::kUdp);
+
+  /// Aggregate network goodput under `assignment`; bit-identical to
+  /// wlan.evaluate(assoc, assignment, traffic).total_goodput_bps.
+  double total_bps(const net::ChannelAssignment& assignment) const;
+
+  const net::Association& association() const { return assoc_; }
+  const net::InterferenceGraph& graph() const { return graph_; }
+  OracleCacheStats stats() const;
+
+ private:
+  // A cell's memo key: the invalidation signature described above,
+  // packed into 64-bit words (channel code, bit pattern of the medium
+  // share, then per hidden interferer: id, channel code, activity bits).
+  using CellKey = std::vector<std::uint64_t>;
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& k) const;
+  };
+
+  CellKey cell_key(int ap, const net::ChannelAssignment& assignment,
+                   double medium_share) const;
+
+  const sim::Wlan& wlan_;
+  net::Association assoc_;
+  mac::TrafficType traffic_;
+  net::InterferenceGraph graph_;
+  std::vector<std::vector<int>> clients_;  // per AP, built once
+
+  mutable std::mutex mutex_;  // guards memo_ and stats_
+  mutable std::vector<std::unordered_map<CellKey, double, CellKeyHash>> memo_;
+  mutable OracleCacheStats stats_;
+};
+
+/// Wrap a Wlan in a self-managing cached ThroughputOracle. The returned
+/// callable lazily builds a CachedOracle on first use and rebuilds it
+/// whenever it is called with a *different* association (Algorithm 2 and
+/// the baselines hold the association fixed, so in practice the graph and
+/// client lists are built exactly once per allocate() run). `wlan` must
+/// outlive the returned oracle.
+ThroughputOracle make_cached_oracle(const sim::Wlan& wlan,
+                                    mac::TrafficType traffic =
+                                        mac::TrafficType::kUdp);
+
+}  // namespace acorn::core

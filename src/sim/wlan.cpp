@@ -49,6 +49,19 @@ std::vector<int> Wlan::clients_of(const net::Association& assoc, int ap) const {
   return out;
 }
 
+std::vector<std::vector<int>> Wlan::clients_by_ap(
+    const net::Association& assoc) const {
+  std::vector<std::vector<int>> out(
+      static_cast<std::size_t>(topology_.num_aps()));
+  for (int c = 0; c < topology_.num_clients(); ++c) {
+    const int ap = assoc[static_cast<std::size_t>(c)];
+    if (ap >= 0 && ap < topology_.num_aps()) {
+      out[static_cast<std::size_t>(ap)].push_back(c);
+    }
+  }
+  return out;
+}
+
 double Wlan::hidden_interference_mw(
     int serving_ap, int client, const net::Channel& channel,
     const net::InterferenceGraph& graph,
@@ -135,6 +148,20 @@ double Wlan::isolated_best_bps(int ap, const std::vector<int>& clients,
       isolated_cell_bps(ap, clients, phy::ChannelWidth::k40MHz, traffic));
 }
 
+ApStats Wlan::evaluate_cell_in(int ap, const std::vector<int>& clients,
+                               double medium_share,
+                               const net::InterferenceGraph& graph,
+                               const net::ChannelAssignment& assignment,
+                               mac::TrafficType traffic) const {
+  CellContext context;
+  context.graph = &graph;
+  context.assignment = &assignment;
+  context.channel = assignment[static_cast<std::size_t>(ap)];
+  return evaluate_cell(ap, clients,
+                       assignment[static_cast<std::size_t>(ap)].width(),
+                       medium_share, traffic, &context);
+}
+
 Evaluation Wlan::evaluate(const net::Association& assoc,
                           const net::ChannelAssignment& assignment,
                           mac::TrafficType traffic) const {
@@ -146,6 +173,7 @@ Evaluation Wlan::evaluate(const net::Association& assoc,
   }
   const net::InterferenceGraph graph(topology_, budget_, assoc,
                                      config_.interference);
+  const std::vector<std::vector<int>> clients = clients_by_ap(assoc);
   Evaluation eval;
   eval.per_ap.reserve(static_cast<std::size_t>(topology_.num_aps()));
   for (int ap = 0; ap < topology_.num_aps(); ++ap) {
@@ -153,14 +181,9 @@ Evaluation Wlan::evaluate(const net::Association& assoc,
         config_.weighted_contention
             ? net::medium_access_share_weighted(graph, assignment, ap)
             : net::medium_access_share(graph, assignment, ap);
-    CellContext context;
-    context.graph = &graph;
-    context.assignment = &assignment;
-    context.channel = assignment[static_cast<std::size_t>(ap)];
-    const ApStats stats =
-        evaluate_cell(ap, clients_of(assoc, ap),
-                      assignment[static_cast<std::size_t>(ap)].width(), share,
-                      traffic, &context);
+    const ApStats stats = evaluate_cell_in(
+        ap, clients[static_cast<std::size_t>(ap)], share, graph, assignment,
+        traffic);
     eval.total_goodput_bps += stats.goodput_bps;
     eval.per_ap.push_back(stats);
   }

@@ -97,6 +97,26 @@ class Wlan {
   /// Clients of an AP under an association.
   std::vector<int> clients_of(const net::Association& assoc, int ap) const;
 
+  /// All per-AP client lists in one O(num_clients) pass (ascending client
+  /// ids, exactly what `clients_of` returns per AP). Delta hook for
+  /// incremental oracles that group clients once per association instead
+  /// of rescanning every client for every cell.
+  std::vector<std::vector<int>> clients_by_ap(
+      const net::Association& assoc) const;
+
+  /// Evaluate AP `ap`'s cell exactly as `evaluate` would under
+  /// (assignment, graph): width and hidden-interference context come from
+  /// the assignment, `medium_share` is supplied by the caller (who may
+  /// have computed or cached it). Delta hook for incremental oracles that
+  /// re-evaluate only the cells a channel flip actually changed; the
+  /// result is bit-identical to the corresponding `evaluate` entry.
+  ApStats evaluate_cell_in(int ap, const std::vector<int>& clients,
+                           double medium_share,
+                           const net::InterferenceGraph& graph,
+                           const net::ChannelAssignment& assignment,
+                           mac::TrafficType traffic =
+                               mac::TrafficType::kUdp) const;
+
   /// Per-subcarrier interference power (mW) a client would see on
   /// `channel` from co-channel APs that its serving AP does NOT contend
   /// with (hidden interferers), each weighted by its busy fraction

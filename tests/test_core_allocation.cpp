@@ -116,6 +116,63 @@ TEST(Allocator, CountsEvaluationsAndSwitches) {
             static_cast<std::size_t>(result.switches) + 1);
 }
 
+TEST(Allocator, ConvergedNetworkStopsAfterOneScan) {
+  // Regression: a round that commits zero switches must end the search
+  // unconditionally. With epsilon == 1.0 (allowed by the ctor) the old
+  // epsilon test `y < eps * y_round_start` never fired on a converged
+  // network and all max_rounds rounds burned full n_aps x n_colors scans.
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const int n_colors =
+      static_cast<int>(net::ChannelPlan(4).all_channels().size());
+  const ChannelAllocator alloc{net::ChannelPlan(4), {1.0, 16}};
+  util::Rng rng(21);
+  const AllocationResult first = alloc.allocate(
+      wlan, b.intended_association(), alloc.random_assignment(2, rng));
+  // Re-run from the fixed point: exactly the initial evaluation plus one
+  // full scan, O(n_aps x n_colors), then stop.
+  const AllocationResult second =
+      alloc.allocate(wlan, b.intended_association(), first.assignment);
+  EXPECT_EQ(second.switches, 0);
+  EXPECT_EQ(second.evaluations, 1 + 2 * (n_colors - 1));
+}
+
+TEST(Allocator, DegenerateZeroGoodputStopsAfterOneScan) {
+  // Regression: with no clients every oracle call returns 0, so
+  // `y < eps * y_round_start` (0 < eps * 0) was always false and the old
+  // loop rescanned the empty network for all max_rounds rounds.
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{}}, CellSpec{{}}};  // two APs, zero clients
+  const sim::Wlan wlan = b.build();
+  const int n_colors =
+      static_cast<int>(net::ChannelPlan(4).all_channels().size());
+  const ChannelAllocator alloc{net::ChannelPlan(4)};
+  const AllocationResult result = alloc.allocate(
+      wlan, {}, {net::Channel::basic(0), net::Channel::basic(1)});
+  EXPECT_EQ(result.final_bps, 0.0);
+  EXPECT_EQ(result.switches, 0);
+  EXPECT_EQ(result.evaluations, 1 + 2 * (n_colors - 1));
+}
+
+TEST(Allocator, EvaluationCounterIncludesInitialMeasurement) {
+  // The paper's k counter: the initial y(F_0) call plus every candidate
+  // trial. On a flat landscape one scan finds no winner and the search
+  // ends, so the count is exact.
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const int n_colors =
+      static_cast<int>(net::ChannelPlan(4).all_channels().size());
+  const ChannelAllocator alloc{net::ChannelPlan(4)};
+  const ThroughputOracle flat =
+      [](const net::Association&, const net::ChannelAssignment&) {
+        return 1.0;
+      };
+  const AllocationResult result =
+      alloc.allocate(wlan, b.intended_association(),
+                     {net::Channel::basic(0), net::Channel::basic(1)}, flat);
+  EXPECT_EQ(result.evaluations, 1 + 2 * (n_colors - 1));
+}
+
 TEST(Allocator, CustomOracleIsUsed) {
   const ScenarioBuilder b = testutil::topology1_builder();
   const sim::Wlan wlan = b.build();

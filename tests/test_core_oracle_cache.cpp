@@ -1,0 +1,237 @@
+#include "core/oracle_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/controller.hpp"
+#include "core/estimated_oracle.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::core {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+// The paper's Topology 2 shape (five APs mixing good, marginal and poor
+// cells) — the deployment the perf benches time.
+ScenarioBuilder topology2_builder() {
+  ScenarioBuilder b;
+  b.cells = {
+      CellSpec{{testutil::kGoodLinkLoss, testutil::kGoodLinkLoss + 2.0}},
+      CellSpec{{testutil::kGoodLinkLoss + 1.0}},
+      CellSpec{{testutil::kGoodLinkLoss + 3.0}},
+      CellSpec{{testutil::kPoorLinkLoss, testutil::kPoorLinkLoss + 0.2}},
+      CellSpec{{testutil::kWeakLinkLoss}},
+  };
+  return b;
+}
+
+// A random deployment: 1-5 APs with 0-3 clients each, random link
+// qualities, random AP-AP and cross-cell losses (spanning isolated,
+// contending and hidden-interferer regimes).
+ScenarioBuilder random_builder(util::Rng& rng, bool sinr, bool weighted) {
+  ScenarioBuilder b;
+  const int n_aps = static_cast<int>(rng.uniform_int(1, 5));
+  for (int a = 0; a < n_aps; ++a) {
+    CellSpec spec;
+    const int n_clients = static_cast<int>(rng.uniform_int(0, 3));
+    for (int c = 0; c < n_clients; ++c) {
+      spec.client_losses_db.push_back(rng.uniform(78.0, 112.0));
+    }
+    b.cells.push_back(spec);
+  }
+  b.ap_ap_loss_db = rng.uniform(80.0, 140.0);
+  b.cross_loss_db = rng.uniform(95.0, 140.0);
+  b.config.sinr_interference = sinr;
+  b.config.weighted_contention = weighted;
+  return b;
+}
+
+// Shuffle the intended association: some clients roam to a random AP,
+// some disconnect entirely.
+net::Association random_association(const ScenarioBuilder& b,
+                                    util::Rng& rng) {
+  net::Association assoc = b.intended_association();
+  const int n_aps = static_cast<int>(b.cells.size());
+  for (int& owner : assoc) {
+    const double roll = rng.uniform();
+    if (roll < 0.15) {
+      owner = net::kUnassociated;
+    } else if (roll < 0.35) {
+      owner = static_cast<int>(rng.uniform_int(0, n_aps - 1));
+    }
+  }
+  return assoc;
+}
+
+TEST(CachedOracle, BitIdenticalToFullEvaluateOnRandomTopologies) {
+  // >= 50 random (topology, association) pairs covering all four combos
+  // of sinr_interference x weighted_contention, several assignments each.
+  util::Rng rng(0xCAC4E);
+  int scenarios = 0;
+  for (int trial = 0; trial < 56; ++trial) {
+    const bool sinr = (trial % 2) == 1;
+    const bool weighted = (trial / 2 % 2) == 1;
+    const ScenarioBuilder b = random_builder(rng, sinr, weighted);
+    const sim::Wlan wlan = b.build();
+    const net::Association assoc = random_association(b, rng);
+    const CachedOracle cached(wlan, assoc);
+    const ChannelAllocator alloc{net::ChannelPlan(6)};
+    for (int rep = 0; rep < 6; ++rep) {
+      const net::ChannelAssignment f =
+          alloc.random_assignment(wlan.topology().num_aps(), rng);
+      const double expected = wlan.evaluate(assoc, f).total_goodput_bps;
+      // Exact bit-identity, not near-equality: cache misses run the same
+      // per-cell code, hits replay a stored double.
+      EXPECT_EQ(cached.total_bps(f), expected)
+          << "trial " << trial << " rep " << rep << " sinr=" << sinr
+          << " weighted=" << weighted;
+      // And again, now that every cell is memoized.
+      EXPECT_EQ(cached.total_bps(f), expected);
+    }
+    ++scenarios;
+  }
+  EXPECT_GE(scenarios, 50);
+}
+
+TEST(CachedOracle, MemoizesCellsAndReusesGraph) {
+  const ScenarioBuilder b = topology2_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const CachedOracle cached(wlan, assoc);
+  const ChannelAllocator alloc{net::ChannelPlan(12)};
+  util::Rng rng(7);
+  const net::ChannelAssignment f = alloc.random_assignment(5, rng);
+  cached.total_bps(f);
+  const OracleCacheStats first = cached.stats();
+  EXPECT_GT(first.cell_evals, 0u);
+  cached.total_bps(f);  // identical assignment: every cell replays
+  const OracleCacheStats second = cached.stats();
+  EXPECT_EQ(second.cell_evals, first.cell_evals);
+  EXPECT_GE(second.cell_hits, first.cell_hits + 5);
+  // A single-AP flip only re-evaluates the cells it actually changed.
+  net::ChannelAssignment flipped = f;
+  flipped[0] = flipped[0] == net::Channel::basic(11)
+                   ? net::Channel::basic(10)
+                   : net::Channel::basic(11);
+  cached.total_bps(flipped);
+  const OracleCacheStats third = cached.stats();
+  EXPECT_LT(third.cell_evals - second.cell_evals, 5u);
+}
+
+TEST(CachedOracle, RejectsWrongAssignmentSize) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const CachedOracle cached(wlan, b.intended_association());
+  EXPECT_THROW(cached.total_bps({net::Channel::basic(0)}),
+               std::invalid_argument);
+}
+
+TEST(MakeCachedOracle, RebuildsOnAssociationChange) {
+  const ScenarioBuilder b = topology2_builder();
+  const sim::Wlan wlan = b.build();
+  const ThroughputOracle oracle = make_cached_oracle(wlan);
+  const ChannelAllocator alloc{net::ChannelPlan(12)};
+  util::Rng rng(9);
+  const net::ChannelAssignment f = alloc.random_assignment(5, rng);
+  const net::Association intended = b.intended_association();
+  net::Association roamed = intended;
+  roamed[0] = net::kUnassociated;
+  EXPECT_EQ(oracle(intended, f),
+            wlan.evaluate(intended, f).total_goodput_bps);
+  EXPECT_EQ(oracle(roamed, f), wlan.evaluate(roamed, f).total_goodput_bps);
+  EXPECT_EQ(oracle(intended, f),
+            wlan.evaluate(intended, f).total_goodput_bps);
+}
+
+// The acceptance gate for the cache: allocation driven by the cached
+// oracle lands on exactly the same assignment, throughput and trajectory
+// as the uncached full-evaluate path, on the bench's topology2 and under
+// the heavier interference models.
+TEST(CachedOracle, AllocationIdenticalToUncachedPath) {
+  for (const bool sinr : {false, true}) {
+    ScenarioBuilder b = topology2_builder();
+    b.ap_ap_loss_db = 85.0;  // contending, so channels actually matter
+    b.config.sinr_interference = sinr;
+    b.config.weighted_contention = sinr;
+    const sim::Wlan wlan = b.build();
+    const net::Association assoc = b.intended_association();
+
+    AllocationConfig cached_cfg;
+    AllocationConfig uncached_cfg;
+    uncached_cfg.cache_oracle = false;
+    const ChannelAllocator cached{net::ChannelPlan(6), cached_cfg};
+    const ChannelAllocator uncached{net::ChannelPlan(6), uncached_cfg};
+    util::Rng rng(42);
+    for (int trial = 0; trial < 3; ++trial) {
+      const net::ChannelAssignment start = cached.random_assignment(5, rng);
+      const AllocationResult a = cached.allocate(wlan, assoc, start);
+      const AllocationResult u = uncached.allocate(wlan, assoc, start);
+      EXPECT_EQ(a.final_bps, u.final_bps);
+      EXPECT_EQ(a.evaluations, u.evaluations);
+      EXPECT_EQ(a.switches, u.switches);
+      ASSERT_EQ(a.assignment.size(), u.assignment.size());
+      for (std::size_t i = 0; i < a.assignment.size(); ++i) {
+        EXPECT_EQ(a.assignment[i], u.assignment[i]);
+      }
+      ASSERT_EQ(a.trajectory_bps.size(), u.trajectory_bps.size());
+      for (std::size_t i = 0; i < a.trajectory_bps.size(); ++i) {
+        EXPECT_EQ(a.trajectory_bps[i], u.trajectory_bps[i]);
+      }
+    }
+  }
+}
+
+TEST(CachedOracle, ParallelScanIdenticalToSerial) {
+  ScenarioBuilder b = topology2_builder();
+  b.ap_ap_loss_db = 85.0;
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+
+  AllocationConfig parallel_cfg;
+  parallel_cfg.num_threads = 4;
+  const ChannelAllocator serial{net::ChannelPlan(6)};
+  const ChannelAllocator parallel{net::ChannelPlan(6), parallel_cfg};
+  util::Rng rng(43);
+  for (int trial = 0; trial < 3; ++trial) {
+    const net::ChannelAssignment start = serial.random_assignment(5, rng);
+    const AllocationResult s = serial.allocate(wlan, assoc, start);
+    const AllocationResult p = parallel.allocate(wlan, assoc, start);
+    EXPECT_EQ(s.final_bps, p.final_bps);
+    EXPECT_EQ(s.evaluations, p.evaluations);
+    EXPECT_EQ(s.switches, p.switches);
+    ASSERT_EQ(s.assignment.size(), p.assignment.size());
+    for (std::size_t i = 0; i < s.assignment.size(); ++i) {
+      EXPECT_EQ(s.assignment[i], p.assignment[i]);
+    }
+  }
+}
+
+TEST(MeasurementOracle, MemoizedCallsAreStableAcrossAssociations) {
+  const ScenarioBuilder b = topology2_builder();
+  const sim::Wlan wlan = b.build();
+  const ChannelAllocator alloc{net::ChannelPlan(12)};
+  util::Rng rng(11);
+  const net::ChannelAssignment measured = alloc.random_assignment(5, rng);
+  const net::ChannelAssignment trial = alloc.random_assignment(5, rng);
+  const ThroughputOracle oracle = make_measurement_oracle(wlan, measured);
+  const net::Association intended = b.intended_association();
+  net::Association roamed = intended;
+  roamed[1] = 0;
+  // A fresh oracle (empty memo) must agree exactly with a warm one, both
+  // before and after the cached association changes underneath it.
+  const double cold_intended =
+      make_measurement_oracle(wlan, measured)(intended, trial);
+  const double cold_roamed =
+      make_measurement_oracle(wlan, measured)(roamed, trial);
+  EXPECT_EQ(oracle(intended, trial), cold_intended);
+  EXPECT_EQ(oracle(intended, trial), cold_intended);
+  EXPECT_EQ(oracle(roamed, trial), cold_roamed);
+  EXPECT_EQ(oracle(intended, trial), cold_intended);
+}
+
+}  // namespace
+}  // namespace acorn::core
