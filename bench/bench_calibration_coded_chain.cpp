@@ -6,6 +6,9 @@
 // WLAN-level results do not hinge on the abstraction.
 #include <cstdio>
 
+#include "baseband/convolutional.hpp"
+#include "baseband/interleaver.hpp"
+#include "baseband/ofdm.hpp"
 #include "baseband/phy_chain.hpp"
 #include "common.hpp"
 #include "phy/link.hpp"
@@ -14,6 +17,12 @@
 using namespace acorn;
 
 namespace {
+
+struct SweepCost {
+  std::int64_t packets = 0;
+  std::int64_t samples = 0;
+  double seconds = 0.0;
+};
 
 // Analytic 50%-PER SNR (no fading margin / MIMO gain: apples-to-apples
 // with the SISO static-channel chain).
@@ -26,8 +35,35 @@ double predicted_waterfall_db(const phy::LinkModel& model, int mcs,
   return 40.0;
 }
 
-double measured_waterfall_db(int mcs, int payload_bytes, bool soft) {
-  for (double pl = 112.0; pl >= 78.0; pl -= 0.5) {
+// Time-domain samples one coded packet occupies at this MCS.
+std::int64_t samples_per_packet(int mcs, int payload_bytes) {
+  const phy::McsEntry& e = phy::mcs(mcs);
+  const baseband::Ofdm ofdm(phy::ChannelWidth::k20MHz);
+  const baseband::BlockInterleaver inter =
+      baseband::BlockInterleaver::for_ht(phy::ChannelWidth::k20MHz,
+                                         e.modulation);
+  const std::size_t coded = 2 * (static_cast<std::size_t>(payload_bytes) * 8 +
+                                 baseband::ConvolutionalCode::kConstraint - 1);
+  const std::size_t punct = baseband::punctured_length(coded, e.code_rate);
+  const auto n_cbps = static_cast<std::size_t>(inter.block_size());
+  const std::size_t n_sym = (punct + n_cbps - 1) / n_cbps;
+  return static_cast<std::int64_t>(
+      n_sym * static_cast<std::size_t>(ofdm.symbol_length()));
+}
+
+double measured_waterfall_db(int mcs, int payload_bytes, bool soft,
+                             const bench::BenchOptions& opts,
+                             SweepCost& cost) {
+  const int packets = opts.smoke ? 4 : 12;
+  const double step = opts.smoke ? 2.0 : 0.5;
+  const std::int64_t spp = samples_per_packet(mcs, payload_bytes);
+  const bench::Stopwatch timer;
+  struct SecondsGuard {
+    const bench::Stopwatch& timer;
+    SweepCost& cost;
+    ~SecondsGuard() { cost.seconds += timer.seconds(); }
+  } guard{timer, cost};
+  for (double pl = 112.0; pl >= 78.0; pl -= step) {
     baseband::PhyChainConfig cfg;
     cfg.mcs_index = mcs;
     cfg.tx_dbm = 0.0;
@@ -36,8 +72,11 @@ double measured_waterfall_db(int mcs, int payload_bytes, bool soft) {
     cfg.num_taps = 1;
     cfg.packet_bytes = payload_bytes;
     cfg.soft_decision = soft;
+    cfg.num_threads = opts.threads;
     util::Rng rng(bench::kDefaultSeed + static_cast<std::uint64_t>(mcs));
-    const baseband::PhyChainResult r = run_phy_chain(cfg, 12, rng);
+    const baseband::PhyChainResult r = run_phy_chain(cfg, packets, rng);
+    cost.packets += packets;
+    cost.samples += packets * spp;
     if (r.per() < 0.5) return r.mean_snr_db;
   }
   return 100.0;
@@ -45,7 +84,8 @@ double measured_waterfall_db(int mcs, int payload_bytes, bool soft) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::banner("Calibration: coded chain vs analytic link abstraction",
                 "per-MCS PER waterfalls agree within ~2 dB");
   phy::LinkConfig lc;
@@ -59,11 +99,15 @@ int main() {
                      "measured hard (dB)", "delta (dB)",
                      "measured soft (dB)", "soft gain (dB)"});
   double worst = 0.0;
+  SweepCost hard_cost;
+  SweepCost soft_cost;
   for (int mcs = 0; mcs <= 7; ++mcs) {
     const phy::McsEntry& e = phy::mcs(mcs);
     const double pred = predicted_waterfall_db(model, mcs, payload_bytes * 8);
-    const double hard = measured_waterfall_db(mcs, payload_bytes, false);
-    const double soft = measured_waterfall_db(mcs, payload_bytes, true);
+    const double hard =
+        measured_waterfall_db(mcs, payload_bytes, false, opts, hard_cost);
+    const double soft =
+        measured_waterfall_db(mcs, payload_bytes, true, opts, soft_cost);
     const double delta = hard - pred;
     worst = std::max(worst, std::abs(delta));
     t.add_row({std::to_string(mcs), std::string(to_string(e.modulation)),
@@ -80,5 +124,11 @@ int main() {
               "~2 dB on top (the paper's commodity cards are hard-decision "
               "era; the analytic model matches the hard chain).\n",
               worst);
+  bench::emit_throughput("bench_calibration_coded_chain", "hard_viterbi",
+                         hard_cost.seconds, hard_cost.packets,
+                         hard_cost.samples, opts.threads);
+  bench::emit_throughput("bench_calibration_coded_chain", "soft_viterbi",
+                         soft_cost.seconds, soft_cost.packets,
+                         soft_cost.samples, opts.threads);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baseband/bermac.hpp"
+#include "baseband/ofdm.hpp"
 #include "common.hpp"
 #include "phy/modulation.hpp"
 #include "util/stats.hpp"
@@ -20,38 +21,56 @@ struct Point {
 };
 
 std::vector<Point> sweep_tx(phy::ChannelWidth width, std::uint64_t seed,
+                            const bench::BenchOptions& opts,
                             std::vector<Point>* vs_tx) {
   std::vector<Point> out;
   util::Rng rng(seed);
+  const baseband::Ofdm ofdm(width);
+  std::int64_t packets = 0;
+  std::int64_t samples = 0;
+  const bench::Stopwatch timer;
   for (double tx = -4.0; tx <= 16.0; tx += 2.0) {
     baseband::BermacConfig cfg;
     cfg.width = width;
-    cfg.packets = 30;
+    cfg.packets = opts.smoke ? 4 : 30;
     cfg.packet_bytes = 750;
     cfg.tx_dbm = tx;
     cfg.path_loss_db = 96.0;
     cfg.use_stbc = false;  // SISO isolates the pure width effect
     cfg.rayleigh = false;
     cfg.num_taps = 1;
+    cfg.num_threads = opts.threads;
     const baseband::BermacResult r = run_bermac(cfg, rng);
     out.push_back({r.mean_snr_db, r.ber()});
     if (vs_tx != nullptr) vs_tx->push_back({tx, r.ber()});
+    packets += cfg.packets;
+    samples += cfg.packets *
+               static_cast<std::int64_t>(
+                   ofdm.num_ofdm_symbols(
+                       static_cast<std::size_t>(cfg.packet_bytes) * 8 / 2) *
+                   static_cast<std::size_t>(ofdm.symbol_length()));
   }
+  bench::emit_throughput(
+      "bench_fig3_ber",
+      width == phy::ChannelWidth::k20MHz ? "qpsk_siso_20MHz"
+                                         : "qpsk_siso_40MHz",
+      timer.seconds(), packets, samples, opts.threads);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::banner("Figure 3: uncoded QPSK BER vs SNR and vs Tx",
                 "(a) widths coincide vs SNR, fit theory (R^2 ~ 0.8-0.9); "
                 "(b) 40 MHz worse at fixed Tx");
   std::vector<Point> tx20;
   std::vector<Point> tx40;
   const auto snr20 =
-      sweep_tx(phy::ChannelWidth::k20MHz, bench::kDefaultSeed, &tx20);
+      sweep_tx(phy::ChannelWidth::k20MHz, bench::kDefaultSeed, opts, &tx20);
   const auto snr40 =
-      sweep_tx(phy::ChannelWidth::k40MHz, bench::kDefaultSeed, &tx40);
+      sweep_tx(phy::ChannelWidth::k40MHz, bench::kDefaultSeed, opts, &tx40);
 
   std::printf("(a) BER vs per-subcarrier SNR\n");
   util::TextTable a({"width", "SNR (dB)", "measured BER", "theory BER"});

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baseband/bermac.hpp"
+#include "baseband/ofdm.hpp"
 #include "common.hpp"
 #include "util/table.hpp"
 
@@ -18,33 +19,54 @@ struct Row {
   double per;
 };
 
-std::vector<Row> sweep(phy::ChannelWidth width, std::uint64_t seed) {
+std::vector<Row> sweep(phy::ChannelWidth width, std::uint64_t seed,
+                       const bench::BenchOptions& opts) {
   std::vector<Row> rows;
   util::Rng rng(seed);
+  const baseband::Ofdm ofdm(width);
+  std::int64_t packets = 0;
+  std::int64_t samples = 0;
+  const bench::Stopwatch timer;
   for (double tx = -6.0; tx <= 14.0; tx += 2.0) {
     baseband::BermacConfig cfg;
     cfg.width = width;
-    cfg.packets = 40;
+    cfg.packets = opts.smoke ? 4 : 40;
     cfg.packet_bytes = 1500;  // the paper's packet size
     cfg.tx_dbm = tx;
     cfg.path_loss_db = 94.0;
     cfg.use_stbc = true;  // the paper's WARP setup uses 2x2 STBC
     cfg.rayleigh = false;
     cfg.num_taps = 1;
+    cfg.num_threads = opts.threads;
     const baseband::BermacResult r = run_bermac(cfg, rng);
     rows.push_back({tx, r.mean_snr_db, r.per()});
+    packets += cfg.packets;
+    // STBC sends the waveform from two antennas.
+    samples += cfg.packets * 2 *
+               static_cast<std::int64_t>(
+                   ofdm.num_ofdm_symbols(
+                       static_cast<std::size_t>(cfg.packet_bytes) * 8 / 2) *
+                   static_cast<std::size_t>(ofdm.symbol_length()));
   }
+  bench::emit_throughput(
+      "bench_fig4_per",
+      width == phy::ChannelWidth::k20MHz ? "qpsk_stbc_20MHz"
+                                         : "qpsk_stbc_40MHz",
+      timer.seconds(), packets, samples, opts.threads);
   return rows;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::banner("Figure 4: uncoded QPSK PER vs SNR and vs Tx",
                 "(a) equal-SNR curves coincide; (b) 40 MHz much worse at "
                 "fixed Tx");
-  const auto rows20 = sweep(phy::ChannelWidth::k20MHz, bench::kDefaultSeed);
-  const auto rows40 = sweep(phy::ChannelWidth::k40MHz, bench::kDefaultSeed);
+  const auto rows20 =
+      sweep(phy::ChannelWidth::k20MHz, bench::kDefaultSeed, opts);
+  const auto rows40 =
+      sweep(phy::ChannelWidth::k40MHz, bench::kDefaultSeed, opts);
 
   std::printf("(a) PER vs measured per-subcarrier SNR\n");
   util::TextTable a({"width", "SNR (dB)", "PER"});

@@ -1,9 +1,15 @@
-// Shared helpers for the experiment benches: banner printing and the
-// canned deployments of the paper's evaluation section.
+// Shared helpers for the experiment benches: banner printing, the canned
+// deployments of the paper's evaluation section, a tiny command-line
+// parser (--threads N, --smoke) and a machine-readable throughput
+// emitter that appends JSON lines to BENCH_baseband.json so the perf
+// trajectory of the baseband engine is tracked across PRs.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "sim/scenario.hpp"
@@ -12,6 +18,69 @@
 namespace acorn::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 0xAC0121;
+
+/// Options shared by the baseband benches. `--threads N` sets the packet
+/// driver's thread count (0 = hardware concurrency); `--smoke` shrinks
+/// packet counts so the bench doubles as a CTest perf_smoke target.
+struct BenchOptions {
+  int threads = 1;
+  bool smoke = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads = std::atoi(argv[++i]);
+    }
+  }
+  return opts;
+}
+
+/// Monotonic stopwatch for the throughput records.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Append one JSON line to BENCH_baseband.json (path overridable via
+/// ACORN_BENCH_JSON; record label via ACORN_BENCH_LABEL, e.g. "seed" for
+/// a before/after comparison). `samples` counts complex baseband samples
+/// pushed through the chain, so msamples_per_sec tracks the sample-level
+/// work independent of packet size.
+inline void emit_throughput(const std::string& bench,
+                            const std::string& case_name, double seconds,
+                            std::int64_t packets, std::int64_t samples,
+                            int threads) {
+  const char* path = std::getenv("ACORN_BENCH_JSON");
+  const char* label = std::getenv("ACORN_BENCH_LABEL");
+  std::FILE* f = std::fopen(path != nullptr ? path : "BENCH_baseband.json",
+                            "a");
+  if (f == nullptr) return;
+  const double pps = seconds > 0.0 ? static_cast<double>(packets) / seconds
+                                   : 0.0;
+  const double msps = seconds > 0.0
+                          ? static_cast<double>(samples) / seconds / 1e6
+                          : 0.0;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"case\":\"%s\",\"label\":\"%s\","
+               "\"threads\":%d,\"packets\":%lld,\"seconds\":%.6f,"
+               "\"packets_per_sec\":%.1f,\"msamples_per_sec\":%.3f}\n",
+               bench.c_str(), case_name.c_str(),
+               label != nullptr ? label : "current", threads,
+               static_cast<long long>(packets), seconds, pps, msps);
+  std::fclose(f);
+}
 
 inline void banner(const std::string& experiment,
                    const std::string& paper_claim,

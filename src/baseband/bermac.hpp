@@ -35,6 +35,11 @@ struct BermacConfig {
   /// Capture equalized constellation points from the first packets (for
   /// Fig. 2). 0 disables capture.
   int capture_symbols = 0;
+  /// Worker threads for the packet sweep; 1 = serial, 0 = one per
+  /// hardware thread. Any value yields bit-identical statistics: each
+  /// packet index derives its own RNG stream and the reduction is done
+  /// in packet order.
+  int num_threads = 1;
 };
 
 struct BermacResult {

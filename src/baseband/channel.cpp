@@ -1,5 +1,6 @@
 #include "baseband/channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,18 +19,18 @@ FadingChannel::FadingChannel(const ChannelConfig& config, util::Rng& rng)
 
 void FadingChannel::redraw(util::Rng& rng) {
   const int L = config_.num_taps;
-  std::vector<double> pdp(static_cast<std::size_t>(L));
+  // Exponential PDP weights are a closed form of l — no scratch needed.
+  const auto pdp = [&](int l) {
+    return L == 1 ? 1.0
+                  : std::exp(-static_cast<double>(l) /
+                             config_.delay_spread_samples);
+  };
   double total = 0.0;
-  for (int l = 0; l < L; ++l) {
-    pdp[static_cast<std::size_t>(l)] =
-        L == 1 ? 1.0 : std::exp(-static_cast<double>(l) /
-                                config_.delay_spread_samples);
-    total += pdp[static_cast<std::size_t>(l)];
-  }
+  for (int l = 0; l < L; ++l) total += pdp(l);
   const double gain = util::db_to_lin(-config_.path_loss_db);
-  taps_.assign(static_cast<std::size_t>(L), Cx{});
+  taps_.resize(static_cast<std::size_t>(L));
   for (int l = 0; l < L; ++l) {
-    const double power = gain * pdp[static_cast<std::size_t>(l)] / total;
+    const double power = gain * pdp(l) / total;
     if (config_.rayleigh) {
       // CN(0, power): each component N(0, power/2).
       const double s = std::sqrt(power / 2.0);
@@ -47,14 +48,56 @@ double FadingChannel::noise_variance_mw() const {
   return util::dbm_to_mw(psd_dbm) * config_.sample_rate_hz;
 }
 
-std::vector<Cx> FadingChannel::propagate(std::span<const Cx> tx) const {
-  std::vector<Cx> out(tx.size() + taps_.size() - 1, Cx{});
-  for (std::size_t n = 0; n < tx.size(); ++n) {
-    for (std::size_t l = 0; l < taps_.size(); ++l) {
-      out[n + l] += tx[n] * taps_[l];
+void FadingChannel::propagate_into(std::span<const Cx> tx,
+                                   std::span<Cx> out) const {
+  if (out.size() != tx.size() + taps_.size() - 1) {
+    throw std::invalid_argument("output size must be tx + taps - 1");
+  }
+  // Flat-double multiply-accumulate through raw pointers: the
+  // std::complex operator* NaN fix-up, 16-byte complex loads/stores and
+  // span indexing all keep the compiler from tightening this loop, and
+  // it runs once per sample per tap. Tap-major order keeps every pass a
+  // contiguous stream.
+  double* const o = reinterpret_cast<double*>(out.data());
+  const double* const x = reinterpret_cast<const double*>(tx.data());
+  const Cx* const h = taps_.data();
+  const std::size_t nt = taps_.size();
+  const std::size_t n_tx = tx.size();
+  {
+    const double hr = h[0].real();
+    const double hi = h[0].imag();
+    for (std::size_t n = 0; n < n_tx; ++n) {
+      const double xr = x[2 * n];
+      const double xi = x[2 * n + 1];
+      o[2 * n] = xr * hr - xi * hi;
+      o[2 * n + 1] = xr * hi + xi * hr;
     }
   }
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(n_tx), out.end(),
+            Cx{});
+  for (std::size_t l = 1; l < nt; ++l) {
+    const double hr = h[l].real();
+    const double hi = h[l].imag();
+    double* const ol = o + 2 * l;
+    for (std::size_t n = 0; n < n_tx; ++n) {
+      const double xr = x[2 * n];
+      const double xi = x[2 * n + 1];
+      ol[2 * n] += xr * hr - xi * hi;
+      ol[2 * n + 1] += xr * hi + xi * hr;
+    }
+  }
+}
+
+std::vector<Cx> FadingChannel::propagate(std::span<const Cx> tx) const {
+  std::vector<Cx> out(tx.size() + taps_.size() - 1);
+  propagate_into(tx, out);
   return out;
+}
+
+void FadingChannel::transmit_into(std::span<const Cx> tx, std::span<Cx> out,
+                                  util::Rng& rng) const {
+  propagate_into(tx, out);
+  add_awgn(out, noise_variance_mw(), rng);
 }
 
 std::vector<Cx> FadingChannel::transmit(std::span<const Cx> tx,
@@ -64,24 +107,42 @@ std::vector<Cx> FadingChannel::transmit(std::span<const Cx> tx,
   return out;
 }
 
-std::vector<Cx> FadingChannel::frequency_response(std::size_t fft_size) const {
-  if (!is_power_of_two(fft_size)) {
+void FadingChannel::frequency_response_into(std::span<Cx> out) const {
+  if (!is_power_of_two(out.size())) {
     throw std::invalid_argument("fft_size must be a power of two");
   }
-  if (taps_.size() > fft_size) {
+  if (taps_.size() > out.size()) {
     throw std::invalid_argument("more taps than FFT bins");
   }
-  std::vector<Cx> padded(fft_size, Cx{});
-  std::copy(taps_.begin(), taps_.end(), padded.begin());
-  fft_in_place(padded);
+  std::copy(taps_.begin(), taps_.end(), out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(taps_.size()),
+            out.end(), Cx{});
+  fft_in_place(out);
+}
+
+std::vector<Cx> FadingChannel::frequency_response(std::size_t fft_size) const {
+  std::vector<Cx> padded(fft_size);
+  frequency_response_into(padded);
   return padded;
 }
 
 void add_awgn(std::span<Cx> samples, double variance_mw, util::Rng& rng) {
   if (variance_mw < 0.0) throw std::invalid_argument("negative variance");
   const double s = std::sqrt(variance_mw / 2.0);
-  for (auto& x : samples) {
-    x += Cx(rng.normal(0.0, s), rng.normal(0.0, s));
+  // Batched ziggurat draws (fill_normals) rather than per-sample
+  // Box-Muller: this loop consumes two Gaussians per received sample and
+  // dominates the non-FFT cost of every Monte-Carlo sweep. The chunk
+  // buffer lives on the stack so the path stays allocation-free.
+  constexpr std::size_t kChunk = 64;  // samples per batch
+  double noise[2 * kChunk];
+  double* d = reinterpret_cast<double*>(samples.data());
+  std::size_t remaining = samples.size();
+  while (remaining > 0) {
+    const std::size_t take = std::min(kChunk, remaining);
+    rng.fill_normals(std::span<double>(noise, 2 * take));
+    for (std::size_t i = 0; i < 2 * take; ++i) d[i] += s * noise[i];
+    d += 2 * take;
+    remaining -= take;
   }
 }
 

@@ -51,6 +51,14 @@ class FadingChannel {
   /// superpose at one receive antenna and noise must be added once.
   std::vector<Cx> propagate(std::span<const Cx> tx) const;
 
+  /// Allocation-free variants: `out.size()` must equal
+  /// tx.size() + taps - 1 and must not alias `tx`. For
+  /// frequency_response_into, `out.size()` is the FFT size.
+  void transmit_into(std::span<const Cx> tx, std::span<Cx> out,
+                     util::Rng& rng) const;
+  void propagate_into(std::span<const Cx> tx, std::span<Cx> out) const;
+  void frequency_response_into(std::span<Cx> out) const;
+
   /// Per-sample complex noise variance (mW).
   double noise_variance_mw() const;
 

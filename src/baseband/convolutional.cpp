@@ -5,6 +5,7 @@
 #include <bit>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace acorn::baseband {
 
@@ -17,6 +18,7 @@ inline int parity(unsigned x) { return std::popcount(x) & 1; }
 struct Transition {
   std::uint8_t out0;
   std::uint8_t out1;
+  std::uint8_t out_pair;  // (out0 << 1) | out1: branch-metric table index
   std::uint8_t next_state;
 };
 
@@ -35,6 +37,8 @@ struct Trellis {
             static_cast<std::uint8_t>(parity(reg & ConvolutionalCode::kG0));
         t[state][input].out1 =
             static_cast<std::uint8_t>(parity(reg & ConvolutionalCode::kG1));
+        t[state][input].out_pair = static_cast<std::uint8_t>(
+            (t[state][input].out0 << 1) | t[state][input].out1);
         t[state][input].next_state =
             static_cast<std::uint8_t>(reg >> 1);
       }
@@ -65,25 +69,134 @@ std::span<const std::uint8_t> pattern(phy::CodeRate rate) {
   throw std::invalid_argument("unknown code rate");
 }
 
+// Add-compare-select over all 64 states for `steps` trellis steps.
+// `fill_bm` populates the 4-entry branch-metric table (indexed by
+// Transition::out_pair) for one step — the only difference between hard
+// and soft decoding.
+template <typename Metric, typename FillBm>
+void viterbi_forward(std::size_t steps, Metric inf, FillBm&& fill_bm,
+                     std::uint8_t* survivors,
+                     std::array<Metric, ConvolutionalCode::kNumStates>& metric) {
+  constexpr int kNumStates = ConvolutionalCode::kNumStates;
+  const Trellis& tr = trellis();
+  metric.fill(inf);
+  metric[0] = Metric{};  // encoder starts in state 0
+  std::array<Metric, kNumStates> next_metric;
+  std::array<Metric, 4> bm;
+  for (std::size_t step = 0; step < steps; ++step) {
+    fill_bm(step, bm);
+    next_metric.fill(inf);
+    std::uint8_t* const surv = survivors + step * kNumStates;
+    for (int state = 0; state < kNumStates; ++state) {
+      const Metric m = metric[static_cast<std::size_t>(state)];
+      if (m >= inf) continue;
+      for (int input = 0; input < 2; ++input) {
+        const Transition& t = tr.t[state][input];
+        const Metric cand = m + bm[t.out_pair];
+        if (cand < next_metric[t.next_state]) {
+          next_metric[t.next_state] = cand;
+          surv[t.next_state] =
+              static_cast<std::uint8_t>(state | (input << 6));
+        }
+      }
+    }
+    metric = next_metric;
+  }
+}
+
+// Walk the survivor chain backwards; bits beyond out.size() (the tail of
+// a terminated stream) are traversed but not emitted.
+template <typename Metric>
+void viterbi_traceback(
+    const std::uint8_t* survivors, std::size_t steps, bool terminated,
+    const std::array<Metric, ConvolutionalCode::kNumStates>& metric,
+    std::span<std::uint8_t> out) {
+  constexpr int kNumStates = ConvolutionalCode::kNumStates;
+  int state = 0;
+  if (!terminated) {
+    state = static_cast<int>(
+        std::min_element(metric.begin(), metric.end()) - metric.begin());
+  }
+  for (std::size_t step = steps; step-- > 0;) {
+    const std::uint8_t s =
+        survivors[step * kNumStates + static_cast<std::size_t>(state)];
+    if (step < out.size()) out[step] = (s >> 6) & 1u;
+    state = s & 63;
+  }
+}
+
+std::size_t checked_steps(std::size_t in_size, std::size_t out_size,
+                          bool terminated, const char* what) {
+  if (in_size % 2 != 0) {
+    throw std::invalid_argument(std::string(what) +
+                                " stream must have even length");
+  }
+  const std::size_t steps = in_size / 2;
+  const auto tail =
+      static_cast<std::size_t>(ConvolutionalCode::kConstraint - 1);
+  if (terminated && steps < tail) {
+    throw std::invalid_argument("terminated stream shorter than the tail");
+  }
+  if (out_size != steps - (terminated ? tail : 0)) {
+    throw std::invalid_argument("decoded output size mismatch");
+  }
+  return steps;
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> ConvolutionalCode::encode(
-    std::span<const std::uint8_t> bits, bool terminate) const {
+void ConvolutionalCode::encode_into(std::span<const std::uint8_t> bits,
+                                    std::span<std::uint8_t> out,
+                                    bool terminate) const {
+  if (out.size() != encoded_length(bits.size(), terminate)) {
+    throw std::invalid_argument("encoded output size mismatch");
+  }
   const Trellis& tr = trellis();
-  std::vector<std::uint8_t> out;
-  out.reserve(2 * (bits.size() + (terminate ? kConstraint - 1 : 0)));
   int state = 0;
+  std::size_t cursor = 0;
   auto push = [&](std::uint8_t bit) {
     const Transition& step = tr.t[state][bit & 1];
-    out.push_back(step.out0);
-    out.push_back(step.out1);
+    out[cursor++] = step.out0;
+    out[cursor++] = step.out1;
     state = step.next_state;
   };
   for (std::uint8_t b : bits) push(b);
   if (terminate) {
     for (int i = 0; i < kConstraint - 1; ++i) push(0);
   }
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::encode(
+    std::span<const std::uint8_t> bits, bool terminate) const {
+  std::vector<std::uint8_t> out(encoded_length(bits.size(), terminate));
+  encode_into(bits, out, terminate);
   return out;
+}
+
+void ConvolutionalCode::decode_into(std::span<const std::uint8_t> coded,
+                                    std::span<std::uint8_t> out,
+                                    ViterbiWorkspace& ws,
+                                    bool terminated) const {
+  const std::size_t steps =
+      checked_steps(coded.size(), out.size(), terminated, "coded");
+  ws.survivors_.resize(steps * kNumStates);
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+  std::array<int, kNumStates> metric;
+  viterbi_forward<int>(
+      steps, kInf,
+      [&coded](std::size_t step, std::array<int, 4>& bm) {
+        const std::uint8_t r0 = coded[2 * step];
+        const std::uint8_t r1 = coded[2 * step + 1];
+        for (int q = 0; q < 4; ++q) {
+          const std::uint8_t o0 = static_cast<std::uint8_t>(q >> 1);
+          const std::uint8_t o1 = static_cast<std::uint8_t>(q & 1);
+          bm[static_cast<std::size_t>(q)] =
+              static_cast<int>(r0 != kErasedBit && r0 != o0) +
+              static_cast<int>(r1 != kErasedBit && r1 != o1);
+        }
+      },
+      ws.survivors_.data(), metric);
+  viterbi_traceback(ws.survivors_.data(), steps, terminated, metric, out);
 }
 
 std::vector<std::uint8_t> ConvolutionalCode::decode(
@@ -92,63 +205,39 @@ std::vector<std::uint8_t> ConvolutionalCode::decode(
     throw std::invalid_argument("coded stream must have even length");
   }
   const std::size_t steps = coded.size() / 2;
-  const Trellis& tr = trellis();
-  constexpr int kInf = std::numeric_limits<int>::max() / 4;
-
-  std::array<int, kNumStates> metric;
-  metric.fill(kInf);
-  metric[0] = 0;  // encoder starts in state 0
-
-  // survivors[step][state] = input bit and predecessor packed.
-  struct Survivor {
-    std::uint8_t prev;
-    std::uint8_t input;
-  };
-  std::vector<std::array<Survivor, kNumStates>> survivors(steps);
-
-  std::array<int, kNumStates> next_metric;
-  for (std::size_t step = 0; step < steps; ++step) {
-    const std::uint8_t r0 = coded[2 * step];
-    const std::uint8_t r1 = coded[2 * step + 1];
-    next_metric.fill(kInf);
-    for (int state = 0; state < kNumStates; ++state) {
-      if (metric[state] >= kInf) continue;
-      for (int input = 0; input < 2; ++input) {
-        const Transition& t = tr.t[state][input];
-        int branch = 0;
-        if (r0 != kErasedBit && r0 != t.out0) ++branch;
-        if (r1 != kErasedBit && r1 != t.out1) ++branch;
-        const int cand = metric[state] + branch;
-        if (cand < next_metric[t.next_state]) {
-          next_metric[t.next_state] = cand;
-          survivors[step][t.next_state] =
-              Survivor{static_cast<std::uint8_t>(state),
-                       static_cast<std::uint8_t>(input)};
-        }
-      }
-    }
-    metric = next_metric;
+  const auto tail = static_cast<std::size_t>(kConstraint - 1);
+  if (terminated && steps < tail) {
+    throw std::invalid_argument("terminated stream shorter than the tail");
   }
-
-  // Traceback from state 0 when terminated, else from the best state.
-  int state = 0;
-  if (!terminated) {
-    state = static_cast<int>(
-        std::min_element(metric.begin(), metric.end()) - metric.begin());
-  }
-  std::vector<std::uint8_t> bits(steps);
-  for (std::size_t step = steps; step-- > 0;) {
-    const Survivor& s = survivors[step][state];
-    bits[step] = s.input;
-    state = s.prev;
-  }
-  if (terminated) {
-    if (bits.size() < static_cast<std::size_t>(kConstraint - 1)) {
-      throw std::invalid_argument("terminated stream shorter than the tail");
-    }
-    bits.resize(bits.size() - (kConstraint - 1));
-  }
+  std::vector<std::uint8_t> bits(decoded_length(coded.size(), terminated));
+  ViterbiWorkspace ws;
+  decode_into(coded, bits, ws, terminated);
   return bits;
+}
+
+void ConvolutionalCode::decode_soft_into(std::span<const double> llrs,
+                                         std::span<std::uint8_t> out,
+                                         ViterbiWorkspace& ws,
+                                         bool terminated) const {
+  const std::size_t steps =
+      checked_steps(llrs.size(), out.size(), terminated, "soft");
+  ws.survivors_.resize(steps * kNumStates);
+  constexpr double kInf = 1e300;
+  std::array<double, kNumStates> metric;
+  viterbi_forward<double>(
+      steps, kInf,
+      [&llrs](std::size_t step, std::array<double, 4>& bm) {
+        // Correlation metric: hypothesizing bit 1 against a positive
+        // (bit-0-favoring) LLR costs that LLR, and vice versa.
+        const double l0 = llrs[2 * step];
+        const double l1 = llrs[2 * step + 1];
+        bm[0] = -l0 - l1;
+        bm[1] = -l0 + l1;
+        bm[2] = l0 - l1;
+        bm[3] = l0 + l1;
+      },
+      ws.survivors_.data(), metric);
+  viterbi_traceback(ws.survivors_.data(), steps, terminated, metric, out);
 }
 
 std::vector<std::uint8_t> ConvolutionalCode::decode_soft(
@@ -157,75 +246,33 @@ std::vector<std::uint8_t> ConvolutionalCode::decode_soft(
     throw std::invalid_argument("soft stream must have even length");
   }
   const std::size_t steps = llrs.size() / 2;
-  const Trellis& tr = trellis();
-  constexpr double kInf = 1e300;
-
-  std::array<double, kNumStates> metric;
-  metric.fill(kInf);
-  metric[0] = 0.0;
-
-  struct Survivor {
-    std::uint8_t prev;
-    std::uint8_t input;
-  };
-  std::vector<std::array<Survivor, kNumStates>> survivors(steps);
-
-  std::array<double, kNumStates> next_metric;
-  for (std::size_t step = 0; step < steps; ++step) {
-    const double l0 = llrs[2 * step];
-    const double l1 = llrs[2 * step + 1];
-    next_metric.fill(kInf);
-    for (int state = 0; state < kNumStates; ++state) {
-      if (metric[state] >= kInf) continue;
-      for (int input = 0; input < 2; ++input) {
-        const Transition& t = tr.t[state][input];
-        // Correlation metric: hypothesizing bit 1 against a positive
-        // (bit-0-favoring) LLR costs that LLR, and vice versa.
-        const double branch = (t.out0 ? l0 : -l0) + (t.out1 ? l1 : -l1);
-        const double cand = metric[state] + branch;
-        if (cand < next_metric[t.next_state]) {
-          next_metric[t.next_state] = cand;
-          survivors[step][t.next_state] =
-              Survivor{static_cast<std::uint8_t>(state),
-                       static_cast<std::uint8_t>(input)};
-        }
-      }
-    }
-    metric = next_metric;
+  const auto tail = static_cast<std::size_t>(kConstraint - 1);
+  if (terminated && steps < tail) {
+    throw std::invalid_argument("terminated stream shorter than the tail");
   }
-
-  int state = 0;
-  if (!terminated) {
-    state = static_cast<int>(
-        std::min_element(metric.begin(), metric.end()) - metric.begin());
-  }
-  std::vector<std::uint8_t> bits(steps);
-  for (std::size_t step = steps; step-- > 0;) {
-    const Survivor& s = survivors[step][state];
-    bits[step] = s.input;
-    state = s.prev;
-  }
-  if (terminated) {
-    if (bits.size() < static_cast<std::size_t>(kConstraint - 1)) {
-      throw std::invalid_argument("terminated stream shorter than the tail");
-    }
-    bits.resize(bits.size() - (kConstraint - 1));
-  }
+  std::vector<std::uint8_t> bits(decoded_length(llrs.size(), terminated));
+  ViterbiWorkspace ws;
+  decode_soft_into(llrs, bits, ws, terminated);
   return bits;
+}
+
+void depuncture_soft_into(std::span<const double> punctured,
+                          phy::CodeRate rate, std::span<double> out) {
+  const auto pat = pattern(rate);
+  if (punctured_length(out.size(), rate) != punctured.size()) {
+    throw std::invalid_argument("punctured length does not match coded_len");
+  }
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = pat[i % pat.size()] ? punctured[cursor++] : 0.0;
+  }
 }
 
 std::vector<double> depuncture_soft(std::span<const double> punctured,
                                     phy::CodeRate rate,
                                     std::size_t coded_len) {
-  const auto pat = pattern(rate);
-  if (punctured_length(coded_len, rate) != punctured.size()) {
-    throw std::invalid_argument("punctured length does not match coded_len");
-  }
-  std::vector<double> out(coded_len, 0.0);
-  std::size_t cursor = 0;
-  for (std::size_t i = 0; i < coded_len; ++i) {
-    if (pat[i % pat.size()]) out[i] = punctured[cursor++];
-  }
+  std::vector<double> out(coded_len);
+  depuncture_soft_into(punctured, rate, out);
   return out;
 }
 
@@ -238,29 +285,42 @@ std::size_t punctured_length(std::size_t coded_len, phy::CodeRate rate) {
   return kept;
 }
 
+void puncture_into(std::span<const std::uint8_t> coded, phy::CodeRate rate,
+                   std::span<std::uint8_t> out) {
+  const auto pat = pattern(rate);
+  if (out.size() != punctured_length(coded.size(), rate)) {
+    throw std::invalid_argument("punctured output size mismatch");
+  }
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (pat[i % pat.size()]) out[cursor++] = coded[i];
+  }
+}
+
 std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded,
                                    phy::CodeRate rate) {
-  const auto pat = pattern(rate);
-  std::vector<std::uint8_t> out;
-  out.reserve(punctured_length(coded.size(), rate));
-  for (std::size_t i = 0; i < coded.size(); ++i) {
-    if (pat[i % pat.size()]) out.push_back(coded[i]);
-  }
+  std::vector<std::uint8_t> out(punctured_length(coded.size(), rate));
+  puncture_into(coded, rate, out);
   return out;
+}
+
+void depuncture_into(std::span<const std::uint8_t> punctured,
+                     phy::CodeRate rate, std::span<std::uint8_t> out) {
+  const auto pat = pattern(rate);
+  if (punctured_length(out.size(), rate) != punctured.size()) {
+    throw std::invalid_argument("punctured length does not match coded_len");
+  }
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = pat[i % pat.size()] ? punctured[cursor++] : kErasedBit;
+  }
 }
 
 std::vector<std::uint8_t> depuncture(
     std::span<const std::uint8_t> punctured, phy::CodeRate rate,
     std::size_t coded_len) {
-  const auto pat = pattern(rate);
-  if (punctured_length(coded_len, rate) != punctured.size()) {
-    throw std::invalid_argument("punctured length does not match coded_len");
-  }
-  std::vector<std::uint8_t> out(coded_len, kErasedBit);
-  std::size_t cursor = 0;
-  for (std::size_t i = 0; i < coded_len; ++i) {
-    if (pat[i % pat.size()]) out[i] = punctured[cursor++];
-  }
+  std::vector<std::uint8_t> out(coded_len);
+  depuncture_into(punctured, rate, out);
   return out;
 }
 

@@ -19,6 +19,20 @@ namespace acorn::baseband {
 /// Bit value marking a punctured (erased) position for the decoder.
 inline constexpr std::uint8_t kErasedBit = 2;
 
+/// Reusable survivor storage for Viterbi decoding. Grows to the largest
+/// packet decoded through it and then stays allocation-free, so one
+/// workspace per worker makes steady-state decoding heap-silent.
+class ViterbiWorkspace {
+ public:
+  void reserve(std::size_t steps) { survivors_.reserve(steps * 64); }
+
+ private:
+  friend class ConvolutionalCode;
+  // survivors_[step * 64 + state] = predecessor state (6 bits) with the
+  // input bit packed into bit 6.
+  std::vector<std::uint8_t> survivors_;
+};
+
 class ConvolutionalCode {
  public:
   static constexpr int kConstraint = 7;
@@ -26,6 +40,17 @@ class ConvolutionalCode {
   /// Generators in octal: 0133 and 0171.
   static constexpr unsigned kG0 = 0133;
   static constexpr unsigned kG1 = 0171;
+
+  /// Coded bits produced by encode() for `n_bits` payload bits.
+  static constexpr std::size_t encoded_length(std::size_t n_bits,
+                                              bool terminate = true) {
+    return 2 * (n_bits + (terminate ? kConstraint - 1 : 0));
+  }
+  /// Payload bits recovered from a rate-1/2 stream of `coded_len` bits.
+  static constexpr std::size_t decoded_length(std::size_t coded_len,
+                                              bool terminated = true) {
+    return coded_len / 2 - (terminated ? kConstraint - 1 : 0);
+  }
 
   /// Rate-1/2 encode: two coded bits per input bit. When `terminate` is
   /// true, six zero tail bits flush the encoder back to state 0 (and the
@@ -45,6 +70,17 @@ class ConvolutionalCode {
   /// branch metric; gains ~2 dB over hard decisions on AWGN.
   std::vector<std::uint8_t> decode_soft(std::span<const double> llrs,
                                         bool terminated = true) const;
+
+  /// Allocation-free variants (after the workspace warms up). Output
+  /// spans must be exactly encoded_length / decoded_length of the input.
+  void encode_into(std::span<const std::uint8_t> bits,
+                   std::span<std::uint8_t> out, bool terminate = true) const;
+  void decode_into(std::span<const std::uint8_t> coded,
+                   std::span<std::uint8_t> out, ViterbiWorkspace& ws,
+                   bool terminated = true) const;
+  void decode_soft_into(std::span<const double> llrs,
+                        std::span<std::uint8_t> out, ViterbiWorkspace& ws,
+                        bool terminated = true) const;
 };
 
 /// Depuncture a soft stream: punctured positions become 0 LLRs.
@@ -66,5 +102,14 @@ std::vector<std::uint8_t> depuncture(
 /// Number of bits the punctured stream will have for a rate-1/2 stream of
 /// `coded_len` bits.
 std::size_t punctured_length(std::size_t coded_len, phy::CodeRate rate);
+
+/// Allocation-free puncturing variants; output sizes must match
+/// punctured_length / coded_len exactly.
+void puncture_into(std::span<const std::uint8_t> coded, phy::CodeRate rate,
+                   std::span<std::uint8_t> out);
+void depuncture_into(std::span<const std::uint8_t> punctured,
+                     phy::CodeRate rate, std::span<std::uint8_t> out);
+void depuncture_soft_into(std::span<const double> punctured,
+                          phy::CodeRate rate, std::span<double> out);
 
 }  // namespace acorn::baseband

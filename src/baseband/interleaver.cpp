@@ -43,59 +43,91 @@ BlockInterleaver BlockInterleaver::for_ht(phy::ChannelWidth width,
   return BlockInterleaver(n_cbps, n_bpsc, n_cols);
 }
 
-std::vector<std::uint8_t> BlockInterleaver::interleave(
-    std::span<const std::uint8_t> block) const {
-  if (static_cast<int>(block.size()) != n_cbps_) {
+namespace {
+
+void check_sizes(std::size_t in, std::size_t out, int n_cbps, bool stream) {
+  if (in != out) throw std::invalid_argument("output size mismatch");
+  if (stream) {
+    if (in % static_cast<std::size_t>(n_cbps) != 0) {
+      throw std::invalid_argument("stream not a multiple of the block size");
+    }
+  } else if (static_cast<int>(in) != n_cbps) {
     throw std::invalid_argument("block size mismatch");
   }
-  std::vector<std::uint8_t> out(block.size());
+}
+
+}  // namespace
+
+void BlockInterleaver::interleave_into(std::span<const std::uint8_t> block,
+                                       std::span<std::uint8_t> out) const {
+  check_sizes(block.size(), out.size(), n_cbps_, /*stream=*/false);
   for (std::size_t k = 0; k < block.size(); ++k) {
     out[static_cast<std::size_t>(forward_[k])] = block[k];
   }
+}
+
+void BlockInterleaver::deinterleave_into(std::span<const std::uint8_t> block,
+                                         std::span<std::uint8_t> out) const {
+  check_sizes(block.size(), out.size(), n_cbps_, /*stream=*/false);
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    out[k] = block[static_cast<std::size_t>(forward_[k])];
+  }
+}
+
+void BlockInterleaver::interleave_stream_into(
+    std::span<const std::uint8_t> bits, std::span<std::uint8_t> out) const {
+  check_sizes(bits.size(), out.size(), n_cbps_, /*stream=*/true);
+  const auto block = static_cast<std::size_t>(n_cbps_);
+  for (std::size_t start = 0; start < bits.size(); start += block) {
+    interleave_into(bits.subspan(start, block), out.subspan(start, block));
+  }
+}
+
+void BlockInterleaver::deinterleave_stream_into(
+    std::span<const std::uint8_t> bits, std::span<std::uint8_t> out) const {
+  check_sizes(bits.size(), out.size(), n_cbps_, /*stream=*/true);
+  const auto block = static_cast<std::size_t>(n_cbps_);
+  for (std::size_t start = 0; start < bits.size(); start += block) {
+    deinterleave_into(bits.subspan(start, block), out.subspan(start, block));
+  }
+}
+
+void BlockInterleaver::deinterleave_stream_into(std::span<const double> llrs,
+                                                std::span<double> out) const {
+  check_sizes(llrs.size(), out.size(), n_cbps_, /*stream=*/true);
+  const auto block = static_cast<std::size_t>(n_cbps_);
+  for (std::size_t start = 0; start < llrs.size(); start += block) {
+    for (std::size_t k = 0; k < block; ++k) {
+      out[start + k] = llrs[start + static_cast<std::size_t>(forward_[k])];
+    }
+  }
+}
+
+std::vector<std::uint8_t> BlockInterleaver::interleave(
+    std::span<const std::uint8_t> block) const {
+  std::vector<std::uint8_t> out(block.size());
+  interleave_into(block, out);
   return out;
 }
 
 std::vector<std::uint8_t> BlockInterleaver::deinterleave(
     std::span<const std::uint8_t> block) const {
-  if (static_cast<int>(block.size()) != n_cbps_) {
-    throw std::invalid_argument("block size mismatch");
-  }
   std::vector<std::uint8_t> out(block.size());
-  for (std::size_t k = 0; k < block.size(); ++k) {
-    out[k] = block[static_cast<std::size_t>(forward_[k])];
-  }
+  deinterleave_into(block, out);
   return out;
 }
 
 std::vector<std::uint8_t> BlockInterleaver::interleave_stream(
     std::span<const std::uint8_t> bits) const {
-  if (bits.size() % static_cast<std::size_t>(n_cbps_) != 0) {
-    throw std::invalid_argument("stream not a multiple of the block size");
-  }
-  std::vector<std::uint8_t> out;
-  out.reserve(bits.size());
-  for (std::size_t start = 0; start < bits.size();
-       start += static_cast<std::size_t>(n_cbps_)) {
-    const auto block = interleave(
-        bits.subspan(start, static_cast<std::size_t>(n_cbps_)));
-    out.insert(out.end(), block.begin(), block.end());
-  }
+  std::vector<std::uint8_t> out(bits.size());
+  interleave_stream_into(bits, out);
   return out;
 }
 
 std::vector<std::uint8_t> BlockInterleaver::deinterleave_stream(
     std::span<const std::uint8_t> bits) const {
-  if (bits.size() % static_cast<std::size_t>(n_cbps_) != 0) {
-    throw std::invalid_argument("stream not a multiple of the block size");
-  }
-  std::vector<std::uint8_t> out;
-  out.reserve(bits.size());
-  for (std::size_t start = 0; start < bits.size();
-       start += static_cast<std::size_t>(n_cbps_)) {
-    const auto block = deinterleave(
-        bits.subspan(start, static_cast<std::size_t>(n_cbps_)));
-    out.insert(out.end(), block.begin(), block.end());
-  }
+  std::vector<std::uint8_t> out(bits.size());
+  deinterleave_stream_into(bits, out);
   return out;
 }
 

@@ -47,6 +47,21 @@ class BlockInterleaver {
   std::vector<std::uint8_t> deinterleave_stream(
       std::span<const std::uint8_t> bits) const;
 
+  /// Allocation-free variants: `out.size()` must equal the input size
+  /// (and the stream forms must be a multiple of the block size). `out`
+  /// must not alias the input — the permutation is applied directly.
+  void interleave_into(std::span<const std::uint8_t> block,
+                       std::span<std::uint8_t> out) const;
+  void deinterleave_into(std::span<const std::uint8_t> block,
+                         std::span<std::uint8_t> out) const;
+  void interleave_stream_into(std::span<const std::uint8_t> bits,
+                              std::span<std::uint8_t> out) const;
+  void deinterleave_stream_into(std::span<const std::uint8_t> bits,
+                                std::span<std::uint8_t> out) const;
+  /// Deinterleave a per-bit soft (LLR) stream.
+  void deinterleave_stream_into(std::span<const double> llrs,
+                                std::span<double> out) const;
+
  private:
   int n_cbps_;
   std::vector<int> forward_;  // forward_[k] = position after interleaving

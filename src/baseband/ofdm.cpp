@@ -1,6 +1,7 @@
 #include "baseband/ofdm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -69,86 +70,158 @@ double Ofdm::subcarrier_amplitude(double tx_power_mw) const {
   return std::sqrt(tx_power_mw * n * n / used);
 }
 
-std::vector<Cx> Ofdm::modulate(std::span<const Cx> data_symbols,
-                               double tx_power_mw) const {
+void Ofdm::modulate_into(std::span<const Cx> data_symbols,
+                         double tx_power_mw, std::span<Cx> out) const {
   const double amp = subcarrier_amplitude(tx_power_mw);
   const std::size_t n_sym = num_ofdm_symbols(data_symbols.size());
   const auto n = static_cast<std::size_t>(fft_size_);
-  std::vector<Cx> out;
-  out.reserve(n_sym * static_cast<std::size_t>(symbol_length()));
-  std::vector<Cx> grid(n);
+  const auto cp = static_cast<std::size_t>(cp_length());
+  const auto slen = static_cast<std::size_t>(symbol_length());
+  if (out.size() != n_sym * slen) {
+    throw std::invalid_argument("output size must be n_sym * symbol_length");
+  }
+  const FftPlan& plan = fft_plan(n);
+  const int* const bins = data_bins_.data();
+  const std::size_t nd = data_bins_.size();
+  const double* const sym =
+      reinterpret_cast<const double*>(data_symbols.data());
+  const std::size_t n_data = data_symbols.size();
   std::size_t cursor = 0;
   for (std::size_t s = 0; s < n_sym; ++s) {
+    // Build the subcarrier grid directly in the post-CP segment of the
+    // output, run the IFFT in place, then copy the cyclic prefix. The
+    // scatter works on flat double pairs — std::complex stores keep the
+    // compiler from tightening the loop.
+    const std::span<Cx> grid = out.subspan(s * slen + cp, n);
     std::fill(grid.begin(), grid.end(), Cx{});
-    for (int bin : data_bins_) {
-      const Cx sym = cursor < data_symbols.size() ? data_symbols[cursor] : Cx{};
-      grid[static_cast<std::size_t>(bin)] = amp * sym;
-      ++cursor;
+    double* const g = reinterpret_cast<double*>(grid.data());
+    const std::size_t take = std::min(nd, n_data - std::min(n_data, cursor));
+    for (std::size_t d = 0; d < take; ++d) {
+      const std::size_t gi = 2 * static_cast<std::size_t>(bins[d]);
+      g[gi] = amp * sym[2 * (cursor + d)];
+      g[gi + 1] = amp * sym[2 * (cursor + d) + 1];
     }
+    cursor += nd;
     for (int bin : pilot_bins_) {
       grid[static_cast<std::size_t>(bin)] = Cx(amp, 0.0);
     }
-    std::vector<Cx> time = ifft(grid);
-    // Cyclic prefix: last cp samples repeated in front.
-    const auto cp = static_cast<std::size_t>(cp_length());
-    out.insert(out.end(), time.end() - static_cast<std::ptrdiff_t>(cp),
-               time.end());
-    out.insert(out.end(), time.begin(), time.end());
+    plan.inverse(grid);
+    std::copy_n(grid.end() - static_cast<std::ptrdiff_t>(cp), cp,
+                out.begin() + static_cast<std::ptrdiff_t>(s * slen));
   }
+}
+
+std::vector<Cx> Ofdm::modulate(std::span<const Cx> data_symbols,
+                               double tx_power_mw) const {
+  std::vector<Cx> out(num_ofdm_symbols(data_symbols.size()) *
+                      static_cast<std::size_t>(symbol_length()));
+  modulate_into(data_symbols, tx_power_mw, out);
   return out;
 }
 
-std::vector<std::vector<Cx>> Ofdm::extract_bins(
-    std::span<const Cx> rx_samples, std::size_t n_ofdm_symbols) const {
+void Ofdm::extract_bins_into(std::span<const Cx> rx_samples,
+                             std::size_t n_ofdm_symbols, std::span<Cx> out,
+                             std::span<Cx> time_scratch) const {
   const auto slen = static_cast<std::size_t>(symbol_length());
+  const auto nd = data_bins_.size();
   if (rx_samples.size() < n_ofdm_symbols * slen) {
     throw std::invalid_argument("rx waveform shorter than expected");
   }
-  std::vector<std::vector<Cx>> out(n_ofdm_symbols);
-  std::vector<Cx> time(static_cast<std::size_t>(fft_size_));
+  if (out.size() != n_ofdm_symbols * nd) {
+    throw std::invalid_argument("output size must be n_sym * data carriers");
+  }
+  if (time_scratch.size() != static_cast<std::size_t>(fft_size_)) {
+    throw std::invalid_argument("scratch size must equal the FFT size");
+  }
+  const FftPlan& plan = fft_plan(time_scratch.size());
+  const int* const bins = data_bins_.data();
+  const double* const t = reinterpret_cast<const double*>(time_scratch.data());
+  double* const o = reinterpret_cast<double*>(out.data());
   for (std::size_t s = 0; s < n_ofdm_symbols; ++s) {
     const std::size_t base = s * slen + static_cast<std::size_t>(cp_length());
     std::copy_n(rx_samples.begin() + static_cast<std::ptrdiff_t>(base),
-                time.size(), time.begin());
-    fft_in_place(time);
-    out[s].reserve(data_bins_.size());
-    for (int bin : data_bins_) {
-      out[s].push_back(time[static_cast<std::size_t>(bin)]);
+                time_scratch.size(), time_scratch.begin());
+    plan.forward(time_scratch);
+    for (std::size_t d = 0; d < nd; ++d) {
+      const std::size_t bi = 2 * static_cast<std::size_t>(bins[d]);
+      o[2 * (s * nd + d)] = t[bi];
+      o[2 * (s * nd + d) + 1] = t[bi + 1];
     }
   }
+}
+
+std::vector<Cx> Ofdm::extract_bins(std::span<const Cx> rx_samples,
+                                   std::size_t n_ofdm_symbols) const {
+  std::vector<Cx> out(n_ofdm_symbols * data_bins_.size());
+  std::vector<Cx> time(static_cast<std::size_t>(fft_size_));
+  extract_bins_into(rx_samples, n_ofdm_symbols, out, time);
   return out;
+}
+
+void Ofdm::demodulate_into(std::span<const Cx> rx_samples,
+                           std::span<const Cx> channel_freq,
+                           std::span<Cx> data, double tx_power_mw,
+                           std::span<Cx> time_scratch) const {
+  if (channel_freq.size() != static_cast<std::size_t>(fft_size_)) {
+    throw std::invalid_argument("channel response size != FFT size");
+  }
+  if (time_scratch.size() != static_cast<std::size_t>(fft_size_)) {
+    throw std::invalid_argument("scratch size must equal the FFT size");
+  }
+  const double amp = subcarrier_amplitude(tx_power_mw);
+  const double inv_amp = 1.0 / amp;
+  const std::size_t n_data_symbols = data.size();
+  const std::size_t n_sym = num_ofdm_symbols(n_data_symbols);
+  const auto slen = static_cast<std::size_t>(symbol_length());
+  if (rx_samples.size() < n_sym * slen) {
+    throw std::invalid_argument("rx waveform shorter than expected");
+  }
+  const FftPlan& plan = fft_plan(time_scratch.size());
+  // The channel is constant across the packet (block fading), so the
+  // per-bin equalizer tap 1/(amp * H_k) is computed once; every symbol
+  // then costs one complex multiply per bin instead of a division. Taps
+  // are split into real/imag double arrays and the gather loop works on
+  // flat double pairs: 16-byte std::complex loads/stores cost ~6x here.
+  std::array<double, 128> tap_re;  // fft_size_ is 64 or 128
+  std::array<double, 128> tap_im;
+  const auto nd = data_bins_.size();
+  for (std::size_t d = 0; d < nd; ++d) {
+    const Cx h = channel_freq[static_cast<std::size_t>(data_bins_[d])];
+    const Cx w = std::norm(h) > 1e-24 ? inv_amp / h : Cx(inv_amp, 0.0);
+    tap_re[d] = w.real();
+    tap_im[d] = w.imag();
+  }
+  std::size_t cursor = 0;
+  const int* const bins = data_bins_.data();
+  const double* const t = reinterpret_cast<const double*>(time_scratch.data());
+  const Cx* const rx = rx_samples.data();
+  double* const out = reinterpret_cast<double*>(data.data());
+  for (std::size_t s = 0; s < n_sym && cursor < n_data_symbols; ++s) {
+    const std::size_t base = s * slen + static_cast<std::size_t>(cp_length());
+    std::copy_n(rx + base, time_scratch.size(), time_scratch.begin());
+    plan.forward(time_scratch);
+    const std::size_t take = std::min(nd, n_data_symbols - cursor);
+    double* const o = out + 2 * cursor;
+    for (std::size_t d = 0; d < take; ++d) {
+      const std::size_t bi = 2 * static_cast<std::size_t>(bins[d]);
+      const double xr = t[bi];
+      const double xi = t[bi + 1];
+      const double wr = tap_re[d];
+      const double wi = tap_im[d];
+      o[2 * d] = xr * wr - xi * wi;
+      o[2 * d + 1] = xr * wi + xi * wr;
+    }
+    cursor += take;
+  }
 }
 
 std::vector<Cx> Ofdm::demodulate(std::span<const Cx> rx_samples,
                                  std::span<const Cx> channel_freq,
                                  std::size_t n_data_symbols,
                                  double tx_power_mw) const {
-  if (channel_freq.size() != static_cast<std::size_t>(fft_size_)) {
-    throw std::invalid_argument("channel response size != FFT size");
-  }
-  const double amp = subcarrier_amplitude(tx_power_mw);
-  const std::size_t n_sym = num_ofdm_symbols(n_data_symbols);
-  const auto slen = static_cast<std::size_t>(symbol_length());
-  if (rx_samples.size() < n_sym * slen) {
-    throw std::invalid_argument("rx waveform shorter than expected");
-  }
-  std::vector<Cx> data;
-  data.reserve(n_data_symbols);
+  std::vector<Cx> data(n_data_symbols);
   std::vector<Cx> time(static_cast<std::size_t>(fft_size_));
-  for (std::size_t s = 0; s < n_sym && data.size() < n_data_symbols; ++s) {
-    const std::size_t base = s * slen + static_cast<std::size_t>(cp_length());
-    std::copy_n(rx_samples.begin() + static_cast<std::ptrdiff_t>(base),
-                time.size(), time.begin());
-    fft_in_place(time);
-    for (int bin : data_bins_) {
-      if (data.size() >= n_data_symbols) break;
-      const Cx h = channel_freq[static_cast<std::size_t>(bin)];
-      const Cx eq = std::abs(h) > 1e-12
-                        ? time[static_cast<std::size_t>(bin)] / h
-                        : time[static_cast<std::size_t>(bin)];
-      data.push_back(eq / amp);
-    }
-  }
+  demodulate_into(rx_samples, channel_freq, data, tx_power_mw, time);
   return data;
 }
 

@@ -55,11 +55,28 @@ class Ofdm {
                              double tx_power_mw = 1.0) const;
 
   /// Extract the raw (unequalized, unscaled) data-bin values of the first
-  /// `n_ofdm_symbols` OFDM symbols: result[s][d] is data bin d of symbol
-  /// s. Used by receivers that combine across antennas (STBC) before
+  /// `n_ofdm_symbols` OFDM symbols into one contiguous buffer:
+  /// result[s * num_data_subcarriers() + d] is data bin d of symbol s.
+  /// Used by receivers that combine across antennas (STBC) before
   /// equalizing.
-  std::vector<std::vector<Cx>> extract_bins(std::span<const Cx> rx_samples,
-                                            std::size_t n_ofdm_symbols) const;
+  std::vector<Cx> extract_bins(std::span<const Cx> rx_samples,
+                               std::size_t n_ofdm_symbols) const;
+
+  /// Allocation-free variants of the waveform paths. Sizes:
+  ///  - modulate_into: `out.size()` must be
+  ///    num_ofdm_symbols(data_symbols.size()) * symbol_length().
+  ///  - demodulate_into: writes exactly `data.size()` equalized symbols;
+  ///    `time_scratch.size()` must be fft_size().
+  ///  - extract_bins_into: `out.size()` must be
+  ///    n_ofdm_symbols * num_data_subcarriers(); same scratch contract.
+  void modulate_into(std::span<const Cx> data_symbols, double tx_power_mw,
+                     std::span<Cx> out) const;
+  void demodulate_into(std::span<const Cx> rx_samples,
+                       std::span<const Cx> channel_freq, std::span<Cx> data,
+                       double tx_power_mw, std::span<Cx> time_scratch) const;
+  void extract_bins_into(std::span<const Cx> rx_samples,
+                         std::size_t n_ofdm_symbols, std::span<Cx> out,
+                         std::span<Cx> time_scratch) const;
 
   /// Amplitude applied per data subcarrier for a given total Tx power.
   double subcarrier_amplitude(double tx_power_mw) const;

@@ -40,6 +40,9 @@ struct PhyChainConfig {
   /// is hard decisions, matching the analytic model's hard-decision
   /// union bound.
   bool soft_decision = false;
+  /// Worker threads for the packet sweep; 1 = serial, 0 = one per
+  /// hardware thread. Statistics are bit-identical at any thread count.
+  int num_threads = 1;
 };
 
 struct PhyChainResult {

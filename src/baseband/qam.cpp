@@ -1,6 +1,7 @@
 #include "baseband/qam.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,6 +36,45 @@ double normalization(phy::Modulation mod) {
     case phy::Modulation::kQpsk: return 1.0 / std::sqrt(2.0);
     case phy::Modulation::kQam16: return 1.0 / std::sqrt(10.0);
     case phy::Modulation::kQam64: return 1.0 / std::sqrt(42.0);
+  }
+  throw std::invalid_argument("unknown modulation");
+}
+
+// Full constellation enumeration (point + bit label per index), built
+// once per modulation so the soft demapper does not rebuild it per call.
+struct Constellation {
+  std::vector<Cx> points;            // 2^k entries
+  std::vector<std::uint8_t> labels;  // 2^k * k bit labels
+  int k = 0;
+
+  explicit Constellation(phy::Modulation mod)
+      : k(phy::bits_per_symbol(mod)) {
+    const int m = 1 << k;
+    points.resize(static_cast<std::size_t>(m));
+    labels.resize(static_cast<std::size_t>(m * k));
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
+    for (int v = 0; v < m; ++v) {
+      for (int b = 0; b < k; ++b) {
+        bits[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>((v >> (k - 1 - b)) & 1);
+        labels[static_cast<std::size_t>(v * k + b)] =
+            bits[static_cast<std::size_t>(b)];
+      }
+      points[static_cast<std::size_t>(v)] = qam_map_symbol(bits, mod);
+    }
+  }
+};
+
+const Constellation& constellation(phy::Modulation mod) {
+  static const Constellation bpsk(phy::Modulation::kBpsk);
+  static const Constellation qpsk(phy::Modulation::kQpsk);
+  static const Constellation qam16(phy::Modulation::kQam16);
+  static const Constellation qam64(phy::Modulation::kQam64);
+  switch (mod) {
+    case phy::Modulation::kBpsk: return bpsk;
+    case phy::Modulation::kQpsk: return qpsk;
+    case phy::Modulation::kQam16: return qam16;
+    case phy::Modulation::kQam64: return qam64;
   }
   throw std::invalid_argument("unknown modulation");
 }
@@ -82,45 +122,49 @@ void qam_demap_symbol(Cx symbol, phy::Modulation mod,
   }
 }
 
+void qam_modulate_into(std::span<const std::uint8_t> bits,
+                       phy::Modulation mod, std::span<Cx> symbols) {
+  const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
+  const std::size_t n_symbols = (bits.size() + k - 1) / k;
+  if (symbols.size() != n_symbols) {
+    throw std::invalid_argument("symbol buffer size must be ceil(bits/k)");
+  }
+  const std::size_t whole = bits.size() / k;
+  for (std::size_t s = 0; s < whole; ++s) {
+    symbols[s] = qam_map_symbol(bits.subspan(s * k, k), mod);
+  }
+  if (whole < n_symbols) {
+    // Zero-pad the trailing partial symbol on the stack (k <= 6).
+    std::array<std::uint8_t, 8> last{};
+    const std::size_t rem = bits.size() - whole * k;
+    std::copy_n(bits.begin() + static_cast<std::ptrdiff_t>(whole * k), rem,
+                last.begin());
+    symbols[whole] = qam_map_symbol(
+        std::span<const std::uint8_t>(last.data(), k), mod);
+  }
+}
+
 std::vector<Cx> qam_modulate(std::span<const std::uint8_t> bits,
                              phy::Modulation mod) {
   const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
-  const std::size_t n_symbols = (bits.size() + k - 1) / k;
-  std::vector<std::uint8_t> padded(bits.begin(), bits.end());
-  padded.resize(n_symbols * k, 0);
-  std::vector<Cx> out;
-  out.reserve(n_symbols);
-  for (std::size_t s = 0; s < n_symbols; ++s) {
-    out.push_back(qam_map_symbol(
-        std::span<const std::uint8_t>(padded).subspan(s * k, k), mod));
-  }
+  std::vector<Cx> out((bits.size() + k - 1) / k);
+  qam_modulate_into(bits, mod, out);
   return out;
 }
 
-std::vector<double> qam_soft_demodulate(std::span<const Cx> symbols,
-                                        phy::Modulation mod,
-                                        std::span<const double> noise_vars) {
+void qam_soft_demodulate_into(std::span<const Cx> symbols,
+                              phy::Modulation mod,
+                              std::span<const double> noise_vars,
+                              std::span<double> llrs) {
   if (symbols.size() != noise_vars.size()) {
     throw std::invalid_argument("one noise variance per symbol required");
   }
-  const int k = phy::bits_per_symbol(mod);
-  // Enumerate the constellation once: point + bit labels.
+  const Constellation& c = constellation(mod);
+  const int k = c.k;
   const int m = 1 << k;
-  std::vector<Cx> points(static_cast<std::size_t>(m));
-  std::vector<std::uint8_t> labels(static_cast<std::size_t>(m * k));
-  for (int v = 0; v < m; ++v) {
-    std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
-    for (int b = 0; b < k; ++b) {
-      bits[static_cast<std::size_t>(b)] =
-          static_cast<std::uint8_t>((v >> (k - 1 - b)) & 1);
-      labels[static_cast<std::size_t>(v * k + b)] =
-          bits[static_cast<std::size_t>(b)];
-    }
-    points[static_cast<std::size_t>(v)] = qam_map_symbol(bits, mod);
+  if (llrs.size() != symbols.size() * static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("LLR buffer size must be symbols * k");
   }
-
-  std::vector<double> llrs;
-  llrs.reserve(symbols.size() * static_cast<std::size_t>(k));
   for (std::size_t s = 0; s < symbols.size(); ++s) {
     const double inv_var = 1.0 / std::max(noise_vars[s], 1e-12);
     for (int b = 0; b < k; ++b) {
@@ -128,27 +172,44 @@ std::vector<double> qam_soft_demodulate(std::span<const Cx> symbols,
       double best1 = 1e300;
       for (int v = 0; v < m; ++v) {
         const double d2 =
-            std::norm(symbols[s] - points[static_cast<std::size_t>(v)]);
-        if (labels[static_cast<std::size_t>(v * k + b)] == 0) {
+            std::norm(symbols[s] - c.points[static_cast<std::size_t>(v)]);
+        if (c.labels[static_cast<std::size_t>(v * k + b)] == 0) {
           best0 = std::min(best0, d2);
         } else {
           best1 = std::min(best1, d2);
         }
       }
-      llrs.push_back((best1 - best0) * inv_var);
+      llrs[s * static_cast<std::size_t>(k) + static_cast<std::size_t>(b)] =
+          (best1 - best0) * inv_var;
     }
   }
+}
+
+std::vector<double> qam_soft_demodulate(std::span<const Cx> symbols,
+                                        phy::Modulation mod,
+                                        std::span<const double> noise_vars) {
+  const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
+  std::vector<double> llrs(symbols.size() * k);
+  qam_soft_demodulate_into(symbols, mod, noise_vars, llrs);
   return llrs;
+}
+
+void qam_demodulate_into(std::span<const Cx> symbols, phy::Modulation mod,
+                         std::span<std::uint8_t> bits) {
+  const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
+  if (bits.size() != symbols.size() * k) {
+    throw std::invalid_argument("bit buffer size must be symbols * k");
+  }
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    qam_demap_symbol(symbols[s], mod, bits.subspan(s * k, k));
+  }
 }
 
 std::vector<std::uint8_t> qam_demodulate(std::span<const Cx> symbols,
                                          phy::Modulation mod) {
   const auto k = static_cast<std::size_t>(phy::bits_per_symbol(mod));
   std::vector<std::uint8_t> out(symbols.size() * k);
-  for (std::size_t s = 0; s < symbols.size(); ++s) {
-    qam_demap_symbol(symbols[s], mod,
-                     std::span<std::uint8_t>(out).subspan(s * k, k));
-  }
+  qam_demodulate_into(symbols, mod, out);
   return out;
 }
 

@@ -31,6 +31,19 @@ std::vector<double> qam_soft_demodulate(std::span<const Cx> symbols,
                                         phy::Modulation mod,
                                         std::span<const double> noise_vars);
 
+/// Allocation-free variants. Sizes: `symbols.size()` must be
+/// ceil(bits.size() / k) for modulation (trailing partial symbol
+/// zero-padded), `bits.size()`/`llrs.size()` must be
+/// `symbols.size() * k` for the demappers, with k = bits_per_symbol(mod).
+void qam_modulate_into(std::span<const std::uint8_t> bits,
+                       phy::Modulation mod, std::span<Cx> symbols);
+void qam_demodulate_into(std::span<const Cx> symbols, phy::Modulation mod,
+                         std::span<std::uint8_t> bits);
+void qam_soft_demodulate_into(std::span<const Cx> symbols,
+                              phy::Modulation mod,
+                              std::span<const double> noise_vars,
+                              std::span<double> llrs);
+
 /// Map one symbol from `bits_per_symbol(mod)` bits.
 Cx qam_map_symbol(std::span<const std::uint8_t> bits, phy::Modulation mod);
 

@@ -1,12 +1,27 @@
 #include "baseband/qpsk.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 
 namespace acorn::baseband {
 
 namespace {
 constexpr double kInvSqrt2 = 0.7071067811865476;
+
+void check_mod_sizes(std::size_t bits, std::size_t symbols) {
+  if (symbols != (bits + 1) / 2) {
+    throw std::invalid_argument("symbol buffer size must be ceil(bits/2)");
+  }
 }
+
+void check_demod_sizes(std::size_t symbols, std::size_t bits) {
+  if (bits != 2 * symbols) {
+    throw std::invalid_argument("bit buffer size must be 2 * symbols");
+  }
+}
+}  // namespace
 
 Cx qpsk_map(int bit0, int bit1) {
   // Gray mapping: bit0 selects the I sign, bit1 the Q sign.
@@ -18,27 +33,55 @@ void qpsk_demap(Cx symbol, int& bit0, int& bit1) {
   bit1 = symbol.imag() < 0.0 ? 1 : 0;
 }
 
-std::vector<Cx> qpsk_modulate(std::span<const std::uint8_t> bits) {
-  std::vector<Cx> symbols;
-  symbols.reserve((bits.size() + 1) / 2);
-  for (std::size_t i = 0; i < bits.size(); i += 2) {
-    const int b0 = bits[i];
-    const int b1 = i + 1 < bits.size() ? bits[i + 1] : 0;
-    symbols.push_back(qpsk_map(b0, b1));
+void qpsk_modulate_into(std::span<const std::uint8_t> bits,
+                        std::span<Cx> symbols) {
+  check_mod_sizes(bits.size(), symbols.size());
+  const std::uint8_t* const b = bits.data();
+  double* const s = reinterpret_cast<double*>(symbols.data());
+  const std::size_t pairs = bits.size() / 2;
+  // Branchless sign selection: each bit is a coin flip, so a conditional
+  // negate mispredicts half the time — OR the bit into the sign bit
+  // instead, and store flat double pairs.
+  constexpr std::uint64_t kMag = std::bit_cast<std::uint64_t>(kInvSqrt2);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    s[2 * i] = std::bit_cast<double>(
+        kMag | (static_cast<std::uint64_t>(b[2 * i]) << 63));
+    s[2 * i + 1] = std::bit_cast<double>(
+        kMag | (static_cast<std::uint64_t>(b[2 * i + 1]) << 63));
   }
+  if (bits.size() % 2 != 0) {  // trailing odd bit pads with zero
+    s[2 * pairs] = std::bit_cast<double>(
+        kMag | (static_cast<std::uint64_t>(b[bits.size() - 1]) << 63));
+    s[2 * pairs + 1] = kInvSqrt2;
+  }
+}
+
+void qpsk_demodulate_into(std::span<const Cx> symbols,
+                          std::span<std::uint8_t> bits) {
+  check_demod_sizes(symbols.size(), bits.size());
+  const double* const s = reinterpret_cast<const double*>(symbols.data());
+  std::uint8_t* const b = bits.data();
+  const std::size_t n = symbols.size();
+  // Branchless slicing: the decision is just the sign bit (negative zero
+  // cannot occur after equalization against a nonzero tap, and mapping
+  // -0.0 to bit 1 is as good a tie-break as any).
+  for (std::size_t i = 0; i < n; ++i) {
+    b[2 * i] = static_cast<std::uint8_t>(
+        std::bit_cast<std::uint64_t>(s[2 * i]) >> 63);
+    b[2 * i + 1] = static_cast<std::uint8_t>(
+        std::bit_cast<std::uint64_t>(s[2 * i + 1]) >> 63);
+  }
+}
+
+std::vector<Cx> qpsk_modulate(std::span<const std::uint8_t> bits) {
+  std::vector<Cx> symbols((bits.size() + 1) / 2);
+  qpsk_modulate_into(bits, symbols);
   return symbols;
 }
 
 std::vector<std::uint8_t> qpsk_demodulate(std::span<const Cx> symbols) {
-  std::vector<std::uint8_t> bits;
-  bits.reserve(symbols.size() * 2);
-  for (const Cx s : symbols) {
-    int b0 = 0;
-    int b1 = 0;
-    qpsk_demap(s, b0, b1);
-    bits.push_back(static_cast<std::uint8_t>(b0));
-    bits.push_back(static_cast<std::uint8_t>(b1));
-  }
+  std::vector<std::uint8_t> bits(symbols.size() * 2);
+  qpsk_demodulate_into(symbols, bits);
   return bits;
 }
 
@@ -67,32 +110,43 @@ void phase_to_dibit(double phase, int& b0, int& b1) {
 }
 }  // namespace
 
-std::vector<Cx> dqpsk_modulate(std::span<const std::uint8_t> bits) {
-  std::vector<Cx> symbols;
-  symbols.reserve((bits.size() + 1) / 2);
+void dqpsk_modulate_into(std::span<const std::uint8_t> bits,
+                         std::span<Cx> symbols) {
+  check_mod_sizes(bits.size(), symbols.size());
   double phase = 0.0;  // reference symbol at phase 0 is implicit
   for (std::size_t i = 0; i < bits.size(); i += 2) {
     const int b0 = bits[i];
     const int b1 = i + 1 < bits.size() ? bits[i + 1] : 0;
     phase += dibit_phase(b0, b1);
-    symbols.emplace_back(std::cos(phase), std::sin(phase));
+    symbols[i / 2] = Cx(std::cos(phase), std::sin(phase));
   }
-  return symbols;
 }
 
-std::vector<std::uint8_t> dqpsk_demodulate(std::span<const Cx> symbols) {
-  std::vector<std::uint8_t> bits;
-  bits.reserve(symbols.size() * 2);
+void dqpsk_demodulate_into(std::span<const Cx> symbols,
+                           std::span<std::uint8_t> bits) {
+  check_demod_sizes(symbols.size(), bits.size());
   Cx prev(1.0, 0.0);
-  for (const Cx s : symbols) {
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const Cx s = symbols[i];
     const double dphase = std::arg(s * std::conj(prev));
     int b0 = 0;
     int b1 = 0;
     phase_to_dibit(dphase, b0, b1);
-    bits.push_back(static_cast<std::uint8_t>(b0));
-    bits.push_back(static_cast<std::uint8_t>(b1));
+    bits[2 * i] = static_cast<std::uint8_t>(b0);
+    bits[2 * i + 1] = static_cast<std::uint8_t>(b1);
     prev = s;
   }
+}
+
+std::vector<Cx> dqpsk_modulate(std::span<const std::uint8_t> bits) {
+  std::vector<Cx> symbols((bits.size() + 1) / 2);
+  dqpsk_modulate_into(bits, symbols);
+  return symbols;
+}
+
+std::vector<std::uint8_t> dqpsk_demodulate(std::span<const Cx> symbols) {
+  std::vector<std::uint8_t> bits(symbols.size() * 2);
+  dqpsk_demodulate_into(symbols, bits);
   return bits;
 }
 

@@ -29,4 +29,16 @@ std::vector<std::uint8_t> qpsk_demodulate(std::span<const Cx> symbols);
 std::vector<Cx> dqpsk_modulate(std::span<const std::uint8_t> bits);
 std::vector<std::uint8_t> dqpsk_demodulate(std::span<const Cx> symbols);
 
+/// Allocation-free variants. For modulation `symbols.size()` must be
+/// ceil(bits.size() / 2); for demodulation `bits.size()` must be
+/// 2 * symbols.size().
+void qpsk_modulate_into(std::span<const std::uint8_t> bits,
+                        std::span<Cx> symbols);
+void qpsk_demodulate_into(std::span<const Cx> symbols,
+                          std::span<std::uint8_t> bits);
+void dqpsk_modulate_into(std::span<const std::uint8_t> bits,
+                         std::span<Cx> symbols);
+void dqpsk_demodulate_into(std::span<const Cx> symbols,
+                           std::span<std::uint8_t> bits);
+
 }  // namespace acorn::baseband

@@ -23,12 +23,19 @@ std::uint8_t Scrambler::next_bit() {
 
 std::vector<std::uint8_t> Scrambler::process(
     std::span<const std::uint8_t> bits) {
-  std::vector<std::uint8_t> out;
-  out.reserve(bits.size());
-  for (std::uint8_t b : bits) {
-    out.push_back(static_cast<std::uint8_t>((b ^ next_bit()) & 1u));
-  }
+  std::vector<std::uint8_t> out(bits.size());
+  process_into(bits, out);
   return out;
+}
+
+void Scrambler::process_into(std::span<const std::uint8_t> bits,
+                             std::span<std::uint8_t> out) {
+  if (out.size() != bits.size()) {
+    throw std::invalid_argument("scrambler output size mismatch");
+  }
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ next_bit()) & 1u);
+  }
 }
 
 std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits,

@@ -23,6 +23,11 @@ class Scrambler {
   /// calls continue the keystream.
   std::vector<std::uint8_t> process(std::span<const std::uint8_t> bits);
 
+  /// Allocation-free variant: `out.size()` must equal `bits.size()`.
+  /// In-place operation (out aliasing bits) is fine.
+  void process_into(std::span<const std::uint8_t> bits,
+                    std::span<std::uint8_t> out);
+
   /// Reset the LFSR to a seed.
   void reset(std::uint8_t seed);
 

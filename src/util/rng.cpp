@@ -1,14 +1,29 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace acorn::util {
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
+namespace detail {
+
+ZigguratNormal::ZigguratNormal() {
+  ys[1] = std::exp(-0.5 * kR * kR);
+  xs[1] = kR;
+  xs[0] = kV / ys[1];
+  ys[0] = 0.0;
+  for (std::size_t i = 2; i <= 128; ++i) {
+    ys[i] = ys[i - 1] + kV / xs[i - 1];
+    xs[i] = ys[i] >= 1.0 ? 0.0 : std::sqrt(-2.0 * std::log(ys[i]));
+  }
+  for (std::size_t i = 0; i < 128; ++i) {
+    layers[i] = Layer{xs[i] * 0x1.0p-53, xs[i + 1]};
+  }
 }
-}  // namespace
+
+const ZigguratNormal kZigguratNormal{};
+
+}  // namespace detail
 
 std::uint64_t SplitMix64::next() {
   std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
@@ -20,18 +35,6 @@ std::uint64_t SplitMix64::next() {
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.next();
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 double Rng::uniform() {
@@ -68,6 +71,33 @@ double Rng::normal(double mean, double stddev) {
   return mean + stddev * normal();
 }
 
+double Rng::normal_fast_slow(std::uint64_t bits) {
+  const detail::ZigguratNormal& t = detail::kZigguratNormal;
+  for (;;) {
+    const std::size_t idx = bits & 127u;
+    const double sign = (bits & 128u) ? -1.0 : 1.0;
+    const double x = static_cast<double>(bits >> 11) * t.layers[idx].scale;
+    if (x < t.xs[idx + 1]) return sign * x;  // strictly inside the layer
+    if (idx == 0) {
+      // Tail (x > r): Marsaglia's exact tail sampler.
+      for (;;) {
+        double u1 = uniform();
+        if (u1 < 1e-300) u1 = 1e-300;
+        double u2 = uniform();
+        if (u2 < 1e-300) u2 = 1e-300;
+        const double xt = -std::log(u1) / detail::ZigguratNormal::kR;
+        const double yt = -std::log(u2);
+        if (2.0 * yt >= xt * xt) {
+          return sign * (detail::ZigguratNormal::kR + xt);
+        }
+      }
+    }
+    const double y = t.ys[idx] + uniform() * (t.ys[idx + 1] - t.ys[idx]);
+    if (y < std::exp(-0.5 * x * x)) return sign * x;
+    bits = next_u64();
+  }
+}
+
 double Rng::exponential(double rate) {
   double u = uniform();
   if (u < 1e-300) u = 1e-300;
@@ -80,11 +110,102 @@ double Rng::lognormal(double mu, double sigma) {
 
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
+void Rng::fill_bits(std::span<std::uint8_t> bits) {
+  std::size_t i = 0;
+  const std::size_t n = bits.size();
+  while (i < n) {
+    std::uint64_t word = next_u64();
+    const std::size_t take = std::min<std::size_t>(64, n - i);
+    for (std::size_t b = 0; b < take; ++b) {
+      bits[i + b] = static_cast<std::uint8_t>((word >> b) & 1u);
+    }
+    i += take;
+  }
+}
+
+void Rng::fill_normals(std::span<double> out) {
+  const detail::ZigguratNormal& t = detail::kZigguratNormal;
+  constexpr std::size_t kBatch = 64;
+  std::uint64_t raw[kBatch];
+  double* o = out.data();
+  std::size_t remaining = out.size();
+  // Keep the xoshiro state in locals across each batch so the generator
+  // loop runs register-to-register; spill back only around the rare
+  // slow-path call (which draws more words through the member state).
+  std::uint64_t s0 = s_[0];
+  std::uint64_t s1 = s_[1];
+  std::uint64_t s2 = s_[2];
+  std::uint64_t s3 = s_[3];
+  while (remaining > 0) {
+    const std::size_t take = std::min(kBatch, remaining);
+    for (std::size_t j = 0; j < take; ++j) {
+      raw[j] = rotl(s1 * 5, 7) * 9;
+      const std::uint64_t tt = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= tt;
+      s3 = rotl(s3, 45);
+    }
+    for (std::size_t j = 0; j < take; ++j) {
+      const std::uint64_t bits = raw[j];
+      const detail::ZigguratNormal::Layer layer = t.layers[bits & 127u];
+      const double x = static_cast<double>(bits >> 11) * layer.scale;
+      if (x < layer.edge) [[likely]] {
+        o[j] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) |
+                                     ((bits & 128u) << 56));
+      } else {
+        s_ = {s0, s1, s2, s3};
+        o[j] = normal_fast_slow(bits);
+        s0 = s_[0];
+        s1 = s_[1];
+        s2 = s_[2];
+        s3 = s_[3];
+      }
+    }
+    o += take;
+    remaining -= take;
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
 Rng Rng::split() {
   Rng child(0);
   SplitMix64 sm(next_u64());
   for (auto& word : child.s_) word = sm.next();
   return child;
+}
+
+void Rng::jump() {
+  // Published xoshiro256** jump polynomial: advances 2^128 steps.
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      next_u64();
+    }
+  }
+  s_ = acc;
+  has_cached_normal_ = false;
+}
+
+Rng Rng::derive_stream(std::uint64_t seed, std::uint64_t index) {
+  // Hash seed and index independently before combining so that
+  // consecutive indices land in unrelated SplitMix64 sequences (seeding
+  // with seed + index directly would hand streams i and i+1 three
+  // overlapping state words).
+  SplitMix64 seed_hash(seed);
+  SplitMix64 index_hash(index);
+  SplitMix64 sm(seed_hash.next() ^ index_hash.next());
+  Rng r(0);
+  for (auto& word : r.s_) word = sm.next();
+  return r;
 }
 
 }  // namespace acorn::util

@@ -7,9 +7,40 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <span>
 
 namespace acorn::util {
+
+namespace detail {
+
+/// 128-layer ziggurat tables for the standard normal density
+/// f(x) = exp(-x^2/2) (Marsaglia & Tsang 2000). Layer i covers the
+/// vertical band [ys[i], ys[i+1]]; xs[i] is its right edge except
+/// xs[0], which is the tail layer's pseudo-width v/f(r). Exposed here
+/// (built once at startup in rng.cpp) so the normal_fast() fast path
+/// inlines into the AWGN loop.
+struct ZigguratNormal {
+  static constexpr double kR = 3.442619855899;       // base-layer x
+  static constexpr double kV = 9.91256303526217e-3;  // area per layer
+  std::array<double, 129> xs{};
+  std::array<double, 129> ys{};
+  /// Per-layer hot-path constants packed into one load: `scale` is
+  /// xs[i] * 2^-53 (exact — power-of-two factor), so the 53 mantissa
+  /// bits map to a magnitude with a single multiply; `edge` is xs[i+1],
+  /// the strict-accept threshold.
+  struct Layer {
+    double scale;
+    double edge;
+  };
+  std::array<Layer, 128> layers{};
+  ZigguratNormal();
+};
+
+extern const ZigguratNormal kZigguratNormal;
+
+}  // namespace detail
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state.
 class SplitMix64 {
@@ -33,7 +64,17 @@ class Rng {
   static constexpr result_type max() { return ~result_type{0}; }
 
   result_type operator()() { return next_u64(); }
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
   double uniform();
@@ -43,6 +84,27 @@ class Rng {
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Standard normal (Box-Muller with caching).
   double normal();
+  /// Standard normal via the 128-layer ziggurat: same distribution as
+  /// normal() but ~5x faster, used by the sample-rate AWGN path. Draws a
+  /// different number of raw u64s than normal(), so the two are not
+  /// stream-compatible — switching one call site between them changes
+  /// every draw after it. One u64 per attempt: bits 0-6 pick the layer,
+  /// bit 7 the sign, bits 11-63 the 53-bit uniform magnitude; ~98% of
+  /// draws take the inlined path below.
+  double normal_fast() {
+    const std::uint64_t bits = next_u64();
+    const detail::ZigguratNormal::Layer layer =
+        detail::kZigguratNormal.layers[bits & 127u];
+    const double x = static_cast<double>(bits >> 11) * layer.scale;
+    if (x < layer.edge) [[likely]] {
+      // Branchless sign: OR bit 7 into the sign bit (x >= 0 here). The
+      // sign bit is a coin flip, so a conditional negate mispredicts
+      // half the time.
+      return std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) |
+                                   ((bits & 128u) << 56));
+    }
+    return normal_fast_slow(bits);
+  }
   /// Normal with the given mean and standard deviation.
   double normal(double mean, double stddev);
   /// Exponential with the given rate (lambda > 0).
@@ -52,10 +114,39 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p);
 
+  /// Fill each byte with an independent fair bit (0 or 1), drawing 64
+  /// bits per underlying u64 instead of one.
+  void fill_bits(std::span<std::uint8_t> bits);
+
+  /// Fill `out` with standard normals (same ziggurat as normal_fast).
+  /// Batching decouples the raw-u64 generation from the table lookups,
+  /// so consecutive samples pipeline instead of serializing on the
+  /// generator state — about 2x normal_fast in a hot loop. Draws raw
+  /// words in a different order than repeated normal_fast calls when a
+  /// rejection occurs, so the two are not stream-compatible.
+  void fill_normals(std::span<double> out);
+
   /// Split off an independent child generator (for per-component streams).
   Rng split();
 
+  /// Advance 2^128 steps (the published xoshiro256** jump polynomial):
+  /// partitions one seed's sequence into non-overlapping blocks.
+  void jump();
+
+  /// Deterministic independent stream for (seed, index): the generator a
+  /// parallel packet driver hands to worker `index`. Pure function of its
+  /// arguments — the same pair always yields the same stream, regardless
+  /// of thread count or call order.
+  static Rng derive_stream(std::uint64_t seed, std::uint64_t index);
+
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  /// Ziggurat edge cases: the wedge accept/reject and the exact tail
+  /// sampler. `bits` is the rejected attempt's raw draw.
+  double normal_fast_slow(std::uint64_t bits);
+
   std::array<std::uint64_t, 4> s_;
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

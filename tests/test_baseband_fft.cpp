@@ -62,16 +62,57 @@ TEST(Fft, SingleToneLandsInCorrectBin) {
 }
 
 TEST(Fft, RoundTripIsIdentity) {
+  // Table-driven twiddles: no per-stage drift, so the round trip holds
+  // to near machine precision (the accumulated-twiddle kernel needed
+  // 1e-10 here).
   util::Rng rng(5);
   for (std::size_t n : {8u, 64u, 128u, 256u}) {
     std::vector<Cx> data(n);
     for (auto& x : data) x = Cx(rng.normal(), rng.normal());
     const auto back = ifft(fft(data));
     for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_NEAR(back[i].real(), data[i].real(), 1e-10);
-      EXPECT_NEAR(back[i].imag(), data[i].imag(), 1e-10);
+      EXPECT_NEAR(back[i].real(), data[i].real(), 1e-13);
+      EXPECT_NEAR(back[i].imag(), data[i].imag(), 1e-13);
     }
   }
+}
+
+TEST(Fft, LongTransformRoundTripStaysTight) {
+  // 4096-point forward/inverse identity: the old `w *= wlen`
+  // accumulation lost ~4 digits over butterflies this long.
+  util::Rng rng(21);
+  const std::size_t n = 4096;
+  std::vector<Cx> data(n);
+  for (auto& x : data) x = Cx(rng.normal(), rng.normal());
+  const auto back = ifft(fft(data));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), data[i].real(), 1e-12);
+    EXPECT_NEAR(back[i].imag(), data[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, PlanMatchesFreeFunctions) {
+  util::Rng rng(22);
+  const FftPlan plan(64);
+  EXPECT_EQ(plan.size(), 64u);
+  std::vector<Cx> a(64);
+  for (auto& x : a) x = Cx(rng.normal(), rng.normal());
+  std::vector<Cx> b = a;
+  fft_in_place(a);
+  plan.forward(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);  // same plan tables -> bit-identical
+  }
+  EXPECT_THROW(plan.forward(std::span<Cx>(a.data(), 32)),
+               std::invalid_argument);
+  EXPECT_THROW(FftPlan(24), std::invalid_argument);
+}
+
+TEST(Fft, SharedPlanCacheReturnsSameInstance) {
+  const FftPlan& p1 = fft_plan(128);
+  const FftPlan& p2 = fft_plan(128);
+  EXPECT_EQ(&p1, &p2);
+  EXPECT_THROW(fft_plan(96), std::invalid_argument);
 }
 
 TEST(Fft, ParsevalEnergyConservation) {
