@@ -94,13 +94,7 @@ void run_siso_packet(const BermacConfig& cfg, const Ofdm& ofdm,
     qpsk_demodulate_into(ctx.eq, ctx.decoded);
   }
 
-  // Branchless error count (bits are 0/1 bytes): XOR-and-sum vectorizes,
-  // while a compare-and-branch mispredicts on every error.
-  std::int64_t errors = 0;
-  for (std::size_t i = 0; i < ctx.bits.size(); ++i) {
-    errors += ctx.decoded[i] ^ ctx.bits[i];
-  }
-  stats.bit_errors += errors;
+  stats.bit_errors += count_bit_errors(ctx.bits, ctx.decoded);
   // Per-subcarrier SNR: amp^2 |H_k|^2 / (N * sigma^2); the FFT multiplies
   // white noise variance by N.
   const double amp = ofdm.subcarrier_amplitude(tx_mw);
@@ -261,11 +255,7 @@ void run_stbc_packet(const BermacConfig& cfg, const Ofdm& ofdm,
   } else {
     qpsk_demodulate_into(ctx.recovered, ctx.decoded);
   }
-  std::int64_t errors = 0;
-  for (std::size_t i = 0; i < ctx.bits.size(); ++i) {
-    errors += ctx.decoded[i] ^ ctx.bits[i];
-  }
-  stats.bit_errors += errors;
+  stats.bit_errors += count_bit_errors(ctx.bits, ctx.decoded);
 
   // Post-combining per-subcarrier SNR: amp^2 * sum|H|^2 / (N * sigma^2).
   const double post_fft_noise =

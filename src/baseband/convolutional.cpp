@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <bit>
-#include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "baseband/viterbi_kernel.hpp"
 
 namespace acorn::baseband {
 
@@ -69,62 +70,6 @@ std::span<const std::uint8_t> pattern(phy::CodeRate rate) {
   throw std::invalid_argument("unknown code rate");
 }
 
-// Add-compare-select over all 64 states for `steps` trellis steps.
-// `fill_bm` populates the 4-entry branch-metric table (indexed by
-// Transition::out_pair) for one step — the only difference between hard
-// and soft decoding.
-template <typename Metric, typename FillBm>
-void viterbi_forward(std::size_t steps, Metric inf, FillBm&& fill_bm,
-                     std::uint8_t* survivors,
-                     std::array<Metric, ConvolutionalCode::kNumStates>& metric) {
-  constexpr int kNumStates = ConvolutionalCode::kNumStates;
-  const Trellis& tr = trellis();
-  metric.fill(inf);
-  metric[0] = Metric{};  // encoder starts in state 0
-  std::array<Metric, kNumStates> next_metric;
-  std::array<Metric, 4> bm;
-  for (std::size_t step = 0; step < steps; ++step) {
-    fill_bm(step, bm);
-    next_metric.fill(inf);
-    std::uint8_t* const surv = survivors + step * kNumStates;
-    for (int state = 0; state < kNumStates; ++state) {
-      const Metric m = metric[static_cast<std::size_t>(state)];
-      if (m >= inf) continue;
-      for (int input = 0; input < 2; ++input) {
-        const Transition& t = tr.t[state][input];
-        const Metric cand = m + bm[t.out_pair];
-        if (cand < next_metric[t.next_state]) {
-          next_metric[t.next_state] = cand;
-          surv[t.next_state] =
-              static_cast<std::uint8_t>(state | (input << 6));
-        }
-      }
-    }
-    metric = next_metric;
-  }
-}
-
-// Walk the survivor chain backwards; bits beyond out.size() (the tail of
-// a terminated stream) are traversed but not emitted.
-template <typename Metric>
-void viterbi_traceback(
-    const std::uint8_t* survivors, std::size_t steps, bool terminated,
-    const std::array<Metric, ConvolutionalCode::kNumStates>& metric,
-    std::span<std::uint8_t> out) {
-  constexpr int kNumStates = ConvolutionalCode::kNumStates;
-  int state = 0;
-  if (!terminated) {
-    state = static_cast<int>(
-        std::min_element(metric.begin(), metric.end()) - metric.begin());
-  }
-  for (std::size_t step = steps; step-- > 0;) {
-    const std::uint8_t s =
-        survivors[step * kNumStates + static_cast<std::size_t>(state)];
-    if (step < out.size()) out[step] = (s >> 6) & 1u;
-    state = s & 63;
-  }
-}
-
 std::size_t checked_steps(std::size_t in_size, std::size_t out_size,
                           bool terminated, const char* what) {
   if (in_size % 2 != 0) {
@@ -179,24 +124,14 @@ void ConvolutionalCode::decode_into(std::span<const std::uint8_t> coded,
                                     bool terminated) const {
   const std::size_t steps =
       checked_steps(coded.size(), out.size(), terminated, "coded");
-  ws.survivors_.resize(steps * kNumStates);
-  constexpr int kInf = std::numeric_limits<int>::max() / 4;
-  std::array<int, kNumStates> metric;
-  viterbi_forward<int>(
-      steps, kInf,
-      [&coded](std::size_t step, std::array<int, 4>& bm) {
-        const std::uint8_t r0 = coded[2 * step];
-        const std::uint8_t r1 = coded[2 * step + 1];
-        for (int q = 0; q < 4; ++q) {
-          const std::uint8_t o0 = static_cast<std::uint8_t>(q >> 1);
-          const std::uint8_t o1 = static_cast<std::uint8_t>(q & 1);
-          bm[static_cast<std::size_t>(q)] =
-              static_cast<int>(r0 != kErasedBit && r0 != o0) +
-              static_cast<int>(r1 != kErasedBit && r1 != o1);
-        }
-      },
-      ws.survivors_.data(), metric);
-  viterbi_traceback(ws.survivors_.data(), steps, terminated, metric, out);
+  ws.decisions_.resize(steps);
+  ws.levels_.resize(2 * steps);
+  viterbi::levels_from_hard(coded, ws.levels_.data());
+  std::array<std::int16_t, kNumStates> metric;
+  viterbi::forward(ws.levels_.data(), steps, ws.decisions_.data(),
+                   metric.data());
+  viterbi::traceback(ws.decisions_.data(), steps, terminated, metric.data(),
+                     out);
 }
 
 std::vector<std::uint8_t> ConvolutionalCode::decode(
@@ -221,23 +156,16 @@ void ConvolutionalCode::decode_soft_into(std::span<const double> llrs,
                                          bool terminated) const {
   const std::size_t steps =
       checked_steps(llrs.size(), out.size(), terminated, "soft");
-  ws.survivors_.resize(steps * kNumStates);
-  constexpr double kInf = 1e300;
-  std::array<double, kNumStates> metric;
-  viterbi_forward<double>(
-      steps, kInf,
-      [&llrs](std::size_t step, std::array<double, 4>& bm) {
-        // Correlation metric: hypothesizing bit 1 against a positive
-        // (bit-0-favoring) LLR costs that LLR, and vice versa.
-        const double l0 = llrs[2 * step];
-        const double l1 = llrs[2 * step + 1];
-        bm[0] = -l0 - l1;
-        bm[1] = -l0 + l1;
-        bm[2] = l0 - l1;
-        bm[3] = l0 + l1;
-      },
-      ws.survivors_.data(), metric);
-  viterbi_traceback(ws.survivors_.data(), steps, terminated, metric, out);
+  ws.decisions_.resize(steps);
+  ws.levels_.resize(2 * steps);
+  // Correlation metric, quantized: hypothesizing bit 1 against a
+  // positive (bit-0-favoring) LLR costs that LLR, and vice versa.
+  viterbi::levels_from_soft(llrs, ws.levels_.data());
+  std::array<std::int16_t, kNumStates> metric;
+  viterbi::forward(ws.levels_.data(), steps, ws.decisions_.data(),
+                   metric.data());
+  viterbi::traceback(ws.decisions_.data(), steps, terminated, metric.data(),
+                     out);
 }
 
 std::vector<std::uint8_t> ConvolutionalCode::decode_soft(
@@ -256,15 +184,26 @@ std::vector<std::uint8_t> ConvolutionalCode::decode_soft(
   return bits;
 }
 
+// The puncture family walks the pattern with an explicit phase index
+// instead of `i % pat.size()`: the modulo costs an integer divide per
+// bit, which made depuncturing rival the Viterbi kernel itself in the
+// soft chain's per-packet profile.
+
 void depuncture_soft_into(std::span<const double> punctured,
                           phy::CodeRate rate, std::span<double> out) {
   const auto pat = pattern(rate);
   if (punctured_length(out.size(), rate) != punctured.size()) {
     throw std::invalid_argument("punctured length does not match coded_len");
   }
+  if (rate == phy::CodeRate::kRate12) {
+    std::copy(punctured.begin(), punctured.end(), out.begin());
+    return;
+  }
   std::size_t cursor = 0;
+  std::size_t k = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = pat[i % pat.size()] ? punctured[cursor++] : 0.0;
+    out[i] = pat[k] ? punctured[cursor++] : 0.0;
+    if (++k == pat.size()) k = 0;
   }
 }
 
@@ -278,10 +217,10 @@ std::vector<double> depuncture_soft(std::span<const double> punctured,
 
 std::size_t punctured_length(std::size_t coded_len, phy::CodeRate rate) {
   const auto pat = pattern(rate);
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < coded_len; ++i) {
-    if (pat[i % pat.size()]) ++kept;
-  }
+  std::size_t ones = 0;
+  for (const std::uint8_t p : pat) ones += p;
+  std::size_t kept = (coded_len / pat.size()) * ones;
+  for (std::size_t k = 0; k < coded_len % pat.size(); ++k) kept += pat[k];
   return kept;
 }
 
@@ -291,9 +230,15 @@ void puncture_into(std::span<const std::uint8_t> coded, phy::CodeRate rate,
   if (out.size() != punctured_length(coded.size(), rate)) {
     throw std::invalid_argument("punctured output size mismatch");
   }
+  if (rate == phy::CodeRate::kRate12) {
+    std::copy(coded.begin(), coded.end(), out.begin());
+    return;
+  }
   std::size_t cursor = 0;
+  std::size_t k = 0;
   for (std::size_t i = 0; i < coded.size(); ++i) {
-    if (pat[i % pat.size()]) out[cursor++] = coded[i];
+    if (pat[k]) out[cursor++] = coded[i];
+    if (++k == pat.size()) k = 0;
   }
 }
 
@@ -310,9 +255,15 @@ void depuncture_into(std::span<const std::uint8_t> punctured,
   if (punctured_length(out.size(), rate) != punctured.size()) {
     throw std::invalid_argument("punctured length does not match coded_len");
   }
+  if (rate == phy::CodeRate::kRate12) {
+    std::copy(punctured.begin(), punctured.end(), out.begin());
+    return;
+  }
   std::size_t cursor = 0;
+  std::size_t k = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = pat[i % pat.size()] ? punctured[cursor++] : kErasedBit;
+    out[i] = pat[k] ? punctured[cursor++] : kErasedBit;
+    if (++k == pat.size()) k = 0;
   }
 }
 

@@ -19,18 +19,24 @@ namespace acorn::baseband {
 /// Bit value marking a punctured (erased) position for the decoder.
 inline constexpr std::uint8_t kErasedBit = 2;
 
-/// Reusable survivor storage for Viterbi decoding. Grows to the largest
-/// packet decoded through it and then stays allocation-free, so one
-/// workspace per worker makes steady-state decoding heap-silent.
+/// Reusable decode scratch for the butterfly Viterbi kernel
+/// (baseband/viterbi_kernel.hpp). Grows to the largest packet decoded
+/// through it and then stays allocation-free, so one workspace per
+/// worker makes steady-state decoding heap-silent.
 class ViterbiWorkspace {
  public:
-  void reserve(std::size_t steps) { survivors_.reserve(steps * 64); }
+  void reserve(std::size_t steps) {
+    decisions_.reserve(steps);
+    levels_.reserve(2 * steps);
+  }
 
  private:
   friend class ConvolutionalCode;
-  // survivors_[step * 64 + state] = predecessor state (6 bits) with the
-  // input bit packed into bit 6.
-  std::vector<std::uint8_t> survivors_;
+  // One survivor bitmask per trellis step (bit s = the odd predecessor
+  // won at state s) — 8 bytes/step instead of the classic 64.
+  std::vector<std::uint64_t> decisions_;
+  // Quantized per-position branch levels, two per step.
+  std::vector<std::int16_t> levels_;
 };
 
 class ConvolutionalCode {

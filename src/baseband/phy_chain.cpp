@@ -131,8 +131,12 @@ void roundtrip_into(const PhyChainConfig& config,
         channel.noise_variance_mw() * ofdm.fft_size();
     const auto data_bins = ofdm.data_bins();
     const auto nd = static_cast<std::size_t>(ofdm.num_data_subcarriers());
+    // Subcarrier position via a wrap-around counter: `i % nd` costs an
+    // integer divide per QAM symbol.
+    std::size_t d = 0;
     for (std::size_t i = 0; i < ws.eq.size(); ++i) {
-      const auto bin = static_cast<std::size_t>(data_bins[i % nd]);
+      const auto bin = static_cast<std::size_t>(data_bins[d]);
+      if (++d == nd) d = 0;
       const double h2 = std::max(std::norm(ws.h[bin]), 1e-12);
       ws.noise_vars[i] = post_fft_noise / (amp * amp * h2);
     }
@@ -226,9 +230,7 @@ PhyChainResult run_phy_chain(const PhyChainConfig& config, int packets,
                        ctx.bits, ctx.channel, prng, ctx.decoded);
 
         PacketStats& s = stats[p];
-        for (std::size_t i = 0; i < ctx.bits.size(); ++i) {
-          if (ctx.decoded[i] != ctx.bits[i]) ++s.bit_errors;
-        }
+        s.bit_errors = count_bit_errors(ctx.bits, ctx.decoded);
         // Mean per-subcarrier SNR from this packet's genie CSI (left in
         // ws.h by the roundtrip).
         const double amp =

@@ -165,22 +165,32 @@ void qam_soft_demodulate_into(std::span<const Cx> symbols,
   if (llrs.size() != symbols.size() * static_cast<std::size_t>(k)) {
     throw std::invalid_argument("LLR buffer size must be symbols * k");
   }
+  // One distance pass per symbol: computing |y - p_v|^2 inside the bit
+  // loop redoes the complex arithmetic k times (6x for 64-QAM), which
+  // dominated the soft chain's per-packet profile.
+  double best0[8];
+  double best1[8];
   for (std::size_t s = 0; s < symbols.size(); ++s) {
     const double inv_var = 1.0 / std::max(noise_vars[s], 1e-12);
+    const Cx sym = symbols[s];
     for (int b = 0; b < k; ++b) {
-      double best0 = 1e300;
-      double best1 = 1e300;
-      for (int v = 0; v < m; ++v) {
-        const double d2 =
-            std::norm(symbols[s] - c.points[static_cast<std::size_t>(v)]);
-        if (c.labels[static_cast<std::size_t>(v * k + b)] == 0) {
-          best0 = std::min(best0, d2);
+      best0[b] = 1e300;
+      best1[b] = 1e300;
+    }
+    for (int v = 0; v < m; ++v) {
+      const double d2 = std::norm(sym - c.points[static_cast<std::size_t>(v)]);
+      const std::uint8_t* lab = &c.labels[static_cast<std::size_t>(v * k)];
+      for (int b = 0; b < k; ++b) {
+        if (lab[b] == 0) {
+          best0[b] = std::min(best0[b], d2);
         } else {
-          best1 = std::min(best1, d2);
+          best1[b] = std::min(best1[b], d2);
         }
       }
+    }
+    for (int b = 0; b < k; ++b) {
       llrs[s * static_cast<std::size_t>(k) + static_cast<std::size_t>(b)] =
-          (best1 - best0) * inv_var;
+          (best1[b] - best0[b]) * inv_var;
     }
   }
 }

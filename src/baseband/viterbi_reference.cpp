@@ -1,0 +1,166 @@
+#include "baseband/viterbi_reference.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "baseband/convolutional.hpp"
+
+namespace acorn::baseband::reference {
+
+namespace {
+
+constexpr int kConstraint = ConvolutionalCode::kConstraint;
+constexpr int kNumStates = ConvolutionalCode::kNumStates;
+
+inline int parity(unsigned x) { return std::popcount(x) & 1; }
+
+// Output pair for (state, input). State holds the most recent K-1 input
+// bits, newest in the MSB (bit 5).
+struct Transition {
+  std::uint8_t out_pair;    // (out0 << 1) | out1: branch-metric index
+  std::uint8_t next_state;
+};
+
+struct Trellis {
+  Transition t[kNumStates][2];  // [state][input]
+
+  Trellis() {
+    for (int state = 0; state < kNumStates; ++state) {
+      for (int input = 0; input < 2; ++input) {
+        const unsigned reg =
+            (static_cast<unsigned>(input) << 6) | static_cast<unsigned>(state);
+        const int out0 = parity(reg & ConvolutionalCode::kG0);
+        const int out1 = parity(reg & ConvolutionalCode::kG1);
+        t[state][input].out_pair =
+            static_cast<std::uint8_t>((out0 << 1) | out1);
+        t[state][input].next_state = static_cast<std::uint8_t>(reg >> 1);
+      }
+    }
+  }
+};
+
+const Trellis& trellis() {
+  static const Trellis instance;
+  return instance;
+}
+
+// The classic scattered add-compare-select: 64 states x 2 inputs, one
+// survivor byte per (step, state), per-step metric array copy and an
+// infinity sentinel for unreached states.
+template <typename Metric, typename FillBm>
+void viterbi_forward(std::size_t steps, Metric inf, FillBm&& fill_bm,
+                     std::uint8_t* survivors,
+                     std::array<Metric, kNumStates>& metric) {
+  const Trellis& tr = trellis();
+  metric.fill(inf);
+  metric[0] = Metric{};  // encoder starts in state 0
+  std::array<Metric, kNumStates> next_metric;
+  std::array<Metric, 4> bm;
+  for (std::size_t step = 0; step < steps; ++step) {
+    fill_bm(step, bm);
+    next_metric.fill(inf);
+    std::uint8_t* const surv = survivors + step * kNumStates;
+    for (int state = 0; state < kNumStates; ++state) {
+      const Metric m = metric[static_cast<std::size_t>(state)];
+      if (m >= inf) continue;
+      for (int input = 0; input < 2; ++input) {
+        const Transition& t = tr.t[state][input];
+        const Metric cand = m + bm[t.out_pair];
+        if (cand < next_metric[t.next_state]) {
+          next_metric[t.next_state] = cand;
+          surv[t.next_state] =
+              static_cast<std::uint8_t>(state | (input << 6));
+        }
+      }
+    }
+    metric = next_metric;
+  }
+}
+
+template <typename Metric>
+void viterbi_traceback(const std::uint8_t* survivors, std::size_t steps,
+                       bool terminated,
+                       const std::array<Metric, kNumStates>& metric,
+                       std::span<std::uint8_t> out) {
+  int state = 0;
+  if (!terminated) {
+    state = static_cast<int>(
+        std::min_element(metric.begin(), metric.end()) - metric.begin());
+  }
+  for (std::size_t step = steps; step-- > 0;) {
+    const std::uint8_t s =
+        survivors[step * kNumStates + static_cast<std::size_t>(state)];
+    if (step < out.size()) out[step] = (s >> 6) & 1u;
+    state = s & 63;
+  }
+}
+
+std::size_t checked_steps(std::size_t in_size, bool terminated) {
+  if (in_size % 2 != 0) {
+    throw std::invalid_argument("coded stream must have even length");
+  }
+  const std::size_t steps = in_size / 2;
+  const auto tail = static_cast<std::size_t>(kConstraint - 1);
+  if (terminated && steps < tail) {
+    throw std::invalid_argument("terminated stream shorter than the tail");
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> viterbi_decode(std::span<const std::uint8_t> coded,
+                                         bool terminated) {
+  const std::size_t steps = checked_steps(coded.size(), terminated);
+  std::vector<std::uint8_t> survivors(steps * kNumStates);
+  constexpr int kInf = std::numeric_limits<int>::max() / 4;
+  std::array<int, kNumStates> metric;
+  viterbi_forward<int>(
+      steps, kInf,
+      [&coded](std::size_t step, std::array<int, 4>& bm) {
+        const std::uint8_t r0 = coded[2 * step];
+        const std::uint8_t r1 = coded[2 * step + 1];
+        for (int q = 0; q < 4; ++q) {
+          const auto o0 = static_cast<std::uint8_t>(q >> 1);
+          const auto o1 = static_cast<std::uint8_t>(q & 1);
+          bm[static_cast<std::size_t>(q)] =
+              static_cast<int>(r0 != kErasedBit && r0 != o0) +
+              static_cast<int>(r1 != kErasedBit && r1 != o1);
+        }
+      },
+      survivors.data(), metric);
+  std::vector<std::uint8_t> out(
+      ConvolutionalCode::decoded_length(coded.size(), terminated));
+  viterbi_traceback(survivors.data(), steps, terminated, metric, out);
+  return out;
+}
+
+std::vector<std::uint8_t> viterbi_decode_soft(std::span<const double> llrs,
+                                              bool terminated) {
+  const std::size_t steps = checked_steps(llrs.size(), terminated);
+  std::vector<std::uint8_t> survivors(steps * kNumStates);
+  constexpr double kInf = 1e300;
+  std::array<double, kNumStates> metric;
+  viterbi_forward<double>(
+      steps, kInf,
+      [&llrs](std::size_t step, std::array<double, 4>& bm) {
+        // Correlation metric: hypothesizing bit 1 against a positive
+        // (bit-0-favoring) LLR costs that LLR, and vice versa.
+        const double l0 = llrs[2 * step];
+        const double l1 = llrs[2 * step + 1];
+        bm[0] = -l0 - l1;
+        bm[1] = -l0 + l1;
+        bm[2] = l0 - l1;
+        bm[3] = l0 + l1;
+      },
+      survivors.data(), metric);
+  std::vector<std::uint8_t> out(
+      ConvolutionalCode::decoded_length(llrs.size(), terminated));
+  viterbi_traceback(survivors.data(), steps, terminated, metric, out);
+  return out;
+}
+
+}  // namespace acorn::baseband::reference
