@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_baseband_engine_smoke "/root/repo/build-review/bench/bench_baseband_engine" "--smoke")
+set_tests_properties(bench_baseband_engine_smoke PROPERTIES  ENVIRONMENT "ACORN_BENCH_JSON=/root/repo/build-review/bench/bench_smoke.json;ACORN_BENCH_LABEL=smoke" LABELS "perf_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_ber_smoke "/root/repo/build-review/bench/bench_fig3_ber" "--smoke")
+set_tests_properties(bench_fig3_ber_smoke PROPERTIES  ENVIRONMENT "ACORN_BENCH_JSON=/root/repo/build-review/bench/bench_smoke.json;ACORN_BENCH_LABEL=smoke" LABELS "perf_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig4_per_smoke "/root/repo/build-review/bench/bench_fig4_per" "--smoke")
+set_tests_properties(bench_fig4_per_smoke PROPERTIES  ENVIRONMENT "ACORN_BENCH_JSON=/root/repo/build-review/bench/bench_smoke.json;ACORN_BENCH_LABEL=smoke" LABELS "perf_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_calibration_coded_chain_smoke "/root/repo/build-review/bench/bench_calibration_coded_chain" "--smoke")
+set_tests_properties(bench_calibration_coded_chain_smoke PROPERTIES  ENVIRONMENT "ACORN_BENCH_JSON=/root/repo/build-review/bench/bench_smoke.json;ACORN_BENCH_LABEL=smoke" LABELS "perf_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_viterbi_kernel_smoke "/root/repo/build-review/bench/bench_viterbi_kernel" "--smoke")
+set_tests_properties(bench_viterbi_kernel_smoke PROPERTIES  ENVIRONMENT "ACORN_BENCH_JSON=/root/repo/build-review/bench/bench_smoke.json;ACORN_BENCH_LABEL=smoke" LABELS "perf_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
