@@ -82,6 +82,36 @@ inline void emit_throughput(const std::string& bench,
   std::fclose(f);
 }
 
+/// Append one JSON line to BENCH_network.json (path overridable via
+/// ACORN_BENCH_JSON) for the network-layer scenario sweeps: `evals`
+/// counts full-network Wlan evaluations pushed through the engine.
+/// Unlike the baseband emitter, the record label is usually passed
+/// explicitly ("seed" for the reference evaluator rows, "after" for the
+/// flat engine) because one bench run times both implementations;
+/// `label_override == nullptr` falls back to ACORN_BENCH_LABEL.
+inline void emit_evals(const std::string& bench,
+                       const std::string& case_name, double seconds,
+                       std::int64_t evals, int threads,
+                       const char* label_override = nullptr) {
+  const char* path = std::getenv("ACORN_BENCH_JSON");
+  const char* label = label_override != nullptr
+                          ? label_override
+                          : std::getenv("ACORN_BENCH_LABEL");
+  std::FILE* f = std::fopen(path != nullptr ? path : "BENCH_network.json",
+                            "a");
+  if (f == nullptr) return;
+  const double eps = seconds > 0.0 ? static_cast<double>(evals) / seconds
+                                   : 0.0;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"case\":\"%s\",\"label\":\"%s\","
+               "\"threads\":%d,\"evals\":%lld,\"seconds\":%.6f,"
+               "\"evals_per_sec\":%.1f}\n",
+               bench.c_str(), case_name.c_str(),
+               label != nullptr ? label : "current", threads,
+               static_cast<long long>(evals), seconds, eps);
+  std::fclose(f);
+}
+
 inline void banner(const std::string& experiment,
                    const std::string& paper_claim,
                    std::uint64_t seed = kDefaultSeed) {

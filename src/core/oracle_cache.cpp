@@ -34,14 +34,12 @@ CachedOracle::CachedOracle(const sim::Wlan& wlan, net::Association assoc,
     : wlan_(wlan),
       assoc_(std::move(assoc)),
       traffic_(traffic),
-      graph_(wlan.topology(), wlan.budget(), assoc_,
-             wlan.config().interference),
-      clients_(wlan.clients_by_ap(assoc_)),
+      snap_(wlan, assoc_),
       memo_(static_cast<std::size_t>(wlan.topology().num_aps())) {}
 
 CachedOracle::CellKey CachedOracle::cell_key(
-    int ap, const net::ChannelAssignment& assignment,
-    double medium_share) const {
+    int ap, const net::ChannelAssignment& assignment, double medium_share,
+    std::span<const double> activity) const {
   const net::Channel& own = assignment[static_cast<std::size_t>(ap)];
   CellKey key;
   key.reserve(2);
@@ -50,39 +48,43 @@ CachedOracle::CellKey CachedOracle::cell_key(
   if (wlan_.config().sinr_interference) {
     // Hidden-interference signature: channel + activity of every
     // co-channel AP the serving AP does not contend with (mirrors
-    // Wlan::hidden_interference_mw's contribution terms; APs with zero
+    // NetSnapshot::hidden_mw's contribution terms; APs with zero
     // spectral overlap contribute exactly nothing and are omitted).
-    for (int other = 0; other < graph_.num_aps(); ++other) {
-      if (other == ap || graph_.adjacent(ap, other)) continue;
+    const net::InterferenceGraph& graph = snap_.graph();
+    for (int other = 0; other < graph.num_aps(); ++other) {
+      if (other == ap || graph.adjacent(ap, other)) continue;
       const net::Channel& other_ch =
           assignment[static_cast<std::size_t>(other)];
       if (other_ch.overlap_fraction(own) <= 0.0) continue;
       key.push_back(static_cast<std::uint64_t>(other));
       key.push_back(channel_code(other_ch));
-      key.push_back(
-          double_bits(net::medium_access_share(graph_, assignment, other)));
+      key.push_back(double_bits(activity[static_cast<std::size_t>(other)]));
     }
   }
   return key;
 }
 
 double CachedOracle::total_bps(const net::ChannelAssignment& assignment) const {
-  if (static_cast<int>(assignment.size()) != graph_.num_aps()) {
+  const int n_aps = snap_.num_aps();
+  if (static_cast<int>(assignment.size()) != n_aps) {
     throw std::invalid_argument("assignment size != AP count");
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.calls;
   }
+  // Unweighted activity shares of every AP under this assignment: the
+  // unweighted medium shares and (when sinr is on) both the hidden
+  // interferers' activity factors and their cache-key signature bits.
+  std::vector<double> activity;
+  snap_.unweighted_shares(assignment, activity);
   const bool weighted = wlan_.config().weighted_contention;
   double total = 0.0;
-  for (int ap = 0; ap < graph_.num_aps(); ++ap) {
-    const std::vector<int>& clients = clients_[static_cast<std::size_t>(ap)];
-    if (clients.empty()) continue;  // goodput is exactly 0
-    const double share =
-        weighted ? net::medium_access_share_weighted(graph_, assignment, ap)
-                 : net::medium_access_share(graph_, assignment, ap);
-    CellKey key = cell_key(ap, assignment, share);
+  for (int ap = 0; ap < n_aps; ++ap) {
+    if (snap_.cell_clients(ap).empty()) continue;  // goodput is exactly 0
+    const double share = weighted ? snap_.weighted_share(assignment, ap)
+                                  : activity[static_cast<std::size_t>(ap)];
+    CellKey key = cell_key(ap, assignment, share, activity);
     auto& memo = memo_[static_cast<std::size_t>(ap)];
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -94,8 +96,7 @@ double CachedOracle::total_bps(const net::ChannelAssignment& assignment) const {
       }
     }
     const double goodput =
-        wlan_.evaluate_cell_in(ap, clients, share, graph_, assignment,
-                               traffic_)
+        snap_.evaluate_cell(ap, share, assignment, activity, traffic_)
             .goodput_bps;
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -6,8 +6,10 @@
 // depend only on the association, which is invariant across an entire
 // `allocate()` run. CachedOracle hoists that work out of the hot loop:
 //
-//  * the InterferenceGraph and per-AP client lists are built ONCE per
-//    (wlan, association) and reused across all candidate evaluations;
+//  * a sim::NetSnapshot (interference graph, flat per-AP client lists,
+//    precomputed SNRs / rx-power matrix / MCS threshold tables) is built
+//    ONCE per (wlan, association) and reused across all candidate
+//    evaluations;
 //  * per-cell results are memoized keyed by everything a cell's goodput
 //    can depend on once the association is fixed — the cell's own
 //    channel, its medium share, and (when `sinr_interference` is on) the
@@ -18,8 +20,10 @@
 //    is a hash lookup.
 //
 // Results are bit-identical to `Wlan::evaluate(...).total_goodput_bps`:
-// cache misses run the exact same per-cell code (`Wlan::evaluate_cell_in`)
-// and cache hits replay a previously computed double unchanged. The
+// cache misses run the exact same per-cell kernel the evaluator uses
+// (`NetSnapshot::evaluate_cell`, itself property-tested bit-identical to
+// the legacy `Wlan::evaluate_cell_in` reference path) and cache hits
+// replay a previously computed double unchanged. The
 // memoization is guarded by a mutex, so one CachedOracle may be shared by
 // the allocator's optional scan threads.
 #pragma once
@@ -27,10 +31,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/allocation.hpp"
+#include "sim/netkernel.hpp"
 
 namespace acorn::core {
 
@@ -52,7 +58,8 @@ class CachedOracle {
   double total_bps(const net::ChannelAssignment& assignment) const;
 
   const net::Association& association() const { return assoc_; }
-  const net::InterferenceGraph& graph() const { return graph_; }
+  const net::InterferenceGraph& graph() const { return snap_.graph(); }
+  const sim::NetSnapshot& snapshot() const { return snap_; }
   OracleCacheStats stats() const;
 
  private:
@@ -65,13 +72,13 @@ class CachedOracle {
   };
 
   CellKey cell_key(int ap, const net::ChannelAssignment& assignment,
-                   double medium_share) const;
+                   double medium_share,
+                   std::span<const double> activity) const;
 
   const sim::Wlan& wlan_;
   net::Association assoc_;
   mac::TrafficType traffic_;
-  net::InterferenceGraph graph_;
-  std::vector<std::vector<int>> clients_;  // per AP, built once
+  sim::NetSnapshot snap_;  // graph + flat link state, built once
 
   mutable std::mutex mutex_;  // guards memo_ and stats_
   mutable std::vector<std::unordered_map<CellKey, double, CellKeyHash>> memo_;

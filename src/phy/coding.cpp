@@ -65,8 +65,25 @@ std::span<const double> spectrum(CodeRate rate) {
   throw std::invalid_argument("unknown code rate");
 }
 
+// glibc's lgamma writes the global `signgam`, so calling it from
+// concurrent PER evaluations is a data race (caught by TSan under the
+// parallel sweep driver). The arguments here are tiny integers, so a
+// one-time log-factorial table — filled by the same std::lgamma calls
+// under the C++ magic-static guard — keeps the values bit-identical and
+// the hot path race-free.
+double log_factorial(int n) {
+  constexpr int kTableSize = 256;
+  static const std::array<double, kTableSize> table = [] {
+    std::array<double, kTableSize> t{};
+    for (int i = 0; i < kTableSize; ++i) t[i] = std::lgamma(i + 1.0);
+    return t;
+  }();
+  return n >= 0 && n < kTableSize ? table[static_cast<std::size_t>(n)]
+                                  : std::lgamma(n + 1.0);
+}
+
 double log_binomial(int n, int k) {
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
 }
 
 // Pairwise error probability of choosing a codeword at Hamming distance d

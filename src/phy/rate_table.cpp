@@ -1,0 +1,116 @@
+#include "phy/rate_table.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace acorn::phy {
+
+namespace {
+
+// The scanned SNR range. Below kLoDb every row's PER is exactly 1 (the
+// coded BER clamps to 0.5 and (1-0.5)^payload underflows to 0), so the
+// argmax is frozen at its first row; above kHiDb every PER is exactly 0
+// and the highest-rate row has won for good. Outside the range the
+// boundary segment therefore extends unchanged.
+constexpr double kLoDb = -80.0;
+constexpr double kHiDb = 100.0;
+constexpr double kGridStepDb = 0.1;
+
+int argmax_index(const LinkModel& link, ChannelWidth width, GuardInterval gi,
+                 double snr_db) {
+  return best_rate(link, width, snr_db, gi).mcs_index;
+}
+
+}  // namespace
+
+RateTable::RateTable(const LinkModel& link, ChannelWidth width,
+                     GuardInterval gi)
+    : link_(link), width_(width), gi_(gi) {
+  const auto winner = [&](double snr) {
+    return argmax_index(link_, width_, gi_, snr);
+  };
+  std::vector<std::pair<double, int>> boundaries;  // (start snr, winner)
+
+  // Bisect every boundary in (a, b] down to adjacent doubles, recursing
+  // when a third winner shows up between two known ones. Appends
+  // boundaries in ascending order.
+  const auto refine = [&](auto&& self, double a, int wa, double b,
+                          int wb) -> void {
+    if (wa == wb) return;
+    double lo = a;
+    int wlo = wa;
+    double hi = b;
+    while (true) {
+      const double mid = 0.5 * (lo + hi);
+      if (!(mid > lo && mid < hi)) break;  // adjacent doubles
+      const int wm = winner(mid);
+      if (wm == wlo) {
+        lo = mid;
+      } else if (wm == wb) {
+        hi = mid;
+        wb = wm;
+      } else {
+        self(self, lo, wlo, mid, wm);
+        lo = mid;
+        wlo = wm;
+      }
+    }
+    boundaries.emplace_back(hi, wb);
+  };
+
+  // Coarse grid scan; every winner flip between neighbours is refined.
+  // 0.1 dB is far below the spacing of real MCS crossovers, so a winner
+  // that appears only inside one grid cell would have to win on an
+  // interval narrower than that — the randomized property test guards
+  // the assumption.
+  int prev_winner = winner(kLoDb);
+  const int first_winner = prev_winner;
+  double prev_snr = kLoDb;
+  const int steps = static_cast<int>((kHiDb - kLoDb) / kGridStepDb);
+  for (int i = 1; i <= steps; ++i) {
+    const double snr = kLoDb + kGridStepDb * i;
+    const int w = winner(snr);
+    if (w != prev_winner) refine(refine, prev_snr, prev_winner, snr, w);
+    prev_winner = w;
+    prev_snr = snr;
+  }
+
+  const auto make_segment = [&](double start, int index) {
+    const McsEntry& entry = mcs(index);
+    return Segment{start, index, mode_for(entry),
+                   entry.rate_bps(width_, gi_)};
+  };
+  segments_.reserve(boundaries.size() + 1);
+  segments_.push_back(
+      make_segment(-std::numeric_limits<double>::infinity(), first_winner));
+  for (const auto& [snr, index] : boundaries) {
+    segments_.push_back(make_segment(snr, index));
+  }
+}
+
+std::shared_ptr<const RateTable> RateTable::shared(const LinkModel& link,
+                                                   ChannelWidth width,
+                                                   GuardInterval gi) {
+  // Key: the LinkConfig fields PER depends on (noise figure only enters
+  // the SNR computation upstream of the table) plus width and GI.
+  using Key = std::array<std::uint64_t, 6>;
+  const LinkConfig& c = link.config();
+  const Key key = {std::bit_cast<std::uint64_t>(c.shadow_db),
+                   std::bit_cast<std::uint64_t>(c.stbc_gain_db),
+                   std::bit_cast<std::uint64_t>(c.sdm_penalty_db),
+                   static_cast<std::uint64_t>(c.payload_bytes),
+                   static_cast<std::uint64_t>(width),
+                   static_cast<std::uint64_t>(gi)};
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const RateTable>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[key];
+  if (!slot) slot = std::make_shared<RateTable>(link, width, gi);
+  return slot;
+}
+
+}  // namespace acorn::phy

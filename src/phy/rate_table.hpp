@@ -1,0 +1,91 @@
+// Exact MCS decision table: the auto-rate argmax of `best_rate` collapsed
+// to an SNR threshold scan (Halperin's Effective-SNR observation — rate
+// selection is "compare an SNR against per-MCS thresholds").
+//
+// `best_rate` re-evaluates the coded-BER chain (Gauss-Hermite shadowing
+// quadrature, erfc, pow) for all 16 MCS rows on every call, yet for a
+// fixed (LinkConfig, width, GI) the winning row is a piecewise-constant
+// function of SNR with a handful of crossover points. RateTable finds
+// those crossovers once at construction — coarse grid scan plus bisection
+// down to adjacent doubles — and `decide()` then does a short threshold
+// scan followed by ONE PER evaluation for the winning row. The returned
+// RateDecision (index, mode, PER, goodput) is bit-identical to
+// `best_rate` for every SNR (randomized property test in
+// tests/test_phy_rate_table.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "phy/rate_control.hpp"
+
+namespace acorn::phy {
+
+class RateTable {
+ public:
+  /// One maximal SNR interval with a constant argmax row: the winner for
+  /// all snr in [start_snr_db, next segment's start).
+  struct Segment {
+    double start_snr_db = 0.0;  // -inf for the first segment
+    int mcs_index = 0;
+    MimoMode mode = MimoMode::kStbc;
+    double rate_bps = 0.0;  // mcs(index).rate_bps(width, gi), precomputed
+  };
+
+  /// Precompute the decision thresholds for (link config, width, gi).
+  RateTable(const LinkModel& link, ChannelWidth width, GuardInterval gi);
+
+  ChannelWidth width() const { return width_; }
+  GuardInterval gi() const { return gi_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Winning MCS row index at `snr_db` — the threshold scan alone.
+  int pick_index(double snr_db) const {
+    return segment_for(snr_db).mcs_index;
+  }
+
+  /// Full auto-rate decision; bit-identical to
+  /// best_rate(link, width, snr_db, gi) at a fraction of the cost (one
+  /// PER evaluation instead of a 16-row goodput sweep).
+  RateDecision decide(double snr_db) const {
+    const Segment& seg = segment_for(snr_db);
+    RateDecision d;
+    d.mcs_index = seg.mcs_index;
+    d.mode = seg.mode;
+    d.per = link_.per(mcs(seg.mcs_index), snr_db);
+    d.goodput_bps = (1.0 - d.per) * seg.rate_bps;
+    return d;
+  }
+
+  /// Process-wide table cache keyed by everything the thresholds depend
+  /// on (the LinkConfig fields that enter PER, the width and the GI), so
+  /// scenario sweeps that build thousands of Wlans with the same link
+  /// config pay construction once.
+  static std::shared_ptr<const RateTable> shared(const LinkModel& link,
+                                                 ChannelWidth width,
+                                                 GuardInterval gi);
+
+  /// The winning segment at `snr_db`, for callers that need the
+  /// precomputed rate alongside their own PER evaluation (the network
+  /// kernel feeds `rate_bps` and PER into the MAC model separately).
+  const Segment& segment_for_snr(double snr_db) const {
+    return segment_for(snr_db);
+  }
+
+ private:
+  const Segment& segment_for(double snr_db) const {
+    // Segments are few (~a dozen); a backward linear scan beats binary
+    // search and favors the common high-SNR operating points.
+    std::size_t i = segments_.size() - 1;
+    while (i > 0 && snr_db < segments_[i].start_snr_db) --i;
+    return segments_[i];
+  }
+
+  LinkModel link_;
+  ChannelWidth width_;
+  GuardInterval gi_;
+  std::vector<Segment> segments_;  // ascending start_snr_db
+};
+
+}  // namespace acorn::phy

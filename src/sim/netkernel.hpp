@@ -1,0 +1,113 @@
+// Flat-array network evaluation kernel.
+//
+// `Wlan::evaluate_reference` walks objects for every cell it scores: each
+// client re-derives its SNR from Topology/LinkBudget lookups, re-runs the
+// full 16-row `best_rate` erfc/pow sweep, and every hidden-interference
+// term re-converts dBm to mW and re-counts contenders with allocating
+// `neighbors()` calls. All of that depends only on (topology, budget,
+// association) — invariant across the thousands of candidate assignments
+// an allocator run or a scenario sweep scores.
+//
+// NetSnapshot hoists it: built once per (wlan, association), it stores
+//   * the interference graph and flat per-AP client lists,
+//   * a row-major AP -> client received-power matrix in mW,
+//   * each associated client's per-subcarrier base SNR at both widths,
+//   * the per-(width, GI) MCS threshold tables (phy::RateTable),
+// so `evaluate` / `evaluate_cell` become contiguous array walks whose per
+// -client inner loop is a threshold scan plus ONE coded-PER evaluation.
+// Results are bit-identical to `Wlan::evaluate_reference` (randomized
+// property test in tests/test_sim_netkernel.cpp): every floating-point
+// expression is evaluated with the same operands in the same order, only
+// hoisted out of the loops.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phy/rate_table.hpp"
+#include "sim/wlan.hpp"
+
+namespace acorn::sim {
+
+/// Immutable link-state snapshot for one (wlan, association) pair. The
+/// wlan must outlive the snapshot. Thread-safe: all methods are const and
+/// touch no mutable state, so one snapshot may serve many worker threads
+/// (the allocator's candidate scan, the sweep driver).
+class NetSnapshot {
+ public:
+  NetSnapshot(const Wlan& wlan, net::Association assoc);
+
+  const Wlan& wlan() const { return *wlan_; }
+  const net::Association& association() const { return assoc_; }
+  const net::InterferenceGraph& graph() const { return graph_; }
+  int num_aps() const { return n_aps_; }
+  /// Clients associated to `ap` (ascending ids, same as clients_by_ap).
+  std::span<const int> cell_clients(int ap) const {
+    const auto lo = static_cast<std::size_t>(cell_begin_[
+        static_cast<std::size_t>(ap)]);
+    const auto hi = static_cast<std::size_t>(cell_begin_[
+        static_cast<std::size_t>(ap) + 1]);
+    return std::span<const int>(cell_clients_).subspan(lo, hi - lo);
+  }
+
+  /// The paper's unweighted medium-access share M_a = 1/(|con_a|+1) for
+  /// every AP under `assignment`, written into `out` (resized to the AP
+  /// count). Bit-identical to net::medium_access_share per AP, without
+  /// the allocating neighbors() walk. These are also the activity factors
+  /// of the hidden-interference model.
+  void unweighted_shares(const net::ChannelAssignment& assignment,
+                         std::vector<double>& out) const;
+
+  /// Overlap-weighted share of one AP; bit-identical to
+  /// net::medium_access_share_weighted.
+  double weighted_share(const net::ChannelAssignment& assignment,
+                        int ap) const;
+
+  /// Evaluate one cell exactly as `Wlan::evaluate_reference` would under
+  /// (assignment, graph): `medium_share` is the cell's own share,
+  /// `activity` the unweighted shares of all APs (used by the
+  /// hidden-interference term when `sinr_interference` is on).
+  ApStats evaluate_cell(int ap, double medium_share,
+                        const net::ChannelAssignment& assignment,
+                        std::span<const double> activity,
+                        mac::TrafficType traffic =
+                            mac::TrafficType::kUdp) const;
+
+  /// Full-network evaluation; bit-identical to
+  /// wlan.evaluate_reference(association, assignment, traffic).
+  Evaluation evaluate(const net::ChannelAssignment& assignment,
+                      mac::TrafficType traffic =
+                          mac::TrafficType::kUdp) const;
+
+ private:
+  /// Per-subcarrier hidden-interference power (mW) at `client` on
+  /// `channel`; bit-identical to Wlan::hidden_interference_mw with the
+  /// per-interferer activity shares supplied instead of recomputed.
+  double hidden_mw(int serving_ap, int client, const net::Channel& channel,
+                   const net::ChannelAssignment& assignment,
+                   std::span<const double> activity) const;
+
+  const Wlan* wlan_;
+  net::Association assoc_;
+  net::InterferenceGraph graph_;
+  int n_aps_ = 0;
+  int n_clients_ = 0;
+  double noise_mw_ = 0.0;  // per-subcarrier noise floor, mW
+  int payload_bits_ = 0;
+
+  // Flat per-AP client lists: cell_clients_[cell_begin_[ap] ..
+  // cell_begin_[ap+1]) are AP `ap`'s clients, ascending.
+  std::vector<int> cell_begin_;
+  std::vector<int> cell_clients_;
+  // Parallel to cell_clients_: the client's base per-subcarrier SNR at
+  // each width (dB), precomputed from Tx power and the link budget.
+  std::vector<double> cell_snr20_db_;
+  std::vector<double> cell_snr40_db_;
+  // Row-major AP -> client received power in mW (hidden interference).
+  std::vector<double> rx_mw_;
+
+  std::shared_ptr<const phy::RateTable> table20_;
+  std::shared_ptr<const phy::RateTable> table40_;
+};
+
+}  // namespace acorn::sim

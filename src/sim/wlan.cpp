@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "phy/noise.hpp"
+#include "sim/netkernel.hpp"
 #include "util/units.hpp"
 
 namespace acorn::sim {
@@ -33,12 +34,20 @@ phy::RateDecision Wlan::client_rate(int ap, int client,
                         config_.gi);
 }
 
+Wlan::ClientLink Wlan::client_link(phy::ChannelWidth width,
+                                   double snr_db) const {
+  const phy::RateDecision rate =
+      phy::best_rate(link_model_, width, snr_db, config_.gi);
+  const phy::McsEntry& entry = phy::mcs(rate.mcs_index);
+  return ClientLink{entry.rate_bps(width, config_.gi), rate.per};
+}
+
 double Wlan::client_delay_s_per_bit(int ap, int client,
                                     phy::ChannelWidth width) const {
-  const phy::RateDecision rate = client_rate(ap, client, width);
-  const phy::McsEntry& entry = phy::mcs(rate.mcs_index);
-  return mac::per_bit_delay_s(config_.timing, entry.rate_bps(width, config_.gi),
-                              config_.payload_bytes * 8, rate.per);
+  const ClientLink link =
+      client_link(width, client_snr_db(ap, client, width));
+  return mac::per_bit_delay_s(config_.timing, link.rate_bps,
+                              config_.payload_bytes * 8, link.per);
 }
 
 std::vector<int> Wlan::clients_of(const net::Association& assoc, int ap) const {
@@ -100,7 +109,6 @@ ApStats Wlan::evaluate_cell(int ap, const std::vector<int>& clients,
   if (clients.empty()) return stats;
 
   std::vector<mac::CellClient> cell;
-  std::vector<double> pers;
   cell.reserve(clients.size());
   for (int c : clients) {
     double snr_db = client_snr_db(ap, c, width);
@@ -112,12 +120,8 @@ ApStats Wlan::evaluate_cell(int ap, const std::vector<int>& clients,
           ap, c, context->channel, *context->graph, *context->assignment);
       snr_db -= util::lin_to_db((noise_mw + interference_mw) / noise_mw);
     }
-    const phy::RateDecision rate =
-        phy::best_rate(link_model_, width, snr_db, config_.gi);
-    const phy::McsEntry& entry = phy::mcs(rate.mcs_index);
-    cell.push_back(mac::CellClient{c, entry.rate_bps(width, config_.gi),
-                                   rate.per});
-    pers.push_back(rate.per);
+    const ClientLink link = client_link(width, snr_db);
+    cell.push_back(mac::CellClient{c, link.rate_bps, link.per});
   }
   const mac::CellThroughput mac_result = mac::anomaly_throughput(
       config_.timing, cell, medium_share, config_.payload_bytes * 8);
@@ -128,7 +132,7 @@ ApStats Wlan::evaluate_cell(int ap, const std::vector<int>& clients,
   stats.client_delay_s_per_bit = mac_result.client_delay_s_per_bit;
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const double goodput = mac::transport_goodput_bps(
-        config_.traffic, traffic, mac_result.per_client_bps, pers[i]);
+        config_.traffic, traffic, mac_result.per_client_bps, cell[i].per);
     stats.client_goodput_bps.push_back(goodput);
     stats.goodput_bps += goodput;
   }
@@ -165,6 +169,15 @@ ApStats Wlan::evaluate_cell_in(int ap, const std::vector<int>& clients,
 Evaluation Wlan::evaluate(const net::Association& assoc,
                           const net::ChannelAssignment& assignment,
                           mac::TrafficType traffic) const {
+  // One-shot snapshot build + flat evaluation. The snapshot constructor
+  // and NetSnapshot::evaluate throw the same invalid_argument messages
+  // (in the same order) as evaluate_reference on malformed inputs.
+  return NetSnapshot(*this, assoc).evaluate(assignment, traffic);
+}
+
+Evaluation Wlan::evaluate_reference(const net::Association& assoc,
+                                    const net::ChannelAssignment& assignment,
+                                    mac::TrafficType traffic) const {
   if (static_cast<int>(assoc.size()) != topology_.num_clients()) {
     throw std::invalid_argument("association size != client count");
   }

@@ -89,10 +89,22 @@ class Wlan {
                                mac::TrafficType::kUdp) const;
 
   /// Full-network evaluation under an association + channel assignment.
+  /// Delegates to a one-shot sim::NetSnapshot (flat-array kernel);
+  /// bit-identical to `evaluate_reference`. Callers scoring many
+  /// assignments under one association should build the snapshot once
+  /// themselves instead.
   Evaluation evaluate(const net::Association& assoc,
                       const net::ChannelAssignment& assignment,
                       mac::TrafficType traffic =
                           mac::TrafficType::kUdp) const;
+
+  /// The original object-at-a-time evaluation path, kept as the
+  /// executable specification the flat engine is property-tested against
+  /// (tests/test_sim_netkernel.cpp asserts bit-identical Evaluations).
+  Evaluation evaluate_reference(const net::Association& assoc,
+                                const net::ChannelAssignment& assignment,
+                                mac::TrafficType traffic =
+                                    mac::TrafficType::kUdp) const;
 
   /// Clients of an AP under an association.
   std::vector<int> clients_of(const net::Association& assoc, int ap) const;
@@ -128,6 +140,16 @@ class Wlan {
       const;
 
  private:
+  /// One client's auto-rate outcome, expanded to what the MAC model
+  /// consumes: the PHY rate at the configured GI and the packet error
+  /// rate. Single source for `evaluate_cell` and `client_delay_s_per_bit`
+  /// so the rate decision is computed (and expanded) once.
+  struct ClientLink {
+    double rate_bps = 0.0;
+    double per = 0.0;
+  };
+  ClientLink client_link(phy::ChannelWidth width, double snr_db) const;
+
   struct CellContext {
     const net::InterferenceGraph* graph = nullptr;
     const net::ChannelAssignment* assignment = nullptr;

@@ -84,6 +84,12 @@ TEST(CachedOracle, BitIdenticalToFullEvaluateOnRandomTopologies) {
       const net::ChannelAssignment f =
           alloc.random_assignment(wlan.topology().num_aps(), rng);
       const double expected = wlan.evaluate(assoc, f).total_goodput_bps;
+      // The flat engine behind evaluate() must itself match the legacy
+      // object-at-a-time path, so the whole chain is pinned to the
+      // original semantics.
+      EXPECT_EQ(expected,
+                wlan.evaluate_reference(assoc, f).total_goodput_bps)
+          << "trial " << trial << " rep " << rep;
       // Exact bit-identity, not near-equality: cache misses run the same
       // per-cell code, hits replay a stored double.
       EXPECT_EQ(cached.total_bps(f), expected)

@@ -1,0 +1,151 @@
+// The exact-MCS-threshold-table contract: phy::RateTable::decide must be
+// bit-identical to the argmax sweep phy::best_rate for every SNR, width,
+// GI and link configuration — index, mode, PER and goodput, not merely
+// close. Randomized draws plus adversarial probes right at the bisected
+// crossover points.
+#include "phy/rate_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace acorn::phy {
+namespace {
+
+void expect_same_decision(const RateTable& table, const LinkModel& link,
+                          double snr_db) {
+  const RateDecision expected =
+      best_rate(link, table.width(), snr_db, table.gi());
+  const RateDecision got = table.decide(snr_db);
+  EXPECT_EQ(got.mcs_index, expected.mcs_index) << "snr " << snr_db;
+  EXPECT_EQ(got.mode, expected.mode) << "snr " << snr_db;
+  // Bit-identity on the doubles, not near-equality.
+  EXPECT_EQ(got.per, expected.per) << "snr " << snr_db;
+  EXPECT_EQ(got.goodput_bps, expected.goodput_bps) << "snr " << snr_db;
+}
+
+TEST(RateTable, SegmentsAreOrderedAndStartAtMinusInfinity) {
+  const LinkModel link{LinkConfig{}};
+  for (const ChannelWidth width :
+       {ChannelWidth::k20MHz, ChannelWidth::k40MHz}) {
+    for (const GuardInterval gi :
+         {GuardInterval::kLong800ns, GuardInterval::kShort400ns}) {
+      const auto table = RateTable::shared(link, width, gi);
+      const auto& segments = table->segments();
+      ASSERT_FALSE(segments.empty());
+      EXPECT_EQ(segments.front().start_snr_db,
+                -std::numeric_limits<double>::infinity());
+      for (std::size_t i = 1; i < segments.size(); ++i) {
+        EXPECT_LT(segments[i - 1].start_snr_db, segments[i].start_snr_db);
+        // Adjacent segments must actually differ, else the boundary is
+        // spurious.
+        EXPECT_NE(segments[i - 1].mcs_index, segments[i].mcs_index);
+        const McsEntry& entry = mcs(segments[i].mcs_index);
+        EXPECT_EQ(segments[i].rate_bps, entry.rate_bps(width, gi));
+      }
+    }
+  }
+}
+
+TEST(RateTable, BitIdenticalToBestRateOnRandomSnrsAllWidthsAndGis) {
+  const LinkModel link{LinkConfig{}};
+  util::Rng rng(0x7AB1E);
+  for (const ChannelWidth width :
+       {ChannelWidth::k20MHz, ChannelWidth::k40MHz}) {
+    for (const GuardInterval gi :
+         {GuardInterval::kLong800ns, GuardInterval::kShort400ns}) {
+      const auto table = RateTable::shared(link, width, gi);
+      // Dense draws across the operating range plus far outside it.
+      for (int i = 0; i < 400; ++i) {
+        expect_same_decision(*table, link, rng.uniform(-20.0, 50.0));
+      }
+      for (int i = 0; i < 50; ++i) {
+        expect_same_decision(*table, link, rng.uniform(-200.0, 200.0));
+      }
+    }
+  }
+}
+
+TEST(RateTable, BitIdenticalRightAtTheBisectedCrossovers) {
+  // The hardest inputs are the crossover points themselves: one double
+  // below the boundary the old winner must still win, at the boundary
+  // the new one must. Probe every segment edge from both sides.
+  const LinkModel link{LinkConfig{}};
+  for (const ChannelWidth width :
+       {ChannelWidth::k20MHz, ChannelWidth::k40MHz}) {
+    const auto table =
+        RateTable::shared(link, width, GuardInterval::kLong800ns);
+    const auto& segments = table->segments();
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      const double edge = segments[i].start_snr_db;
+      const double below =
+          std::nextafter(edge, -std::numeric_limits<double>::infinity());
+      expect_same_decision(*table, link, edge);
+      expect_same_decision(*table, link, below);
+      EXPECT_EQ(table->pick_index(edge), segments[i].mcs_index);
+      EXPECT_EQ(table->pick_index(below), segments[i - 1].mcs_index);
+    }
+  }
+}
+
+TEST(RateTable, BitIdenticalAcrossRandomLinkConfigs) {
+  util::Rng rng(0xC0FF);
+  for (int cfg_trial = 0; cfg_trial < 4; ++cfg_trial) {
+    LinkConfig cfg;
+    cfg.shadow_db = rng.uniform(0.5, 6.0);
+    cfg.stbc_gain_db = rng.uniform(1.0, 4.0);
+    cfg.sdm_penalty_db = rng.uniform(3.0, 9.0);
+    cfg.payload_bytes = static_cast<int>(rng.uniform_int(200, 4000));
+    const LinkModel link{cfg};
+    const ChannelWidth width = (cfg_trial % 2) == 0 ? ChannelWidth::k20MHz
+                                                    : ChannelWidth::k40MHz;
+    const GuardInterval gi = (cfg_trial / 2 % 2) == 0
+                                 ? GuardInterval::kLong800ns
+                                 : GuardInterval::kShort400ns;
+    const RateTable table(link, width, gi);
+    for (int i = 0; i < 200; ++i) {
+      expect_same_decision(table, link, rng.uniform(-15.0, 45.0));
+    }
+    for (std::size_t s = 1; s < table.segments().size(); ++s) {
+      const double edge = table.segments()[s].start_snr_db;
+      expect_same_decision(table, link, edge);
+      expect_same_decision(
+          table, link,
+          std::nextafter(edge, -std::numeric_limits<double>::infinity()));
+    }
+  }
+}
+
+TEST(RateTable, ExtremeSnrsClampToBoundarySegments) {
+  const LinkModel link{LinkConfig{}};
+  const auto table = RateTable::shared(link, ChannelWidth::k20MHz,
+                                       GuardInterval::kLong800ns);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(table->pick_index(-inf), table->segments().front().mcs_index);
+  EXPECT_EQ(table->pick_index(inf), table->segments().back().mcs_index);
+  expect_same_decision(*table, link, -500.0);
+  expect_same_decision(*table, link, 500.0);
+}
+
+TEST(RateTable, SharedCacheReturnsOneTablePerConfiguration) {
+  const LinkModel link{LinkConfig{}};
+  const auto a = RateTable::shared(link, ChannelWidth::k20MHz,
+                                   GuardInterval::kLong800ns);
+  const auto b = RateTable::shared(link, ChannelWidth::k20MHz,
+                                   GuardInterval::kLong800ns);
+  const auto c = RateTable::shared(link, ChannelWidth::k40MHz,
+                                   GuardInterval::kLong800ns);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  LinkConfig other;
+  other.payload_bytes = 256;
+  const auto d = RateTable::shared(LinkModel{other}, ChannelWidth::k20MHz,
+                                   GuardInterval::kLong800ns);
+  EXPECT_NE(a.get(), d.get());
+}
+
+}  // namespace
+}  // namespace acorn::phy
