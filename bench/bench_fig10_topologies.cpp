@@ -4,67 +4,84 @@
 // poor-client AP a 20 MHz channel (4x gain on AP1, their numbering).
 // Topology 2 — ACORN groups similar-quality clients and uses 20 MHz for
 // poor cells: 6x (AP4), 1.5x (AP5), 1.8x (AP3) gains.
+//
+// Both topology comparisons are independent scenarios, so they run
+// through sim::sweep_scenarios (`--threads N` parallelizes them with
+// bit-identical output for any thread count).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baselines/kauffmann17.hpp"
 #include "common.hpp"
 #include "core/controller.hpp"
+#include "sim/sweep.hpp"
 #include "util/table.hpp"
 
 using namespace acorn;
 
 namespace {
 
-void run_topology(const char* name, const sim::ScenarioBuilder& builder,
-                  std::uint64_t seed) {
+struct TopologyResult {
+  const char* name = "";
+  core::ConfigureResult ours;
+  baselines::Kauffmann17::Result theirs;
+  sim::Evaluation eval_theirs;
+  int num_aps = 0;
+  int num_clients = 0;
+};
+
+TopologyResult run_topology(const char* name,
+                            const sim::ScenarioBuilder& builder,
+                            util::Rng& rng) {
   const sim::Wlan wlan = builder.build();
+  TopologyResult r;
+  r.name = name;
+  r.num_aps = wlan.topology().num_aps();
+  r.num_clients = wlan.topology().num_clients();
   const core::AcornController acorn;
-  util::Rng rng(seed);
-  const core::ConfigureResult ours = acorn.configure(wlan, rng);
-
+  r.ours = acorn.configure(wlan, rng);
   const baselines::Kauffmann17 k17{net::ChannelPlan(12)};
-  const baselines::Kauffmann17::Result theirs = k17.configure(wlan);
-  const sim::Evaluation eval_theirs =
-      wlan.evaluate(theirs.association, theirs.assignment);
+  r.theirs = k17.configure(wlan);
+  r.eval_theirs = wlan.evaluate(r.theirs.association, r.theirs.assignment);
+  return r;
+}
 
-  std::printf("--- %s ---\n", name);
+void print_topology(const TopologyResult& r) {
+  std::printf("--- %s ---\n", r.name);
   util::TextTable t({"AP", "ACORN channel", "ACORN (Mbps)", "[17] channel",
                      "[17] (Mbps)", "gain"});
-  for (int ap = 0; ap < wlan.topology().num_aps(); ++ap) {
-    const double a = ours.evaluation.per_ap[ap].goodput_bps;
-    const double b = eval_theirs.per_ap[ap].goodput_bps;
+  for (int ap = 0; ap < r.num_aps; ++ap) {
+    const double a = r.ours.evaluation.per_ap[ap].goodput_bps;
+    const double b = r.eval_theirs.per_ap[ap].goodput_bps;
     t.add_row({"AP" + std::to_string(ap + 1),
-               ours.assignment[static_cast<std::size_t>(ap)].to_string(),
+               r.ours.assignment[static_cast<std::size_t>(ap)].to_string(),
                bench::mbps(a),
-               theirs.assignment[static_cast<std::size_t>(ap)].to_string(),
+               r.theirs.assignment[static_cast<std::size_t>(ap)].to_string(),
                bench::mbps(b),
                b > 1e4 ? util::TextTable::num(a / b, 2) + "x"
                        : (a > 1e4 ? ">10x" : "-")});
   }
-  t.add_row({"Total", "", bench::mbps(ours.evaluation.total_goodput_bps),
-             "", bench::mbps(eval_theirs.total_goodput_bps),
-             util::TextTable::num(ours.evaluation.total_goodput_bps /
-                                      eval_theirs.total_goodput_bps,
+  t.add_row({"Total", "", bench::mbps(r.ours.evaluation.total_goodput_bps),
+             "", bench::mbps(r.eval_theirs.total_goodput_bps),
+             util::TextTable::num(r.ours.evaluation.total_goodput_bps /
+                                      r.eval_theirs.total_goodput_bps,
                                   2) +
                  "x"});
   std::printf("%s\n", t.to_string().c_str());
 
   std::printf("associations  ACORN: ");
-  for (int c = 0; c < wlan.topology().num_clients(); ++c) {
+  for (int c = 0; c < r.num_clients; ++c) {
     std::printf("c%d->AP%d ", c,
-                ours.association[static_cast<std::size_t>(c)] + 1);
+                r.ours.association[static_cast<std::size_t>(c)] + 1);
   }
   std::printf("\n              [17]:  ");
-  for (int c = 0; c < wlan.topology().num_clients(); ++c) {
+  for (int c = 0; c < r.num_clients; ++c) {
     std::printf("c%d->AP%d ", c,
-                theirs.association[static_cast<std::size_t>(c)] + 1);
+                r.theirs.association[static_cast<std::size_t>(c)] + 1);
   }
   std::printf("\n\n");
 }
-
-}  // namespace
-
-namespace {
 
 // The Topology 2 association effect in isolation: ACORN groups clients of
 // similar quality (paper: "tries to group clients with similar link
@@ -121,13 +138,26 @@ void run_grouping_detail() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::banner("Figure 10: ACORN vs [17] on interference-free topologies",
                 "poor cells gain 1.5x-6x from 20 MHz channels under ACORN");
-  run_topology("Topology 1 (2 APs: poor cell + good cell)",
-               bench::topology1(), bench::kDefaultSeed);
-  run_topology("Topology 2 (5 APs: 3 good, 1 poor, 1 marginal)",
-               bench::topology2(), bench::kDefaultSeed + 1);
+
+  struct Scenario {
+    const char* name;
+    sim::ScenarioBuilder builder;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"Topology 1 (2 APs: poor cell + good cell)", bench::topology1()},
+      {"Topology 2 (5 APs: 3 good, 1 poor, 1 marginal)",
+       bench::topology2()},
+  };
+  const std::vector<TopologyResult> results = sim::sweep_scenarios(
+      scenarios.size(), {bench::kDefaultSeed, opts.threads},
+      [&scenarios](util::Rng& rng, std::size_t i) {
+        return run_topology(scenarios[i].name, scenarios[i].builder, rng);
+      });
+  for (const TopologyResult& r : results) print_topology(r);
   run_grouping_detail();
   return 0;
 }

@@ -1,0 +1,156 @@
+// acornd protocol throughput: events per second through a live daemon.
+//
+// An in-process daemon listens on a Unix socket; a single client
+// pipelines batches of SNR/load update frames and drains the replies.
+// The figure of merit is fully round-tripped protocol events per second
+// — encode, socket, poll loop, shard mailbox, apply, reply — on one
+// client connection. The service is built to sustain >= 10k events/s
+// single-threaded; the run fails loudly if it cannot.
+//
+// Appends JSON lines to BENCH_service.json (ACORN_BENCH_JSON overrides
+// the path) so the service's perf trajectory is tracked across PRs.
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+
+using namespace acorn;
+using namespace acorn::service;
+
+namespace {
+
+constexpr const char* kFloor = R"(# bench floor: 3 APs, 8 clients
+pathloss exponent 3.5
+pathloss shadowing 4
+channels 12
+seed 7
+ap 10 10
+ap 50 10
+ap 30 40
+client 12 12
+client 14  8
+client 48 14
+client 52  9
+client 28 38
+client 35 42
+client 30 25
+client 45 30
+)";
+
+constexpr std::uint32_t kWlan = 1;
+constexpr int kBatch = 64;
+
+// Pipelined batches: kBatch requests on the wire before the first reply
+// is drained, as a real controller client would batch measurement
+// reports.
+double pump_events(Client& client, std::int64_t total, util::Rng& rng) {
+  const bench::Stopwatch clock;
+  std::int64_t sent = 0;
+  while (sent < total) {
+    const int n = static_cast<int>(
+        std::min<std::int64_t>(kBatch, total - sent));
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t client_id =
+          static_cast<std::uint32_t>(rng.uniform_int(0, 7));
+      if (rng.uniform() < 0.5) {
+        client.send(SnrUpdate{kWlan,
+                              static_cast<std::uint32_t>(rng.uniform_int(0, 2)),
+                              client_id, rng.uniform(70.0, 120.0)});
+      } else {
+        client.send(LoadUpdate{kWlan, client_id, rng.uniform()});
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      (void)client.recv();
+    }
+    sent += n;
+  }
+  return clock.seconds();
+}
+
+// Serial request/reply round trips (no pipelining): per-event latency.
+double pump_serial(Client& client, std::int64_t total, util::Rng& rng) {
+  const bench::Stopwatch clock;
+  for (std::int64_t i = 0; i < total; ++i) {
+    client.call(SnrUpdate{kWlan, 0,
+                          static_cast<std::uint32_t>(rng.uniform_int(0, 7)),
+                          rng.uniform(70.0, 120.0)});
+  }
+  return clock.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::banner("acornd protocol event throughput",
+                "online controller sustains >= 10k events/s per connection");
+
+  DaemonConfig config;
+  config.unix_path =
+      "/tmp/acorn_bench_" + std::to_string(::getpid()) + ".sock";
+  config.epoch_s = 0.0;  // epochs on demand; the bench times raw events
+  Daemon daemon(config);
+  daemon.start();
+
+  Client client = Client::connect_unix(config.unix_path);
+  client.call(RegisterWlan{kWlan, kFloor});
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    client.call(ClientJoin{kWlan, c});
+  }
+  client.call(ForceReconfigure{kWlan});
+
+  util::Rng rng(bench::kDefaultSeed);
+  const std::int64_t pipelined_n = opts.smoke ? 5000 : 200000;
+  const std::int64_t serial_n = opts.smoke ? 1000 : 20000;
+
+  // Warm up the path (allocators, shard caches) before timing.
+  (void)pump_events(client, 1000, rng);
+
+  const double pipe_s = pump_events(client, pipelined_n, rng);
+  const double pipe_eps = static_cast<double>(pipelined_n) / pipe_s;
+  std::printf("pipelined (batch %d): %lld events in %.3f s -> %.0f events/s\n",
+              kBatch, static_cast<long long>(pipelined_n), pipe_s, pipe_eps);
+  bench::emit_events("service_events", "pipelined_updates", pipe_s,
+                     pipelined_n);
+
+  const double serial_s = pump_serial(client, serial_n, rng);
+  const double serial_eps = static_cast<double>(serial_n) / serial_s;
+  std::printf("serial round trips: %lld events in %.3f s -> %.0f events/s "
+              "(%.1f us/event)\n",
+              static_cast<long long>(serial_n), serial_s, serial_eps,
+              1e6 * serial_s / static_cast<double>(serial_n));
+  bench::emit_events("service_events", "serial_roundtrip", serial_s, serial_n);
+
+  // One reconfiguration epoch after the event storm, for scale.
+  const bench::Stopwatch epoch_clock;
+  client.call(ForceReconfigure{kWlan});
+  std::printf("reconfiguration epoch after the storm: %.2f ms\n",
+              1e3 * epoch_clock.seconds());
+
+  const Message stats = client.call(QueryStats{});
+  const auto& st = std::get<StatsReply>(stats);
+  std::printf("daemon counters: %llu frames, %llu events, %llu epochs\n",
+              static_cast<unsigned long long>(st.frames_rx),
+              static_cast<unsigned long long>(st.events_total),
+              static_cast<unsigned long long>(st.epochs_total));
+
+  client.close();
+  daemon.stop();
+
+  if (pipe_eps < 10000.0) {
+    std::fprintf(stderr,
+                 "FAIL: pipelined throughput %.0f events/s below the 10k "
+                 "floor\n",
+                 pipe_eps);
+    return 1;
+  }
+  std::printf("throughput floor (10k events/s): met\n");
+  return 0;
+}

@@ -112,6 +112,32 @@ inline void emit_evals(const std::string& bench,
   std::fclose(f);
 }
 
+/// Append one JSON line to BENCH_service.json (path overridable via
+/// ACORN_BENCH_JSON) for the acornd protocol benches: `events` counts
+/// request frames fully round-tripped (sent, dispatched, replied).
+inline void emit_events(const std::string& bench,
+                        const std::string& case_name, double seconds,
+                        std::int64_t events,
+                        const char* label_override = nullptr) {
+  const char* path = std::getenv("ACORN_BENCH_JSON");
+  const char* label = label_override != nullptr
+                          ? label_override
+                          : std::getenv("ACORN_BENCH_LABEL");
+  std::FILE* f = std::fopen(path != nullptr ? path : "BENCH_service.json",
+                            "a");
+  if (f == nullptr) return;
+  const double eps = seconds > 0.0 ? static_cast<double>(events) / seconds
+                                   : 0.0;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"case\":\"%s\",\"label\":\"%s\","
+               "\"events\":%lld,\"seconds\":%.6f,"
+               "\"events_per_sec\":%.1f}\n",
+               bench.c_str(), case_name.c_str(),
+               label != nullptr ? label : "current",
+               static_cast<long long>(events), seconds, eps);
+  std::fclose(f);
+}
+
 inline void banner(const std::string& experiment,
                    const std::string& paper_claim,
                    std::uint64_t seed = kDefaultSeed) {

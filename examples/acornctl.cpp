@@ -1,8 +1,23 @@
-// acornctl: auto-configure a WLAN described in a deployment file.
+// acornctl: auto-configure a WLAN described in a deployment file, or
+// drive a running acornd daemon over its wire protocol.
 //
 //   ./acornctl <deployment-file> [--tcp] [--compare] [--seed N]
 //              [--sweep N [--threads T]]
 //   ./acornctl --demo            # run a built-in sample deployment
+//
+//   ./acornctl --connect ENDPOINT CMD ...   # client mode
+//     ENDPOINT: unix:/path/to/sock | host:port
+//     CMD:
+//       register <id> <deployment-file|--demo>
+//       remove   <id>
+//       join     <id> <client>
+//       leave    <id> <client>
+//       snr      <id> <ap> <client> <loss-db>
+//       load     <id> <client> <fraction>
+//       reconfig <id>
+//       config   <id>
+//       stats
+//       shutdown
 //
 // --sweep N scores N random (association, channel) configurations of the
 // same deployment through the deterministic parallel sweep driver
@@ -20,11 +35,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "baselines/kauffmann17.hpp"
 #include "baselines/simple.hpp"
 #include "core/controller.hpp"
+#include "service/client.hpp"
 #include "sim/deployment_file.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
@@ -79,9 +96,157 @@ void print_configuration(const sim::Wlan& wlan,
               result.evaluation.total_goodput_bps / 1e6);
 }
 
+int print_reply(const service::Message& reply) {
+  using namespace service;
+  if (const auto* ok = std::get_if<OkReply>(&reply)) {
+    std::printf("ok (value %d)\n", ok->value);
+    return 0;
+  }
+  if (const auto* err = std::get_if<ErrorReply>(&reply)) {
+    std::fprintf(stderr, "error %u: %s\n", err->code, err->text.c_str());
+    return 1;
+  }
+  if (const auto* cfg = std::get_if<ConfigReply>(&reply)) {
+    std::printf("wlan %u: epoch %llu, %llu events applied, %.2f Mbps\n",
+                cfg->wlan_id,
+                static_cast<unsigned long long>(cfg->epoch),
+                static_cast<unsigned long long>(cfg->events_applied),
+                cfg->total_goodput_bps / 1e6);
+    util::TextTable t({"AP", "allocated", "operating"});
+    for (std::size_t ap = 0; ap < cfg->allocated.size(); ++ap) {
+      t.add_row({"AP" + std::to_string(ap),
+                 cfg->allocated[ap].to_string(),
+                 cfg->operating[ap].to_string()});
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::printf("clients: ");
+    for (std::size_t c = 0; c < cfg->association.size(); ++c) {
+      const int owner = cfg->association[c];
+      if (owner == net::kUnassociated) {
+        std::printf("c%zu->?? ", c);
+      } else {
+        std::printf("c%zu->AP%d ", c, owner);
+      }
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (const auto* st = std::get_if<StatsReply>(&reply)) {
+    auto u = [](std::uint64_t v) {
+      return static_cast<unsigned long long>(v);
+    };
+    std::printf(
+        "wlans %u | frames %llu events %llu errors %llu\n"
+        "epochs %llu (last %.2f ms) snapshots %llu\n"
+        "switches: channel %llu width %llu assoc %llu\n"
+        "oracle: cell evals %llu hits %llu, share hits %llu\n",
+        st->num_wlans, u(st->frames_rx), u(st->events_total),
+        u(st->protocol_errors), u(st->epochs_total), st->last_epoch_ms,
+        u(st->snapshots_written), u(st->channel_switches),
+        u(st->width_switches), u(st->assoc_changes),
+        u(st->oracle_cell_evals), u(st->oracle_cell_hits),
+        u(st->oracle_share_hits));
+    std::printf("latency us (log2 buckets):");
+    for (std::size_t i = 0; i < st->latency_us_log2.size(); ++i) {
+      if (st->latency_us_log2[i] != 0) {
+        std::printf(" [<%llu us]=%llu", 1ull << (i + 1),
+                    u(st->latency_us_log2[i]));
+      }
+    }
+    std::printf("\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unexpected reply type\n");
+  return 1;
+}
+
+int run_connect(const std::string& endpoint, int argc, char** argv,
+                int first) {
+  using namespace service;
+  if (first >= argc) {
+    std::fprintf(stderr, "--connect needs a command (see --help)\n");
+    return 2;
+  }
+  const std::string cmd = argv[first];
+  const auto arg_u32 = [&](int k) {
+    return static_cast<std::uint32_t>(
+        std::strtoul(argv[first + k], nullptr, 10));
+  };
+  const int nargs = argc - first - 1;
+  const auto need = [&](int n, const char* usage) {
+    if (nargs != n) {
+      std::fprintf(stderr, "usage: acornctl --connect ENDPOINT %s\n", usage);
+      std::exit(2);
+    }
+  };
+
+  Message request;
+  if (cmd == "register") {
+    need(2, "register <id> <deployment-file|--demo>");
+    std::string text;
+    if (std::strcmp(argv[first + 2], "--demo") == 0) {
+      text = kDemo;
+    } else {
+      std::ifstream file(argv[first + 2]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", argv[first + 2]);
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << file.rdbuf();
+      text = ss.str();
+    }
+    request = RegisterWlan{arg_u32(1), std::move(text)};
+  } else if (cmd == "remove") {
+    need(1, "remove <id>");
+    request = RemoveWlan{arg_u32(1)};
+  } else if (cmd == "join") {
+    need(2, "join <id> <client>");
+    request = ClientJoin{arg_u32(1), arg_u32(2)};
+  } else if (cmd == "leave") {
+    need(2, "leave <id> <client>");
+    request = ClientLeave{arg_u32(1), arg_u32(2)};
+  } else if (cmd == "snr") {
+    need(4, "snr <id> <ap> <client> <loss-db>");
+    request = SnrUpdate{arg_u32(1), arg_u32(2), arg_u32(3),
+                        std::atof(argv[first + 4])};
+  } else if (cmd == "load") {
+    need(3, "load <id> <client> <fraction>");
+    request = LoadUpdate{arg_u32(1), arg_u32(2), std::atof(argv[first + 3])};
+  } else if (cmd == "reconfig") {
+    need(1, "reconfig <id>");
+    request = ForceReconfigure{arg_u32(1)};
+  } else if (cmd == "config") {
+    need(1, "config <id>");
+    request = QueryConfig{arg_u32(1)};
+  } else if (cmd == "stats") {
+    need(0, "stats");
+    request = QueryStats{};
+  } else if (cmd == "shutdown") {
+    need(0, "shutdown");
+    request = Shutdown{};
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  }
+
+  try {
+    Client client = Client::connect(endpoint);
+    return print_reply(client.call(request));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      return run_connect(argv[i + 1], argc, argv, i + 2);
+    }
+  }
   bool tcp = false;
   bool compare = false;
   std::uint64_t seed = 42;

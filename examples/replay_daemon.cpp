@@ -1,0 +1,128 @@
+// replay_daemon: drive an in-process acornd through a scripted day of
+// events — register a WLAN, let clients trickle in, drift one client
+// across the floor with SNR updates, and reconfigure each "hour" —
+// printing the controller's decisions after every epoch.
+//
+//   ./replay_daemon [--state-dir DIR]
+//
+// With --state-dir the daemon persists a snapshot at every epoch; run it
+// twice with the same directory to watch the second run recover the
+// first run's final state before the replay starts.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <variant>
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+
+using namespace acorn;
+using namespace acorn::service;
+
+namespace {
+
+constexpr const char* kFloor = R"(# replay floor: 3 APs, 8 clients
+pathloss exponent 3.5
+pathloss shadowing 4
+channels 12
+seed 7
+ap 10 10
+ap 50 10
+ap 30 40
+client 12 12
+client 14  8
+client 48 14
+client 52  9
+client 28 38
+client 35 42
+client 30 25
+client 45 30
+)";
+
+constexpr std::uint32_t kWlan = 1;
+
+void show_config(Client& client) {
+  const Message reply = client.call(QueryConfig{kWlan});
+  const auto& cfg = std::get<ConfigReply>(reply);
+  std::printf("  epoch %llu: %.2f Mbps |",
+              static_cast<unsigned long long>(cfg.epoch),
+              cfg.total_goodput_bps / 1e6);
+  for (std::size_t ap = 0; ap < cfg.operating.size(); ++ap) {
+    std::printf(" AP%zu=%s", ap, cfg.operating[ap].to_string().c_str());
+  }
+  std::printf(" | assoc:");
+  for (std::size_t c = 0; c < cfg.association.size(); ++c) {
+    std::printf(" %d", cfg.association[c]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonConfig config;
+  config.unix_path = "/tmp/acorn_replay.sock";
+  config.epoch_s = 0.0;  // epochs on demand: the script paces time
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      config.state_dir = argv[++i];
+    }
+  }
+
+  Daemon daemon(config);
+  daemon.start();
+  Client client = Client::connect_unix(config.unix_path);
+
+  std::printf("replaying onto acornd at %s\n", config.unix_path.c_str());
+  if (!config.state_dir.empty()) {
+    const Message stats = client.call(QueryStats{});
+    const auto& st = std::get<StatsReply>(stats);
+    if (st.num_wlans > 0) {
+      std::printf("recovered %u WLAN(s) from %s:\n", st.num_wlans,
+                  config.state_dir.c_str());
+      show_config(client);
+      client.call(RemoveWlan{kWlan});  // start the replay fresh
+    }
+  }
+
+  std::printf("08:00 register WLAN %u (3 APs, 8 clients)\n", kWlan);
+  client.call(RegisterWlan{kWlan, kFloor});
+
+  std::printf("09:00 clients arrive\n");
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    const Message reply = client.call(ClientJoin{kWlan, c});
+    std::printf("  client %u -> AP%d\n", c,
+                std::get<OkReply>(reply).value);
+  }
+  client.call(ForceReconfigure{kWlan});
+  show_config(client);
+
+  std::printf("12:00 client 7 wanders toward AP0 (loss drifts)\n");
+  for (int step = 0; step < 4; ++step) {
+    client.call(SnrUpdate{kWlan, 0, 7, 105.0 - 10.0 * step});
+    client.call(SnrUpdate{kWlan, 1, 7, 95.0 + 8.0 * step});
+    client.call(SnrUpdate{kWlan, 2, 7, 88.0 + 10.0 * step});
+    client.call(ForceReconfigure{kWlan});
+    show_config(client);
+  }
+
+  std::printf("17:00 half the floor leaves\n");
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    client.call(ClientLeave{kWlan, c});
+  }
+  client.call(ForceReconfigure{kWlan});
+  show_config(client);
+
+  const Message stats = client.call(QueryStats{});
+  const auto& st = std::get<StatsReply>(stats);
+  std::printf("day done: %llu events, %llu epochs, %llu snapshots, "
+              "%llu channel switches\n",
+              static_cast<unsigned long long>(st.events_total),
+              static_cast<unsigned long long>(st.epochs_total),
+              static_cast<unsigned long long>(st.snapshots_written),
+              static_cast<unsigned long long>(st.channel_switches));
+
+  client.close();
+  daemon.stop();
+  return 0;
+}

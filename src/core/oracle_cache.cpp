@@ -76,8 +76,32 @@ double CachedOracle::total_bps(const net::ChannelAssignment& assignment) const {
   // Unweighted activity shares of every AP under this assignment: the
   // unweighted medium shares and (when sinr is on) both the hidden
   // interferers' activity factors and their cache-key signature bits.
-  std::vector<double> activity;
-  snap_.unweighted_shares(assignment, activity);
+  // They depend only on the per-AP channels, so the whole vector is
+  // memoized keyed by the packed channel codes.
+  CellKey share_key(static_cast<std::size_t>(n_aps));
+  for (int ap = 0; ap < n_aps; ++ap) {
+    share_key[static_cast<std::size_t>(ap)] =
+        channel_code(assignment[static_cast<std::size_t>(ap)]);
+  }
+  const std::vector<double>* activity_ptr = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = share_memo_.find(share_key);
+    if (it != share_memo_.end()) {
+      ++stats_.share_hits;
+      activity_ptr = &it->second;
+    }
+  }
+  if (activity_ptr == nullptr) {
+    std::vector<double> computed;
+    snap_.unweighted_shares(assignment, computed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.share_evals;
+    activity_ptr =
+        &share_memo_.emplace(std::move(share_key), std::move(computed))
+             .first->second;
+  }
+  const std::vector<double>& activity = *activity_ptr;
   const bool weighted = wlan_.config().weighted_contention;
   double total = 0.0;
   for (int ap = 0; ap < n_aps; ++ap) {

@@ -41,9 +41,11 @@
 namespace acorn::core {
 
 struct OracleCacheStats {
-  std::uint64_t calls = 0;       // oracle invocations (full assignments)
-  std::uint64_t cell_evals = 0;  // full per-cell computations (misses)
-  std::uint64_t cell_hits = 0;   // memoized per-cell replays
+  std::uint64_t calls = 0;        // oracle invocations (full assignments)
+  std::uint64_t cell_evals = 0;   // full per-cell computations (misses)
+  std::uint64_t cell_hits = 0;    // memoized per-cell replays
+  std::uint64_t share_evals = 0;  // unweighted share-vector scans (misses)
+  std::uint64_t share_hits = 0;   // memoized share-vector replays
 };
 
 /// Exact throughput oracle bound to one (wlan, association, traffic).
@@ -80,8 +82,15 @@ class CachedOracle {
   mac::TrafficType traffic_;
   sim::NetSnapshot snap_;  // graph + flat link state, built once
 
-  mutable std::mutex mutex_;  // guards memo_ and stats_
+  mutable std::mutex mutex_;  // guards memo_, share_memo_ and stats_
   mutable std::vector<std::unordered_map<CellKey, double, CellKeyHash>> memo_;
+  // Unweighted activity-share vectors memoized per assignment (keyed by
+  // the per-AP channel codes), replacing an O(APs^2) adjacency scan per
+  // oracle call with a hash lookup. Values are read through pointers
+  // into the map: unordered_map nodes are address-stable under rehash
+  // and a stored vector is never mutated after insertion.
+  mutable std::unordered_map<CellKey, std::vector<double>, CellKeyHash>
+      share_memo_;
   mutable OracleCacheStats stats_;
 };
 

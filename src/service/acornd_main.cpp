@@ -1,0 +1,113 @@
+// acornd — the online multi-WLAN controller daemon.
+//
+// Usage:
+//   acornd --unix /run/acorn.sock [--tcp PORT] [--state-dir DIR]
+//          [--epoch-s SECONDS] [--hysteresis FACTOR] [--log]
+//
+// Runs until SIGINT/SIGTERM or a Shutdown request arrives on the wire;
+// either way every shard drains its queue and writes a final snapshot
+// before the process exits.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/daemon.hpp"
+
+namespace {
+
+acorn::service::Daemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--unix PATH] [--tcp PORT] [--state-dir DIR]\n"
+               "          [--epoch-s SECONDS] [--hysteresis FACTOR] [--log]\n"
+               "\n"
+               "At least one of --unix / --tcp is required.\n"
+               "  --unix PATH        listen on a Unix domain socket\n"
+               "  --tcp PORT         listen on 127.0.0.1:PORT (0 = ephemeral,\n"
+               "                     chosen port is printed on startup)\n"
+               "  --state-dir DIR    persist per-WLAN snapshots and recover\n"
+               "                     them on startup\n"
+               "  --epoch-s SECONDS  reconfiguration period (default 1.0;\n"
+               "                     0 = only on force-reconfigure)\n"
+               "  --hysteresis F     width-switch advantage factor "
+               "(default 1.05)\n"
+               "  --log              per-epoch and periodic stats on stderr\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  acorn::service::DaemonConfig config;
+  config.log = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      config.unix_path = value();
+    } else if (arg == "--tcp") {
+      config.tcp = true;
+      config.tcp_port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--state-dir") {
+      config.state_dir = value();
+    } else if (arg == "--epoch-s") {
+      config.epoch_s = std::atof(value());
+    } else if (arg == "--hysteresis") {
+      config.width_hysteresis = std::atof(value());
+    } else if (arg == "--log") {
+      config.log = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!config.tcp && config.unix_path.empty()) return usage(argv[0]);
+
+  acorn::service::Daemon daemon(config);
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acornd: startup failed: %s\n", e.what());
+    return 1;
+  }
+
+  g_daemon = &daemon;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  if (config.tcp) {
+    std::fprintf(stderr, "acornd: listening on 127.0.0.1:%d\n",
+                 daemon.tcp_port());
+  }
+  if (!config.unix_path.empty()) {
+    std::fprintf(stderr, "acornd: listening on %s\n",
+                 config.unix_path.c_str());
+  }
+
+  daemon.wait();
+  g_daemon = nullptr;
+  return 0;
+}

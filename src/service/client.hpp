@@ -1,0 +1,46 @@
+// Blocking wire-protocol client for acornd, shared by `acornctl
+// --connect`, the replay demo, the service tests and the protocol
+// bench. Endpoints are written `unix:/path/to/sock` or `host:port`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/wire.hpp"
+
+namespace acorn::service {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, std::uint16_t port);
+  /// Parse and connect to `unix:/path` or `host:port`. Throws
+  /// std::system_error / std::invalid_argument on failure.
+  static Client connect(const std::string& endpoint);
+
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request frame; returns its sequence number.
+  std::uint32_t send(const Message& msg);
+  /// Block for the next complete frame. Throws WireError on garbage and
+  /// std::runtime_error when the daemon closes the connection.
+  Frame recv();
+  /// send() + recv() until the reply matching the request arrives.
+  Message call(const Message& msg);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint32_t next_seq_ = 1;
+  FrameBuffer buf_;
+};
+
+}  // namespace acorn::service

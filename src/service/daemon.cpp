@@ -1,0 +1,477 @@
+#include "service/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace acorn::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (running_.load()) return;
+
+  if (!config_.state_dir.empty()) {
+    ::mkdir(config_.state_dir.c_str(), 0755);  // EEXIST is fine
+    recover_shards();
+  }
+
+  if (::pipe(wake_fds_) != 0) throw_errno("pipe");
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+
+  if (config_.tcp) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) throw_errno("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.tcp_port);
+    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(tcp_listen_fd_, 64) != 0) {
+      throw_errno("bind/listen(tcp)");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    tcp_port_ = static_cast<int>(ntohs(addr.sin_port));
+    set_nonblocking(tcp_listen_fd_);
+  }
+
+  if (!config_.unix_path.empty()) {
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_listen_fd_ < 0) throw_errno("socket(unix)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a crash
+    if (::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(unix_listen_fd_, 64) != 0) {
+      throw_errno("bind/listen(unix)");
+    }
+    set_nonblocking(unix_listen_fd_);
+  }
+
+  running_.store(true);
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void Daemon::request_stop() {
+  if (running_.exchange(false)) {
+    const ssize_t ignored [[maybe_unused]] = ::write(wake_fds_[1], "x", 1);
+  }
+}
+
+void Daemon::stop() {
+  request_stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (auto& [id, shard] : shards_) shard->stop();
+    shards_.clear();
+  }
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
+  if (tcp_listen_fd_ >= 0) ::close(std::exchange(tcp_listen_fd_, -1));
+  if (unix_listen_fd_ >= 0) {
+    ::close(std::exchange(unix_listen_fd_, -1));
+    ::unlink(config_.unix_path.c_str());
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(std::exchange(fd, -1));
+  }
+}
+
+void Daemon::wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+bool Daemon::running() const { return running_.load(); }
+
+void Daemon::recover_shards() {
+  for (WlanSnapshot& snap : load_snapshots(config_.state_dir)) {
+    const std::uint32_t id = snap.wlan_id;
+    try {
+      ShardOptions opts{config_.epoch_s, config_.width_hysteresis,
+                        config_.state_dir, config_.log};
+      auto shard = std::make_unique<WlanShard>(
+          opts, std::move(snap),
+          [this](std::uint64_t conn_id,
+                 std::chrono::steady_clock::time_point t0,
+                 std::vector<std::uint8_t> frame) {
+            post_completion(Completion{conn_id, t0, std::move(frame)});
+          });
+      shard->start();
+      const std::lock_guard<std::mutex> lock(shards_mutex_);
+      shards_.emplace(id, std::move(shard));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "acornd: cannot recover wlan %u: %s\n", id,
+                   e.what());
+    }
+  }
+}
+
+void Daemon::post_completion(Completion c) {
+  {
+    const std::lock_guard<std::mutex> lock(comp_mutex_);
+    completions_.push_back(std::move(c));
+  }
+  // A full pipe means a wake byte is already pending; EAGAIN is fine.
+  const ssize_t ignored [[maybe_unused]] = ::write(wake_fds_[1], "x", 1);
+}
+
+void Daemon::loop() {
+  using clock = std::chrono::steady_clock;
+  auto last_log = clock::now();
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = listener)
+
+  while (running_.load()) {
+    pfds.clear();
+    pfd_conn.clear();
+    const auto add = [&](int fd, short events, std::uint64_t conn_id) {
+      pfds.push_back(pollfd{fd, events, 0});
+      pfd_conn.push_back(conn_id);
+    };
+    add(wake_fds_[0], POLLIN, 0);
+    if (tcp_listen_fd_ >= 0) add(tcp_listen_fd_, POLLIN, 0);
+    if (unix_listen_fd_ >= 0) add(unix_listen_fd_, POLLIN, 0);
+    bool out_pending = false;
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.out_pos < conn.out.size()) {
+        events |= POLLOUT;
+        out_pending = true;
+      }
+      add(conn.fd, events, id);
+    }
+
+    if (shutdown_requested_ && !out_pending) break;
+    const int timeout_ms =
+        shutdown_requested_ ? 20 : (config_.log ? 1000 : -1);
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) break;
+
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      const short revents = pfds[i].revents;
+      if (revents == 0) continue;
+      const int fd = pfds[i].fd;
+      if (fd == wake_fds_[0]) {
+        std::uint8_t drain[256];
+        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        drain_completions();
+      } else if (fd == tcp_listen_fd_ || fd == unix_listen_fd_) {
+        accept_all(fd);
+      } else {
+        const std::uint64_t conn_id = pfd_conn[i];
+        const auto it = conns_.find(conn_id);
+        if (it == conns_.end()) continue;
+        if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (revents & POLLIN) == 0) {
+          close_conn(conn_id);
+          continue;
+        }
+        if ((revents & POLLOUT) != 0) flush(it->second);
+        if ((revents & POLLIN) != 0) handle_readable(conn_id);
+      }
+    }
+
+    if (config_.log) {
+      const auto now = clock::now();
+      if (now - last_log >= std::chrono::seconds(10)) {
+        last_log = now;
+        const StatsReply s = stats();
+        std::fprintf(stderr,
+                     "acornd: %u wlans, %llu frames, %llu events, "
+                     "%llu epochs, %llu snapshots, last epoch %.2f ms\n",
+                     s.num_wlans,
+                     static_cast<unsigned long long>(s.frames_rx),
+                     static_cast<unsigned long long>(s.events_total),
+                     static_cast<unsigned long long>(s.epochs_total),
+                     static_cast<unsigned long long>(s.snapshots_written),
+                     s.last_epoch_ms);
+      }
+    }
+  }
+  running_.store(false);
+}
+
+void Daemon::accept_all(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conns_.emplace(next_conn_id_, Conn{fd, {}, {}, 0});
+    ++next_conn_id_;
+  }
+}
+
+void Daemon::handle_readable(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  std::uint8_t buf[16384];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(conn_id);  // EOF or hard error
+    return;
+  }
+  while (true) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<Frame> frame;
+    try {
+      frame = conn.in.next();
+    } catch (const WireError& e) {
+      // The stream is desynchronized: answer with an error (best
+      // effort) and drop the connection.
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      reply_now(conn_id, 0,
+                ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                           e.what()},
+                t0);
+      if (auto it2 = conns_.find(conn_id); it2 != conns_.end()) {
+        flush(it2->second);
+      }
+      close_conn(conn_id);
+      return;
+    }
+    if (!frame) return;
+    metrics_.frames_rx.fetch_add(1, std::memory_order_relaxed);
+    dispatch(conn_id, std::move(*frame), t0);
+    if (conns_.find(conn_id) == conns_.end()) return;  // dispatch closed it
+  }
+}
+
+void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
+                      std::chrono::steady_clock::time_point t0) {
+  metrics_.events_total.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t seq = frame.seq;
+
+  if (auto* reg = std::get_if<RegisterWlan>(&frame.msg)) {
+    std::unique_ptr<WlanShard> shard;
+    {
+      const std::lock_guard<std::mutex> lock(shards_mutex_);
+      if (shards_.count(reg->wlan_id) != 0) {
+        reply_now(conn_id, seq,
+                  ErrorReply{static_cast<std::uint16_t>(
+                                 ErrorCode::kAlreadyRegistered),
+                             "wlan id already registered"},
+                  t0);
+        return;
+      }
+    }
+    try {
+      WlanSnapshot fresh;
+      fresh.wlan_id = reg->wlan_id;
+      fresh.deployment = reg->deployment;
+      ShardOptions opts{config_.epoch_s, config_.width_hysteresis,
+                        config_.state_dir, config_.log};
+      shard = std::make_unique<WlanShard>(
+          opts, std::move(fresh),
+          [this](std::uint64_t cid, std::chrono::steady_clock::time_point t,
+                 std::vector<std::uint8_t> bytes) {
+            post_completion(Completion{cid, t, std::move(bytes)});
+          });
+    } catch (const std::exception& e) {
+      reply_now(conn_id, seq,
+                ErrorReply{static_cast<std::uint16_t>(
+                               ErrorCode::kBadDeployment),
+                           e.what()},
+                t0);
+      return;
+    }
+    shard->start();
+    {
+      const std::lock_guard<std::mutex> lock(shards_mutex_);
+      shards_.emplace(reg->wlan_id, std::move(shard));
+    }
+    reply_now(conn_id, seq, OkReply{static_cast<std::int32_t>(reg->wlan_id)},
+              t0);
+    return;
+  }
+
+  if (auto* rem = std::get_if<RemoveWlan>(&frame.msg)) {
+    std::unique_ptr<WlanShard> shard;
+    {
+      const std::lock_guard<std::mutex> lock(shards_mutex_);
+      const auto it = shards_.find(rem->wlan_id);
+      if (it != shards_.end()) {
+        shard = std::move(it->second);
+        shards_.erase(it);
+      }
+    }
+    if (!shard) {
+      reply_now(conn_id, seq,
+                ErrorReply{static_cast<std::uint16_t>(ErrorCode::kUnknownWlan),
+                           "unknown wlan id"},
+                t0);
+      return;
+    }
+    shard->stop();
+    if (!config_.state_dir.empty()) {
+      remove_snapshot(config_.state_dir, rem->wlan_id);
+    }
+    reply_now(conn_id, seq, OkReply{}, t0);
+    return;
+  }
+
+  if (std::get_if<QueryStats>(&frame.msg) != nullptr) {
+    reply_now(conn_id, seq, stats(), t0);
+    return;
+  }
+
+  if (std::get_if<Shutdown>(&frame.msg) != nullptr) {
+    reply_now(conn_id, seq, OkReply{}, t0);
+    shutdown_requested_ = true;
+    return;
+  }
+
+  // Everything else is WLAN-scoped: route to the shard.
+  std::uint32_t wlan_id = 0;
+  std::visit(
+      [&wlan_id](const auto& m) {
+        if constexpr (requires { m.wlan_id; }) wlan_id = m.wlan_id;
+      },
+      frame.msg);
+  WlanShard* shard = find_shard(wlan_id);
+  if (shard == nullptr) {
+    reply_now(conn_id, seq,
+              ErrorReply{static_cast<std::uint16_t>(ErrorCode::kUnknownWlan),
+                         "unknown wlan id"},
+              t0);
+    return;
+  }
+  shard->submit(WlanShard::Job{conn_id, seq, t0, std::move(frame.msg)});
+}
+
+WlanShard* Daemon::find_shard(std::uint32_t wlan_id) {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const auto it = shards_.find(wlan_id);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+void Daemon::reply_now(std::uint64_t conn_id, std::uint32_t seq, Message msg,
+                       std::chrono::steady_clock::time_point t0) {
+  metrics_.request_latency.record(std::chrono::steady_clock::now() - t0);
+  enqueue_bytes(conn_id, encode_frame(seq, msg));
+}
+
+void Daemon::enqueue_bytes(std::uint64_t conn_id,
+                           std::vector<std::uint8_t> bytes) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // client went away; drop the reply
+  Conn& conn = it->second;
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  }
+  conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  flush(conn);
+}
+
+void Daemon::flush(Conn& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                              conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN (poll will retry) or a hard error (POLLIN path closes)
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  }
+}
+
+void Daemon::close_conn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+void Daemon::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    const std::lock_guard<std::mutex> lock(comp_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    metrics_.request_latency.record(std::chrono::steady_clock::now() - c.t0);
+    enqueue_bytes(c.conn_id, std::move(c.frame));
+  }
+}
+
+StatsReply Daemon::stats() const {
+  StatsReply s;
+  s.frames_rx = metrics_.frames_rx.load(std::memory_order_relaxed);
+  s.events_total = metrics_.events_total.load(std::memory_order_relaxed);
+  s.protocol_errors =
+      metrics_.protocol_errors.load(std::memory_order_relaxed);
+  s.latency_us_log2 = metrics_.request_latency.snapshot();
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  s.num_wlans = static_cast<std::uint32_t>(shards_.size());
+  for (const auto& [id, shard] : shards_) {
+    const ShardCounters c = shard->counters();
+    s.epochs_total += c.epochs;
+    s.snapshots_written += c.snapshots_written;
+    s.channel_switches += c.channel_switches;
+    s.width_switches += c.width_switches;
+    s.assoc_changes += c.assoc_changes;
+    s.oracle_cell_evals += c.oracle_cell_evals;
+    s.oracle_cell_hits += c.oracle_cell_hits;
+    s.oracle_share_hits += c.oracle_share_hits;
+    if (c.last_epoch_ms > 0.0) s.last_epoch_ms = c.last_epoch_ms;
+  }
+  return s;
+}
+
+}  // namespace acorn::service

@@ -1,0 +1,132 @@
+// acornd: the long-running multi-WLAN controller daemon.
+//
+// One nonblocking poll(2) event loop accepts TCP (127.0.0.1) and Unix
+// domain connections, reassembles length-prefixed wire frames
+// (service/wire.hpp) and dispatches them:
+//
+//   * registry operations (register/remove WLAN), stats queries and
+//     shutdown are handled inline on the loop thread;
+//   * WLAN-scoped events (join/leave/SNR/load/reconfigure/config) are
+//     forwarded to that WLAN's shard worker (service/shard.hpp), whose
+//     reply comes back through a completion queue + wake pipe and is
+//     written out by the loop.
+//
+// A framing error on a connection (garbage length prefix, unknown type,
+// truncated body) closes that connection: once the stream is
+// desynchronized no later frame boundary can be trusted.
+//
+// On startup with a state directory, every `wlan_*.snap` snapshot is
+// recovered into a live shard before the listeners open, so clients see
+// the pre-crash state from the first accepted connection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "service/shard.hpp"
+#include "service/wire.hpp"
+
+namespace acorn::service {
+
+struct DaemonConfig {
+  /// Snapshot directory (created if missing); empty = no persistence.
+  std::string state_dir;
+  /// Bind a TCP listener on 127.0.0.1:`tcp_port` (0 = ephemeral port,
+  /// readable via Daemon::tcp_port()). Disabled when `tcp` is false.
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  /// Bind a Unix-domain listener at this path; empty disables it.
+  std::string unix_path;
+  /// Shard reconfiguration period (seconds); <= 0 = only on demand.
+  double epoch_s = 1.0;
+  double width_hysteresis = 1.05;
+  /// Emit per-epoch and periodic stats log lines to stderr.
+  bool log = false;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Recover snapshots, bind listeners, spawn the event loop. Throws
+  /// std::system_error when a listener cannot be bound.
+  void start();
+  /// Graceful shutdown: stop the loop, drain shards (each writes a
+  /// final snapshot), close sockets. Idempotent.
+  void stop();
+  /// Async-signal-safe: flag the event loop to exit (atomic store plus
+  /// one wake-pipe write). Call stop() afterwards — or let the
+  /// destructor — to drain shards and release resources.
+  void request_stop();
+  /// Block until a Shutdown request (or stop()) terminates the loop.
+  void wait();
+
+  bool running() const;
+  /// Actual TCP port (after an ephemeral bind), 0 when TCP is off.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  /// Aggregated daemon + shard statistics (same data as a StatsReply).
+  StatsReply stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameBuffer in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::chrono::steady_clock::time_point t0;
+    std::vector<std::uint8_t> frame;
+  };
+
+  void loop();
+  void accept_all(int listen_fd);
+  void handle_readable(std::uint64_t conn_id);
+  void dispatch(std::uint64_t conn_id, Frame frame,
+                std::chrono::steady_clock::time_point t0);
+  void reply_now(std::uint64_t conn_id, std::uint32_t seq, Message msg,
+                 std::chrono::steady_clock::time_point t0);
+  void enqueue_bytes(std::uint64_t conn_id, std::vector<std::uint8_t> bytes);
+  void flush(Conn& conn);
+  void close_conn(std::uint64_t conn_id);
+  void drain_completions();
+  void post_completion(Completion c);
+  void recover_shards();
+  WlanShard* find_shard(std::uint32_t wlan_id);
+
+  DaemonConfig config_;
+  ServiceMetrics metrics_;
+
+  int tcp_listen_fd_ = -1;
+  int unix_listen_fd_ = -1;
+  int tcp_port_ = 0;
+  int wake_fds_[2] = {-1, -1};
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  bool shutdown_requested_ = false;  // loop thread only
+
+  std::map<std::uint64_t, Conn> conns_;  // loop thread only
+  std::uint64_t next_conn_id_ = 1;       // loop thread only
+
+  mutable std::mutex shards_mutex_;
+  std::map<std::uint32_t, std::unique_ptr<WlanShard>> shards_;
+
+  std::mutex comp_mutex_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace acorn::service

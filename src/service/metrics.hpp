@@ -1,0 +1,59 @@
+// Built-in observability for acornd: a lock-free log2 latency histogram
+// and the daemon-wide event counters. Everything is std::atomic with
+// relaxed ordering — the counters are statistics, not synchronization,
+// and the event loop must never stall on them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace acorn::service {
+
+/// Log2-bucketed latency histogram: bucket i counts samples whose
+/// microsecond value v satisfies 2^i <= v+1 < 2^(i+1) (bucket 0 holds
+/// sub-microsecond completions). 32 buckets cover ~1 hour.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::chrono::steady_clock::duration d) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d)
+                        .count();
+    record_us(us < 0 ? 0 : static_cast<std::uint64_t>(us));
+  }
+
+  void record_us(std::uint64_t us) {
+    const int bucket = 63 - std::countl_zero(us | 1);
+    buckets_[static_cast<std::size_t>(
+                 bucket >= static_cast<int>(kBuckets)
+                     ? static_cast<int>(kBuckets) - 1
+                     : bucket)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<std::uint64_t> snapshot() const {
+    std::vector<std::uint64_t> out(kBuckets);
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Daemon-wide counters; shard-local counters (epochs, switches, oracle
+/// hits) live in the shards and are aggregated at stats time.
+struct ServiceMetrics {
+  std::atomic<std::uint64_t> frames_rx{0};
+  std::atomic<std::uint64_t> events_total{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  LatencyHistogram request_latency;
+};
+
+}  // namespace acorn::service

@@ -1,0 +1,393 @@
+#include "service/shard.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "core/width_switch.hpp"
+
+namespace acorn::service {
+
+namespace {
+
+sim::DeploymentSpec parse_spec(const std::string& text) {
+  return sim::parse_deployment(text);
+}
+
+core::AcornConfig controller_config(const sim::DeploymentSpec& spec) {
+  core::AcornConfig cfg;
+  cfg.plan = net::ChannelPlan(spec.num_channels);
+  return cfg;
+}
+
+}  // namespace
+
+WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
+                     CompletionFn post)
+    : options_(std::move(options)),
+      wlan_id_(state.wlan_id),
+      deployment_text_(state.deployment),
+      spec_(parse_spec(state.deployment)),
+      wlan_(spec_.build()),
+      controller_(controller_config(spec_)),
+      post_(std::move(post)) {
+  const int n_aps = wlan_.topology().num_aps();
+  const int n_clients = wlan_.topology().num_clients();
+  if (n_aps == 0) throw std::invalid_argument("deployment has no APs");
+
+  if (state.association.empty()) {
+    assoc_.assign(static_cast<std::size_t>(n_clients), net::kUnassociated);
+  } else {
+    if (static_cast<int>(state.association.size()) != n_clients) {
+      throw std::invalid_argument("snapshot association size mismatch");
+    }
+    assoc_ = std::move(state.association);
+  }
+  if (state.allocated.empty()) {
+    // Fresh WLAN: the deterministic equivalent of "whatever the APs
+    // booted with" — a random assignment seeded from the deployment.
+    util::Rng rng(spec_.seed ^ (0x5eedull * (wlan_id_ + 1)));
+    allocated_ =
+        controller_.allocation_module().random_assignment(n_aps, rng);
+  } else {
+    if (static_cast<int>(state.allocated.size()) != n_aps) {
+      throw std::invalid_argument("snapshot assignment size mismatch");
+    }
+    allocated_ = std::move(state.allocated);
+  }
+  operating_ = state.operating.empty() ? allocated_
+                                       : std::move(state.operating);
+  if (operating_.size() != allocated_.size()) {
+    throw std::invalid_argument("snapshot operating size mismatch");
+  }
+  for (const LossOverride& o : state.loss_overrides) {
+    if (static_cast<int>(o.ap) >= n_aps ||
+        static_cast<int>(o.client) >= n_clients) {
+      throw std::invalid_argument("snapshot loss override out of range");
+    }
+    wlan_.budget().set_ap_client_loss_db(static_cast<int>(o.ap),
+                                         static_cast<int>(o.client),
+                                         o.loss_db);
+    loss_overrides_[{o.ap, o.client}] = o.loss_db;
+  }
+  for (const LoadHint& l : state.loads) loads_[l.client] = l.load;
+  epoch_ = state.epoch;
+  events_applied_ = state.events_applied;
+}
+
+WlanShard::~WlanShard() { stop(); }
+
+void WlanShard::start() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  next_epoch_ = options_.epoch_s > 0.0
+                    ? std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(options_.epoch_s))
+                    : std::chrono::steady_clock::time_point::max();
+  thread_ = std::thread([this] { run(); });
+}
+
+void WlanShard::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!running_ && !thread_.joinable()) return;
+    running_ = false;
+  }
+  queue_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_state_snapshot();
+}
+
+void WlanShard::submit(Job job) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+void WlanShard::run() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (true) {
+    if (!jobs_.empty()) {
+      Job job = std::move(jobs_.front());
+      jobs_.pop_front();
+      lock.unlock();
+      process(job);
+      lock.lock();
+      continue;
+    }
+    if (!running_) break;
+    if (queue_cv_.wait_until(lock, next_epoch_) == std::cv_status::timeout &&
+        running_ && jobs_.empty()) {
+      lock.unlock();
+      run_epoch();
+      lock.lock();
+    }
+  }
+}
+
+void WlanShard::process(Job& job) {
+  Message reply = apply(job.msg);
+  post_(job.conn_id, job.t0, encode_frame(job.seq, std::move(reply)));
+}
+
+Message WlanShard::apply(const Message& msg) {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const int n_aps = wlan_.topology().num_aps();
+  const int n_clients = wlan_.topology().num_clients();
+
+  if (const auto* join = std::get_if<ClientJoin>(&msg)) {
+    if (static_cast<int>(join->client) >= n_clients) {
+      return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                        "client id out of range"};
+    }
+    const int c = static_cast<int>(join->client);
+    const int before = assoc_[static_cast<std::size_t>(c)];
+    // Re-running Algorithm 1 for an already-associated client is a
+    // re-association probe: detach first so the utility terms see the
+    // network without it (exactly the paper's trial association).
+    assoc_[static_cast<std::size_t>(c)] = net::kUnassociated;
+    const std::optional<int> ap =
+        controller_.associate_client(wlan_, assoc_, operating_, c);
+    ++events_applied_;
+    ++counters_.events;
+    if (assoc_[static_cast<std::size_t>(c)] != before) {
+      ++counters_.assoc_changes;
+      invalidate_oracle();
+    }
+    return OkReply{ap.value_or(net::kUnassociated)};
+  }
+  if (const auto* leave = std::get_if<ClientLeave>(&msg)) {
+    if (static_cast<int>(leave->client) >= n_clients) {
+      return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                        "client id out of range"};
+    }
+    const int c = static_cast<int>(leave->client);
+    if (assoc_[static_cast<std::size_t>(c)] != net::kUnassociated) {
+      assoc_[static_cast<std::size_t>(c)] = net::kUnassociated;
+      ++counters_.assoc_changes;
+      invalidate_oracle();
+    }
+    ++events_applied_;
+    ++counters_.events;
+    return OkReply{net::kUnassociated};
+  }
+  if (const auto* snr = std::get_if<SnrUpdate>(&msg)) {
+    if (static_cast<int>(snr->ap) >= n_aps ||
+        static_cast<int>(snr->client) >= n_clients) {
+      return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                        "ap/client id out of range"};
+    }
+    wlan_.budget().set_ap_client_loss_db(static_cast<int>(snr->ap),
+                                         static_cast<int>(snr->client),
+                                         snr->loss_db);
+    loss_overrides_[{snr->ap, snr->client}] = snr->loss_db;
+    dirty_clients_.insert(static_cast<int>(snr->client));
+    invalidate_oracle();
+    ++events_applied_;
+    ++counters_.events;
+    return OkReply{};
+  }
+  if (const auto* load = std::get_if<LoadUpdate>(&msg)) {
+    if (static_cast<int>(load->client) >= n_clients) {
+      return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                        "client id out of range"};
+    }
+    loads_[load->client] = load->load;
+    ++events_applied_;
+    ++counters_.events;
+    return OkReply{};
+  }
+  if (std::get_if<ForceReconfigure>(&msg) != nullptr) {
+    ++events_applied_;
+    ++counters_.events;
+    const std::uint64_t before = counters_.channel_switches;
+    run_epoch_locked();
+    return OkReply{
+        static_cast<std::int32_t>(counters_.channel_switches - before)};
+  }
+  if (std::get_if<QueryConfig>(&msg) != nullptr) {
+    ++counters_.events;
+    ensure_oracle();
+    ConfigReply reply;
+    reply.wlan_id = wlan_id_;
+    reply.epoch = epoch_;
+    reply.events_applied = events_applied_;
+    reply.total_goodput_bps =
+        oracle_->snapshot().evaluate(operating_).total_goodput_bps;
+    reply.association = assoc_;
+    reply.allocated = allocated_;
+    reply.operating = operating_;
+    return reply;
+  }
+  return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                    "message not routable to a shard"};
+}
+
+void WlanShard::run_epoch() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  run_epoch_locked();
+}
+
+void WlanShard::run_epoch_locked() {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Incremental re-association: re-probe (detach + Algorithm 1 trial
+  // association) only the clients whose links changed since the last
+  // epoch. A partial event stream costs a handful of probes here, never
+  // a full re-association sweep.
+  bool assoc_changed = false;
+  for (const int c : dirty_clients_) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    const int before = assoc_[ci];
+    if (before == net::kUnassociated) continue;  // joins probe themselves
+    assoc_[ci] = net::kUnassociated;
+    controller_.associate_client(wlan_, assoc_, operating_, c);
+    if (assoc_[ci] != before) {
+      ++counters_.assoc_changes;
+      assoc_changed = true;
+    }
+  }
+  dirty_clients_.clear();
+  if (assoc_changed) invalidate_oracle();
+  ensure_oracle();
+
+  // Algorithm 2 with the incremental oracle; its epsilon (stop below 5%
+  // aggregate improvement) is the channel-level hysteresis.
+  const core::AllocationResult result =
+      controller_.allocation_module().allocate(
+          wlan_, assoc_, allocated_,
+          [this](const net::Association&, const net::ChannelAssignment& f) {
+            return oracle_->total_bps(f);
+          });
+  counters_.channel_switches += static_cast<std::uint64_t>(result.switches);
+  allocated_ = result.assignment;
+
+  // Opportunistic width fallback (core/width_switch) with hysteresis:
+  // a bonded AP narrows to its primary 20 MHz half — or widens back —
+  // only when the alternative wins by options_.width_hysteresis.
+  for (std::size_t ap = 0; ap < allocated_.size(); ++ap) {
+    const net::Channel& base = allocated_[ap];
+    net::Channel next = base;
+    if (base.is_bonded()) {
+      const core::WidthDecision d = core::decide_width(
+          wlan_, static_cast<int>(ap), clients_of_locked(static_cast<int>(ap)));
+      const bool was_narrow = !operating_[ap].is_bonded() &&
+                              operating_[ap].primary() == base.primary();
+      const bool narrow =
+          was_narrow ? !(d.cell_bps_40 > options_.width_hysteresis *
+                                             d.cell_bps_20)
+                     : d.cell_bps_20 > options_.width_hysteresis *
+                                           d.cell_bps_40;
+      if (narrow) next = net::Channel::basic(base.primary());
+      if (narrow != was_narrow) ++counters_.width_switches;
+    }
+    operating_[ap] = next;
+  }
+
+  ++epoch_;
+  ++counters_.epochs;
+  write_snapshot_locked();
+  counters_.last_epoch_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  if (options_.epoch_s > 0.0) {
+    next_epoch_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(options_.epoch_s));
+  }
+  if (options_.log_epochs) {
+    const core::OracleCacheStats os = oracle_->stats();
+    std::fprintf(stderr,
+                 "acornd: wlan %u epoch %llu: %d switches, %.2f ms, "
+                 "oracle %llu evals / %llu hits\n",
+                 wlan_id_, static_cast<unsigned long long>(epoch_),
+                 result.switches, counters_.last_epoch_ms,
+                 static_cast<unsigned long long>(os.cell_evals),
+                 static_cast<unsigned long long>(os.cell_hits));
+  }
+}
+
+void WlanShard::ensure_oracle() {
+  if (!oracle_) {
+    oracle_ = std::make_shared<core::CachedOracle>(wlan_, assoc_);
+  }
+}
+
+void WlanShard::invalidate_oracle() {
+  if (oracle_) {
+    // Bank the retired oracle's counters so stats survive the rebuild.
+    const core::OracleCacheStats s = oracle_->stats();
+    counters_.oracle_cell_evals += s.cell_evals;
+    counters_.oracle_cell_hits += s.cell_hits;
+    counters_.oracle_share_hits += s.share_hits;
+    oracle_.reset();
+  }
+}
+
+WlanSnapshot WlanShard::build_snapshot_locked() const {
+  WlanSnapshot snap;
+  snap.wlan_id = wlan_id_;
+  snap.epoch = epoch_;
+  snap.events_applied = events_applied_;
+  snap.deployment = deployment_text_;
+  snap.association = assoc_;
+  snap.allocated = allocated_;
+  snap.operating = operating_;
+  snap.loss_overrides.reserve(loss_overrides_.size());
+  for (const auto& [key, loss] : loss_overrides_) {
+    snap.loss_overrides.push_back(LossOverride{key.first, key.second, loss});
+  }
+  snap.loads.reserve(loads_.size());
+  for (const auto& [client, load] : loads_) {
+    snap.loads.push_back(LoadHint{client, load});
+  }
+  return snap;
+}
+
+void WlanShard::write_snapshot_locked() {
+  if (options_.state_dir.empty()) return;
+  if (write_snapshot(options_.state_dir, build_snapshot_locked())) {
+    ++counters_.snapshots_written;
+  }
+}
+
+void WlanShard::write_state_snapshot() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  write_snapshot_locked();
+}
+
+std::vector<int> WlanShard::clients_of_locked(int ap) const {
+  std::vector<int> out;
+  for (std::size_t c = 0; c < assoc_.size(); ++c) {
+    if (assoc_[c] == ap) out.push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+ShardCounters WlanShard::counters() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  ShardCounters out = counters_;
+  if (oracle_) {
+    const core::OracleCacheStats s = oracle_->stats();
+    out.oracle_cell_evals += s.cell_evals;
+    out.oracle_cell_hits += s.cell_hits;
+    out.oracle_share_hits += s.share_hits;
+  }
+  return out;
+}
+
+WlanSnapshot WlanShard::state_snapshot() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return build_snapshot_locked();
+}
+
+}  // namespace acorn::service

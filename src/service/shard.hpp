@@ -1,0 +1,160 @@
+// Per-WLAN shard worker of acornd.
+//
+// Each registered WLAN gets one shard: a thread owning the Wlan model,
+// the live association and channel assignment, and an incremental
+// CachedOracle. Protocol events (join/leave/SNR/load) are applied
+// immediately — Algorithm 1 associates a joining client on the spot —
+// while the expensive work (Algorithm 2 channel re-allocation plus the
+// opportunistic width fallback of core/width_switch) runs in periodic
+// *reconfiguration epochs*, so a burst of events costs one epoch, not
+// one full recompute per event. An epoch also re-probes — through the
+// same Algorithm 1 trial association — exactly those clients whose
+// links changed since the previous epoch (SNR updates mark them dirty),
+// so mobility drives incremental re-association rather than a full
+// re-association sweep.
+//
+// The CachedOracle/NetSnapshot pair is reused across epochs and config
+// queries for as long as the association and link budget are unchanged;
+// any state-changing event invalidates it (the snapshot's precomputed
+// SNRs would be stale) and the next epoch rebuilds it once.
+//
+// Epoch hysteresis: Algorithm 2 already stops below the paper's 5%
+// aggregate-improvement epsilon; the width fallback adds its own — a
+// bonded AP switches its operating width only when the alternative wins
+// by `width_hysteresis` (default 1.05), so a client hovering at the
+// 20/40 crossover cannot make the AP flap every epoch.
+//
+// Durability: when a state directory is configured, the shard writes a
+// versioned snapshot (write-temp + fsync + atomic rename) at the end of
+// every epoch and once more on clean shutdown; see snapshot.hpp.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/oracle_cache.hpp"
+#include "service/snapshot.hpp"
+#include "service/wire.hpp"
+#include "sim/deployment_file.hpp"
+
+namespace acorn::service {
+
+struct ShardOptions {
+  /// Reconfiguration period; <= 0 disables the timer (epochs then run
+  /// only on ForceReconfigure and shutdown).
+  double epoch_s = 1.0;
+  /// Required advantage factor before the width fallback switches a
+  /// bonded AP's operating width.
+  double width_hysteresis = 1.05;
+  /// Snapshot directory; empty disables persistence.
+  std::string state_dir;
+  /// Emit a one-line epoch summary to stderr.
+  bool log_epochs = false;
+};
+
+/// Shard-local counters, aggregated into the daemon's StatsReply.
+struct ShardCounters {
+  std::uint64_t events = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t channel_switches = 0;
+  std::uint64_t width_switches = 0;
+  std::uint64_t assoc_changes = 0;
+  std::uint64_t oracle_cell_evals = 0;
+  std::uint64_t oracle_cell_hits = 0;
+  std::uint64_t oracle_share_hits = 0;
+  double last_epoch_ms = 0.0;
+};
+
+class WlanShard {
+ public:
+  struct Job {
+    std::uint64_t conn_id = 0;
+    std::uint32_t seq = 0;
+    std::chrono::steady_clock::time_point t0;
+    Message msg;
+  };
+  /// Invoked (from the shard thread) with the encoded reply frame.
+  using CompletionFn = std::function<void(
+      std::uint64_t conn_id, std::chrono::steady_clock::time_point t0,
+      std::vector<std::uint8_t> reply_frame)>;
+
+  /// Build from registration or recovery state (`state.association`
+  /// empty means a fresh WLAN: everyone unassociated, channels seeded
+  /// deterministically from the deployment's RNG seed). Throws
+  /// std::invalid_argument on a malformed deployment.
+  WlanShard(ShardOptions options, WlanSnapshot state, CompletionFn post);
+  ~WlanShard();
+
+  WlanShard(const WlanShard&) = delete;
+  WlanShard& operator=(const WlanShard&) = delete;
+
+  void start();
+  /// Drains pending jobs, writes a final snapshot, joins the thread.
+  void stop();
+
+  void submit(Job job);
+
+  std::uint32_t id() const { return wlan_id_; }
+  ShardCounters counters() const;
+  /// Current durable state (what the next snapshot would contain).
+  WlanSnapshot state_snapshot() const;
+
+ private:
+  void run();
+  void process(Job& job);
+  Message apply(const Message& msg);
+  void run_epoch();
+  void run_epoch_locked();
+  void ensure_oracle();
+  void invalidate_oracle();
+  void write_state_snapshot();
+  void write_snapshot_locked();
+  WlanSnapshot build_snapshot_locked() const;
+  std::vector<int> clients_of_locked(int ap) const;
+
+  const ShardOptions options_;
+  const std::uint32_t wlan_id_;
+  const std::string deployment_text_;
+
+  // Model + controller state; guarded by state_mutex_ (the shard thread
+  // writes, stats/state queries from other threads read).
+  mutable std::mutex state_mutex_;
+  sim::DeploymentSpec spec_;
+  sim::Wlan wlan_;
+  core::AcornController controller_;
+  net::Association assoc_;
+  std::vector<net::Channel> allocated_;
+  std::vector<net::Channel> operating_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> loss_overrides_;
+  std::map<std::uint32_t, double> loads_;
+  /// Clients whose links changed since the last epoch; each gets an
+  /// Algorithm 1 re-association probe when the next epoch runs.
+  std::set<int> dirty_clients_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t events_applied_ = 0;
+  ShardCounters counters_;
+  std::shared_ptr<core::CachedOracle> oracle_;
+
+  CompletionFn post_;
+
+  // Mailbox.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> jobs_;
+  bool running_ = false;
+  std::chrono::steady_clock::time_point next_epoch_;
+  std::thread thread_;
+};
+
+}  // namespace acorn::service

@@ -1,0 +1,77 @@
+// Durable controller state for acornd.
+//
+// Each WLAN shard serializes its state to `<dir>/wlan_<id>.snap` at the
+// end of every reconfiguration epoch: write to `<file>.tmp`, fsync,
+// rename. The rename is atomic on POSIX filesystems, so a crash (up to
+// and including SIGKILL mid-write) leaves either the previous complete
+// snapshot or the new complete snapshot — never a torn file. A trailing
+// FNV-1a checksum catches the remaining failure mode (a torn *tmp* file
+// renamed by a buggy kernel, bit rot): decode_snapshot refuses payloads
+// whose checksum does not match.
+//
+// The snapshot stores the WLAN's *inputs* (the deployment text with its
+// shadowing seed, the applied loss overrides and load hints) plus the
+// controller *decisions* (association, allocated and operating channel
+// assignments, epoch and event counters). Recovery rebuilds the Wlan
+// from the deployment text — bit-identical to the original build — and
+// replays the overrides, so a recovered shard answers config queries
+// exactly as the pre-crash one did.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/channels.hpp"
+#include "net/interference.hpp"
+
+namespace acorn::service {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4e524341;  // "ACRN"
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+struct LossOverride {
+  std::uint32_t ap = 0;
+  std::uint32_t client = 0;
+  double loss_db = 0.0;
+};
+
+struct LoadHint {
+  std::uint32_t client = 0;
+  double load = 1.0;
+};
+
+struct WlanSnapshot {
+  std::uint32_t wlan_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t events_applied = 0;
+  std::string deployment;
+  net::Association association;
+  std::vector<net::Channel> allocated;
+  std::vector<net::Channel> operating;
+  std::vector<LossOverride> loss_overrides;  // ascending (ap, client)
+  std::vector<LoadHint> loads;               // ascending client
+};
+
+std::vector<std::uint8_t> encode_snapshot(const WlanSnapshot& snap);
+
+/// Throws service::WireError on malformed bytes or checksum mismatch.
+WlanSnapshot decode_snapshot(std::span<const std::uint8_t> bytes);
+
+/// Write-temp + fsync + atomic-rename to `<dir>/wlan_<id>.snap`.
+/// Returns false (leaving any previous snapshot intact) on I/O failure.
+bool write_snapshot(const std::string& dir, const WlanSnapshot& snap);
+
+/// Path helpers, shared by the writer and the recovery scan.
+std::string snapshot_path(const std::string& dir, std::uint32_t wlan_id);
+
+/// Remove a WLAN's snapshot (after an explicit RemoveWlan).
+void remove_snapshot(const std::string& dir, std::uint32_t wlan_id);
+
+/// Scan `dir` for `wlan_*.snap` files and decode them; unreadable or
+/// corrupt files are skipped (the daemon logs and carries on — a corrupt
+/// snapshot must not block recovery of the healthy WLANs).
+std::vector<WlanSnapshot> load_snapshots(const std::string& dir);
+
+}  // namespace acorn::service

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "phy/noise.hpp"
+#include "phy/rate_table.hpp"
 #include "sim/netkernel.hpp"
 #include "util/units.hpp"
 
@@ -142,6 +143,36 @@ ApStats Wlan::evaluate_cell(int ap, const std::vector<int>& clients,
 double Wlan::isolated_cell_bps(int ap, const std::vector<int>& clients,
                                phy::ChannelWidth width,
                                mac::TrafficType traffic) const {
+  if (clients.empty()) return 0.0;
+  // The isolated bound is evaluated once per (AP, width) for every
+  // candidate association move, so rate selection goes through the
+  // process-wide RateTable (threshold scan + one PER evaluation) instead
+  // of re-running the 16-row `best_rate` sweep per client.
+  const std::shared_ptr<const phy::RateTable> table =
+      phy::RateTable::shared(link_model_, width, config_.gi);
+  std::vector<mac::CellClient> cell;
+  cell.reserve(clients.size());
+  for (int c : clients) {
+    const double snr_db = client_snr_db(ap, c, width);
+    const phy::RateTable::Segment& seg = table->segment_for_snr(snr_db);
+    const double per = link_model_.per(phy::mcs(seg.mcs_index), snr_db);
+    cell.push_back(mac::CellClient{c, seg.rate_bps, per});
+  }
+  const mac::CellThroughput mac_result = mac::anomaly_throughput(
+      config_.timing, cell, 1.0, config_.payload_bytes * 8);
+  double total = 0.0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    total += mac::transport_goodput_bps(config_.traffic, traffic,
+                                        mac_result.per_client_bps,
+                                        cell[i].per);
+  }
+  return total;
+}
+
+double Wlan::isolated_cell_bps_reference(int ap,
+                                         const std::vector<int>& clients,
+                                         phy::ChannelWidth width,
+                                         mac::TrafficType traffic) const {
   return evaluate_cell(ap, clients, width, 1.0, traffic).goodput_bps;
 }
 

@@ -78,10 +78,20 @@ class Wlan {
 
   /// Evaluate one cell in isolation (medium share 1) at a given width;
   /// used for the isolated-throughput bound Y* (paper §4.2, Fig. 14).
+  /// Rate selection goes through the shared phy::RateTable; the result
+  /// is bit-identical to `isolated_cell_bps_reference`.
   double isolated_cell_bps(int ap, const std::vector<int>& clients,
                            phy::ChannelWidth width,
                            mac::TrafficType traffic =
                                mac::TrafficType::kUdp) const;
+
+  /// The original `best_rate`-per-client isolated path, kept as the
+  /// executable specification the RateTable route is property-tested
+  /// against (tests/test_sim_wlan.cpp asserts bit-identity).
+  double isolated_cell_bps_reference(int ap, const std::vector<int>& clients,
+                                     phy::ChannelWidth width,
+                                     mac::TrafficType traffic =
+                                         mac::TrafficType::kUdp) const;
 
   /// max over widths of the isolated cell throughput, X_i^isol.
   double isolated_best_bps(int ap, const std::vector<int>& clients,

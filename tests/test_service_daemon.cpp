@@ -1,0 +1,379 @@
+// End-to-end tests of acornd: daemon smoke over a Unix socket, protocol
+// error handling, TCP transport, and the kill-and-restart durability
+// contract (state recovered from the epoch snapshots is exactly the
+// state the pre-crash daemon reported).
+#include "service/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+
+namespace acorn::service {
+namespace {
+
+constexpr const char* kDeployment = R"(# test floor: 3 APs, 8 clients
+pathloss exponent 3.5
+pathloss shadowing 4
+channels 12
+seed 7
+ap 10 10
+ap 50 10
+ap 30 40
+client 12 12
+client 14  8
+client 48 14
+client 52  9
+client 28 38
+client 35 42
+client 30 25
+client 45 30
+)";
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/acorn_daemon_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Client connect_with_retry(const std::string& unix_path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      return Client::connect_unix(unix_path);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  throw std::runtime_error("daemon never came up at " + unix_path);
+}
+
+std::vector<std::uint8_t> reply_bytes(const Message& msg) {
+  return encode_frame(0, msg);
+}
+
+TEST(ServiceDaemon, SmokeOverUnixSocket) {
+  const TempDir dir;
+  DaemonConfig config;
+  config.unix_path = dir.path() + "/sock";
+  config.state_dir = dir.path() + "/state";
+  config.epoch_s = 0.0;  // epochs on demand only: keeps the test exact
+  Daemon daemon(config);
+  daemon.start();
+
+  Client client = Client::connect_unix(config.unix_path);
+  {
+    const Message reply = client.call(RegisterWlan{1, kDeployment});
+    ASSERT_TRUE(std::holds_alternative<OkReply>(reply));
+  }
+
+  // ~100 protocol events: every client joins, then SNR/load churn.
+  int events = 1;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    const Message reply = client.call(ClientJoin{1, c});
+    ++events;
+    ASSERT_TRUE(std::holds_alternative<OkReply>(reply));
+    EXPECT_GE(std::get<OkReply>(reply).value, 0) << "client " << c;
+  }
+  for (int round = 0; round < 12; ++round) {
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      const double loss = 80.0 + 2.0 * c + 0.25 * round;
+      const Message reply =
+          client.call(SnrUpdate{1, c % 3, c, loss});
+      ++events;
+      ASSERT_TRUE(std::holds_alternative<OkReply>(reply));
+    }
+  }
+  {
+    const Message reply = client.call(LoadUpdate{1, 3, 0.5});
+    ++events;
+    ASSERT_TRUE(std::holds_alternative<OkReply>(reply));
+  }
+  {
+    const Message reply = client.call(ForceReconfigure{1});
+    ++events;
+    ASSERT_TRUE(std::holds_alternative<OkReply>(reply));
+  }
+
+  const Message config_reply = client.call(QueryConfig{1});
+  ASSERT_TRUE(std::holds_alternative<ConfigReply>(config_reply));
+  const auto& cfg = std::get<ConfigReply>(config_reply);
+  EXPECT_EQ(cfg.wlan_id, 1u);
+  EXPECT_EQ(cfg.epoch, 1u);
+  EXPECT_EQ(cfg.association.size(), 8u);
+  EXPECT_EQ(cfg.allocated.size(), 3u);
+  EXPECT_EQ(cfg.operating.size(), 3u);
+  EXPECT_GT(cfg.total_goodput_bps, 0.0);
+
+  const Message stats_reply = client.call(QueryStats{});
+  ASSERT_TRUE(std::holds_alternative<StatsReply>(stats_reply));
+  const auto& stats = std::get<StatsReply>(stats_reply);
+  EXPECT_EQ(stats.num_wlans, 1u);
+  EXPECT_GE(stats.frames_rx, static_cast<std::uint64_t>(events));
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.epochs_total, 1u);
+  EXPECT_GE(stats.snapshots_written, 1u);
+  EXPECT_GT(stats.oracle_cell_evals, 0u);
+  std::uint64_t latency_total = 0;
+  for (std::uint64_t b : stats.latency_us_log2) latency_total += b;
+  EXPECT_GE(latency_total, static_cast<std::uint64_t>(events));
+
+  // Shutdown over the wire terminates the loop.
+  const Message bye = client.call(Shutdown{});
+  ASSERT_TRUE(std::holds_alternative<OkReply>(bye));
+  daemon.wait();
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST(ServiceDaemon, ErrorPaths) {
+  const TempDir dir;
+  DaemonConfig config;
+  config.unix_path = dir.path() + "/sock";
+  config.epoch_s = 0.0;
+  Daemon daemon(config);
+  daemon.start();
+
+  Client client = Client::connect_unix(config.unix_path);
+  {
+    const Message reply = client.call(QueryConfig{99});
+    ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
+    EXPECT_EQ(std::get<ErrorReply>(reply).code,
+              static_cast<std::uint16_t>(ErrorCode::kUnknownWlan));
+  }
+  {
+    const Message reply = client.call(RegisterWlan{1, "not a deployment %"});
+    ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
+    EXPECT_EQ(std::get<ErrorReply>(reply).code,
+              static_cast<std::uint16_t>(ErrorCode::kBadDeployment));
+  }
+  ASSERT_TRUE(std::holds_alternative<OkReply>(
+      client.call(RegisterWlan{1, kDeployment})));
+  {
+    const Message reply = client.call(RegisterWlan{1, kDeployment});
+    ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
+    EXPECT_EQ(std::get<ErrorReply>(reply).code,
+              static_cast<std::uint16_t>(ErrorCode::kAlreadyRegistered));
+  }
+  {
+    const Message reply = client.call(ClientJoin{1, 500});
+    ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
+    EXPECT_EQ(std::get<ErrorReply>(reply).code,
+              static_cast<std::uint16_t>(ErrorCode::kBadArgument));
+  }
+  {
+    const Message reply = client.call(RemoveWlan{1});
+    ASSERT_TRUE(std::holds_alternative<OkReply>(reply));
+    const Message again = client.call(RemoveWlan{1});
+    ASSERT_TRUE(std::holds_alternative<ErrorReply>(again));
+  }
+
+  // A garbage frame gets its connection dropped; the daemon survives
+  // and other connections keep working.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    // Length prefix far beyond kMaxFramePayload.
+    const std::uint8_t junk[] = {0xff, 0xff, 0xff, 0x7f};
+    ASSERT_EQ(::write(fd, junk, sizeof(junk)),
+              static_cast<ssize_t>(sizeof(junk)));
+    // The daemon answers with a best-effort ErrorReply, then closes:
+    // read() must reach EOF rather than hang.
+    std::uint8_t buf[512];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n == 0) break;  // connection dropped, as specified
+      ASSERT_GT(n, 0);
+    }
+    ::close(fd);
+  }
+  const Message stats_reply = client.call(QueryStats{});
+  ASSERT_TRUE(std::holds_alternative<StatsReply>(stats_reply));
+  EXPECT_GE(std::get<StatsReply>(stats_reply).protocol_errors, 1u);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, TcpTransport) {
+  DaemonConfig config;
+  config.tcp = true;
+  config.tcp_port = 0;  // ephemeral
+  config.epoch_s = 0.0;
+  Daemon daemon(config);
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    GTEST_SKIP() << "cannot bind TCP in this environment: " << e.what();
+  }
+  ASSERT_GT(daemon.tcp_port(), 0);
+  Client client = Client::connect_tcp(
+      "127.0.0.1", static_cast<std::uint16_t>(daemon.tcp_port()));
+  ASSERT_TRUE(std::holds_alternative<OkReply>(
+      client.call(RegisterWlan{5, kDeployment})));
+  const Message reply = client.call(QueryConfig{5});
+  ASSERT_TRUE(std::holds_alternative<ConfigReply>(reply));
+  EXPECT_EQ(std::get<ConfigReply>(reply).wlan_id, 5u);
+  daemon.stop();
+}
+
+// The durability contract, deterministic half: kill a *quiescent* daemon
+// with SIGKILL (no chance to flush anything) and restart over the same
+// state directory — the recovered daemon must answer QueryConfig with
+// exactly the bytes the pre-crash daemon reported, because the last
+// completed epoch wrote a full snapshot and recovery is bit-identical.
+// Nondeterministic half: kill immediately after submitting a
+// reconfigure, so SIGKILL can land mid-epoch or mid-snapshot-write —
+// recovery must still find a *complete* snapshot (atomic rename), i.e.
+// either the pre-reconfigure state or the post-reconfigure one.
+TEST(ServiceDaemon, KillAndRestartRecovery) {
+  const TempDir dir;
+  const std::string sock = dir.path() + "/sock";
+  const std::string state = dir.path() + "/state";
+
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child: host the daemon until SIGKILL.
+    DaemonConfig config;
+    config.unix_path = sock;
+    config.state_dir = state;
+    config.epoch_s = 0.0;
+    try {
+      Daemon daemon(config);
+      daemon.start();
+      daemon.wait();
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+
+  std::vector<std::uint8_t> c1_bytes;
+  std::uint64_t c1_epoch = 0;
+  {
+    Client client = connect_with_retry(sock);
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(RegisterWlan{1, kDeployment})));
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      ASSERT_TRUE(
+          std::holds_alternative<OkReply>(client.call(ClientJoin{1, c})));
+    }
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(SnrUpdate{1, 0, 0, 84.5})));
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(SnrUpdate{1, 1, 3, 101.25})));
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(ForceReconfigure{1})));
+    const Message c1 = client.call(QueryConfig{1});
+    ASSERT_TRUE(std::holds_alternative<ConfigReply>(c1));
+    c1_epoch = std::get<ConfigReply>(c1).epoch;
+    EXPECT_EQ(c1_epoch, 1u);
+    c1_bytes = reply_bytes(c1);
+  }
+
+  // Deterministic kill: quiescent daemon, last epoch fully snapshot.
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  {
+    DaemonConfig config;
+    config.unix_path = sock;
+    config.state_dir = state;
+    config.epoch_s = 0.0;
+    Daemon daemon(config);
+    daemon.start();
+    Client client = Client::connect_unix(sock);
+    const Message recovered = client.call(QueryConfig{1});
+    ASSERT_TRUE(std::holds_alternative<ConfigReply>(recovered));
+    EXPECT_EQ(reply_bytes(recovered), c1_bytes)
+        << "recovered state differs from the pre-kill report";
+
+    // Nondeterministic kill: more events, then reconfigure and SIGKILL
+    // racing the epoch. Run it against this in-process daemon's child...
+    daemon.stop();
+  }
+
+  // Second round: restart a child daemon on the recovered state, drive
+  // new events, kill it mid-reconfigure, and require recovery to land on
+  // a complete snapshot (old epoch or new, never torn).
+  const pid_t child2 = ::fork();
+  ASSERT_NE(child2, -1);
+  if (child2 == 0) {
+    DaemonConfig config;
+    config.unix_path = sock;
+    config.state_dir = state;
+    config.epoch_s = 0.0;
+    try {
+      Daemon daemon(config);
+      daemon.start();
+      daemon.wait();
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  {
+    Client client = connect_with_retry(sock);
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(SnrUpdate{1, 2, 6, 99.0})));
+    // Fire the reconfigure and kill without waiting for the reply.
+    client.send(ForceReconfigure{1});
+  }
+  ASSERT_EQ(::kill(child2, SIGKILL), 0);
+  ASSERT_EQ(::waitpid(child2, &status, 0), child2);
+
+  {
+    DaemonConfig config;
+    config.unix_path = sock;
+    config.state_dir = state;
+    config.epoch_s = 0.0;
+    Daemon daemon(config);
+    daemon.start();
+    Client client = Client::connect_unix(sock);
+    const Message recovered = client.call(QueryConfig{1});
+    ASSERT_TRUE(std::holds_alternative<ConfigReply>(recovered));
+    const auto& cfg = std::get<ConfigReply>(recovered);
+    // Either the epoch-1 snapshot (kill won the race) or epoch-2 (the
+    // reconfigure's snapshot completed first) — but always a complete,
+    // checksummed state.
+    EXPECT_TRUE(cfg.epoch == c1_epoch || cfg.epoch == c1_epoch + 1)
+        << "recovered epoch " << cfg.epoch;
+    if (cfg.epoch == c1_epoch) {
+      EXPECT_EQ(reply_bytes(recovered), c1_bytes);
+    }
+    EXPECT_EQ(cfg.association.size(), 8u);
+    EXPECT_GT(cfg.total_goodput_bps, 0.0);
+    daemon.stop();
+  }
+}
+
+}  // namespace
+}  // namespace acorn::service

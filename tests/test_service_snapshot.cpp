@@ -1,0 +1,149 @@
+#include "service/snapshot.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace acorn::service {
+namespace {
+
+// Scratch directory removed (with contents) on scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/acorn_snap_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+WlanSnapshot sample_snapshot(std::uint32_t wlan_id = 7) {
+  WlanSnapshot s;
+  s.wlan_id = wlan_id;
+  s.epoch = 42;
+  s.events_applied = 1234;
+  s.deployment = "ap 0 0\nap 10 0\nclient 1 1\nclient 9 1\nseed 3\n";
+  s.association = {0, 1};
+  s.allocated = {net::Channel::bonded(0), net::Channel::basic(5)};
+  s.operating = {net::Channel::basic(0), net::Channel::basic(5)};
+  s.loss_overrides = {LossOverride{0, 0, 81.5}, LossOverride{1, 1, 95.25}};
+  s.loads = {LoadHint{0, 0.75}};
+  return s;
+}
+
+void expect_equal(const WlanSnapshot& a, const WlanSnapshot& b) {
+  EXPECT_EQ(encode_snapshot(a), encode_snapshot(b));
+}
+
+TEST(ServiceSnapshot, CodecRoundTrip) {
+  const WlanSnapshot snap = sample_snapshot();
+  const std::vector<std::uint8_t> bytes = encode_snapshot(snap);
+  const WlanSnapshot back = decode_snapshot(bytes);
+  EXPECT_EQ(back.wlan_id, snap.wlan_id);
+  EXPECT_EQ(back.epoch, snap.epoch);
+  EXPECT_EQ(back.events_applied, snap.events_applied);
+  EXPECT_EQ(back.deployment, snap.deployment);
+  EXPECT_EQ(back.association, snap.association);
+  expect_equal(back, snap);
+}
+
+TEST(ServiceSnapshot, EmptyFieldsRoundTrip) {
+  WlanSnapshot snap;
+  snap.wlan_id = 1;
+  snap.deployment = "ap 0 0\nclient 1 1\n";
+  expect_equal(decode_snapshot(encode_snapshot(snap)), snap);
+}
+
+TEST(ServiceSnapshot, ChecksumCatchesEveryBitFlip) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot(sample_snapshot());
+  // Flip one bit in every byte (body and trailer alike): the checksum
+  // or the strict decoder must refuse each mutant.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[i] ^= 0x10;
+    EXPECT_THROW(decode_snapshot(bad), WireError) << "byte " << i;
+  }
+}
+
+TEST(ServiceSnapshot, TruncationRejected) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot(sample_snapshot());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(
+        decode_snapshot(std::span<const std::uint8_t>(bytes.data(), n)),
+        WireError)
+        << "length " << n;
+  }
+}
+
+TEST(ServiceSnapshot, WriteLoadRoundTrip) {
+  const TempDir dir;
+  const WlanSnapshot a = sample_snapshot(1);
+  const WlanSnapshot b = sample_snapshot(2);
+  ASSERT_TRUE(write_snapshot(dir.path(), a));
+  ASSERT_TRUE(write_snapshot(dir.path(), b));
+
+  std::vector<WlanSnapshot> loaded = load_snapshots(dir.path());
+  ASSERT_EQ(loaded.size(), 2u);
+  if (loaded[0].wlan_id > loaded[1].wlan_id) {
+    std::swap(loaded[0], loaded[1]);
+  }
+  expect_equal(loaded[0], a);
+  expect_equal(loaded[1], b);
+}
+
+TEST(ServiceSnapshot, RewriteReplacesAtomically) {
+  const TempDir dir;
+  WlanSnapshot snap = sample_snapshot(3);
+  ASSERT_TRUE(write_snapshot(dir.path(), snap));
+  snap.epoch = 43;
+  snap.loss_overrides.push_back(LossOverride{0, 1, 101.0});
+  ASSERT_TRUE(write_snapshot(dir.path(), snap));
+  const std::vector<WlanSnapshot> loaded = load_snapshots(dir.path());
+  ASSERT_EQ(loaded.size(), 1u);
+  expect_equal(loaded[0], snap);
+  // No .tmp residue after a successful rename.
+  EXPECT_NE(::access(snapshot_path(dir.path(), 3).c_str(), F_OK), -1);
+  EXPECT_EQ(::access((snapshot_path(dir.path(), 3) + ".tmp").c_str(), F_OK),
+            -1);
+}
+
+TEST(ServiceSnapshot, CorruptFileSkippedHealthyOnesRecovered) {
+  const TempDir dir;
+  ASSERT_TRUE(write_snapshot(dir.path(), sample_snapshot(1)));
+  ASSERT_TRUE(write_snapshot(dir.path(), sample_snapshot(2)));
+  // Corrupt wlan_1: truncate it mid-body.
+  {
+    std::FILE* f =
+        std::fopen(snapshot_path(dir.path(), 1).c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::ftruncate(::fileno(f), 10), 0);
+    std::fclose(f);
+  }
+  const std::vector<WlanSnapshot> loaded = load_snapshots(dir.path());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].wlan_id, 2u);
+}
+
+TEST(ServiceSnapshot, RemoveDeletesSnapAndTmp) {
+  const TempDir dir;
+  ASSERT_TRUE(write_snapshot(dir.path(), sample_snapshot(9)));
+  remove_snapshot(dir.path(), 9);
+  EXPECT_TRUE(load_snapshots(dir.path()).empty());
+  EXPECT_EQ(::access(snapshot_path(dir.path(), 9).c_str(), F_OK), -1);
+}
+
+}  // namespace
+}  // namespace acorn::service

@@ -79,6 +79,34 @@ TEST(Wlan, IsolatedBestTakesMaxOverWidths) {
                                             phy::ChannelWidth::k40MHz)));
 }
 
+TEST(Wlan, IsolatedCellBitIdenticalToReference) {
+  // Sweep client losses across the whole operating range (strong link
+  // down past the association edge) so every RateTable segment is
+  // exercised, then demand exact equality with the best_rate reference.
+  std::vector<double> losses;
+  for (double l = 60.0; l <= 118.0; l += 1.7) losses.push_back(l);
+  ScenarioBuilder b;
+  b.cells = {CellSpec{losses}};
+  const Wlan wlan = b.build();
+  std::vector<int> clients(losses.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    clients[i] = static_cast<int>(i);
+  }
+  for (phy::ChannelWidth width :
+       {phy::ChannelWidth::k20MHz, phy::ChannelWidth::k40MHz}) {
+    for (mac::TrafficType traffic :
+         {mac::TrafficType::kUdp, mac::TrafficType::kTcp}) {
+      EXPECT_EQ(wlan.isolated_cell_bps(0, clients, width, traffic),
+                wlan.isolated_cell_bps_reference(0, clients, width, traffic));
+      for (int c : clients) {
+        EXPECT_EQ(wlan.isolated_cell_bps(0, {c}, width, traffic),
+                  wlan.isolated_cell_bps_reference(0, {c}, width, traffic));
+      }
+    }
+  }
+  EXPECT_EQ(wlan.isolated_cell_bps(0, {}, phy::ChannelWidth::k20MHz), 0.0);
+}
+
 TEST(Wlan, ContentionHalvesThroughput) {
   ScenarioBuilder b;
   b.cells = {CellSpec{{testutil::kGoodLinkLoss}},
