@@ -10,7 +10,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -20,6 +22,17 @@
 namespace acorn::service {
 
 namespace {
+
+/// A client that pipelines requests (QueryConfig replies can be large)
+/// but never reads its responses would otherwise grow the per-connection
+/// output buffer without bound; past this many unread bytes the
+/// connection is dropped.
+constexpr std::size_t kMaxConnOutBytes = 8u << 20;
+
+/// How long to stop polling a listener after a hard accept() failure
+/// (e.g. EMFILE) — the fd stays readable, so re-polling immediately
+/// would busy-spin at 100% CPU.
+constexpr auto kAcceptBackoff = std::chrono::milliseconds(100);
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -170,8 +183,12 @@ void Daemon::loop() {
       pfd_conn.push_back(conn_id);
     };
     add(wake_fds_[0], POLLIN, 0);
-    if (tcp_listen_fd_ >= 0) add(tcp_listen_fd_, POLLIN, 0);
-    if (unix_listen_fd_ >= 0) add(unix_listen_fd_, POLLIN, 0);
+    const auto now = clock::now();
+    const bool listeners_paused = now < listener_pause_until_;
+    if (!listeners_paused) {
+      if (tcp_listen_fd_ >= 0) add(tcp_listen_fd_, POLLIN, 0);
+      if (unix_listen_fd_ >= 0) add(unix_listen_fd_, POLLIN, 0);
+    }
     bool out_pending = false;
     for (auto& [id, conn] : conns_) {
       short events = POLLIN;
@@ -183,8 +200,14 @@ void Daemon::loop() {
     }
 
     if (shutdown_requested_ && !out_pending) break;
-    const int timeout_ms =
-        shutdown_requested_ ? 20 : (config_.log ? 1000 : -1);
+    int timeout_ms = shutdown_requested_ ? 20 : (config_.log ? 1000 : -1);
+    if (listeners_paused) {
+      const auto wait = std::chrono::ceil<std::chrono::milliseconds>(
+          listener_pause_until_ - now);
+      const int wait_ms = static_cast<int>(
+          std::max<std::chrono::milliseconds::rep>(1, wait.count()));
+      if (timeout_ms < 0 || wait_ms < timeout_ms) timeout_ms = wait_ms;
+    }
     const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (rc < 0 && errno != EINTR) break;
 
@@ -236,7 +259,18 @@ void Daemon::loop() {
 void Daemon::accept_all(int listen_fd) {
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;  // that one connection is gone; keep draining
+      }
+      // Hard failure (EMFILE/ENFILE/ENOBUFS/...): the listener stays
+      // readable, so pause polling it instead of busy-spinning.
+      std::fprintf(stderr, "acornd: accept: %s\n", std::strerror(errno));
+      listener_pause_until_ = std::chrono::steady_clock::now() +
+                              kAcceptBackoff;
+      return;
+    }
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -412,6 +446,14 @@ void Daemon::enqueue_bytes(std::uint64_t conn_id,
   }
   conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
   flush(conn);
+  if (conn.out.size() - conn.out_pos > kMaxConnOutBytes) {
+    std::fprintf(stderr,
+                 "acornd: dropping connection %llu: %zu unread reply "
+                 "bytes buffered\n",
+                 static_cast<unsigned long long>(conn_id),
+                 conn.out.size() - conn.out_pos);
+    close_conn(conn_id);
+  }
 }
 
 void Daemon::flush(Conn& conn) {

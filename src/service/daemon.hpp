@@ -20,6 +20,7 @@
 // the pre-crash state from the first accepted connection.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -121,6 +122,9 @@ class Daemon {
 
   std::map<std::uint64_t, Conn> conns_;  // loop thread only
   std::uint64_t next_conn_id_ = 1;       // loop thread only
+  /// Listeners are not polled before this instant (set after a hard
+  /// accept() failure such as EMFILE); loop thread only.
+  std::chrono::steady_clock::time_point listener_pause_until_{};
 
   mutable std::mutex shards_mutex_;
   std::map<std::uint32_t, std::unique_ptr<WlanShard>> shards_;

@@ -1,5 +1,6 @@
 #include "service/shard.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -61,8 +62,9 @@ WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
     throw std::invalid_argument("snapshot operating size mismatch");
   }
   for (const LossOverride& o : state.loss_overrides) {
-    if (static_cast<int>(o.ap) >= n_aps ||
-        static_cast<int>(o.client) >= n_clients) {
+    if (o.ap >= static_cast<std::uint32_t>(n_aps) ||
+        o.client >= static_cast<std::uint32_t>(n_clients) ||
+        !std::isfinite(o.loss_db)) {
       throw std::invalid_argument("snapshot loss override out of range");
     }
     wlan_.budget().set_ap_client_loss_db(static_cast<int>(o.ap),
@@ -70,7 +72,12 @@ WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
                                          o.loss_db);
     loss_overrides_[{o.ap, o.client}] = o.loss_db;
   }
-  for (const LoadHint& l : state.loads) loads_[l.client] = l.load;
+  for (const LoadHint& l : state.loads) {
+    if (!std::isfinite(l.load)) {
+      throw std::invalid_argument("snapshot load hint not finite");
+    }
+    loads_[l.client] = l.load;
+  }
   epoch_ = state.epoch;
   events_applied_ = state.events_applied;
 }
@@ -139,11 +146,17 @@ void WlanShard::process(Job& job) {
 
 Message WlanShard::apply(const Message& msg) {
   const std::lock_guard<std::mutex> lock(state_mutex_);
+  Message reply = apply_locked(msg);
+  publish_counters_locked();
+  return reply;
+}
+
+Message WlanShard::apply_locked(const Message& msg) {
   const int n_aps = wlan_.topology().num_aps();
   const int n_clients = wlan_.topology().num_clients();
 
   if (const auto* join = std::get_if<ClientJoin>(&msg)) {
-    if (static_cast<int>(join->client) >= n_clients) {
+    if (join->client >= static_cast<std::uint32_t>(n_clients)) {
       return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
                         "client id out of range"};
     }
@@ -164,7 +177,7 @@ Message WlanShard::apply(const Message& msg) {
     return OkReply{ap.value_or(net::kUnassociated)};
   }
   if (const auto* leave = std::get_if<ClientLeave>(&msg)) {
-    if (static_cast<int>(leave->client) >= n_clients) {
+    if (leave->client >= static_cast<std::uint32_t>(n_clients)) {
       return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
                         "client id out of range"};
     }
@@ -179,10 +192,16 @@ Message WlanShard::apply(const Message& msg) {
     return OkReply{net::kUnassociated};
   }
   if (const auto* snr = std::get_if<SnrUpdate>(&msg)) {
-    if (static_cast<int>(snr->ap) >= n_aps ||
-        static_cast<int>(snr->client) >= n_clients) {
+    if (snr->ap >= static_cast<std::uint32_t>(n_aps) ||
+        snr->client >= static_cast<std::uint32_t>(n_clients)) {
       return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
                         "ap/client id out of range"};
+    }
+    // A NaN/Inf loss would poison every later SNR/rate computation and
+    // survive restart through the snapshot; a negative loss is a gain.
+    if (!std::isfinite(snr->loss_db) || snr->loss_db < 0.0) {
+      return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                        "loss_db must be finite and non-negative"};
     }
     wlan_.budget().set_ap_client_loss_db(static_cast<int>(snr->ap),
                                          static_cast<int>(snr->client),
@@ -195,9 +214,13 @@ Message WlanShard::apply(const Message& msg) {
     return OkReply{};
   }
   if (const auto* load = std::get_if<LoadUpdate>(&msg)) {
-    if (static_cast<int>(load->client) >= n_clients) {
+    if (load->client >= static_cast<std::uint32_t>(n_clients)) {
       return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
                         "client id out of range"};
+    }
+    if (!std::isfinite(load->load) || load->load < 0.0) {
+      return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
+                        "load must be finite and non-negative"};
     }
     loads_[load->client] = load->load;
     ++events_applied_;
@@ -233,6 +256,7 @@ Message WlanShard::apply(const Message& msg) {
 void WlanShard::run_epoch() {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   run_epoch_locked();
+  publish_counters_locked();
 }
 
 void WlanShard::run_epoch_locked() {
@@ -363,6 +387,19 @@ void WlanShard::write_snapshot_locked() {
 void WlanShard::write_state_snapshot() {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   write_snapshot_locked();
+  publish_counters_locked();
+}
+
+void WlanShard::publish_counters_locked() {
+  ShardCounters out = counters_;
+  if (oracle_) {
+    const core::OracleCacheStats s = oracle_->stats();
+    out.oracle_cell_evals += s.cell_evals;
+    out.oracle_cell_hits += s.cell_hits;
+    out.oracle_share_hits += s.share_hits;
+  }
+  const std::lock_guard<std::mutex> lock(counters_mutex_);
+  published_counters_ = out;
 }
 
 std::vector<int> WlanShard::clients_of_locked(int ap) const {
@@ -374,15 +411,10 @@ std::vector<int> WlanShard::clients_of_locked(int ap) const {
 }
 
 ShardCounters WlanShard::counters() const {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
-  ShardCounters out = counters_;
-  if (oracle_) {
-    const core::OracleCacheStats s = oracle_->stats();
-    out.oracle_cell_evals += s.cell_evals;
-    out.oracle_cell_hits += s.cell_hits;
-    out.oracle_share_hits += s.share_hits;
-  }
-  return out;
+  // Reads the last published copy: a stats query must never block on
+  // state_mutex_, which the shard thread holds across a whole epoch.
+  const std::lock_guard<std::mutex> lock(counters_mutex_);
+  return published_counters_;
 }
 
 WlanSnapshot WlanShard::state_snapshot() const {

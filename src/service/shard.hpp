@@ -114,6 +114,8 @@ class WlanShard {
   void run();
   void process(Job& job);
   Message apply(const Message& msg);
+  Message apply_locked(const Message& msg);
+  void publish_counters_locked();
   void run_epoch();
   void run_epoch_locked();
   void ensure_oracle();
@@ -145,6 +147,11 @@ class WlanShard {
   std::uint64_t events_applied_ = 0;
   ShardCounters counters_;
   std::shared_ptr<core::CachedOracle> oracle_;
+
+  // Copy of counters_ (+ live oracle stats) republished after every
+  // event/epoch so counters() never waits on an in-progress epoch.
+  mutable std::mutex counters_mutex_;
+  ShardCounters published_counters_;
 
   CompletionFn post_;
 

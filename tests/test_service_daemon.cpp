@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -182,6 +183,34 @@ TEST(ServiceDaemon, ErrorPaths) {
     ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
     EXPECT_EQ(std::get<ErrorReply>(reply).code,
               static_cast<std::uint16_t>(ErrorCode::kBadArgument));
+  }
+  // Ids at/above 2^31 must not wrap negative through an int cast and
+  // slip past the bounds checks (that was an OOB write).
+  for (const std::uint32_t evil :
+       {std::uint32_t{0x80000000u}, std::uint32_t{0xffffffffu}}) {
+    for (const Message& msg :
+         {Message{ClientJoin{1, evil}}, Message{ClientLeave{1, evil}},
+          Message{SnrUpdate{1, evil, 0, 90.0}},
+          Message{SnrUpdate{1, 0, evil, 90.0}},
+          Message{LoadUpdate{1, evil, 0.5}}}) {
+      const Message reply = client.call(msg);
+      ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
+      EXPECT_EQ(std::get<ErrorReply>(reply).code,
+                static_cast<std::uint16_t>(ErrorCode::kBadArgument));
+    }
+  }
+  // Non-finite (or negative) measurements must be rejected, not written
+  // into the link budget and persisted.
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(), -1.0}) {
+    for (const Message& msg :
+         {Message{SnrUpdate{1, 0, 0, bad}}, Message{LoadUpdate{1, 0, bad}}}) {
+      const Message reply = client.call(msg);
+      ASSERT_TRUE(std::holds_alternative<ErrorReply>(reply));
+      EXPECT_EQ(std::get<ErrorReply>(reply).code,
+                static_cast<std::uint16_t>(ErrorCode::kBadArgument));
+    }
   }
   {
     const Message reply = client.call(RemoveWlan{1});
