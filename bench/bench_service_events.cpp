@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <variant>
 #include <vector>
@@ -46,13 +47,15 @@ client 45 30
 constexpr std::uint32_t kWlan = 1;
 constexpr int kBatch = 64;
 
-// Pipelined batches: kBatch requests on the wire before the first reply
-// is drained, as a real controller client would batch measurement
-// reports.
+// Pipelined updates: up to 2*kBatch requests stay on the wire — a
+// batch is drained only after the next one is sent, so the daemon's
+// group commit for batch k overlaps with the arrival of batch k+1, as
+// a real controller client batching measurement reports would behave.
 double pump_events(Client& client, std::int64_t total, util::Rng& rng) {
   const bench::Stopwatch clock;
   std::int64_t sent = 0;
-  while (sent < total) {
+  std::int64_t recvd = 0;
+  while (recvd < total) {
     const int n = static_cast<int>(
         std::min<std::int64_t>(kBatch, total - sent));
     for (int i = 0; i < n; ++i) {
@@ -66,10 +69,11 @@ double pump_events(Client& client, std::int64_t total, util::Rng& rng) {
         client.send(LoadUpdate{kWlan, client_id, rng.uniform()});
       }
     }
-    for (int i = 0; i < n; ++i) {
-      (void)client.recv();
-    }
     sent += n;
+    while (sent - recvd > kBatch || (sent == total && recvd < total)) {
+      (void)client.recv();
+      ++recvd;
+    }
   }
   return clock.seconds();
 }
@@ -85,17 +89,17 @@ double pump_serial(Client& client, std::int64_t total, util::Rng& rng) {
   return clock.seconds();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bench::BenchOptions opts = bench::parse_options(argc, argv);
-  bench::banner("acornd protocol event throughput",
-                "online controller sustains >= 10k events/s per connection");
-
+// One full measurement pass against a fresh daemon. When `state_dir`
+// is non-empty the daemon journals every event to its write-ahead log
+// and withholds replies until fsync, so the WAL rows measure true
+// durable throughput, not buffered writes.
+double run_pass(const bench::BenchOptions& opts, const std::string& state_dir,
+                const char* suffix) {
   DaemonConfig config;
   config.unix_path =
-      "/tmp/acorn_bench_" + std::to_string(::getpid()) + ".sock";
+      "/tmp/acorn_bench_" + std::to_string(::getpid()) + suffix + ".sock";
   config.epoch_s = 0.0;  // epochs on demand; the bench times raw events
+  config.state_dir = state_dir;
   Daemon daemon(config);
   daemon.start();
 
@@ -109,48 +113,88 @@ int main(int argc, char** argv) {
   util::Rng rng(bench::kDefaultSeed);
   const std::int64_t pipelined_n = opts.smoke ? 5000 : 200000;
   const std::int64_t serial_n = opts.smoke ? 1000 : 20000;
+  const bool wal = !state_dir.empty();
+  const char* tag = wal ? " [wal]" : "";
 
   // Warm up the path (allocators, shard caches) before timing.
   (void)pump_events(client, 1000, rng);
 
   const double pipe_s = pump_events(client, pipelined_n, rng);
   const double pipe_eps = static_cast<double>(pipelined_n) / pipe_s;
-  std::printf("pipelined (batch %d): %lld events in %.3f s -> %.0f events/s\n",
-              kBatch, static_cast<long long>(pipelined_n), pipe_s, pipe_eps);
-  bench::emit_events("service_events", "pipelined_updates", pipe_s,
-                     pipelined_n);
+  std::printf(
+      "pipelined (batch %d)%s: %lld events in %.3f s -> %.0f events/s\n",
+      kBatch, tag, static_cast<long long>(pipelined_n), pipe_s, pipe_eps);
+  bench::emit_events("service_events",
+                     wal ? "pipelined_updates_wal" : "pipelined_updates",
+                     pipe_s, pipelined_n);
 
   const double serial_s = pump_serial(client, serial_n, rng);
   const double serial_eps = static_cast<double>(serial_n) / serial_s;
-  std::printf("serial round trips: %lld events in %.3f s -> %.0f events/s "
+  std::printf("serial round trips%s: %lld events in %.3f s -> %.0f events/s "
               "(%.1f us/event)\n",
-              static_cast<long long>(serial_n), serial_s, serial_eps,
+              tag, static_cast<long long>(serial_n), serial_s, serial_eps,
               1e6 * serial_s / static_cast<double>(serial_n));
-  bench::emit_events("service_events", "serial_roundtrip", serial_s, serial_n);
+  bench::emit_events("service_events",
+                     wal ? "serial_roundtrip_wal" : "serial_roundtrip",
+                     serial_s, serial_n);
 
   // One reconfiguration epoch after the event storm, for scale.
   const bench::Stopwatch epoch_clock;
   client.call(ForceReconfigure{kWlan});
-  std::printf("reconfiguration epoch after the storm: %.2f ms\n",
+  std::printf("reconfiguration epoch after the storm%s: %.2f ms\n", tag,
               1e3 * epoch_clock.seconds());
 
   const Message stats = client.call(QueryStats{});
   const auto& st = std::get<StatsReply>(stats);
-  std::printf("daemon counters: %llu frames, %llu events, %llu epochs\n",
-              static_cast<unsigned long long>(st.frames_rx),
+  std::printf("daemon counters%s: %llu frames, %llu events, %llu epochs, "
+              "%llu wal records / %llu flushes\n",
+              tag, static_cast<unsigned long long>(st.frames_rx),
               static_cast<unsigned long long>(st.events_total),
-              static_cast<unsigned long long>(st.epochs_total));
+              static_cast<unsigned long long>(st.epochs_total),
+              static_cast<unsigned long long>(st.wal_records),
+              static_cast<unsigned long long>(st.wal_flushes));
 
   client.close();
   daemon.stop();
+  return pipe_eps;
+}
 
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::banner("acornd protocol event throughput",
+                "online controller sustains >= 10k events/s per connection");
+
+  const double pipe_eps = run_pass(opts, "", "");
+
+  char wal_dir[] = "/tmp/acorn_bench_wal_XXXXXX";
+  if (::mkdtemp(wal_dir) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const double wal_eps = run_pass(opts, wal_dir, "_wal");
+  const std::string cleanup = std::string("rm -rf '") + wal_dir + "'";
+  [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+
+  bool ok = true;
   if (pipe_eps < 10000.0) {
     std::fprintf(stderr,
                  "FAIL: pipelined throughput %.0f events/s below the 10k "
                  "floor\n",
                  pipe_eps);
+    ok = false;
+  }
+  if (wal_eps < 10000.0) {
+    std::fprintf(stderr,
+                 "FAIL: WAL-on pipelined throughput %.0f events/s below the "
+                 "10k floor\n",
+                 wal_eps);
+    ok = false;
+  }
+  if (!ok) {
     return 1;
   }
-  std::printf("throughput floor (10k events/s): met\n");
+  std::printf("throughput floor (10k events/s, WAL on and off): met\n");
   return 0;
 }

@@ -138,14 +138,15 @@ int print_reply(const service::Message& reply) {
     std::printf(
         "wlans %u | frames %llu events %llu errors %llu\n"
         "epochs %llu (last %.2f ms) snapshots %llu\n"
+        "wal: records %llu flushes %llu\n"
         "switches: channel %llu width %llu assoc %llu\n"
-        "oracle: cell evals %llu hits %llu, share hits %llu\n",
+        "oracle: cell evals %llu hits %llu, share evals %llu hits %llu\n",
         st->num_wlans, u(st->frames_rx), u(st->events_total),
         u(st->protocol_errors), u(st->epochs_total), st->last_epoch_ms,
-        u(st->snapshots_written), u(st->channel_switches),
-        u(st->width_switches), u(st->assoc_changes),
+        u(st->snapshots_written), u(st->wal_records), u(st->wal_flushes),
+        u(st->channel_switches), u(st->width_switches), u(st->assoc_changes),
         u(st->oracle_cell_evals), u(st->oracle_cell_hits),
-        u(st->oracle_share_hits));
+        u(st->oracle_share_evals), u(st->oracle_share_hits));
     std::printf("latency us (log2 buckets):");
     for (std::size_t i = 0; i < st->latency_us_log2.size(); ++i) {
       if (st->latency_us_log2[i] != 0) {

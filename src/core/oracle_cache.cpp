@@ -30,12 +30,19 @@ std::size_t CachedOracle::CellKeyHash::operator()(const CellKey& k) const {
 }
 
 CachedOracle::CachedOracle(const sim::Wlan& wlan, net::Association assoc,
-                           mac::TrafficType traffic)
+                           mac::TrafficType traffic,
+                           std::vector<double> client_weights)
     : wlan_(wlan),
       assoc_(std::move(assoc)),
       traffic_(traffic),
+      weights_(std::move(client_weights)),
       snap_(wlan, assoc_),
-      memo_(static_cast<std::size_t>(wlan.topology().num_aps())) {}
+      memo_(static_cast<std::size_t>(wlan.topology().num_aps())) {
+  if (!weights_.empty() &&
+      static_cast<int>(weights_.size()) != wlan.topology().num_clients()) {
+    throw std::invalid_argument("client weight vector size != client count");
+  }
+}
 
 CachedOracle::CellKey CachedOracle::cell_key(
     int ap, const net::ChannelAssignment& assignment, double medium_share,
@@ -119,9 +126,21 @@ double CachedOracle::total_bps(const net::ChannelAssignment& assignment) const {
         continue;
       }
     }
-    const double goodput =
-        snap_.evaluate_cell(ap, share, assignment, activity, traffic_)
-            .goodput_bps;
+    const sim::ApStats cell =
+        snap_.evaluate_cell(ap, share, assignment, activity, traffic_);
+    double goodput;
+    if (weights_.empty()) {
+      goodput = cell.goodput_bps;
+    } else {
+      // Load-weighted cell objective: the cell's own goodput is already
+      // the sum of its clients' goodputs, so the weighted variant just
+      // scales each term before summing.
+      goodput = 0.0;
+      for (std::size_t i = 0; i < cell.client_ids.size(); ++i) {
+        goodput += weights_[static_cast<std::size_t>(cell.client_ids[i])] *
+                   cell.client_goodput_bps[i];
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.cell_evals;

@@ -50,13 +50,24 @@ struct OracleCacheStats {
 
 /// Exact throughput oracle bound to one (wlan, association, traffic).
 /// `wlan` must outlive the oracle; the association is copied.
+///
+/// An optional per-client weight vector turns the objective into a
+/// load-weighted goodput sum: each client's goodput is scaled by its
+/// offered-load fraction, so Algorithm 2 stops optimizing for clients
+/// with nothing to send. Weights are fixed for the oracle's lifetime
+/// (they join the association in the "rebuild on change" contract), so
+/// the per-cell memo keys need no extra bits. With no weights the
+/// result is bit-identical to the unweighted evaluator.
 class CachedOracle {
  public:
   CachedOracle(const sim::Wlan& wlan, net::Association assoc,
-               mac::TrafficType traffic = mac::TrafficType::kUdp);
+               mac::TrafficType traffic = mac::TrafficType::kUdp,
+               std::vector<double> client_weights = {});
 
   /// Aggregate network goodput under `assignment`; bit-identical to
-  /// wlan.evaluate(assoc, assignment, traffic).total_goodput_bps.
+  /// wlan.evaluate(assoc, assignment, traffic).total_goodput_bps when
+  /// no client weights were supplied, otherwise the weighted sum
+  /// described above.
   double total_bps(const net::ChannelAssignment& assignment) const;
 
   const net::Association& association() const { return assoc_; }
@@ -80,7 +91,8 @@ class CachedOracle {
   const sim::Wlan& wlan_;
   net::Association assoc_;
   mac::TrafficType traffic_;
-  sim::NetSnapshot snap_;  // graph + flat link state, built once
+  std::vector<double> weights_;  // empty = unweighted objective
+  sim::NetSnapshot snap_;        // graph + flat link state, built once
 
   mutable std::mutex mutex_;  // guards memo_, share_memo_ and stats_
   mutable std::vector<std::unordered_map<CellKey, double, CellKeyHash>> memo_;

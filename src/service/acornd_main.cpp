@@ -2,7 +2,8 @@
 //
 // Usage:
 //   acornd --unix /run/acorn.sock [--tcp PORT] [--state-dir DIR]
-//          [--epoch-s SECONDS] [--hysteresis FACTOR] [--log]
+//          [--epoch-s SECONDS] [--hysteresis FACTOR] [--wal-flush-us N]
+//          [--follow ENDPOINT] [--log]
 //
 // Runs until SIGINT/SIGTERM or a Shutdown request arrives on the wire;
 // either way every shard drains its queue and writes a final snapshot
@@ -27,18 +28,26 @@ void on_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--unix PATH] [--tcp PORT] [--state-dir DIR]\n"
-               "          [--epoch-s SECONDS] [--hysteresis FACTOR] [--log]\n"
+               "          [--epoch-s SECONDS] [--hysteresis FACTOR]\n"
+               "          [--wal-flush-us N] [--follow ENDPOINT] [--log]\n"
                "\n"
                "At least one of --unix / --tcp is required.\n"
                "  --unix PATH        listen on a Unix domain socket\n"
                "  --tcp PORT         listen on 127.0.0.1:PORT (0 = ephemeral,\n"
                "                     chosen port is printed on startup)\n"
-               "  --state-dir DIR    persist per-WLAN snapshots and recover\n"
-               "                     them on startup\n"
+               "  --state-dir DIR    persist per-WLAN snapshots + event logs\n"
+               "                     and recover them on startup\n"
                "  --epoch-s SECONDS  reconfiguration period (default 1.0;\n"
                "                     0 = only on force-reconfigure)\n"
                "  --hysteresis F     width-switch advantage factor "
                "(default 1.05)\n"
+               "  --wal-flush-us N   WAL group-commit bound in microseconds:\n"
+               "                     max time a record may sit unflushed "
+               "under\n"
+               "                     backlog (default 200; 0 = sync per "
+               "event)\n"
+               "  --follow ENDPOINT  run as a warm standby replicating the\n"
+               "                     leader at unix:/path or host:port\n"
                "  --log              per-epoch and periodic stats on stderr\n",
                argv0);
   return 2;
@@ -71,6 +80,10 @@ int main(int argc, char** argv) {
       config.epoch_s = std::atof(value());
     } else if (arg == "--hysteresis") {
       config.width_hysteresis = std::atof(value());
+    } else if (arg == "--wal-flush-us") {
+      config.wal_flush_us = static_cast<std::uint32_t>(std::atol(value()));
+    } else if (arg == "--follow") {
+      config.follow = value();
     } else if (arg == "--log") {
       config.log = true;
     } else if (arg == "--help" || arg == "-h") {

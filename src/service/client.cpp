@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -104,6 +105,15 @@ Client Client::connect(const std::string& endpoint) {
   }
   return connect_tcp(host.empty() ? "127.0.0.1" : host,
                      static_cast<std::uint16_t>(port));
+}
+
+void Client::set_recv_timeout_ms(long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
 }
 
 std::uint32_t Client::send(const Message& msg) {

@@ -27,6 +27,11 @@ class Client {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Bound every subsequent recv() read by `ms` (SO_RCVTIMEO); an
+  /// expired wait surfaces as std::system_error with EAGAIN /
+  /// EWOULDBLOCK. 0 restores blocking reads.
+  void set_recv_timeout_ms(long ms);
+
   /// Send one request frame; returns its sequence number.
   std::uint32_t send(const Message& msg);
   /// Block for the next complete frame. Throws WireError on garbage and

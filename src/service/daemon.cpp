@@ -1,5 +1,9 @@
 #include "service/daemon.hpp"
 
+#include "service/client.hpp"
+#include "service/eventlog.hpp"
+#include "service/snapshot.hpp"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -102,6 +106,9 @@ void Daemon::start() {
 
   running_.store(true);
   loop_thread_ = std::thread([this] { loop(); });
+  if (!config_.follow.empty()) {
+    follow_thread_ = std::thread([this] { follow_loop(); });
+  }
 }
 
 void Daemon::request_stop() {
@@ -113,6 +120,7 @@ void Daemon::request_stop() {
 void Daemon::stop() {
   request_stop();
   if (loop_thread_.joinable()) loop_thread_.join();
+  if (follow_thread_.joinable()) follow_thread_.join();
 
   {
     const std::lock_guard<std::mutex> lock(shards_mutex_);
@@ -137,19 +145,44 @@ void Daemon::wait() {
 
 bool Daemon::running() const { return running_.load(); }
 
+ShardOptions Daemon::shard_options(double epoch_s) const {
+  ShardOptions opts;
+  opts.epoch_s = epoch_s;
+  opts.width_hysteresis = config_.width_hysteresis;
+  opts.state_dir = config_.state_dir;
+  opts.wal_flush_us = config_.wal_flush_us;
+  opts.log_epochs = config_.log;
+  return opts;
+}
+
+std::unique_ptr<WlanShard> Daemon::make_shard(ShardOptions opts,
+                                              WlanSnapshot state,
+                                              std::vector<WalRecord> replay) {
+  return std::make_unique<WlanShard>(
+      std::move(opts), std::move(state),
+      [this](std::uint64_t conn_id, std::chrono::steady_clock::time_point t0,
+             std::vector<std::uint8_t> frame) {
+        post_completion(Completion{conn_id, t0, std::move(frame)});
+      },
+      std::move(replay));
+}
+
 void Daemon::recover_shards() {
+  // Followers recover their local state too, but with epoch timers off:
+  // once the leader stream attaches, epochs arrive as log records.
+  const double epoch_s = config_.follow.empty() ? config_.epoch_s : 0.0;
   for (WlanSnapshot& snap : load_snapshots(config_.state_dir)) {
     const std::uint32_t id = snap.wlan_id;
     try {
-      ShardOptions opts{config_.epoch_s, config_.width_hysteresis,
-                        config_.state_dir, config_.log};
-      auto shard = std::make_unique<WlanShard>(
-          opts, std::move(snap),
-          [this](std::uint64_t conn_id,
-                 std::chrono::steady_clock::time_point t0,
-                 std::vector<std::uint8_t> frame) {
-            post_completion(Completion{conn_id, t0, std::move(frame)});
-          });
+      WalLoadResult wal = load_wal(config_.state_dir, id);
+      if (!wal.clean) {
+        std::fprintf(stderr,
+                     "acornd: wlan %u: WAL tail torn/corrupt, replaying "
+                     "%zu intact records\n",
+                     id, wal.records.size());
+      }
+      auto shard = make_shard(shard_options(epoch_s), std::move(snap),
+                              std::move(wal.records));
       shard->start();
       const std::lock_guard<std::mutex> lock(shards_mutex_);
       shards_.emplace(id, std::move(shard));
@@ -343,14 +376,7 @@ void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
       WlanSnapshot fresh;
       fresh.wlan_id = reg->wlan_id;
       fresh.deployment = reg->deployment;
-      ShardOptions opts{config_.epoch_s, config_.width_hysteresis,
-                        config_.state_dir, config_.log};
-      shard = std::make_unique<WlanShard>(
-          opts, std::move(fresh),
-          [this](std::uint64_t cid, std::chrono::steady_clock::time_point t,
-                 std::vector<std::uint8_t> bytes) {
-            post_completion(Completion{cid, t, std::move(bytes)});
-          });
+      shard = make_shard(shard_options(config_.epoch_s), std::move(fresh));
     } catch (const std::exception& e) {
       reply_now(conn_id, seq,
                 ErrorReply{static_cast<std::uint16_t>(
@@ -360,9 +386,16 @@ void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
       return;
     }
     shard->start();
+    WlanShard* raw = shard.get();
     {
       const std::lock_guard<std::mutex> lock(shards_mutex_);
       shards_.emplace(reg->wlan_id, std::move(shard));
+    }
+    // Followers that subscribed before this WLAN existed get its
+    // snapshot now and its log records from here on.
+    for (const std::uint64_t follower : follower_conns_) {
+      raw->submit(WlanShard::Job{WlanShard::Job::Kind::kAttachFollower,
+                                 follower, 0, t0, Message{}});
     }
     reply_now(conn_id, seq, OkReply{static_cast<std::int32_t>(reg->wlan_id)},
               t0);
@@ -389,8 +422,30 @@ void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
     shard->stop();
     if (!config_.state_dir.empty()) {
       remove_snapshot(config_.state_dir, rem->wlan_id);
+      remove_wal(config_.state_dir, rem->wlan_id);
+    }
+    // Tell followers to tear the WLAN down too. record_seq 0 marks a
+    // control record (not part of any shard's event ordinals).
+    if (!follower_conns_.empty()) {
+      const std::vector<std::uint8_t> bytes = encode_frame(
+          0, LogRecordFrame{rem->wlan_id, 0,
+                            encode_payload(0, RemoveWlan{rem->wlan_id})});
+      for (const std::uint64_t follower : follower_conns_) {
+        enqueue_bytes(follower, bytes);
+      }
     }
     reply_now(conn_id, seq, OkReply{}, t0);
+    return;
+  }
+
+  if (std::get_if<FollowLog>(&frame.msg) != nullptr) {
+    reply_now(conn_id, seq, OkReply{}, t0);
+    follower_conns_.insert(conn_id);
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (auto& [id, shard] : shards_) {
+      shard->submit(WlanShard::Job{WlanShard::Job::Kind::kAttachFollower,
+                                   conn_id, 0, t0, Message{}});
+    }
     return;
   }
 
@@ -420,7 +475,8 @@ void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
               t0);
     return;
   }
-  shard->submit(WlanShard::Job{conn_id, seq, t0, std::move(frame.msg)});
+  shard->submit(WlanShard::Job{WlanShard::Job::Kind::kMessage, conn_id, seq,
+                               t0, std::move(frame.msg)});
 }
 
 WlanShard* Daemon::find_shard(std::uint32_t wlan_id) {
@@ -478,6 +534,15 @@ void Daemon::close_conn(std::uint64_t conn_id) {
   if (it == conns_.end()) return;
   ::close(it->second.fd);
   conns_.erase(it);
+  if (follower_conns_.erase(conn_id) != 0) {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (auto& [id, shard] : shards_) {
+      shard->submit(WlanShard::Job{WlanShard::Job::Kind::kDetachFollower,
+                                   conn_id, 0,
+                                   std::chrono::steady_clock::now(),
+                                   Message{}});
+    }
+  }
 }
 
 void Daemon::drain_completions() {
@@ -505,15 +570,136 @@ StatsReply Daemon::stats() const {
     const ShardCounters c = shard->counters();
     s.epochs_total += c.epochs;
     s.snapshots_written += c.snapshots_written;
+    s.wal_records += c.wal_records;
+    s.wal_flushes += c.wal_flushes;
     s.channel_switches += c.channel_switches;
     s.width_switches += c.width_switches;
     s.assoc_changes += c.assoc_changes;
     s.oracle_cell_evals += c.oracle_cell_evals;
     s.oracle_cell_hits += c.oracle_cell_hits;
+    s.oracle_share_evals += c.oracle_share_evals;
     s.oracle_share_hits += c.oracle_share_hits;
     if (c.last_epoch_ms > 0.0) s.last_epoch_ms = c.last_epoch_ms;
   }
   return s;
+}
+
+std::vector<std::uint32_t> Daemon::wlan_ids() const {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::vector<std::uint32_t> ids;
+  ids.reserve(shards_.size());
+  for (const auto& [id, shard] : shards_) ids.push_back(id);
+  return ids;
+}
+
+std::optional<WlanSnapshot> Daemon::wlan_state(std::uint32_t wlan_id) const {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const auto it = shards_.find(wlan_id);
+  if (it == shards_.end()) return std::nullopt;
+  return it->second->state_snapshot();
+}
+
+void Daemon::follow_session() {
+  Client client = Client::connect(config_.follow);
+  // Short read timeout so shutdown is noticed promptly; an expired wait
+  // surfaces as EAGAIN and just re-checks running_.
+  client.set_recv_timeout_ms(100);
+  client.send(Message{FollowLog{}});
+  // Per-WLAN high-water mark of applied record ordinals. Records at or
+  // below it are duplicates from a re-subscription; a gap above it means
+  // the stream desynchronized and the session restarts from a fresh
+  // snapshot.
+  std::map<std::uint32_t, std::uint64_t> applied;
+  while (running_.load()) {
+    Frame frame;
+    try {
+      frame = client.recv();
+    } catch (const std::system_error& e) {
+      if (e.code() == std::errc::resource_unavailable_try_again ||
+          e.code() == std::errc::operation_would_block ||
+          e.code() == std::errc::timed_out) {
+        continue;
+      }
+      throw;
+    }
+
+    if (auto* sf = std::get_if<SnapshotFrame>(&frame.msg)) {
+      WlanSnapshot snap = decode_snapshot(sf->snapshot);
+      const std::uint32_t id = snap.wlan_id;
+      applied[id] = snap.events_applied;
+      auto shard = make_shard(shard_options(0.0), std::move(snap));
+      shard->start();
+      std::unique_ptr<WlanShard> old;
+      {
+        const std::lock_guard<std::mutex> lock(shards_mutex_);
+        auto [it, inserted] = shards_.emplace(id, nullptr);
+        old = std::exchange(it->second, std::move(shard));
+      }
+      if (old) old->stop();
+      continue;
+    }
+
+    if (auto* rec = std::get_if<LogRecordFrame>(&frame.msg)) {
+      const std::uint32_t id = rec->wlan_id;
+      const Frame payload = decode_payload(rec->payload);
+      if (rec->record_seq == 0) {
+        // Control record, outside any shard's event ordinals.
+        if (std::get_if<RemoveWlan>(&payload.msg) != nullptr) {
+          std::unique_ptr<WlanShard> victim;
+          {
+            const std::lock_guard<std::mutex> lock(shards_mutex_);
+            const auto it = shards_.find(id);
+            if (it != shards_.end()) {
+              victim = std::move(it->second);
+              shards_.erase(it);
+            }
+          }
+          if (victim) victim->stop();
+          if (!config_.state_dir.empty()) {
+            remove_snapshot(config_.state_dir, id);
+            remove_wal(config_.state_dir, id);
+          }
+          applied.erase(id);
+        }
+        continue;
+      }
+      const auto it = applied.find(id);
+      if (it == applied.end()) continue;   // no snapshot seen for this WLAN
+      if (rec->record_seq <= it->second) continue;  // duplicate
+      if (rec->record_seq != it->second + 1) {
+        throw std::runtime_error("replicated log gap (expected " +
+                                 std::to_string(it->second + 1) + ", got " +
+                                 std::to_string(rec->record_seq) + ")");
+      }
+      if (WlanShard* shard = find_shard(id)) {
+        // conn id 0 never matches a live connection, so the shard's
+        // reply completion is dropped on the floor — the leader already
+        // answered the originating client.
+        shard->submit(WlanShard::Job{WlanShard::Job::Kind::kMessage, 0, 0,
+                                     std::chrono::steady_clock::now(),
+                                     payload.msg});
+      }
+      it->second = rec->record_seq;
+      continue;
+    }
+    // OkReply acknowledging the subscription (or anything else): ignore.
+  }
+}
+
+void Daemon::follow_loop() {
+  while (running_.load()) {
+    try {
+      follow_session();
+    } catch (const std::exception& e) {
+      if (running_.load()) {
+        std::fprintf(stderr, "acornd: follow %s: %s (reconnecting)\n",
+                     config_.follow.c_str(), e.what());
+      }
+    }
+    for (int i = 0; i < 5 && running_.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
 }
 
 }  // namespace acorn::service

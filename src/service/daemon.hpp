@@ -16,8 +16,19 @@
 // desynchronized no later frame boundary can be trusted.
 //
 // On startup with a state directory, every `wlan_*.snap` snapshot is
-// recovered into a live shard before the listeners open, so clients see
-// the pre-crash state from the first accepted connection.
+// recovered into a live shard — followed by a replay of that WLAN's
+// write-ahead log suffix (service/eventlog.hpp), so events acknowledged
+// after the last epoch snapshot survive a crash too — before the
+// listeners open, so clients see the pre-crash state from the first
+// accepted connection.
+//
+// Replication: a connection that sends FollowLog becomes a *follower* —
+// it receives every shard's state as a SnapshotFrame and from then on
+// every durable (fsynced) event as a LogRecordFrame, in order.
+// Conversely a daemon started with `follow` set connects to that
+// endpoint as a warm standby: it applies the streamed snapshot + log
+// records through the same deterministic shard pipeline, so its state
+// is byte-identical to the leader's durable state.
 #pragma once
 
 #include <chrono>
@@ -25,6 +36,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,7 +49,8 @@
 namespace acorn::service {
 
 struct DaemonConfig {
-  /// Snapshot directory (created if missing); empty = no persistence.
+  /// Snapshot + WAL directory (created if missing); empty = no
+  /// persistence.
   std::string state_dir;
   /// Bind a TCP listener on 127.0.0.1:`tcp_port` (0 = ephemeral port,
   /// readable via Daemon::tcp_port()). Disabled when `tcp` is false.
@@ -47,6 +61,13 @@ struct DaemonConfig {
   /// Shard reconfiguration period (seconds); <= 0 = only on demand.
   double epoch_s = 1.0;
   double width_hysteresis = 1.05;
+  /// WAL group-commit window (microseconds); see ShardOptions.
+  std::uint32_t wal_flush_us = 200;
+  /// Leader endpoint (`unix:/path` or `host:port`) to follow as a warm
+  /// standby; empty = normal (leader) operation. A following daemon
+  /// mirrors the leader's WLANs with epoch timers disabled — epochs
+  /// arrive as replicated ForceReconfigure records.
+  std::string follow;
   /// Emit per-epoch and periodic stats log lines to stderr.
   bool log = false;
 };
@@ -80,6 +101,12 @@ class Daemon {
   /// Aggregated daemon + shard statistics (same data as a StatsReply).
   StatsReply stats() const;
 
+  /// Registered WLAN ids, ascending.
+  std::vector<std::uint32_t> wlan_ids() const;
+  /// Current durable state of one WLAN (what its next snapshot would
+  /// contain), or nullopt when the id is not registered.
+  std::optional<WlanSnapshot> wlan_state(std::uint32_t wlan_id) const;
+
  private:
   struct Conn {
     int fd = -1;
@@ -107,6 +134,13 @@ class Daemon {
   void post_completion(Completion c);
   void recover_shards();
   WlanShard* find_shard(std::uint32_t wlan_id);
+  ShardOptions shard_options(double epoch_s) const;
+  std::unique_ptr<WlanShard> make_shard(ShardOptions opts, WlanSnapshot state,
+                                        std::vector<WalRecord> replay = {});
+  void follow_loop();
+  /// One leader session: connect, subscribe, apply frames until error
+  /// or shutdown. Returns normally on clean EOF/desync (caller retries).
+  void follow_session();
 
   DaemonConfig config_;
   ServiceMetrics metrics_;
@@ -122,6 +156,8 @@ class Daemon {
 
   std::map<std::uint64_t, Conn> conns_;  // loop thread only
   std::uint64_t next_conn_id_ = 1;       // loop thread only
+  /// Connections subscribed via FollowLog; loop thread only.
+  std::set<std::uint64_t> follower_conns_;
   /// Listeners are not polled before this instant (set after a hard
   /// accept() failure such as EMFILE); loop thread only.
   std::chrono::steady_clock::time_point listener_pause_until_{};
@@ -131,6 +167,8 @@ class Daemon {
 
   std::mutex comp_mutex_;
   std::vector<Completion> completions_;
+
+  std::thread follow_thread_;  // runs follow_loop() when config_.follow set
 };
 
 }  // namespace acorn::service

@@ -1,0 +1,187 @@
+#include "service/eventlog.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "service/wire.hpp"
+
+namespace acorn::service {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 6;        // u32 magic + u16 version
+constexpr std::size_t kRecordOverhead = 20;    // u32 len + u64 seq + u64 fnv
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_header(ByteWriter& w) {
+  w.u32(kWalMagic);
+  w.u16(kWalVersion);
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::write(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string wal_path(const std::string& dir, std::uint32_t wlan_id) {
+  return dir + "/wlan_" + std::to_string(wlan_id) + ".wal";
+}
+
+void remove_wal(const std::string& dir, std::uint32_t wlan_id) {
+  ::unlink(wal_path(dir, wlan_id).c_str());
+}
+
+std::vector<std::uint8_t> encode_wal_record(
+    std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(seq);
+  w.bytes(payload);
+  const std::uint64_t checksum = fnv1a(w.data());
+  w.u64(checksum);
+  return w.take();
+}
+
+WalLoadResult load_wal(const std::string& dir, std::uint32_t wlan_id) {
+  WalLoadResult out;
+  const std::string path = wal_path(dir, wlan_id);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // no log: empty, clean
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  if (bytes.empty()) return out;  // freshly truncated: empty, clean
+  if (bytes.size() < kHeaderBytes) {
+    out.clean = false;  // torn mid-header
+    return out;
+  }
+  {
+    ByteReader r(std::span<const std::uint8_t>(bytes.data(), kHeaderBytes));
+    if (r.u32() != kWalMagic || r.u16() != kWalVersion) {
+      out.clean = false;
+      return out;
+    }
+  }
+  std::size_t pos = kHeaderBytes;
+  std::uint64_t prev_seq = 0;
+  while (pos < bytes.size()) {
+    const std::size_t left = bytes.size() - pos;
+    if (left < kRecordOverhead) {
+      out.clean = false;  // torn tail: partial record header/trailer
+      break;
+    }
+    ByteReader hdr(std::span<const std::uint8_t>(bytes.data() + pos, 12));
+    const std::uint32_t len = hdr.u32();
+    const std::uint64_t seq = hdr.u64();
+    if (len > kMaxFramePayload || left < kRecordOverhead + len) {
+      out.clean = false;  // garbage length or torn payload
+      break;
+    }
+    const std::span<const std::uint8_t> body(bytes.data() + pos, 12 + len);
+    ByteReader trailer(
+        std::span<const std::uint8_t>(bytes.data() + pos + 12 + len, 8));
+    if (trailer.u64() != fnv1a(body)) {
+      out.clean = false;  // bit rot or torn rewrite
+      break;
+    }
+    if (!out.records.empty() && seq != prev_seq + 1) {
+      out.clean = false;  // ordinal gap: refuse the rest of the log
+      break;
+    }
+    WalRecord rec;
+    rec.seq = seq;
+    rec.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos + 12),
+                       bytes.begin() +
+                           static_cast<std::ptrdiff_t>(pos + 12 + len));
+    prev_seq = seq;
+    out.records.push_back(std::move(rec));
+    pos += kRecordOverhead + len;
+  }
+  return out;
+}
+
+bool WalWriter::open(const std::string& dir, std::uint32_t wlan_id) {
+  close();
+  const std::string path = wal_path(dir, wlan_id);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  file_size_ = static_cast<std::uint64_t>(size);
+  buf_.clear();
+  return true;
+}
+
+void WalWriter::append(std::uint64_t seq,
+                       std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return;
+  if (file_size_ == 0 && buf_.empty()) {
+    ByteWriter w;
+    put_header(w);
+    buf_.insert(buf_.end(), w.data().begin(), w.data().end());
+  }
+  const std::vector<std::uint8_t> rec = encode_wal_record(seq, payload);
+  buf_.insert(buf_.end(), rec.begin(), rec.end());
+}
+
+bool WalWriter::sync() {
+  if (fd_ < 0) return false;
+  if (!buf_.empty()) {
+    if (!write_all(fd_, buf_.data(), buf_.size())) return false;
+    file_size_ += buf_.size();
+    buf_.clear();
+  }
+  // fdatasync: the record payload and the file-size extension reach the
+  // journal; mtime/atime churn does not have to.
+  return ::fdatasync(fd_) == 0;
+}
+
+bool WalWriter::reset() {
+  buf_.clear();
+  if (fd_ < 0) return false;
+  if (file_size_ == 0) return true;
+  if (::ftruncate(fd_, 0) != 0) return false;
+  file_size_ = 0;
+  return true;
+}
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  file_size_ = 0;
+  buf_.clear();
+}
+
+}  // namespace acorn::service

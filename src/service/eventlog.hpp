@@ -1,0 +1,110 @@
+// Per-shard write-ahead event log for acornd.
+//
+// Snapshots (snapshot.hpp) persist full WLAN state once per epoch, which
+// leaves every event applied *between* epochs volatile: a crash loses
+// them even though the daemon already acknowledged them to the client.
+// The WAL closes that hole. Each shard appends every state-mutating wire
+// message (ClientJoin, ClientLeave, SnrUpdate, LoadUpdate,
+// ForceReconfigure) to `<dir>/wlan_<id>.wal` *before* the reply is
+// released, and recovery replays the log suffix on top of the newest
+// snapshot. Because the whole controller pipeline is deterministic,
+// replaying the same records reproduces byte-identical state.
+//
+// File layout: a fixed header, then records back to back.
+//
+//   header:  [u32 magic "ACWL"][u16 version]
+//   record:  [u32 payload_len][u64 seq][payload][u64 fnv1a]
+//
+// `payload` is a wire payload (version/type/seq/body — the bytes
+// encode_payload produces, no length prefix), so the WAL reuses the wire
+// codec verbatim. `seq` is the shard's events-applied ordinal after the
+// record's message was applied; recovery replays only records with
+// seq > snapshot.events_applied, which makes a crash *between* the epoch
+// snapshot rename and the log truncation harmless (the stale prefix is
+// skipped, not replayed twice). The trailing checksum is the same FNV-1a
+// the snapshot trailer uses, computed over the record's header bytes and
+// payload.
+//
+// Appends are buffered in memory and hit the disk in one write+fsync per
+// `sync()` — the group-commit flush the shard batches acknowledgements
+// behind. A crash can therefore tear the final record (partial write) or
+// lose buffered-but-unsynced records; both only affect events whose
+// replies were never released, so an *acknowledged* event is always
+// durable. `load_wal` stops at the first torn, corrupt, or out-of-order
+// record and returns the valid prefix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acorn::service {
+
+inline constexpr std::uint32_t kWalMagic = 0x4c574341;  // "ACWL"
+inline constexpr std::uint16_t kWalVersion = 1;
+
+/// One replayable event: a wire payload plus its events-applied ordinal.
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct WalLoadResult {
+  std::vector<WalRecord> records;
+  /// False when the scan stopped early (torn tail after a crash, header
+  /// or checksum corruption) — `records` still holds the valid prefix.
+  bool clean = true;
+};
+
+/// `<dir>/wlan_<id>.wal`, shared by the writer and recovery.
+std::string wal_path(const std::string& dir, std::uint32_t wlan_id);
+
+/// Delete a WLAN's log (after an explicit RemoveWlan).
+void remove_wal(const std::string& dir, std::uint32_t wlan_id);
+
+/// Read and verify a log. A missing file is an empty, clean log.
+WalLoadResult load_wal(const std::string& dir, std::uint32_t wlan_id);
+
+/// Serialize one record (header + payload + checksum) — exposed so tests
+/// can craft logs byte-for-byte.
+std::vector<std::uint8_t> encode_wal_record(std::uint64_t seq,
+                                            std::span<const std::uint8_t>
+                                                payload);
+
+/// Buffered appender. Not thread-safe: owned by one shard thread.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { close(); }
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Open (creating if absent) `<dir>/wlan_<id>.wal` for appending.
+  /// Returns false on I/O failure, leaving the writer closed.
+  bool open(const std::string& dir, std::uint32_t wlan_id);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Queue one record in the in-memory buffer (no syscall). The header
+  /// is queued first on an empty file.
+  void append(std::uint64_t seq, std::span<const std::uint8_t> payload);
+
+  /// Flush the buffer to disk and fsync — the group-commit barrier.
+  /// Returns false on I/O failure (buffer retained for retry).
+  bool sync();
+
+  /// Drop all log contents (buffered and on disk): the snapshot that
+  /// was just written covers them. Returns false on I/O failure.
+  bool reset();
+
+  std::size_t buffered_bytes() const { return buf_.size(); }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t file_size_ = 0;  // bytes durably on disk
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace acorn::service

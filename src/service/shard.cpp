@@ -24,7 +24,7 @@ core::AcornConfig controller_config(const sim::DeploymentSpec& spec) {
 }  // namespace
 
 WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
-                     CompletionFn post)
+                     CompletionFn post, std::vector<WalRecord> replay)
     : options_(std::move(options)),
       wlan_id_(state.wlan_id),
       deployment_text_(state.deployment),
@@ -64,7 +64,7 @@ WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
   for (const LossOverride& o : state.loss_overrides) {
     if (o.ap >= static_cast<std::uint32_t>(n_aps) ||
         o.client >= static_cast<std::uint32_t>(n_clients) ||
-        !std::isfinite(o.loss_db)) {
+        !std::isfinite(o.loss_db) || o.loss_db < 0.0) {
       throw std::invalid_argument("snapshot loss override out of range");
     }
     wlan_.budget().set_ap_client_loss_db(static_cast<int>(o.ap),
@@ -73,13 +73,55 @@ WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
     loss_overrides_[{o.ap, o.client}] = o.loss_db;
   }
   for (const LoadHint& l : state.loads) {
-    if (!std::isfinite(l.load)) {
-      throw std::invalid_argument("snapshot load hint not finite");
+    // Same bounds the wire path enforces: a corrupt snapshot must not
+    // inject out-of-range client ids that re-persist forever.
+    if (l.client >= static_cast<std::uint32_t>(n_clients) ||
+        !std::isfinite(l.load) || l.load < 0.0) {
+      throw std::invalid_argument("snapshot load hint out of range");
     }
     loads_[l.client] = l.load;
   }
+  for (const std::uint32_t c : state.dirty_clients) {
+    if (c >= static_cast<std::uint32_t>(n_clients)) {
+      throw std::invalid_argument("snapshot dirty client out of range");
+    }
+    dirty_clients_.insert(static_cast<int>(c));
+  }
   epoch_ = state.epoch;
   events_applied_ = state.events_applied;
+
+  // Replay the WAL suffix: records the snapshot does not cover, applied
+  // through the same code path that produced them. Determinism makes
+  // the result byte-identical to the pre-crash state. Any gap, decode
+  // failure, or rejected record ends the replay (the remainder of the
+  // log cannot be trusted).
+  if (!replay.empty()) {
+    replaying_ = true;
+    std::uint64_t replayed = 0;
+    for (const WalRecord& rec : replay) {
+      if (rec.seq <= events_applied_) continue;  // superseded by snapshot
+      if (rec.seq != events_applied_ + 1) break;
+      try {
+        const Frame f = decode_payload(rec.payload);
+        apply_locked(f.msg);
+      } catch (const WireError&) {
+        break;
+      }
+      if (events_applied_ != rec.seq) break;  // record did not apply
+      ++replayed;
+    }
+    replaying_ = false;
+    if (replayed > 0 && options_.log_epochs) {
+      std::fprintf(stderr, "acornd: wlan %u: replayed %llu WAL record(s)\n",
+                   wlan_id_, static_cast<unsigned long long>(replayed));
+    }
+  }
+
+  if (!options_.state_dir.empty() &&
+      !wal_.open(options_.state_dir, wlan_id_)) {
+    std::fprintf(stderr, "acornd: wlan %u: cannot open WAL in %s\n", wlan_id_,
+                 options_.state_dir.c_str());
+  }
 }
 
 WlanShard::~WlanShard() { stop(); }
@@ -89,6 +131,17 @@ void WlanShard::start() {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     if (running_) return;
     running_ = true;
+  }
+  // Checkpoint before accepting events: a fresh registration is durable
+  // immediately (not only after its first epoch), and a recovery's
+  // replayed WAL prefix is compacted into the snapshot it rebuilt.
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (write_snapshot_locked()) {
+      wal_base_seq_ = events_applied_;
+      if (wal_.is_open()) wal_.reset();
+    }
+    publish_counters_locked();
   }
   next_epoch_ = options_.epoch_s > 0.0
                     ? std::chrono::steady_clock::now() +
@@ -107,6 +160,9 @@ void WlanShard::stop() {
   }
   queue_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  // The mailbox is drained and the worker is gone: make the state
+  // durable and release any replies still withheld behind the
+  // group-commit window.
   write_state_snapshot();
 }
 
@@ -118,10 +174,24 @@ void WlanShard::submit(Job job) {
   queue_cv_.notify_one();
 }
 
+std::chrono::steady_clock::time_point WlanShard::flush_deadline() const {
+  return first_unflushed_ + std::chrono::microseconds(options_.wal_flush_us);
+}
+
 void WlanShard::run() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   while (true) {
     if (!jobs_.empty()) {
+      // Under a sustained backlog the mailbox never drains, so bound
+      // how long buffered records (and their withheld replies) can
+      // wait: sync mid-backlog once the flush window expires.
+      if (wal_dirty_ &&
+          std::chrono::steady_clock::now() >= flush_deadline()) {
+        lock.unlock();
+        flush_wal(/*need_sync=*/true);
+        lock.lock();
+        continue;
+      }
       Job job = std::move(jobs_.front());
       jobs_.pop_front();
       lock.unlock();
@@ -129,26 +199,102 @@ void WlanShard::run() {
       lock.lock();
       continue;
     }
-    if (!running_) break;
-    if (queue_cv_.wait_until(lock, next_epoch_) == std::cv_status::timeout &&
-        running_ && jobs_.empty()) {
+    if (!running_) break;  // stop() flushes after the join
+    if (wal_dirty_) {
+      // Idle with buffered records: nothing is queued behind them, so
+      // waiting out the flush window buys no extra batching — sync now
+      // and release the withheld replies.
+      lock.unlock();
+      flush_wal(/*need_sync=*/true);
+      lock.lock();
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= next_epoch_) {
       lock.unlock();
       run_epoch();
       lock.lock();
+      continue;
     }
+    queue_cv_.wait_until(lock, next_epoch_);
   }
 }
 
-void WlanShard::process(Job& job) {
-  Message reply = apply(job.msg);
-  post_(job.conn_id, job.t0, encode_frame(job.seq, std::move(reply)));
+bool WlanShard::loggable(const Message& msg) {
+  return std::holds_alternative<ClientJoin>(msg) ||
+         std::holds_alternative<ClientLeave>(msg) ||
+         std::holds_alternative<SnrUpdate>(msg) ||
+         std::holds_alternative<LoadUpdate>(msg) ||
+         std::holds_alternative<ForceReconfigure>(msg);
 }
 
-Message WlanShard::apply(const Message& msg) {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
-  Message reply = apply_locked(msg);
-  publish_counters_locked();
-  return reply;
+void WlanShard::process(Job& job) {
+  const auto now = std::chrono::steady_clock::now();
+  if (job.kind == Job::Kind::kAttachFollower) {
+    // Snapshot-then-stream: the frame carries everything applied so
+    // far; every later durable record is forwarded in flush_wal. (Any
+    // records already pending re-cover a prefix of the snapshot — the
+    // follower skips them by ordinal.)
+    std::vector<std::uint8_t> bytes;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      bytes = encode_snapshot(build_snapshot_locked());
+    }
+    followers_.push_back(job.conn_id);
+    post_(job.conn_id, job.t0,
+          encode_frame(0, SnapshotFrame{std::move(bytes)}));
+    return;
+  }
+  if (job.kind == Job::Kind::kDetachFollower) {
+    std::erase(followers_, job.conn_id);
+    return;
+  }
+
+  std::vector<std::uint8_t> frame;
+  bool logged = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const bool mutating = loggable(job.msg);
+    const std::uint64_t before = events_applied_;
+    Message reply = apply_locked(job.msg);
+    frame = encode_frame(job.seq, reply);
+    if (mutating && events_applied_ != before) {
+      const std::uint64_t seq = events_applied_;
+      std::vector<std::uint8_t> payload = encode_payload(0, job.msg);
+      // seq <= wal_base_seq_ means an epoch inside apply_locked already
+      // snapshotted this event; the log does not need it.
+      if (wal_.is_open() && seq > wal_base_seq_) {
+        wal_.append(seq, payload);
+        ++counters_.wal_records;
+        logged = true;
+      }
+      if (!followers_.empty()) {
+        pending_records_.push_back(WalRecord{seq, std::move(payload)});
+      }
+      if (seq > pending_max_seq_) pending_max_seq_ = seq;
+    }
+    publish_counters_locked();
+  }
+  if (logged && !wal_dirty_) {
+    wal_dirty_ = true;
+    first_unflushed_ = now;
+  }
+  if (logged || wal_dirty_ || !pending_replies_.empty()) {
+    // Withhold the reply until its record is durable; non-logged
+    // replies queue behind it to preserve per-connection FIFO order.
+    pending_replies_.push_back(PendingReply{job.conn_id, job.t0,
+                                           std::move(frame)});
+  } else {
+    post_(job.conn_id, job.t0, std::move(frame));
+  }
+  if (!wal_dirty_ || wal_base_seq_ >= pending_max_seq_) {
+    // Everything withheld is already durable (snapshot compaction, or
+    // logging is off entirely): release without an fsync.
+    if (!pending_replies_.empty() || !pending_records_.empty()) {
+      flush_wal(/*need_sync=*/false);
+    }
+    wal_dirty_ = false;
+  }
 }
 
 Message WlanShard::apply_locked(const Message& msg) {
@@ -168,13 +314,18 @@ Message WlanShard::apply_locked(const Message& msg) {
     assoc_[static_cast<std::size_t>(c)] = net::kUnassociated;
     const std::optional<int> ap =
         controller_.associate_client(wlan_, assoc_, operating_, c);
+    if (!ap.has_value()) {
+      // Failed probe: Algorithm 1 admits no AP right now. Keep the
+      // previous association instead of silently dropping the client.
+      assoc_[static_cast<std::size_t>(c)] = before;
+    }
     ++events_applied_;
     ++counters_.events;
     if (assoc_[static_cast<std::size_t>(c)] != before) {
       ++counters_.assoc_changes;
       invalidate_oracle();
     }
-    return OkReply{ap.value_or(net::kUnassociated)};
+    return OkReply{assoc_[static_cast<std::size_t>(c)]};
   }
   if (const auto* leave = std::get_if<ClientLeave>(&msg)) {
     if (leave->client >= static_cast<std::uint32_t>(n_clients)) {
@@ -222,7 +373,12 @@ Message WlanShard::apply_locked(const Message& msg) {
       return ErrorReply{static_cast<std::uint16_t>(ErrorCode::kBadArgument),
                         "load must be finite and non-negative"};
     }
+    const auto it = loads_.find(load->client);
+    const bool changed = it == loads_.end() || it->second != load->load;
     loads_[load->client] = load->load;
+    // The oracle's objective weights cells by offered load, so a load
+    // change is a real invalidation, not just bookkeeping.
+    if (changed) invalidate_oracle();
     ++events_applied_;
     ++counters_.events;
     return OkReply{};
@@ -254,9 +410,43 @@ Message WlanShard::apply_locked(const Message& msg) {
 }
 
 void WlanShard::run_epoch() {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
-  run_epoch_locked();
-  publish_counters_locked();
+  const auto now = std::chrono::steady_clock::now();
+  bool logged = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    // A timer-started epoch is an event in the replay stream: log and
+    // forward it as a synthesized ForceReconfigure, so recovery and
+    // followers re-run it at the same point in the sequence.
+    ++events_applied_;
+    const std::uint64_t seq = events_applied_;
+    run_epoch_locked();
+    if (wal_.is_open() || !followers_.empty()) {
+      std::vector<std::uint8_t> payload =
+          encode_payload(0, Message{ForceReconfigure{wlan_id_}});
+      // The epoch snapshot normally covers this event (seq ==
+      // wal_base_seq_); the record is only appended if it failed.
+      if (wal_.is_open() && seq > wal_base_seq_) {
+        wal_.append(seq, payload);
+        ++counters_.wal_records;
+        logged = true;
+      }
+      if (!followers_.empty()) {
+        pending_records_.push_back(WalRecord{seq, std::move(payload)});
+      }
+    }
+    if (seq > pending_max_seq_) pending_max_seq_ = seq;
+    publish_counters_locked();
+  }
+  if (logged && !wal_dirty_) {
+    wal_dirty_ = true;
+    first_unflushed_ = now;
+  }
+  if (!wal_dirty_ || wal_base_seq_ >= pending_max_seq_) {
+    if (!pending_replies_.empty() || !pending_records_.empty()) {
+      flush_wal(/*need_sync=*/false);
+    }
+    wal_dirty_ = false;
+  }
 }
 
 void WlanShard::run_epoch_locked() {
@@ -272,7 +462,11 @@ void WlanShard::run_epoch_locked() {
     const int before = assoc_[ci];
     if (before == net::kUnassociated) continue;  // joins probe themselves
     assoc_[ci] = net::kUnassociated;
-    controller_.associate_client(wlan_, assoc_, operating_, c);
+    const std::optional<int> ap =
+        controller_.associate_client(wlan_, assoc_, operating_, c);
+    // A failed probe must not strand an associated client: restore the
+    // AP it had (its link may have degraded, but it is still attached).
+    if (!ap.has_value()) assoc_[ci] = before;
     if (assoc_[ci] != before) {
       ++counters_.assoc_changes;
       assoc_changed = true;
@@ -317,7 +511,12 @@ void WlanShard::run_epoch_locked() {
 
   ++epoch_;
   ++counters_.epochs;
-  write_snapshot_locked();
+  if (write_snapshot_locked()) {
+    // The snapshot supersedes every logged record: truncate the WAL so
+    // recovery replays only what arrives after this point.
+    wal_base_seq_ = events_applied_;
+    if (wal_.is_open()) wal_.reset();
+  }
   counters_.last_epoch_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
@@ -341,9 +540,20 @@ void WlanShard::run_epoch_locked() {
 }
 
 void WlanShard::ensure_oracle() {
-  if (!oracle_) {
-    oracle_ = std::make_shared<core::CachedOracle>(wlan_, assoc_);
+  if (oracle_) return;
+  // Reported offered loads weight the objective: a client with load w
+  // contributes w times its goodput, so Algorithm 2 stops optimizing
+  // for clients with nothing to send. No hints = unweighted (and the
+  // oracle stays bit-identical to the plain evaluator).
+  std::vector<double> weights;
+  if (!loads_.empty()) {
+    weights.assign(assoc_.size(), 1.0);
+    for (const auto& [client, load] : loads_) {
+      weights[static_cast<std::size_t>(client)] = load;
+    }
   }
+  oracle_ = std::make_shared<core::CachedOracle>(
+      wlan_, assoc_, mac::TrafficType::kUdp, std::move(weights));
 }
 
 void WlanShard::invalidate_oracle() {
@@ -352,6 +562,7 @@ void WlanShard::invalidate_oracle() {
     const core::OracleCacheStats s = oracle_->stats();
     counters_.oracle_cell_evals += s.cell_evals;
     counters_.oracle_cell_hits += s.cell_hits;
+    counters_.oracle_share_evals += s.share_evals;
     counters_.oracle_share_hits += s.share_hits;
     oracle_.reset();
   }
@@ -374,20 +585,67 @@ WlanSnapshot WlanShard::build_snapshot_locked() const {
   for (const auto& [client, load] : loads_) {
     snap.loads.push_back(LoadHint{client, load});
   }
+  snap.dirty_clients.reserve(dirty_clients_.size());
+  for (const int c : dirty_clients_) {
+    snap.dirty_clients.push_back(static_cast<std::uint32_t>(c));
+  }
   return snap;
 }
 
-void WlanShard::write_snapshot_locked() {
-  if (options_.state_dir.empty()) return;
-  if (write_snapshot(options_.state_dir, build_snapshot_locked())) {
-    ++counters_.snapshots_written;
+bool WlanShard::write_snapshot_locked() {
+  if (options_.state_dir.empty() || replaying_) return false;
+  if (!write_snapshot(options_.state_dir, build_snapshot_locked())) {
+    return false;
   }
+  ++counters_.snapshots_written;
+  return true;
 }
 
 void WlanShard::write_state_snapshot() {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
-  write_snapshot_locked();
-  publish_counters_locked();
+  bool need_sync = wal_dirty_;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (write_snapshot_locked()) {
+      wal_base_seq_ = events_applied_;
+      if (wal_.is_open()) wal_.reset();
+      need_sync = false;
+    }
+    publish_counters_locked();
+  }
+  if (!pending_replies_.empty() || !pending_records_.empty() || need_sync) {
+    flush_wal(need_sync);
+  }
+  wal_dirty_ = false;
+}
+
+void WlanShard::flush_wal(bool need_sync) {
+  if (need_sync && wal_.is_open()) {
+    if (wal_.sync()) {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.wal_flushes;
+      publish_counters_locked();
+    } else {
+      // Releasing the replies anyway keeps clients from hanging, at the
+      // cost of the durability promise — loudly, so an operator sees a
+      // sick disk instead of a silent hole.
+      std::fprintf(stderr, "acornd: wlan %u: WAL fsync failed\n", wlan_id_);
+    }
+  }
+  if (!followers_.empty() && !pending_records_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::uint64_t conn : followers_) {
+      for (const WalRecord& rec : pending_records_) {
+        post_(conn, now,
+              encode_frame(0, LogRecordFrame{wlan_id_, rec.seq, rec.payload}));
+      }
+    }
+  }
+  pending_records_.clear();
+  for (PendingReply& p : pending_replies_) {
+    post_(p.conn_id, p.t0, std::move(p.frame));
+  }
+  pending_replies_.clear();
+  wal_dirty_ = false;
 }
 
 void WlanShard::publish_counters_locked() {
@@ -396,6 +654,7 @@ void WlanShard::publish_counters_locked() {
     const core::OracleCacheStats s = oracle_->stats();
     out.oracle_cell_evals += s.cell_evals;
     out.oracle_cell_hits += s.cell_hits;
+    out.oracle_share_evals += s.share_evals;
     out.oracle_share_hits += s.share_hits;
   }
   const std::lock_guard<std::mutex> lock(counters_mutex_);

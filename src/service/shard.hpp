@@ -26,7 +26,25 @@
 //
 // Durability: when a state directory is configured, the shard writes a
 // versioned snapshot (write-temp + fsync + atomic rename) at the end of
-// every epoch and once more on clean shutdown; see snapshot.hpp.
+// every epoch and once more on clean shutdown; see snapshot.hpp. The
+// events *between* epochs are covered by a per-shard write-ahead log
+// (eventlog.hpp): every applied mutating message is appended to the log
+// and its reply is withheld until a group-commit fsync — issued when
+// the mailbox drains, or after `wal_flush_us` under sustained backlog,
+// so a pipelined burst pays one fsync, not one per event. The epoch snapshot supersedes the
+// log, which is truncated right after a successful snapshot write.
+// Recovery = snapshot + replay of the log suffix (records whose ordinal
+// exceeds the snapshot's events_applied) through apply_locked; the
+// deterministic pipeline makes the result byte-identical to the
+// pre-crash state.
+//
+// Followers: a connection subscribed via FollowLog is attached to every
+// shard. On attach the shard emits its full state as a SnapshotFrame;
+// afterwards every durable record is forwarded as a LogRecordFrame (in
+// fsync batches, so a follower only ever sees acknowledged events).
+// Epochs the timer starts internally are logged and forwarded as
+// synthesized ForceReconfigure records, keeping replay and followers
+// deterministic.
 #pragma once
 
 #include <chrono>
@@ -43,6 +61,7 @@
 
 #include "core/controller.hpp"
 #include "core/oracle_cache.hpp"
+#include "service/eventlog.hpp"
 #include "service/snapshot.hpp"
 #include "service/wire.hpp"
 #include "sim/deployment_file.hpp"
@@ -56,8 +75,14 @@ struct ShardOptions {
   /// Required advantage factor before the width fallback switches a
   /// bonded AP's operating width.
   double width_hysteresis = 1.05;
-  /// Snapshot directory; empty disables persistence.
+  /// Snapshot + WAL directory; empty disables persistence.
   std::string state_dir;
+  /// Group-commit bound in microseconds: replies to logged events are
+  /// withheld until the WAL fsyncs. The shard syncs as soon as its
+  /// mailbox drains (an idle sync costs no batching opportunity);
+  /// under a sustained backlog this bounds how long records may sit
+  /// unflushed before a mid-backlog sync (0 = sync per event).
+  std::uint32_t wal_flush_us = 200;
   /// Emit a one-line epoch summary to stderr.
   bool log_epochs = false;
 };
@@ -67,11 +92,14 @@ struct ShardCounters {
   std::uint64_t events = 0;
   std::uint64_t epochs = 0;
   std::uint64_t snapshots_written = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_flushes = 0;
   std::uint64_t channel_switches = 0;
   std::uint64_t width_switches = 0;
   std::uint64_t assoc_changes = 0;
   std::uint64_t oracle_cell_evals = 0;
   std::uint64_t oracle_cell_hits = 0;
+  std::uint64_t oracle_share_evals = 0;
   std::uint64_t oracle_share_hits = 0;
   double last_epoch_ms = 0.0;
 };
@@ -79,6 +107,12 @@ struct ShardCounters {
 class WlanShard {
  public:
   struct Job {
+    enum class Kind {
+      kMessage,
+      kAttachFollower,  // conn_id subscribes: snapshot now, records after
+      kDetachFollower,  // conn_id went away
+    };
+    Kind kind = Kind::kMessage;
     std::uint64_t conn_id = 0;
     std::uint32_t seq = 0;
     std::chrono::steady_clock::time_point t0;
@@ -91,16 +125,23 @@ class WlanShard {
 
   /// Build from registration or recovery state (`state.association`
   /// empty means a fresh WLAN: everyone unassociated, channels seeded
-  /// deterministically from the deployment's RNG seed). Throws
-  /// std::invalid_argument on a malformed deployment.
-  WlanShard(ShardOptions options, WlanSnapshot state, CompletionFn post);
+  /// deterministically from the deployment's RNG seed), then replay the
+  /// WAL suffix (`replay` records whose seq exceeds the snapshot's
+  /// events_applied, applied through apply_locked). Throws
+  /// std::invalid_argument on a malformed deployment or snapshot.
+  WlanShard(ShardOptions options, WlanSnapshot state, CompletionFn post,
+            std::vector<WalRecord> replay = {});
   ~WlanShard();
 
   WlanShard(const WlanShard&) = delete;
   WlanShard& operator=(const WlanShard&) = delete;
 
+  /// Checkpoints the current state (snapshot write + WAL truncate, so a
+  /// fresh registration or a finished recovery is durable immediately),
+  /// then spawns the worker thread.
   void start();
-  /// Drains pending jobs, writes a final snapshot, joins the thread.
+  /// Drains pending jobs, flushes withheld replies, writes a final
+  /// snapshot, joins the thread.
   void stop();
 
   void submit(Job job);
@@ -113,7 +154,6 @@ class WlanShard {
  private:
   void run();
   void process(Job& job);
-  Message apply(const Message& msg);
   Message apply_locked(const Message& msg);
   void publish_counters_locked();
   void run_epoch();
@@ -121,9 +161,15 @@ class WlanShard {
   void ensure_oracle();
   void invalidate_oracle();
   void write_state_snapshot();
-  void write_snapshot_locked();
+  bool write_snapshot_locked();
   WlanSnapshot build_snapshot_locked() const;
   std::vector<int> clients_of_locked(int ap) const;
+  /// True for the message types the WAL records (state mutators).
+  static bool loggable(const Message& msg);
+  /// Release withheld replies + forward durable records to followers.
+  /// `need_sync` false when a snapshot already made everything durable.
+  void flush_wal(bool need_sync);
+  std::chrono::steady_clock::time_point flush_deadline() const;
 
   const ShardOptions options_;
   const std::uint32_t wlan_id_;
@@ -154,6 +200,32 @@ class WlanShard {
   ShardCounters published_counters_;
 
   CompletionFn post_;
+
+  // Write-ahead log + group-commit state. Everything below is touched
+  // only from the shard thread (construction/start/stop excepted, when
+  // no worker is running), so it needs no lock of its own.
+  WalWriter wal_;
+  /// events_applied_ value the newest on-disk snapshot covers; records
+  /// with seq <= this are redundant and are not appended.
+  std::uint64_t wal_base_seq_ = 0;
+  struct PendingReply {
+    std::uint64_t conn_id = 0;
+    std::chrono::steady_clock::time_point t0;
+    std::vector<std::uint8_t> frame;
+  };
+  /// Replies withheld until the records they acknowledge are durable
+  /// (WAL fsync or snapshot). FIFO, so per-connection order holds even
+  /// for interleaved non-logged requests.
+  std::vector<PendingReply> pending_replies_;
+  /// Durable-records-in-waiting for follower forwarding.
+  std::vector<WalRecord> pending_records_;
+  std::uint64_t pending_max_seq_ = 0;
+  bool wal_dirty_ = false;
+  std::chrono::steady_clock::time_point first_unflushed_;
+  /// Follower connections attached via Job::Kind::kAttachFollower.
+  std::vector<std::uint64_t> followers_;
+  /// Suppresses disk writes while the constructor replays the WAL.
+  bool replaying_ = false;
 
   // Mailbox.
   std::mutex queue_mutex_;

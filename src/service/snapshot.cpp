@@ -64,6 +64,8 @@ std::vector<std::uint8_t> encode_snapshot(const WlanSnapshot& snap) {
     w.u32(l.client);
     w.f64(l.load);
   }
+  w.u32(static_cast<std::uint32_t>(snap.dirty_clients.size()));
+  for (std::uint32_t c : snap.dirty_clients) w.u32(c);
   const std::uint64_t checksum = fnv1a(w.data());
   w.u64(checksum);
   return w.take();
@@ -119,6 +121,14 @@ WlanSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
     l.client = r.u32();
     l.load = r.f64();
     snap.loads.push_back(l);
+  }
+  const std::uint32_t n_dirty = r.u32();
+  if (4 * static_cast<std::size_t>(n_dirty) > r.remaining()) {
+    throw WireError("snapshot dirty count exceeds payload");
+  }
+  snap.dirty_clients.reserve(n_dirty);
+  for (std::uint32_t i = 0; i < n_dirty; ++i) {
+    snap.dirty_clients.push_back(r.u32());
   }
   r.expect_end();
   return snap;

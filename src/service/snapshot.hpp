@@ -29,7 +29,10 @@
 namespace acorn::service {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4e524341;  // "ACRN"
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+// Version 2 adds the dirty-client set (clients whose link state changed
+// since the last epoch), so recovery re-probes exactly the clients the
+// pre-crash daemon would have.
+inline constexpr std::uint16_t kSnapshotVersion = 2;
 
 struct LossOverride {
   std::uint32_t ap = 0;
@@ -52,6 +55,7 @@ struct WlanSnapshot {
   std::vector<net::Channel> operating;
   std::vector<LossOverride> loss_overrides;  // ascending (ap, client)
   std::vector<LoadHint> loads;               // ascending client
+  std::vector<std::uint32_t> dirty_clients;  // ascending client
 };
 
 std::vector<std::uint8_t> encode_snapshot(const WlanSnapshot& snap);

@@ -31,6 +31,8 @@ constexpr MsgType type_tag<QueryStats>() { return MsgType::kQueryStats; }
 template <>
 constexpr MsgType type_tag<Shutdown>() { return MsgType::kShutdown; }
 template <>
+constexpr MsgType type_tag<FollowLog>() { return MsgType::kFollowLog; }
+template <>
 constexpr MsgType type_tag<OkReply>() { return MsgType::kOkReply; }
 template <>
 constexpr MsgType type_tag<ErrorReply>() { return MsgType::kErrorReply; }
@@ -38,6 +40,12 @@ template <>
 constexpr MsgType type_tag<ConfigReply>() { return MsgType::kConfigReply; }
 template <>
 constexpr MsgType type_tag<StatsReply>() { return MsgType::kStatsReply; }
+template <>
+constexpr MsgType type_tag<SnapshotFrame>() { return MsgType::kSnapshotFrame; }
+template <>
+constexpr MsgType type_tag<LogRecordFrame>() {
+  return MsgType::kLogRecordFrame;
+}
 
 void encode_body(ByteWriter& w, const RegisterWlan& m) {
   w.u32(m.wlan_id);
@@ -69,6 +77,13 @@ void encode_body(ByteWriter& w, const ForceReconfigure& m) {
 void encode_body(ByteWriter& w, const QueryConfig& m) { w.u32(m.wlan_id); }
 void encode_body(ByteWriter&, const QueryStats&) {}
 void encode_body(ByteWriter&, const Shutdown&) {}
+void encode_body(ByteWriter&, const FollowLog&) {}
+void encode_body(ByteWriter& w, const SnapshotFrame& m) { w.blob(m.snapshot); }
+void encode_body(ByteWriter& w, const LogRecordFrame& m) {
+  w.u32(m.wlan_id);
+  w.u64(m.record_seq);
+  w.blob(m.payload);
+}
 void encode_body(ByteWriter& w, const OkReply& m) { w.i32(m.value); }
 void encode_body(ByteWriter& w, const ErrorReply& m) {
   w.u16(m.code);
@@ -93,11 +108,14 @@ void encode_body(ByteWriter& w, const StatsReply& m) {
   w.u64(m.protocol_errors);
   w.u64(m.epochs_total);
   w.u64(m.snapshots_written);
+  w.u64(m.wal_records);
+  w.u64(m.wal_flushes);
   w.u64(m.channel_switches);
   w.u64(m.width_switches);
   w.u64(m.assoc_changes);
   w.u64(m.oracle_cell_evals);
   w.u64(m.oracle_cell_hits);
+  w.u64(m.oracle_share_evals);
   w.u64(m.oracle_share_hits);
   w.f64(m.last_epoch_ms);
   w.u32(static_cast<std::uint32_t>(m.latency_us_log2.size()));
@@ -145,11 +163,14 @@ StatsReply decode_stats(ByteReader& r) {
   m.protocol_errors = r.u64();
   m.epochs_total = r.u64();
   m.snapshots_written = r.u64();
+  m.wal_records = r.u64();
+  m.wal_flushes = r.u64();
   m.channel_switches = r.u64();
   m.width_switches = r.u64();
   m.assoc_changes = r.u64();
   m.oracle_cell_evals = r.u64();
   m.oracle_cell_hits = r.u64();
+  m.oracle_share_evals = r.u64();
   m.oracle_share_hits = r.u64();
   m.last_epoch_ms = r.f64();
   const std::uint32_t n = checked_count(r, 8);
@@ -199,6 +220,8 @@ Message decode_body(MsgType type, ByteReader& r) {
       return QueryStats{};
     case MsgType::kShutdown:
       return Shutdown{};
+    case MsgType::kFollowLog:
+      return FollowLog{};
     case MsgType::kOkReply:
       return OkReply{r.i32()};
     case MsgType::kErrorReply: {
@@ -211,6 +234,18 @@ Message decode_body(MsgType type, ByteReader& r) {
       return decode_config(r);
     case MsgType::kStatsReply:
       return decode_stats(r);
+    case MsgType::kSnapshotFrame: {
+      SnapshotFrame m;
+      m.snapshot = r.blob();
+      return m;
+    }
+    case MsgType::kLogRecordFrame: {
+      LogRecordFrame m;
+      m.wlan_id = r.u32();
+      m.record_seq = r.u64();
+      m.payload = r.blob();
+      return m;
+    }
   }
   throw WireError("unknown message type " +
                   std::to_string(static_cast<int>(type)));
@@ -240,16 +275,21 @@ net::Channel ByteReader::channel() {
   return net::Channel::basic(primary);
 }
 
-std::vector<std::uint8_t> encode_frame(std::uint32_t seq, const Message& msg) {
+std::vector<std::uint8_t> encode_payload(std::uint32_t seq,
+                                         const Message& msg) {
   ByteWriter payload;
   payload.u16(kWireVersion);
   payload.u16(static_cast<std::uint16_t>(type_of(msg)));
   payload.u32(seq);
   std::visit([&payload](const auto& m) { encode_body(payload, m); }, msg);
+  return payload.take();
+}
 
+std::vector<std::uint8_t> encode_frame(std::uint32_t seq, const Message& msg) {
+  const std::vector<std::uint8_t> payload = encode_payload(seq, msg);
   ByteWriter frame;
-  frame.u32(static_cast<std::uint32_t>(payload.data().size()));
-  frame.bytes(payload.data());
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.bytes(payload);
   return frame.take();
 }
 

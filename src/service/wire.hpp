@@ -33,10 +33,11 @@
 
 namespace acorn::service {
 
-inline constexpr std::uint16_t kWireVersion = 1;
-/// Upper bound on one frame's payload (a deployment file is the largest
-/// legitimate body by far); anything bigger is a garbage length prefix.
-inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Upper bound on one frame's payload (a SnapshotFrame carrying a large
+/// WLAN's full state is the largest legitimate body); anything bigger is
+/// a garbage length prefix.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 23;
 
 class WireError : public std::runtime_error {
  public:
@@ -55,11 +56,15 @@ enum class MsgType : std::uint16_t {
   kQueryConfig = 8,
   kQueryStats = 9,
   kShutdown = 10,
+  kFollowLog = 11,
   // Responses.
   kOkReply = 100,
   kErrorReply = 101,
   kConfigReply = 102,
   kStatsReply = 103,
+  // Replication stream (daemon -> follower, after a FollowLog request).
+  kSnapshotFrame = 104,
+  kLogRecordFrame = 105,
 };
 
 // ---- Requests -----------------------------------------------------------
@@ -118,6 +123,11 @@ struct QueryStats {};
 
 struct Shutdown {};
 
+/// Subscribe this connection to the replication stream: the daemon
+/// replies OkReply, then sends one SnapshotFrame per registered WLAN and
+/// a LogRecordFrame for every durable event from that point on.
+struct FollowLog {};
+
 // ---- Responses ----------------------------------------------------------
 
 /// Generic success. `value` carries the small result of the request when
@@ -162,11 +172,14 @@ struct StatsReply {
   std::uint64_t protocol_errors = 0;
   std::uint64_t epochs_total = 0;
   std::uint64_t snapshots_written = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_flushes = 0;
   std::uint64_t channel_switches = 0;
   std::uint64_t width_switches = 0;
   std::uint64_t assoc_changes = 0;
   std::uint64_t oracle_cell_evals = 0;
   std::uint64_t oracle_cell_hits = 0;
+  std::uint64_t oracle_share_evals = 0;
   std::uint64_t oracle_share_hits = 0;
   double last_epoch_ms = 0.0;
   /// Per-request latency histogram: bucket i counts requests completed
@@ -174,10 +187,28 @@ struct StatsReply {
   std::vector<std::uint64_t> latency_us_log2;
 };
 
+/// One WLAN's full state, as an encoded service::WlanSnapshot blob (the
+/// snapshot codec carries its own checksum). Sent to a follower when it
+/// subscribes and whenever a WLAN is (re)registered on the primary.
+struct SnapshotFrame {
+  std::vector<std::uint8_t> snapshot;
+};
+
+/// One durable WAL record forwarded to a follower: `payload` is a wire
+/// payload (version/type/seq/body, no length prefix) of the mutating
+/// message, `record_seq` its events-applied ordinal on the primary. A
+/// RemoveWlan payload (record_seq 0) tears the WLAN down on the follower.
+struct LogRecordFrame {
+  std::uint32_t wlan_id = 0;
+  std::uint64_t record_seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
 using Message =
     std::variant<RegisterWlan, RemoveWlan, ClientJoin, ClientLeave, SnrUpdate,
                  LoadUpdate, ForceReconfigure, QueryConfig, QueryStats,
-                 Shutdown, OkReply, ErrorReply, ConfigReply, StatsReply>;
+                 Shutdown, FollowLog, OkReply, ErrorReply, ConfigReply,
+                 StatsReply, SnapshotFrame, LogRecordFrame>;
 
 struct Frame {
   std::uint32_t seq = 0;
@@ -218,6 +249,11 @@ class ByteWriter {
   void channel(const net::Channel& c);
   void bytes(std::span<const std::uint8_t> b) {
     buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  /// Length-prefixed byte blob (u32 count + raw bytes).
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    bytes(b);
   }
 
   const std::vector<std::uint8_t>& data() const { return buf_; }
@@ -263,6 +299,12 @@ class ByteReader {
     return std::string(b.begin(), b.end());
   }
   net::Channel channel();
+  /// Length-prefixed byte blob; bounds-checked like every other read.
+  std::vector<std::uint8_t> blob() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::vector<std::uint8_t>(b.begin(), b.end());
+  }
 
   std::size_t remaining() const { return data_.size() - pos_; }
   void expect_end() const {
@@ -284,6 +326,11 @@ class ByteReader {
 
 /// Encode one frame, length prefix included: ready to write to a socket.
 std::vector<std::uint8_t> encode_frame(std::uint32_t seq, const Message& msg);
+
+/// Encode a payload only (version/type/seq/body, no length prefix) —
+/// the unit the write-ahead log stores and LogRecordFrame forwards.
+std::vector<std::uint8_t> encode_payload(std::uint32_t seq,
+                                         const Message& msg);
 
 /// Decode one payload (the bytes *after* the length prefix). Throws
 /// WireError on any malformation.

@@ -128,6 +128,110 @@ TEST(CachedOracle, MemoizesCellsAndReusesGraph) {
   EXPECT_LT(third.cell_evals - second.cell_evals, 5u);
 }
 
+// The optional per-client weights turn the objective into
+// sum_c w_c * goodput_c. Misses and hits must both honor them, and the
+// result must equal the manual weighted sum over the exact evaluator's
+// per-client goodputs, bit for bit (same per-cell summation order).
+TEST(CachedOracle, WeightedObjectiveMatchesManualSum) {
+  util::Rng rng(0x10AD);
+  for (int trial = 0; trial < 24; ++trial) {
+    const ScenarioBuilder b =
+        random_builder(rng, (trial % 2) == 1, (trial / 2 % 2) == 1);
+    const sim::Wlan wlan = b.build();
+    const net::Association assoc = random_association(b, rng);
+    const int n_clients = wlan.topology().num_clients();
+    std::vector<double> weights;
+    for (int c = 0; c < n_clients; ++c) {
+      weights.push_back(rng.uniform(0.0, 2.0));
+    }
+    const CachedOracle cached(wlan, assoc, mac::TrafficType::kUdp, weights);
+    const ChannelAllocator alloc{net::ChannelPlan(6)};
+    for (int rep = 0; rep < 4; ++rep) {
+      const net::ChannelAssignment f =
+          alloc.random_assignment(wlan.topology().num_aps(), rng);
+      const sim::Evaluation eval = wlan.evaluate(assoc, f);
+      double expected = 0.0;
+      for (const sim::ApStats& cell : eval.per_ap) {
+        if (cell.client_ids.empty()) continue;
+        double cell_sum = 0.0;
+        for (std::size_t i = 0; i < cell.client_ids.size(); ++i) {
+          cell_sum += weights[static_cast<std::size_t>(cell.client_ids[i])] *
+                      cell.client_goodput_bps[i];
+        }
+        expected += cell_sum;
+      }
+      EXPECT_EQ(cached.total_bps(f), expected) << "trial " << trial;
+      EXPECT_EQ(cached.total_bps(f), expected) << "memoized replay";
+    }
+  }
+}
+
+// A load-weighted objective must be able to *reorder* candidate
+// assignments — that is the whole point of threading offered loads into
+// Algorithm 2. Find two assignments whose per-client goodput profiles
+// are non-proportional, then pick weights that make the unweighted
+// loser the weighted winner.
+TEST(CachedOracle, WeightsCanReorderAssignments) {
+  const ScenarioBuilder b = topology2_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const int n_aps = wlan.topology().num_aps();
+  const int n_clients = wlan.topology().num_clients();
+  const ChannelAllocator alloc{net::ChannelPlan(4)};
+  util::Rng rng(99);
+
+  // Per-client goodputs of one assignment, indexed by client id.
+  const auto client_goodputs = [&](const net::ChannelAssignment& f) {
+    std::vector<double> g(static_cast<std::size_t>(n_clients), 0.0);
+    for (const sim::ApStats& cell : wlan.evaluate(assoc, f).per_ap) {
+      for (std::size_t i = 0; i < cell.client_ids.size(); ++i) {
+        g[static_cast<std::size_t>(cell.client_ids[i])] =
+            cell.client_goodput_bps[i];
+      }
+    }
+    return g;
+  };
+
+  bool flipped = false;
+  for (int attempt = 0; attempt < 200 && !flipped; ++attempt) {
+    const net::ChannelAssignment f1 = alloc.random_assignment(n_aps, rng);
+    const net::ChannelAssignment f2 = alloc.random_assignment(n_aps, rng);
+    const CachedOracle plain(wlan, assoc);
+    const double u1 = plain.total_bps(f1);
+    const double u2 = plain.total_bps(f2);
+    if (u1 == u2) continue;
+    const net::ChannelAssignment& winner = u1 > u2 ? f1 : f2;
+    const net::ChannelAssignment& loser = u1 > u2 ? f2 : f1;
+    const std::vector<double> gw = client_goodputs(winner);
+    const std::vector<double> gl = client_goodputs(loser);
+    // A client doing strictly better under the unweighted loser is the
+    // lever: load all the weight onto it.
+    for (int c = 0; c < n_clients; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      if (gl[ci] <= gw[ci]) continue;
+      std::vector<double> weights(static_cast<std::size_t>(n_clients), 1e-6);
+      weights[ci] = 1.0;
+      const CachedOracle weighted(wlan, assoc, mac::TrafficType::kUdp,
+                                  weights);
+      if (weighted.total_bps(loser) > weighted.total_bps(winner)) {
+        flipped = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(flipped)
+      << "no weight vector reordered any assignment pair — the weighted "
+         "objective is not reaching the optimizer";
+}
+
+TEST(CachedOracle, RejectsWrongWeightVectorSize) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  EXPECT_THROW(CachedOracle(wlan, b.intended_association(),
+                            mac::TrafficType::kUdp, {1.0}),
+               std::invalid_argument);
+}
+
 TEST(CachedOracle, RejectsWrongAssignmentSize) {
   const ScenarioBuilder b = testutil::topology1_builder();
   const sim::Wlan wlan = b.build();

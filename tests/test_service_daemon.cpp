@@ -137,6 +137,11 @@ TEST(ServiceDaemon, SmokeOverUnixSocket) {
   EXPECT_EQ(stats.epochs_total, 1u);
   EXPECT_GE(stats.snapshots_written, 1u);
   EXPECT_GT(stats.oracle_cell_evals, 0u);
+  EXPECT_GT(stats.oracle_share_evals, 0u);
+  // Every mutating event was logged; their group commits were counted.
+  EXPECT_GE(stats.wal_records, 1u);
+  EXPECT_GE(stats.wal_flushes, 1u);
+  EXPECT_LE(stats.wal_flushes, stats.wal_records);
   std::uint64_t latency_total = 0;
   for (std::uint64_t b : stats.latency_us_log2) latency_total += b;
   EXPECT_GE(latency_total, static_cast<std::uint64_t>(events));
@@ -147,6 +152,111 @@ TEST(ServiceDaemon, SmokeOverUnixSocket) {
   daemon.wait();
   daemon.stop();
   EXPECT_FALSE(daemon.running());
+}
+
+// Offered loads must reach Algorithm 2's objective, not just the
+// snapshot. With two channels and three contending APs, concentrating
+// all load on one cell's client flips the allocation: the hot cell is
+// given the channel to itself while the idle cells share the other one.
+TEST(ServiceDaemon, LoadUpdateRedirectsAllocation) {
+  constexpr const char* kScarceDeployment = R"(# 3 APs, 2 channels
+pathloss exponent 3.5
+pathloss shadowing 4
+channels 2
+seed 7
+ap 10 10
+ap 50 10
+ap 30 40
+client 12 12
+client 14  8
+client 48 14
+client 52  9
+client 28 38
+client 35 42
+client 30 25
+client 45 30
+)";
+  const auto epoch_allocation = [&](bool focus_load_on_client5) {
+    const TempDir dir;
+    DaemonConfig config;
+    config.unix_path = dir.path() + "/sock";
+    config.epoch_s = 0.0;
+    Daemon daemon(config);
+    daemon.start();
+    Client client = Client::connect_unix(config.unix_path);
+    EXPECT_TRUE(std::holds_alternative<OkReply>(
+        client.call(RegisterWlan{1, kScarceDeployment})));
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      EXPECT_TRUE(
+          std::holds_alternative<OkReply>(client.call(ClientJoin{1, c})));
+    }
+    if (focus_load_on_client5) {
+      for (std::uint32_t c = 0; c < 8; ++c) {
+        EXPECT_TRUE(std::holds_alternative<OkReply>(
+            client.call(LoadUpdate{1, c, c == 5 ? 1.0 : 1e-6})));
+      }
+    }
+    EXPECT_TRUE(
+        std::holds_alternative<OkReply>(client.call(ForceReconfigure{1})));
+    const Message reply = client.call(QueryConfig{1});
+    EXPECT_TRUE(std::holds_alternative<ConfigReply>(reply));
+    std::vector<net::Channel> allocated =
+        std::get<ConfigReply>(reply).allocated;
+    daemon.stop();
+    return allocated;
+  };
+
+  const std::vector<net::Channel> base = epoch_allocation(false);
+  const std::vector<net::Channel> hot = epoch_allocation(true);
+  ASSERT_EQ(base.size(), 3u);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_NE(base, hot) << "offered loads did not change the allocation";
+  // Client 5 lives in AP2's cell: under the focused load AP2's channel
+  // must not be contended by either idle AP.
+  EXPECT_EQ(hot[2].overlap_fraction(hot[0]), 0.0);
+  EXPECT_EQ(hot[2].overlap_fraction(hot[1]), 0.0);
+}
+
+// A re-association probe that fails (Algorithm 1 admits no AP — here
+// because every link degraded to a 300 dB loss) must keep the client on
+// its previous AP instead of silently dropping it. Covers both probe
+// paths: an explicit re-join and the dirty-client re-probe an epoch
+// runs after SNR churn.
+TEST(ServiceDaemon, FailedReassociationKeepsClient) {
+  const TempDir dir;
+  DaemonConfig config;
+  config.unix_path = dir.path() + "/sock";
+  config.epoch_s = 0.0;
+  Daemon daemon(config);
+  daemon.start();
+
+  Client client = Client::connect_unix(config.unix_path);
+  ASSERT_TRUE(std::holds_alternative<OkReply>(
+      client.call(RegisterWlan{1, kDeployment})));
+  const Message joined = client.call(ClientJoin{1, 0});
+  ASSERT_TRUE(std::holds_alternative<OkReply>(joined));
+  const std::int32_t home_ap = std::get<OkReply>(joined).value;
+  ASSERT_GE(home_ap, 0);
+
+  // Degrade every AP->client-0 link beyond any usable MCS.
+  for (std::uint32_t ap = 0; ap < 3; ++ap) {
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(SnrUpdate{1, ap, 0, 300.0})));
+  }
+  // Explicit re-join: the probe fails, the old association survives.
+  const Message rejoined = client.call(ClientJoin{1, 0});
+  ASSERT_TRUE(std::holds_alternative<OkReply>(rejoined));
+  EXPECT_EQ(std::get<OkReply>(rejoined).value, home_ap)
+      << "failed probe dropped the client";
+
+  // Epoch re-probe of the dirty client: same contract.
+  ASSERT_TRUE(
+      std::holds_alternative<OkReply>(client.call(ForceReconfigure{1})));
+  const Message cfg_reply = client.call(QueryConfig{1});
+  ASSERT_TRUE(std::holds_alternative<ConfigReply>(cfg_reply));
+  EXPECT_EQ(std::get<ConfigReply>(cfg_reply).association[0], home_ap)
+      << "epoch re-probe dropped the client";
+  daemon.stop();
 }
 
 TEST(ServiceDaemon, ErrorPaths) {
@@ -278,10 +388,12 @@ TEST(ServiceDaemon, TcpTransport) {
 // state directory — the recovered daemon must answer QueryConfig with
 // exactly the bytes the pre-crash daemon reported, because the last
 // completed epoch wrote a full snapshot and recovery is bit-identical.
-// Nondeterministic half: kill immediately after submitting a
-// reconfigure, so SIGKILL can land mid-epoch or mid-snapshot-write —
-// recovery must still find a *complete* snapshot (atomic rename), i.e.
-// either the pre-reconfigure state or the post-reconfigure one.
+// Nondeterministic half: drive one acknowledged event past the last
+// snapshot, then kill immediately after submitting a reconfigure, so
+// SIGKILL can land mid-epoch or mid-snapshot-write — recovery must
+// replay the acknowledged event from the WAL and land on a *complete*
+// state (atomic snapshot + intact log records), i.e. either just
+// before the unacknowledged reconfigure or just after it.
 TEST(ServiceDaemon, KillAndRestartRecovery) {
   const TempDir dir;
   const std::string sock = dir.path() + "/sock";
@@ -390,13 +502,18 @@ TEST(ServiceDaemon, KillAndRestartRecovery) {
     const Message recovered = client.call(QueryConfig{1});
     ASSERT_TRUE(std::holds_alternative<ConfigReply>(recovered));
     const auto& cfg = std::get<ConfigReply>(recovered);
-    // Either the epoch-1 snapshot (kill won the race) or epoch-2 (the
-    // reconfigure's snapshot completed first) — but always a complete,
-    // checksummed state.
+    // The acknowledged SnrUpdate (event 12) was never covered by an
+    // epoch snapshot, but its reply was released only after the WAL
+    // fsync — so recovery must replay it. The trailing ForceReconfigure
+    // was never acknowledged: depending on where SIGKILL landed it is
+    // either absent (epoch 1, 12 events) or fully recovered (epoch 2,
+    // 13 events) — but never half-applied.
     EXPECT_TRUE(cfg.epoch == c1_epoch || cfg.epoch == c1_epoch + 1)
         << "recovered epoch " << cfg.epoch;
     if (cfg.epoch == c1_epoch) {
-      EXPECT_EQ(reply_bytes(recovered), c1_bytes);
+      EXPECT_EQ(cfg.events_applied, 12u);
+    } else {
+      EXPECT_EQ(cfg.events_applied, 13u);
     }
     EXPECT_EQ(cfg.association.size(), 8u);
     EXPECT_GT(cfg.total_goodput_bps, 0.0);

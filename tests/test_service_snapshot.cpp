@@ -41,6 +41,7 @@ WlanSnapshot sample_snapshot(std::uint32_t wlan_id = 7) {
   s.operating = {net::Channel::basic(0), net::Channel::basic(5)};
   s.loss_overrides = {LossOverride{0, 0, 81.5}, LossOverride{1, 1, 95.25}};
   s.loads = {LoadHint{0, 0.75}};
+  s.dirty_clients = {0, 1};
   return s;
 }
 
@@ -57,6 +58,7 @@ TEST(ServiceSnapshot, CodecRoundTrip) {
   EXPECT_EQ(back.events_applied, snap.events_applied);
   EXPECT_EQ(back.deployment, snap.deployment);
   EXPECT_EQ(back.association, snap.association);
+  EXPECT_EQ(back.dirty_clients, snap.dirty_clients);
   expect_equal(back, snap);
 }
 

@@ -1,0 +1,490 @@
+// Durability tests for the per-shard write-ahead event log.
+//
+// Three layers:
+//  * file level — the WAL codec round-trips, and load_wal stops at torn
+//    tails, flipped bits, and ordinal gaps while keeping the valid
+//    prefix;
+//  * crash level — SIGKILL a daemon at randomized points inside an event
+//    burst (including inside the group-commit flush window): after
+//    restart the recovered state must contain every acknowledged event
+//    and be byte-identical to a never-killed reference daemon fed the
+//    same event prefix;
+//  * replication level — a warm standby following the leader's log
+//    converges to byte-identical per-WLAN state, tracks WLANs registered
+//    after it attached, and tears down removed ones.
+#include "service/eventlog.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/snapshot.hpp"
+#include "service/wire.hpp"
+
+namespace acorn::service {
+namespace {
+
+constexpr const char* kDeployment = R"(# test floor: 3 APs, 8 clients
+pathloss exponent 3.5
+pathloss shadowing 4
+channels 12
+seed 7
+ap 10 10
+ap 50 10
+ap 30 40
+client 12 12
+client 14  8
+client 48 14
+client 52  9
+client 28 38
+client 35 42
+client 30 25
+client 45 30
+)";
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/acorn_wal_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Client connect_with_retry(const std::string& unix_path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      return Client::connect_unix(unix_path);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  throw std::runtime_error("daemon never came up at " + unix_path);
+}
+
+// The deterministic event script both the victim and the reference
+// daemon play. Only shard events (each advances events_applied by one);
+// registration is done separately.
+std::vector<Message> event_script() {
+  std::vector<Message> ev;
+  for (std::uint32_t c = 0; c < 8; ++c) ev.push_back(ClientJoin{1, c});
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      ev.push_back(SnrUpdate{1, c % 3, c, 80.0 + 2.0 * c + 0.5 * round});
+    }
+    ev.push_back(LoadUpdate{1, round % 8u, 0.25 * (round + 1)});
+    ev.push_back(ForceReconfigure{1});
+  }
+  return ev;
+}
+
+std::vector<std::uint8_t> state_bytes(const Daemon& daemon,
+                                      std::uint32_t wlan_id) {
+  const std::optional<WlanSnapshot> snap = daemon.wlan_state(wlan_id);
+  if (!snap.has_value()) return {};
+  return encode_snapshot(*snap);
+}
+
+// --------------------------------------------------------------------
+// File level.
+
+TEST(ServiceWal, WriterRoundTripAndUnsyncedTailLost) {
+  const TempDir dir;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.open(dir.path(), 3));
+    for (std::uint64_t s = 1; s <= 5; ++s) {
+      payloads.push_back(encode_payload(
+          0, Message{SnrUpdate{3, 0, static_cast<std::uint32_t>(s), 80.0}}));
+      w.append(s, payloads.back());
+    }
+    ASSERT_TRUE(w.sync());
+    // Buffered but never synced: these two must not survive the close
+    // (they model events whose replies were never released).
+    w.append(6, payloads.front());
+    w.append(7, payloads.front());
+    EXPECT_GT(w.buffered_bytes(), 0u);
+  }
+  const WalLoadResult res = load_wal(dir.path(), 3);
+  EXPECT_TRUE(res.clean);
+  ASSERT_EQ(res.records.size(), 5u);
+  for (std::size_t i = 0; i < res.records.size(); ++i) {
+    EXPECT_EQ(res.records[i].seq, i + 1);
+    EXPECT_EQ(res.records[i].payload, payloads[i]);
+    const Frame f = decode_payload(res.records[i].payload);
+    ASSERT_TRUE(std::holds_alternative<SnrUpdate>(f.msg));
+    EXPECT_EQ(std::get<SnrUpdate>(f.msg).client, i + 1);
+  }
+}
+
+TEST(ServiceWal, MissingAndEmptyLogsAreClean) {
+  const TempDir dir;
+  const WalLoadResult missing = load_wal(dir.path(), 1);
+  EXPECT_TRUE(missing.clean);
+  EXPECT_TRUE(missing.records.empty());
+
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir.path(), 1));
+  ASSERT_TRUE(w.sync());  // header-less empty file
+  const WalLoadResult empty = load_wal(dir.path(), 1);
+  EXPECT_TRUE(empty.clean);
+  EXPECT_TRUE(empty.records.empty());
+}
+
+TEST(ServiceWal, TornTailKeepsValidPrefix) {
+  const TempDir dir;
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir.path(), 9));
+  const std::vector<std::uint8_t> payload =
+      encode_payload(0, Message{ClientLeave{9, 0}});
+  for (std::uint64_t s = 1; s <= 4; ++s) w.append(s, payload);
+  ASSERT_TRUE(w.sync());
+  w.close();
+
+  // Chop 5 bytes off the end: the final record loses part of its
+  // checksum trailer, exactly what a crash mid-write leaves behind.
+  const std::string path = wal_path(dir.path(), 9);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 5), 0);
+
+  const WalLoadResult res = load_wal(dir.path(), 9);
+  EXPECT_FALSE(res.clean);
+  ASSERT_EQ(res.records.size(), 3u);
+  EXPECT_EQ(res.records.back().seq, 3u);
+}
+
+TEST(ServiceWal, BitFlipStopsAtCorruptRecord) {
+  const TempDir dir;
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir.path(), 9));
+  const std::vector<std::uint8_t> payload =
+      encode_payload(0, Message{ClientLeave{9, 0}});
+  for (std::uint64_t s = 1; s <= 4; ++s) w.append(s, payload);
+  ASSERT_TRUE(w.sync());
+  w.close();
+
+  // Flip one bit in the last byte (inside record 4's checksum).
+  const std::string path = wal_path(dir.path(), 9);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_END), 0);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  const WalLoadResult res = load_wal(dir.path(), 9);
+  EXPECT_FALSE(res.clean);
+  ASSERT_EQ(res.records.size(), 3u);
+}
+
+TEST(ServiceWal, OrdinalGapRefusesRemainder) {
+  const TempDir dir;
+  const std::vector<std::uint8_t> payload =
+      encode_payload(0, Message{ClientLeave{2, 1}});
+  // Hand-craft header + records 1, 2, 4: the gap invalidates the rest.
+  std::vector<std::uint8_t> bytes;
+  {
+    ByteWriter hdr;
+    hdr.u32(kWalMagic);
+    hdr.u16(kWalVersion);
+    bytes.insert(bytes.end(), hdr.data().begin(), hdr.data().end());
+  }
+  for (const std::uint64_t seq : {1ull, 2ull, 4ull}) {
+    const std::vector<std::uint8_t> rec = encode_wal_record(seq, payload);
+    bytes.insert(bytes.end(), rec.begin(), rec.end());
+  }
+  std::FILE* f = std::fopen(wal_path(dir.path(), 2).c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  const WalLoadResult res = load_wal(dir.path(), 2);
+  EXPECT_FALSE(res.clean);
+  ASSERT_EQ(res.records.size(), 2u);
+  EXPECT_EQ(res.records.back().seq, 2u);
+}
+
+// --------------------------------------------------------------------
+// Crash level.
+
+// SIGKILL a child daemon at a randomized instant inside a pipelined
+// event burst, restart over its state directory, and require:
+//  (1) every acknowledged event survived (recovered ordinal >= number of
+//      replies the client actually received), and
+//  (2) the recovered state is byte-identical to a never-killed reference
+//      daemon fed exactly the recovered event prefix.
+// Different flush windows move the kill relative to the group-commit
+// fsync; the invariants must hold for all of them.
+TEST(ServiceWal, SigkillNeverLosesAcknowledgedEvents) {
+  const std::vector<Message> script = event_script();
+  std::mt19937 rng(20260808u);
+  const std::uint32_t flush_windows[] = {0, 200, 5000};
+
+  for (int iter = 0; iter < 6; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const TempDir dir;
+    const std::string sock = dir.path() + "/sock";
+    const std::string state = dir.path() + "/state";
+    const std::uint32_t flush_us = flush_windows[iter % 3];
+
+    const pid_t child = ::fork();
+    ASSERT_NE(child, -1);
+    if (child == 0) {
+      DaemonConfig config;
+      config.unix_path = sock;
+      config.state_dir = state;
+      config.epoch_s = 0.0;
+      config.wal_flush_us = flush_us;
+      try {
+        Daemon daemon(config);
+        daemon.start();
+        daemon.wait();
+      } catch (...) {
+      }
+      ::_exit(0);
+    }
+
+    std::size_t acked = 0;
+    {
+      Client client = connect_with_retry(sock);
+      ASSERT_TRUE(std::holds_alternative<OkReply>(
+          client.call(RegisterWlan{1, kDeployment})));
+      // Acknowledged prefix, then a pipelined burst racing the kill.
+      const std::size_t prefix = 4 + static_cast<std::size_t>(rng() % 8);
+      for (std::size_t i = 0; i < prefix; ++i) {
+        ASSERT_TRUE(std::holds_alternative<OkReply>(client.call(script[i])));
+      }
+      acked = prefix;
+      for (std::size_t i = prefix; i < script.size(); ++i) {
+        client.send(script[i]);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng() % 4000));
+      ASSERT_EQ(::kill(child, SIGKILL), 0);
+      int status = 0;
+      ASSERT_EQ(::waitpid(child, &status, 0), child);
+      ASSERT_TRUE(WIFSIGNALED(status));
+      // Replies already in flight when the daemon died are still
+      // acknowledgements: drain until EOF.
+      try {
+        while (true) {
+          const Frame f = client.recv();
+          if (std::holds_alternative<OkReply>(f.msg)) ++acked;
+        }
+      } catch (const std::exception&) {
+        // connection drained
+      }
+    }
+
+    // Recover over the same state directory.
+    DaemonConfig config;
+    config.state_dir = state;
+    config.unix_path = sock;
+    config.epoch_s = 0.0;
+    Daemon recovered(config);
+    recovered.start();
+    const std::optional<WlanSnapshot> snap = recovered.wlan_state(1);
+    ASSERT_TRUE(snap.has_value());
+    const std::uint64_t m = snap->events_applied;
+    EXPECT_GE(m, acked) << "acknowledged events lost (flush window "
+                        << flush_us << " us)";
+    EXPECT_LE(m, script.size());
+
+    // Reference: a fresh daemon fed exactly the first m script events.
+    const TempDir ref_dir;
+    DaemonConfig ref_config;
+    ref_config.state_dir = ref_dir.path() + "/state";
+    ref_config.unix_path = ref_dir.path() + "/sock";
+    ref_config.epoch_s = 0.0;
+    Daemon reference(ref_config);
+    reference.start();
+    {
+      Client client = connect_with_retry(ref_config.unix_path);
+      ASSERT_TRUE(std::holds_alternative<OkReply>(
+          client.call(RegisterWlan{1, kDeployment})));
+      for (std::uint64_t i = 0; i < m; ++i) {
+        ASSERT_TRUE(std::holds_alternative<OkReply>(
+            client.call(script[static_cast<std::size_t>(i)])));
+      }
+    }
+    EXPECT_EQ(state_bytes(recovered, 1), state_bytes(reference, 1))
+        << "recovered state diverges from the deterministic replay at "
+        << m << " events";
+    reference.stop();
+    recovered.stop();
+  }
+}
+
+// Deterministic corruption recovery end to end: events whose records are
+// destroyed on disk after the fact must roll the state back to the
+// intact prefix (torn tails happen; silent corruption must not become
+// silent state invention).
+TEST(ServiceWal, RecoveryStopsAtCorruptTail) {
+  const TempDir dir;
+  const std::string sock = dir.path() + "/sock";
+  const std::string state = dir.path() + "/state";
+
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    DaemonConfig config;
+    config.unix_path = sock;
+    config.state_dir = state;
+    config.epoch_s = 0.0;
+    config.wal_flush_us = 0;
+    try {
+      Daemon daemon(config);
+      daemon.start();
+      daemon.wait();
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  {
+    Client client = connect_with_retry(sock);
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(RegisterWlan{1, kDeployment})));
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      ASSERT_TRUE(
+          std::holds_alternative<OkReply>(client.call(ClientJoin{1, c})));
+    }
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  // All four joins are acknowledged, so the log holds records 1..4 past
+  // the registration snapshot. Chop into the last record.
+  const WalLoadResult before = load_wal(state, 1);
+  ASSERT_TRUE(before.clean);
+  ASSERT_EQ(before.records.size(), 4u);
+  const std::string path = wal_path(state, 1);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+
+  DaemonConfig config;
+  config.state_dir = state;
+  config.epoch_s = 0.0;
+  Daemon recovered(config);
+  recovered.start();
+  const std::optional<WlanSnapshot> snap = recovered.wlan_state(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->events_applied, 3u);  // intact prefix only
+  int associated = 0;
+  for (const int ap : snap->association) {
+    if (ap >= 0) ++associated;
+  }
+  EXPECT_EQ(associated, 3);
+  recovered.stop();
+}
+
+// --------------------------------------------------------------------
+// Replication level.
+
+// Wait until `predicate` holds or ~5 s elapse.
+template <typename F>
+bool eventually(F predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(ServiceWal, FollowerConvergesByteIdentical) {
+  const TempDir dir;
+  DaemonConfig leader_config;
+  leader_config.unix_path = dir.path() + "/sock";
+  leader_config.state_dir = dir.path() + "/leader";
+  leader_config.epoch_s = 0.0;
+  leader_config.wal_flush_us = 0;
+  Daemon leader(leader_config);
+  leader.start();
+
+  Client client = Client::connect_unix(leader_config.unix_path);
+  ASSERT_TRUE(std::holds_alternative<OkReply>(
+      client.call(RegisterWlan{1, kDeployment})));
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    ASSERT_TRUE(
+        std::holds_alternative<OkReply>(client.call(ClientJoin{1, c})));
+  }
+
+  DaemonConfig follower_config;
+  follower_config.state_dir = dir.path() + "/follower";
+  follower_config.follow = "unix:" + leader_config.unix_path;
+  follower_config.epoch_s = 1000.0;  // must be ignored in follow mode
+  Daemon follower(follower_config);
+  follower.start();
+
+  // The snapshot handed to the follower at attach covers the first four
+  // joins; everything after arrives as log records.
+  ASSERT_TRUE(eventually([&] {
+    const auto snap = follower.wlan_state(1);
+    return snap.has_value() && snap->events_applied >= 4;
+  })) << "follower never received the attach snapshot";
+
+  // Play the whole script (re-joining an associated client is a legal
+  // re-association probe, so the overlap with the joins above is fine).
+  for (const Message& msg : event_script()) {
+    ASSERT_TRUE(std::holds_alternative<OkReply>(client.call(msg)));
+  }
+  const std::uint64_t leader_events = leader.wlan_state(1)->events_applied;
+  ASSERT_TRUE(eventually([&] {
+    const auto snap = follower.wlan_state(1);
+    return snap.has_value() && snap->events_applied == leader_events;
+  })) << "follower never caught up to " << leader_events << " events";
+  EXPECT_EQ(state_bytes(follower, 1), state_bytes(leader, 1))
+      << "warm standby state is not byte-identical to the leader";
+
+  // A WLAN registered *after* the follower attached is mirrored too.
+  ASSERT_TRUE(std::holds_alternative<OkReply>(
+      client.call(RegisterWlan{2, kDeployment})));
+  ASSERT_TRUE(
+      std::holds_alternative<OkReply>(client.call(ClientJoin{2, 0})));
+  ASSERT_TRUE(eventually([&] {
+    const auto snap = follower.wlan_state(2);
+    return snap.has_value() && snap->events_applied >= 1;
+  })) << "follower missed the post-attach registration";
+  ASSERT_TRUE(eventually([&] {
+    return state_bytes(follower, 2) == state_bytes(leader, 2);
+  }));
+
+  // RemoveWlan propagates as a control record.
+  ASSERT_TRUE(std::holds_alternative<OkReply>(client.call(RemoveWlan{2})));
+  ASSERT_TRUE(eventually([&] {
+    return !follower.wlan_state(2).has_value();
+  })) << "follower kept a removed WLAN";
+  EXPECT_TRUE(follower.wlan_state(1).has_value());
+
+  follower.stop();
+  leader.stop();
+}
+
+}  // namespace
+}  // namespace acorn::service

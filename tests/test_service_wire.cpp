@@ -38,12 +38,22 @@ std::string random_string(util::Rng& rng, int max_len) {
   return s;
 }
 
+std::vector<std::uint8_t> random_blob(util::Rng& rng, int max_len) {
+  const int n = static_cast<int>(rng.uniform_int(0, max_len));
+  std::vector<std::uint8_t> b;
+  b.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    b.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+  }
+  return b;
+}
+
 Message random_message(util::Rng& rng) {
   const auto u32 = [&rng] {
     return static_cast<std::uint32_t>(rng.next_u64());
   };
   const auto u64 = [&rng] { return rng.next_u64(); };
-  switch (rng.uniform_int(0, 13)) {
+  switch (rng.uniform_int(0, 16)) {
     case 0:
       return RegisterWlan{u32(), random_string(rng, 200)};
     case 1:
@@ -65,11 +75,22 @@ Message random_message(util::Rng& rng) {
     case 9:
       return Shutdown{};
     case 10:
-      return OkReply{static_cast<std::int32_t>(u32())};
+      return FollowLog{};
     case 11:
+      return SnapshotFrame{random_blob(rng, 300)};
+    case 12: {
+      LogRecordFrame r;
+      r.wlan_id = u32();
+      r.record_seq = u64();
+      r.payload = random_blob(rng, 120);
+      return r;
+    }
+    case 13:
+      return OkReply{static_cast<std::int32_t>(u32())};
+    case 14:
       return ErrorReply{static_cast<std::uint16_t>(rng.uniform_int(1, 4)),
                         random_string(rng, 60)};
-    case 12: {
+    case 15: {
       ConfigReply r;
       r.wlan_id = u32();
       r.epoch = u64();
@@ -95,11 +116,14 @@ Message random_message(util::Rng& rng) {
       r.protocol_errors = u64();
       r.epochs_total = u64();
       r.snapshots_written = u64();
+      r.wal_records = u64();
+      r.wal_flushes = u64();
       r.channel_switches = u64();
       r.width_switches = u64();
       r.assoc_changes = u64();
       r.oracle_cell_evals = u64();
       r.oracle_cell_hits = u64();
+      r.oracle_share_evals = u64();
       r.oracle_share_hits = u64();
       r.last_epoch_ms = rng.uniform(0.0, 1e4);
       const int n = static_cast<int>(rng.uniform_int(0, 32));
