@@ -626,16 +626,32 @@ void Daemon::follow_session() {
     if (auto* sf = std::get_if<SnapshotFrame>(&frame.msg)) {
       WlanSnapshot snap = decode_snapshot(sf->snapshot);
       const std::uint32_t id = snap.wlan_id;
-      applied[id] = snap.events_applied;
-      auto shard = make_shard(shard_options(0.0), std::move(snap));
-      shard->start();
+      const std::uint64_t base_seq = snap.events_applied;
+      // Retire any previous incarnation *before* the replacement is
+      // built: stop() writes a final snapshot, which must not clobber
+      // the fresh checkpoint the new shard writes in start() (both
+      // would also hold the same wlan_<id>.wal open). A standby
+      // restarted after a resubscribe would otherwise recover the old
+      // shard's stale state and discard every streamed record above it
+      // as a sequence gap.
       std::unique_ptr<WlanShard> old;
       {
         const std::lock_guard<std::mutex> lock(shards_mutex_);
-        auto [it, inserted] = shards_.emplace(id, nullptr);
-        old = std::exchange(it->second, std::move(shard));
+        const auto it = shards_.find(id);
+        if (it != shards_.end()) {
+          old = std::move(it->second);
+          shards_.erase(it);
+        }
       }
       if (old) old->stop();
+      applied.erase(id);
+      auto shard = make_shard(shard_options(0.0), std::move(snap));
+      shard->start();
+      {
+        const std::lock_guard<std::mutex> lock(shards_mutex_);
+        shards_[id] = std::move(shard);
+      }
+      applied[id] = base_seq;
       continue;
     }
 
@@ -671,14 +687,22 @@ void Daemon::follow_session() {
                                  std::to_string(it->second + 1) + ", got " +
                                  std::to_string(rec->record_seq) + ")");
       }
-      if (WlanShard* shard = find_shard(id)) {
-        // conn id 0 never matches a live connection, so the shard's
-        // reply completion is dropped on the floor — the leader already
-        // answered the originating client.
-        shard->submit(WlanShard::Job{WlanShard::Job::Kind::kMessage, 0, 0,
-                                     std::chrono::steady_clock::now(),
-                                     payload.msg});
+      WlanShard* shard = find_shard(id);
+      if (shard == nullptr) {
+        // The ordinal map tracks this WLAN but no shard exists: the
+        // session state diverged. Advancing the high-water mark here
+        // would count the record as applied without applying it, so
+        // tear the session down and resubscribe for a fresh snapshot.
+        throw std::runtime_error("replicated log record for wlan " +
+                                 std::to_string(id) +
+                                 " with no live shard");
       }
+      // conn id 0 never matches a live connection, so the shard's
+      // reply completion is dropped on the floor — the leader already
+      // answered the originating client.
+      shard->submit(WlanShard::Job{WlanShard::Job::Kind::kMessage, 0, 0,
+                                   std::chrono::steady_clock::now(),
+                                   payload.msg});
       it->second = rec->record_seq;
       continue;
     }

@@ -157,7 +157,17 @@ void WalWriter::append(std::uint64_t seq,
 bool WalWriter::sync() {
   if (fd_ < 0) return false;
   if (!buf_.empty()) {
-    if (!write_all(fd_, buf_.data(), buf_.size())) return false;
+    if (!write_all(fd_, buf_.data(), buf_.size())) {
+      // The failed write may have appended a *prefix* of the buffer — a
+      // torn record that a later successful retry (which re-appends the
+      // whole buffer) would leave sitting in front of live records,
+      // making load_wal stop at the tear and lose everything after it.
+      // Cut the file back to the last known-good boundary so a retry
+      // starts clean; if even that fails the tail cannot be trusted, so
+      // stop logging through this writer entirely.
+      if (::ftruncate(fd_, static_cast<off_t>(file_size_)) != 0) close();
+      return false;
+    }
     file_size_ += buf_.size();
     buf_.clear();
   }

@@ -90,7 +90,11 @@ class WalWriter {
   void append(std::uint64_t seq, std::span<const std::uint8_t> payload);
 
   /// Flush the buffer to disk and fsync — the group-commit barrier.
-  /// Returns false on I/O failure (buffer retained for retry).
+  /// Returns false on I/O failure. The buffer is retained for retry,
+  /// and a partially written tail is truncated off the file first so a
+  /// retry can never leave a torn record in front of live ones; if the
+  /// truncate itself fails the writer closes (is_open() goes false)
+  /// rather than risk appending after an untrustworthy tail.
   bool sync();
 
   /// Drop all log contents (buffered and on disk): the snapshot that

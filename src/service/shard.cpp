@@ -11,6 +11,12 @@ namespace acorn::service {
 
 namespace {
 
+/// Consecutive WAL fsync failures tolerated (each retried after
+/// kWalSyncRetryBackoff) before the shard gives up on durability and
+/// releases the withheld batch anyway.
+constexpr std::uint32_t kMaxWalSyncFailures = 3;
+constexpr auto kWalSyncRetryBackoff = std::chrono::milliseconds(10);
+
 sim::DeploymentSpec parse_spec(const std::string& text) {
   return sim::parse_deployment(text);
 }
@@ -140,6 +146,7 @@ void WlanShard::start() {
     if (write_snapshot_locked()) {
       wal_base_seq_ = events_applied_;
       if (wal_.is_open()) wal_.reset();
+      wal_sync_failures_ = 0;
     }
     publish_counters_locked();
   }
@@ -185,8 +192,9 @@ void WlanShard::run() {
       // Under a sustained backlog the mailbox never drains, so bound
       // how long buffered records (and their withheld replies) can
       // wait: sync mid-backlog once the flush window expires.
-      if (wal_dirty_ &&
-          std::chrono::steady_clock::now() >= flush_deadline()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (wal_dirty_ && now >= flush_deadline() &&
+          now >= wal_retry_after_) {
         lock.unlock();
         flush_wal(/*need_sync=*/true);
         lock.lock();
@@ -200,7 +208,8 @@ void WlanShard::run() {
       continue;
     }
     if (!running_) break;  // stop() flushes after the join
-    if (wal_dirty_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (wal_dirty_ && now >= wal_retry_after_) {
       // Idle with buffered records: nothing is queued behind them, so
       // waiting out the flush window buys no extra batching — sync now
       // and release the withheld replies.
@@ -209,14 +218,15 @@ void WlanShard::run() {
       lock.lock();
       continue;
     }
-    const auto now = std::chrono::steady_clock::now();
     if (now >= next_epoch_) {
       lock.unlock();
       run_epoch();
       lock.lock();
       continue;
     }
-    queue_cv_.wait_until(lock, next_epoch_);
+    auto wake = next_epoch_;
+    if (wal_dirty_ && wal_retry_after_ < wake) wake = wal_retry_after_;
+    queue_cv_.wait_until(lock, wake);
   }
 }
 
@@ -516,6 +526,7 @@ void WlanShard::run_epoch_locked() {
     // recovery replays only what arrives after this point.
     wal_base_seq_ = events_applied_;
     if (wal_.is_open()) wal_.reset();
+    wal_sync_failures_ = 0;
   }
   counters_.last_epoch_ms =
       std::chrono::duration<double, std::milli>(
@@ -608,27 +619,48 @@ void WlanShard::write_state_snapshot() {
     if (write_snapshot_locked()) {
       wal_base_seq_ = events_applied_;
       if (wal_.is_open()) wal_.reset();
+      wal_sync_failures_ = 0;
       need_sync = false;
     }
     publish_counters_locked();
   }
   if (!pending_replies_.empty() || !pending_records_.empty() || need_sync) {
-    flush_wal(need_sync);
+    flush_wal(need_sync, /*final=*/true);
   }
   wal_dirty_ = false;
 }
 
-void WlanShard::flush_wal(bool need_sync) {
+void WlanShard::flush_wal(bool need_sync, bool final) {
   if (need_sync && wal_.is_open()) {
     if (wal_.sync()) {
+      wal_sync_failures_ = 0;
       const std::lock_guard<std::mutex> lock(state_mutex_);
       ++counters_.wal_flushes;
       publish_counters_locked();
     } else {
-      // Releasing the replies anyway keeps clients from hanging, at the
-      // cost of the durability promise — loudly, so an operator sees a
-      // sick disk instead of a silent hole.
+      ++wal_sync_failures_;
       std::fprintf(stderr, "acornd: wlan %u: WAL fsync failed\n", wlan_id_);
+      if (!final && wal_.is_open() &&
+          wal_sync_failures_ < kMaxWalSyncFailures) {
+        // Neither clients nor followers may observe these records yet
+        // — followers only ever see durable events. Keep the batch
+        // withheld and let the run loop retry after a backoff.
+        wal_retry_after_ =
+            std::chrono::steady_clock::now() + kWalSyncRetryBackoff;
+        return;  // wal_dirty_ stays set
+      }
+      // Retries exhausted, the writer gave itself up, or we are
+      // shutting down: disable the log and release the batch anyway.
+      // Loudly, so an operator sees a sick disk instead of a silent
+      // durability hole — and consistently, so clients and followers
+      // are not withheld forever.
+      if (wal_.is_open()) {
+        std::fprintf(stderr,
+                     "acornd: wlan %u: disabling WAL after %u failed "
+                     "flushes; continuing without durability\n",
+                     wlan_id_, wal_sync_failures_);
+        wal_.close();
+      }
     }
   }
   if (!followers_.empty() && !pending_records_.empty()) {

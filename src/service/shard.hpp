@@ -31,7 +31,11 @@
 // (eventlog.hpp): every applied mutating message is appended to the log
 // and its reply is withheld until a group-commit fsync — issued when
 // the mailbox drains, or after `wal_flush_us` under sustained backlog,
-// so a pipelined burst pays one fsync, not one per event. The epoch snapshot supersedes the
+// so a pipelined burst pays one fsync, not one per event. A failed
+// fsync withholds the batch and retries after a backoff; only after
+// repeated failures is the WAL disabled (loudly), downgrading the
+// shard to non-durable operation rather than hanging its clients. The
+// epoch snapshot supersedes the
 // log, which is truncated right after a successful snapshot write.
 // Recovery = snapshot + replay of the log suffix (records whose ordinal
 // exceeds the snapshot's events_applied) through apply_locked; the
@@ -168,7 +172,12 @@ class WlanShard {
   static bool loggable(const Message& msg);
   /// Release withheld replies + forward durable records to followers.
   /// `need_sync` false when a snapshot already made everything durable.
-  void flush_wal(bool need_sync);
+  /// On fsync failure nothing is released or forwarded (followers must
+  /// only see durable events): the flush retries after a backoff, and
+  /// only after repeated failures is the WAL disabled — loudly — so
+  /// replies and followers are not withheld forever on a dead disk.
+  /// `final` (shutdown) skips the retries and always releases.
+  void flush_wal(bool need_sync, bool final = false);
   std::chrono::steady_clock::time_point flush_deadline() const;
 
   const ShardOptions options_;
@@ -222,6 +231,12 @@ class WlanShard {
   std::uint64_t pending_max_seq_ = 0;
   bool wal_dirty_ = false;
   std::chrono::steady_clock::time_point first_unflushed_;
+  /// Consecutive failed WAL fsyncs; past a small bound the log is
+  /// disabled instead of withholding replies forever on a sick disk.
+  std::uint32_t wal_sync_failures_ = 0;
+  /// No flush retry before this instant (set after a failed fsync so a
+  /// sick disk is not hammered in a tight loop).
+  std::chrono::steady_clock::time_point wal_retry_after_{};
   /// Follower connections attached via Job::Kind::kAttachFollower.
   std::vector<std::uint64_t> followers_;
   /// Suppresses disk writes while the constructor replays the WAL.

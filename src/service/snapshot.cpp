@@ -81,7 +81,7 @@ WlanSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
   ByteReader r(body);
   if (r.u32() != kSnapshotMagic) throw WireError("bad snapshot magic");
   const std::uint16_t version = r.u16();
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     throw WireError("unsupported snapshot version " + std::to_string(version));
   }
   WlanSnapshot snap;
@@ -122,13 +122,26 @@ WlanSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
     l.load = r.f64();
     snap.loads.push_back(l);
   }
-  const std::uint32_t n_dirty = r.u32();
-  if (4 * static_cast<std::size_t>(n_dirty) > r.remaining()) {
-    throw WireError("snapshot dirty count exceeds payload");
-  }
-  snap.dirty_clients.reserve(n_dirty);
-  for (std::uint32_t i = 0; i < n_dirty; ++i) {
-    snap.dirty_clients.push_back(r.u32());
+  if (version >= 2) {
+    const std::uint32_t n_dirty = r.u32();
+    if (4 * static_cast<std::size_t>(n_dirty) > r.remaining()) {
+      throw WireError("snapshot dirty count exceeds payload");
+    }
+    snap.dirty_clients.reserve(n_dirty);
+    for (std::uint32_t i = 0; i < n_dirty; ++i) {
+      snap.dirty_clients.push_back(r.u32());
+    }
+  } else {
+    // Version 1 predates the dirty-client set. Rejecting it would
+    // silently drop every persisted pre-upgrade WLAN on first restart;
+    // instead accept it and — having lost the record of *which* links
+    // changed — conservatively mark every client dirty so the first
+    // post-upgrade epoch re-probes them all.
+    snap.dirty_clients.reserve(snap.association.size());
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(snap.association.size()); ++c) {
+      snap.dirty_clients.push_back(c);
+    }
   }
   r.expect_end();
   return snap;

@@ -31,7 +31,10 @@ namespace acorn::service {
 inline constexpr std::uint32_t kSnapshotMagic = 0x4e524341;  // "ACRN"
 // Version 2 adds the dirty-client set (clients whose link state changed
 // since the last epoch), so recovery re-probes exactly the clients the
-// pre-crash daemon would have.
+// pre-crash daemon would have. decode_snapshot still accepts version 1
+// files (pre-upgrade state must not be dropped); lacking the dirty set,
+// they recover with every client marked dirty — a one-off full re-probe
+// at the first post-upgrade epoch.
 inline constexpr std::uint16_t kSnapshotVersion = 2;
 
 struct LossOverride {

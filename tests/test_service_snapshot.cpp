@@ -69,6 +69,77 @@ TEST(ServiceSnapshot, EmptyFieldsRoundTrip) {
   expect_equal(decode_snapshot(encode_snapshot(snap)), snap);
 }
 
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Encode `snap` in the version-1 layout (no dirty-client section).
+std::vector<std::uint8_t> encode_snapshot_v1(const WlanSnapshot& snap) {
+  ByteWriter w;
+  w.u32(kSnapshotMagic);
+  w.u16(1);
+  w.u32(snap.wlan_id);
+  w.u64(snap.epoch);
+  w.u64(snap.events_applied);
+  w.str(snap.deployment);
+  w.u32(static_cast<std::uint32_t>(snap.association.size()));
+  for (int ap : snap.association) w.i32(ap);
+  w.u32(static_cast<std::uint32_t>(snap.allocated.size()));
+  for (const net::Channel& c : snap.allocated) w.channel(c);
+  w.u32(static_cast<std::uint32_t>(snap.operating.size()));
+  for (const net::Channel& c : snap.operating) w.channel(c);
+  w.u32(static_cast<std::uint32_t>(snap.loss_overrides.size()));
+  for (const LossOverride& o : snap.loss_overrides) {
+    w.u32(o.ap);
+    w.u32(o.client);
+    w.f64(o.loss_db);
+  }
+  w.u32(static_cast<std::uint32_t>(snap.loads.size()));
+  for (const LoadHint& l : snap.loads) {
+    w.u32(l.client);
+    w.f64(l.load);
+  }
+  w.u64(fnv1a(w.data()));
+  return w.take();
+}
+
+// Upgrading a deployment must not drop its persisted v1 state: the old
+// layout (no dirty-client section) still decodes, and the lost dirty
+// set degrades to "re-probe everyone at the next epoch".
+TEST(ServiceSnapshot, Version1StillDecodesWithAllClientsDirty) {
+  WlanSnapshot snap = sample_snapshot();
+  snap.dirty_clients.clear();  // not representable in v1
+  const WlanSnapshot back = decode_snapshot(encode_snapshot_v1(snap));
+  EXPECT_EQ(back.wlan_id, snap.wlan_id);
+  EXPECT_EQ(back.epoch, snap.epoch);
+  EXPECT_EQ(back.events_applied, snap.events_applied);
+  EXPECT_EQ(back.deployment, snap.deployment);
+  EXPECT_EQ(back.association, snap.association);
+  EXPECT_EQ(back.loads.size(), snap.loads.size());
+  // Every client is conservatively dirty.
+  EXPECT_EQ(back.dirty_clients,
+            (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(ServiceSnapshot, FutureVersionRejected) {
+  std::vector<std::uint8_t> bytes = encode_snapshot(sample_snapshot());
+  // Patch the version field (offset 4, little-endian u16) to 3 and
+  // re-stamp the checksum so only the version is at fault.
+  bytes[4] = 3;
+  const std::span<const std::uint8_t> body(bytes.data(), bytes.size() - 8);
+  const std::uint64_t sum = fnv1a(body);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+  EXPECT_THROW(decode_snapshot(bytes), WireError);
+}
+
 TEST(ServiceSnapshot, ChecksumCatchesEveryBitFlip) {
   const std::vector<std::uint8_t> bytes = encode_snapshot(sample_snapshot());
   // Flip one bit in every byte (body and trailer alike): the checksum

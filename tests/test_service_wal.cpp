@@ -486,5 +486,137 @@ TEST(ServiceWal, FollowerConvergesByteIdentical) {
   leader.stop();
 }
 
+// A standby that resubscribed (leader restart) and is then killed must
+// come back up with the replicated state. Regression: the replacement
+// shard used to be started *before* the old one was stopped, so the old
+// shard's final snapshot overwrote the fresh resubscribe checkpoint on
+// disk; the records streamed afterwards then sat above a sequence gap
+// and recovery silently discarded them — exactly the promoted-standby
+// scenario the feature exists for.
+TEST(ServiceWal, PromotedStandbySurvivesResubscribe) {
+  const TempDir dir;
+  const std::string sock = dir.path() + "/sock";
+  const std::string alt_sock = dir.path() + "/sock2";
+  const std::string follower_sock = dir.path() + "/fsock";
+  const std::string leader_state = dir.path() + "/leader";
+  const std::string follower_state = dir.path() + "/follower";
+
+  DaemonConfig leader_config;
+  leader_config.unix_path = sock;
+  leader_config.state_dir = leader_state;
+  leader_config.epoch_s = 0.0;
+  leader_config.wal_flush_us = 0;
+
+  // The follower runs in a child process so it can be SIGKILLed without
+  // the clean-shutdown snapshot masking what is actually on disk. Fork
+  // before the leader spawns its threads (TSan refuses new threads in a
+  // child of a multi-threaded fork); the follower's reconnect loop
+  // simply retries until the leader's socket appears.
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    DaemonConfig config;
+    config.unix_path = follower_sock;
+    config.state_dir = follower_state;
+    config.follow = "unix:" + sock;
+    config.epoch_s = 0.0;
+    config.wal_flush_us = 0;
+    try {
+      Daemon daemon(config);
+      daemon.start();
+      daemon.wait();
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+
+  auto leader = std::make_unique<Daemon>(leader_config);
+  leader->start();
+  {
+    Client client = Client::connect_unix(sock);
+    ASSERT_TRUE(std::holds_alternative<OkReply>(
+        client.call(RegisterWlan{1, kDeployment})));
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      ASSERT_TRUE(
+          std::holds_alternative<OkReply>(client.call(ClientJoin{1, c})));
+    }
+  }
+
+  // events_applied as seen through the follower's own socket; -1 while
+  // the WLAN (or the follower itself) is not up yet.
+  const auto follower_events = [&](Client& client) -> std::int64_t {
+    const Message reply = client.call(QueryConfig{1});
+    if (const auto* cfg = std::get_if<ConfigReply>(&reply)) {
+      return static_cast<std::int64_t>(cfg->events_applied);
+    }
+    return -1;
+  };
+
+  {
+    Client fclient = connect_with_retry(follower_sock);
+    ASSERT_TRUE(eventually([&] { return follower_events(fclient) >= 4; }))
+        << "follower never received the attach snapshot";
+  }
+
+  // Leader goes away; the follower enters its reconnect loop. Advance
+  // the leader's state out of band (same state dir, different socket)
+  // so the eventual resubscribe snapshot is *ahead* of the follower.
+  leader->stop();
+  leader.reset();
+  {
+    DaemonConfig interim_config = leader_config;
+    interim_config.unix_path = alt_sock;
+    Daemon interim(interim_config);
+    interim.start();
+    Client client = Client::connect_unix(alt_sock);
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      ASSERT_TRUE(std::holds_alternative<OkReply>(
+          client.call(SnrUpdate{1, c % 3, c, 85.0 + c})));
+    }
+    interim.stop();
+  }
+
+  // Leader returns on the original endpoint: the follower resubscribes,
+  // receives the newer snapshot, and then streams live records.
+  Daemon leader2(leader_config);
+  leader2.start();
+  {
+    Client client = connect_with_retry(sock);
+    for (std::uint32_t c = 4; c < 8; ++c) {
+      ASSERT_TRUE(
+          std::holds_alternative<OkReply>(client.call(ClientJoin{1, c})));
+    }
+  }
+  const std::uint64_t leader_events = leader2.wlan_state(1)->events_applied;
+  ASSERT_EQ(leader_events, 12u);
+  {
+    Client fclient = connect_with_retry(follower_sock);
+    ASSERT_TRUE(eventually([&] {
+      return follower_events(fclient) ==
+             static_cast<std::int64_t>(leader_events);
+    })) << "follower never converged after the resubscribe";
+  }
+
+  // Promote: kill the standby, recover over its state directory.
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  DaemonConfig promoted_config;
+  promoted_config.state_dir = follower_state;
+  promoted_config.epoch_s = 0.0;
+  Daemon promoted(promoted_config);
+  promoted.start();
+  const std::optional<WlanSnapshot> snap = promoted.wlan_state(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->events_applied, leader_events)
+      << "promoted standby lost replicated events across the resubscribe";
+  EXPECT_EQ(state_bytes(promoted, 1), state_bytes(leader2, 1))
+      << "promoted standby state diverges from the leader";
+  promoted.stop();
+  leader2.stop();
+}
+
 }  // namespace
 }  // namespace acorn::service
