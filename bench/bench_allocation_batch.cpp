@@ -1,0 +1,238 @@
+// Batched candidate-scan throughput: Algorithm 2's inner loop through
+// the PR4 one-candidate-at-a-time cached path versus the PR7 batched
+// SIMD scan (CachedOracle::total_bps_batch + persistent worker pool),
+// plus the RateTable construction cost before/after the bracketed probe
+// strategy.
+//
+// Both scan paths run the same random enterprise deployments from the
+// same derived RNG streams and must agree bit-for-bit on every final
+// assignment and throughput — the bench doubles as a determinism check
+// and enforces an in-process speedup floor so `ctest -L perf_smoke`
+// fails if the batched path regresses to the serial one. Rows land in
+// BENCH_network.json (label "pr4" for the old path, "pr7" for the new).
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baselines/simple.hpp"
+#include "common.hpp"
+#include "core/allocation.hpp"
+#include "core/oracle_cache.hpp"
+#include "phy/rate_table.hpp"
+#include "sim/wlan.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+namespace {
+
+struct Scenario {
+  std::unique_ptr<sim::Wlan> wlan;
+  net::Association assoc;
+  net::ChannelAssignment initial;
+};
+
+struct PathResult {
+  double seconds = 0.0;
+  std::int64_t evals = 0;   // candidate evaluations Algorithm 2 performed
+  double checksum = 0.0;    // sum of final_bps, must match across paths
+};
+
+// Random enterprise floors in the table-3 deployment class, alternating
+// the interference model so both kernel shapes (plain contention and
+// SINR/hidden-interferer) are timed.
+std::vector<Scenario> make_scenarios(int count, int aps, int clients,
+                                     double radius_m) {
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    util::Rng rng(bench::kDefaultSeed + 977u * static_cast<unsigned>(s));
+    net::Topology topo = net::Topology::random(aps, clients, radius_m, rng);
+    net::PathLossModel plm;
+    plm.shadowing_sigma_db = 4.0;
+    net::LinkBudget budget(topo, plm, rng);
+    sim::WlanConfig config;
+    config.sinr_interference = (s % 2) == 1;
+    config.weighted_contention = (s % 3) == 1;
+    auto wlan = std::make_unique<sim::Wlan>(std::move(topo),
+                                            std::move(budget), config);
+    const baselines::RandomConfig cfg =
+        baselines::random_configuration(*wlan, net::ChannelPlan(12), rng);
+    Scenario sc;
+    sc.wlan = std::move(wlan);
+    sc.assoc = cfg.association;
+    sc.initial = cfg.assignment;
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+PathResult run_path(const std::vector<Scenario>& scenarios,
+                    const core::AllocationConfig& acfg, int reps) {
+  const net::ChannelPlan plan(12);
+  const core::ChannelAllocator alloc{plan, acfg};
+  PathResult r;
+  // Each rep rebuilds its oracles, so reps repeat identical work; they
+  // exist to stretch smoke-sized runs past scheduler noise.
+  for (int rep = 0; rep < reps; ++rep) {
+    PathResult pass;
+    for (const Scenario& s : scenarios) {
+      // Oracle construction (interference graph, rx matrix) is untimed:
+      // both paths share it and the scan is what this bench measures.
+      const core::CachedOracle oracle(*s.wlan, s.assoc);
+      const bench::Stopwatch watch;
+      const core::AllocationResult result =
+          alloc.allocate(*s.wlan, s.assoc, s.initial, oracle);
+      pass.seconds += watch.seconds();
+      pass.evals += result.evaluations;
+      pass.checksum += result.final_bps;
+    }
+    r.seconds += pass.seconds;
+    r.evals += pass.evals;
+    r.checksum += pass.checksum;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::banner("Batched candidate scan: PR7 SIMD batch vs PR4 serial",
+                "Algorithm 2 inner-loop throughput, bit-identical paths");
+
+  // Full mode times enterprise-scale floors (the paper's §6 deployments
+  // run 25+ APs); the serial path's per-candidate memo-key rebuilds grow
+  // with network size, so this is also where the batched scan's
+  // amortization is representative. Smoke keeps CI runs to a second.
+  const int scenarios = opts.smoke ? 2 : 4;
+  const int aps = opts.smoke ? 8 : 24;
+  const int clients = opts.smoke ? 22 : 60;
+  const double radius_m = opts.smoke ? 140.0 : 230.0;
+  const int reps = opts.smoke ? 8 : 1;
+  const std::vector<Scenario> floor_set =
+      make_scenarios(scenarios, aps, clients, radius_m);
+
+  core::AllocationConfig serial_cfg;
+  serial_cfg.batch_scan = false;
+  serial_cfg.num_threads = 1;
+  const PathResult serial = run_path(floor_set, serial_cfg, reps);
+  bench::emit_evals("bench_allocation_batch", "alloc_scan_random",
+                    serial.seconds, serial.evals, 1, "pr4");
+
+  core::AllocationConfig batch_cfg;
+  batch_cfg.batch_scan = true;
+  batch_cfg.num_threads = 1;
+  const PathResult batched = run_path(floor_set, batch_cfg, reps);
+  bench::emit_evals("bench_allocation_batch", "alloc_scan_random",
+                    batched.seconds, batched.evals, 1, "pr7");
+
+  // Multi-threaded run: on the single-core recording box this is a
+  // determinism check only, not a perf claim — hence the label.
+  core::AllocationConfig mt_cfg = batch_cfg;
+  mt_cfg.num_threads = 2;
+  const PathResult mt = run_path(floor_set, mt_cfg, reps);
+  bench::emit_evals("bench_allocation_batch", "alloc_scan_random",
+                    mt.seconds, mt.evals, 2, "pr7_determinism_1core");
+
+  const double speedup = batched.seconds > 0.0 && serial.seconds > 0.0
+                             ? serial.seconds / batched.seconds
+                             : 0.0;
+  util::TextTable t({"path", "threads", "evals", "evals/s", "speedup"});
+  const auto row = [&](const char* name, int threads, const PathResult& p) {
+    t.add_row({name, std::to_string(threads),
+               std::to_string(static_cast<long long>(p.evals)),
+               util::TextTable::num(p.seconds > 0.0
+                                        ? static_cast<double>(p.evals) /
+                                              p.seconds
+                                        : 0.0,
+                                    0),
+               util::TextTable::num(p.seconds > 0.0
+                                        ? serial.seconds / p.seconds
+                                        : 0.0,
+                                    2) +
+                   "x"});
+  };
+  row("pr4 serial", 1, serial);
+  row("pr7 batched", 1, batched);
+  row("pr7 batched", 2, mt);
+  std::printf("\n%s\n", t.to_string().c_str());
+
+  bool identical = true;
+  bool ok = true;
+  if (batched.checksum != serial.checksum || mt.checksum != serial.checksum ||
+      batched.evals != serial.evals || mt.evals != serial.evals) {
+    std::printf("FAIL: batched scan is not bit-identical to the serial "
+                "path\n");
+    identical = false;
+    ok = false;
+  }
+  // In-process floor: the batched scan must clearly beat the serial
+  // one-at-a-time path even on smoke-sized runs (full runs measure well
+  // above the 5x acceptance line; the smoke floor leaves headroom for
+  // loaded CI boxes). Sanitizer instrumentation distorts the two
+  // paths' relative cost, so those lanes check bit-identity only.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  constexpr bool kSanitized = true;
+#else
+  constexpr bool kSanitized = false;
+#endif
+#else
+  constexpr bool kSanitized = false;
+#endif
+  const double floor = opts.smoke ? 2.0 : 5.0;
+  std::printf("batched speedup over serial scan: %.2fx (floor %.1fx%s)\n",
+              speedup, floor,
+              kSanitized ? ", not enforced under sanitizers" : "");
+  if (!kSanitized && speedup < floor) {
+    std::printf("FAIL: batched candidate scan below the perf floor\n");
+    ok = false;
+  }
+
+  // RateTable construction: the bracketed probe strategy must cut the
+  // goodput-probe count hard while producing identical segments.
+  {
+    const phy::LinkModel link{phy::LinkConfig{}};
+    const bench::Stopwatch wd;
+    const phy::RateTable dense(link, phy::ChannelWidth::k20MHz,
+                               phy::GuardInterval::kLong800ns,
+                               phy::RateTable::Construction::kDenseReference);
+    const double dense_s = wd.seconds();
+    const bench::Stopwatch wb;
+    const phy::RateTable fast(link, phy::ChannelWidth::k20MHz,
+                              phy::GuardInterval::kLong800ns,
+                              phy::RateTable::Construction::kBracketed);
+    const double fast_s = wb.seconds();
+    bench::emit_evals(
+        "bench_allocation_batch", "rate_table_construction", dense_s,
+        static_cast<std::int64_t>(dense.construction_goodput_probes()), 1,
+        "pr4");
+    bench::emit_evals(
+        "bench_allocation_batch", "rate_table_construction", fast_s,
+        static_cast<std::int64_t>(fast.construction_goodput_probes()), 1,
+        "pr7");
+    std::printf("rate table construction: %llu probes %.3fs dense -> %llu "
+                "probes %.3fs bracketed\n",
+                static_cast<unsigned long long>(
+                    dense.construction_goodput_probes()),
+                dense_s,
+                static_cast<unsigned long long>(
+                    fast.construction_goodput_probes()),
+                fast_s);
+    if (fast.segments().size() != dense.segments().size() ||
+        fast.construction_goodput_probes() * 4 >=
+            dense.construction_goodput_probes()) {
+      std::printf("FAIL: bracketed rate-table construction regressed\n");
+      ok = false;
+    }
+  }
+
+  std::printf("batched scan bit-identical to serial path: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -140,11 +140,13 @@ int print_reply(const service::Message& reply) {
         "epochs %llu (last %.2f ms) snapshots %llu\n"
         "wal: records %llu flushes %llu\n"
         "switches: channel %llu width %llu assoc %llu\n"
+        "allocator: candidate evals %llu\n"
         "oracle: cell evals %llu hits %llu, share evals %llu hits %llu\n",
         st->num_wlans, u(st->frames_rx), u(st->events_total),
         u(st->protocol_errors), u(st->epochs_total), st->last_epoch_ms,
         u(st->snapshots_written), u(st->wal_records), u(st->wal_flushes),
         u(st->channel_switches), u(st->width_switches), u(st->assoc_changes),
+        u(st->alloc_evaluations),
         u(st->oracle_cell_evals), u(st->oracle_cell_hits),
         u(st->oracle_share_evals), u(st->oracle_share_hits));
     std::printf("latency us (log2 buckets):");

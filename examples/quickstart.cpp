@@ -47,8 +47,9 @@ int main() {
   std::printf("%s\n", t.to_string().c_str());
   std::printf("total network throughput: %.2f Mbps\n",
               result.evaluation.total_goodput_bps / 1e6);
-  std::printf("allocation took %d channel switches over %d evaluations\n",
-              result.allocation.switches, result.allocation.evaluations);
+  std::printf("allocation took %d channel switches over %lld evaluations\n",
+              result.allocation.switches,
+              static_cast<long long>(result.allocation.evaluations));
   std::printf("\nnote how the poor cell got a 20 MHz channel and the good "
               "cell a 40 MHz bond.\n");
   return 0;

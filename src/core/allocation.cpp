@@ -1,11 +1,11 @@
 #include "core/allocation.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <span>
 #include <stdexcept>
-#include <thread>
 
 #include "core/oracle_cache.hpp"
+#include "util/worker_pool.hpp"
 
 namespace acorn::core {
 
@@ -17,6 +17,9 @@ ChannelAllocator::ChannelAllocator(net::ChannelPlan plan,
   }
   if (config_.max_rounds < 1) {
     throw std::invalid_argument("max_rounds must be >= 1");
+  }
+  if (config_.batch_size < 1) {
+    throw std::invalid_argument("batch_size must be >= 1");
   }
 }
 
@@ -32,34 +35,22 @@ net::ChannelAssignment ChannelAllocator::random_assignment(
   return out;
 }
 
-AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
-                                            const net::Association& assoc,
-                                            net::ChannelAssignment initial,
-                                            ThroughputOracle oracle) const {
-  if (static_cast<int>(initial.size()) != wlan.topology().num_aps()) {
-    throw std::invalid_argument("initial assignment size != AP count");
-  }
-  // The default oracle: incremental cached evaluation (graph + client
-  // lists built once for this run, cells memoized), or a full
-  // Wlan::evaluate per candidate when caching is disabled. Both return
-  // bit-identical values.
-  std::optional<CachedOracle> cache;
-  if (!oracle) {
-    if (config_.cache_oracle) {
-      cache.emplace(wlan, assoc);
-      oracle = [&cache](const net::Association&,
-                        const net::ChannelAssignment& f) {
-        return cache->total_bps(f);
-      };
-    } else {
-      oracle = [&wlan](const net::Association& a,
-                       const net::ChannelAssignment& f) {
-        return wlan.evaluate(a, f).total_goodput_bps;
-      };
-    }
-  }
-  const std::vector<net::Channel> colors = plan_.all_channels();
-  const int n_aps = wlan.topology().num_aps();
+namespace {
+
+// The shared Algorithm 2 loop. `batch` non-null routes the candidate
+// scan through CachedOracle::total_bps_batch; otherwise every candidate
+// is one `oracle` call. Both paths score candidates into the same
+// trial_y slots and run the same first-strict-improvement winner rule,
+// so the committed switch sequence — and with it every downstream
+// double — is identical regardless of path, batch size or thread count.
+AllocationResult run_algorithm2(const net::ChannelPlan& plan,
+                                const AllocationConfig& config,
+                                const net::Association& assoc,
+                                net::ChannelAssignment initial,
+                                const ThroughputOracle& oracle,
+                                const CachedOracle* batch) {
+  const std::vector<net::Channel> colors = plan.all_channels();
+  const int n_aps = static_cast<int>(initial.size());
 
   AllocationResult result;
   result.assignment = std::move(initial);
@@ -67,14 +58,20 @@ AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
   double y = oracle(assoc, result.assignment);
   result.trajectory_bps.push_back(y);
 
+  // One persistent pool for the whole run: the scan used to spawn and
+  // join a fresh std::vector<std::thread> per inner iteration, which
+  // dominates wall-clock once the per-candidate work is batched away.
+  util::WorkerPool pool(config.num_threads);
+
   struct Candidate {
     int ap;
     std::size_t color_idx;
   };
   std::vector<Candidate> candidates;
+  std::vector<FlipCandidate> flips;
   std::vector<double> trial_y;
 
-  for (int round = 0; round < config_.max_rounds; ++round) {
+  for (int round = 0; round < config.max_rounds; ++round) {
     const double y_round_start = y;
     // Every AP gets at most one switch per round (the paper's AP / AP'
     // bookkeeping).
@@ -92,40 +89,51 @@ AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
         }
       }
       if (candidates.empty()) break;
-      result.evaluations += static_cast<int>(candidates.size());
+      result.evaluations += static_cast<std::int64_t>(candidates.size());
       trial_y.assign(candidates.size(), 0.0);
-      // Evaluate a contiguous slice of candidates, reusing one trial
-      // vector (flip, evaluate, restore).
-      const auto scan = [&](std::size_t begin, std::size_t end) {
-        net::ChannelAssignment trial = result.assignment;
-        for (std::size_t j = begin; j < end; ++j) {
-          const Candidate& cand = candidates[j];
-          const std::size_t ap = static_cast<std::size_t>(cand.ap);
-          trial[ap] = colors[cand.color_idx];
-          trial_y[j] = oracle(assoc, trial);
-          trial[ap] = result.assignment[ap];
+      if (batch != nullptr) {
+        // Batched scan: contiguous candidate blocks, each one
+        // total_bps_batch call, fanned across the pool.
+        flips.resize(candidates.size());
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+          flips[j] = FlipCandidate{candidates[j].ap,
+                                   colors[candidates[j].color_idx]};
         }
-      };
-      const std::size_t n_threads = std::min<std::size_t>(
-          config_.num_threads > 1 ? static_cast<std::size_t>(
-                                        config_.num_threads)
-                                  : 1,
-          candidates.size());
-      if (n_threads <= 1) {
-        scan(0, candidates.size());
+        const std::size_t batch_size =
+            static_cast<std::size_t>(config.batch_size);
+        const int n_batches = static_cast<int>(
+            (candidates.size() + batch_size - 1) / batch_size);
+        pool.run(n_batches, [&](int b) {
+          const std::size_t begin =
+              static_cast<std::size_t>(b) * batch_size;
+          const std::size_t count =
+              std::min(batch_size, candidates.size() - begin);
+          batch->total_bps_batch(
+              result.assignment,
+              std::span<const FlipCandidate>(flips).subspan(begin, count),
+              std::span<double>(trial_y).subspan(begin, count),
+              config.batch_kernel);
+        });
       } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
+        // One oracle call per candidate, contiguous slices per worker
+        // (each slice reuses one flip/evaluate/restore trial vector).
+        const std::size_t n_slices = std::min<std::size_t>(
+            static_cast<std::size_t>(pool.threads()), candidates.size());
         const std::size_t chunk =
-            (candidates.size() + n_threads - 1) / n_threads;
-        for (std::size_t t = 0; t < n_threads; ++t) {
-          const std::size_t begin = t * chunk;
+            (candidates.size() + n_slices - 1) / n_slices;
+        pool.run(static_cast<int>(n_slices), [&](int t) {
+          const std::size_t begin = static_cast<std::size_t>(t) * chunk;
           const std::size_t end =
               std::min(begin + chunk, candidates.size());
-          if (begin >= end) break;
-          pool.emplace_back(scan, begin, end);
-        }
-        for (std::thread& th : pool) th.join();
+          net::ChannelAssignment trial = result.assignment;
+          for (std::size_t j = begin; j < end; ++j) {
+            const Candidate& cand = candidates[j];
+            const std::size_t ap = static_cast<std::size_t>(cand.ap);
+            trial[ap] = colors[cand.color_idx];
+            trial_y[j] = oracle(assoc, trial);
+            trial[ap] = result.assignment[ap];
+          }
+        });
       }
       // Winner: the first candidate in scan order whose throughput
       // strictly beats everything before it — identical to the serial
@@ -155,10 +163,55 @@ AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
     // fire). Otherwise stop when the round improved aggregate throughput
     // by <= (eps - 1).
     if (round_switches == 0) break;
-    if (y < config_.epsilon * y_round_start) break;
+    if (y < config.epsilon * y_round_start) break;
   }
   result.final_bps = y;
   return result;
+}
+
+}  // namespace
+
+AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
+                                            const net::Association& assoc,
+                                            net::ChannelAssignment initial,
+                                            ThroughputOracle oracle) const {
+  if (static_cast<int>(initial.size()) != wlan.topology().num_aps()) {
+    throw std::invalid_argument("initial assignment size != AP count");
+  }
+  if (!oracle) {
+    if (config_.cache_oracle) {
+      // The default path: build the incremental cached oracle for this
+      // run and take the CachedOracle overload (which batch-scans when
+      // configured).
+      const CachedOracle cache(wlan, assoc);
+      return allocate(wlan, assoc, std::move(initial), cache);
+    }
+    oracle = [&wlan](const net::Association& a,
+                     const net::ChannelAssignment& f) {
+      return wlan.evaluate(a, f).total_goodput_bps;
+    };
+  }
+  return run_algorithm2(plan_, config_, assoc, std::move(initial), oracle,
+                        nullptr);
+}
+
+AllocationResult ChannelAllocator::allocate(const sim::Wlan& wlan,
+                                            const net::Association& assoc,
+                                            net::ChannelAssignment initial,
+                                            const CachedOracle& oracle) const {
+  if (static_cast<int>(initial.size()) != wlan.topology().num_aps()) {
+    throw std::invalid_argument("initial assignment size != AP count");
+  }
+  if (oracle.association() != assoc) {
+    throw std::invalid_argument("oracle bound to a different association");
+  }
+  const ThroughputOracle wrapped = [&oracle](
+                                       const net::Association&,
+                                       const net::ChannelAssignment& f) {
+    return oracle.total_bps(f);
+  };
+  return run_algorithm2(plan_, config_, assoc, std::move(initial), wrapped,
+                        config_.batch_scan ? &oracle : nullptr);
 }
 
 double isolated_upper_bound_bps(const sim::Wlan& wlan,

@@ -15,13 +15,17 @@
 // (Fig. 14).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "net/channels.hpp"
+#include "sim/netkernel.hpp"
 #include "sim/wlan.hpp"
 
 namespace acorn::core {
+
+class CachedOracle;
 
 struct AllocationConfig {
   /// Stop when the round's aggregate throughput is < epsilon * previous.
@@ -38,7 +42,20 @@ struct AllocationConfig {
   /// candidate in scan order attaining the maximum), so results are
   /// bit-identical. With > 1 the oracle must be thread-safe — the default
   /// oracles (cached and uncached) are; a custom stateful one may not be.
+  /// The workers live in one persistent pool for the whole allocate()
+  /// run (no per-iteration thread spawns).
   int num_threads = 1;
+  /// Score candidates through CachedOracle::total_bps_batch (shared
+  /// per-base analysis + SIMD multi-candidate cell kernel) instead of
+  /// one oracle call per candidate. Only engages when the scan runs
+  /// against a CachedOracle (the default when no custom oracle is
+  /// supplied); results are bit-identical at any batch size, thread
+  /// count or kernel — this only changes speed.
+  bool batch_scan = true;
+  /// Candidates per total_bps_batch call (also the SIMD lane-fill unit).
+  int batch_size = 64;
+  /// Kernel selection for the batched scan (kAuto = SIMD where built).
+  sim::BatchKernel batch_kernel = sim::BatchKernel::kAuto;
 };
 
 /// What an AP can observe when estimating "aggregate throughput with me
@@ -50,8 +67,10 @@ using ThroughputOracle = std::function<double(
 struct AllocationResult {
   net::ChannelAssignment assignment;
   /// Total oracle evaluations (the paper's k counter): the initial
-  /// y(F_0) call plus one per candidate (AP, color) trial.
-  int evaluations = 0;
+  /// y(F_0) call plus one per candidate (AP, color) trial. 64-bit: a
+  /// large sweep overflows 32 bits long before it overflows anyone's
+  /// patience now that the scan is batched.
+  std::int64_t evaluations = 0;
   /// Number of committed channel switches.
   int switches = 0;
   /// Aggregate throughput after each committed switch (bps).
@@ -75,6 +94,16 @@ class ChannelAllocator {
                             const net::Association& assoc,
                             net::ChannelAssignment initial,
                             ThroughputOracle oracle = {}) const;
+
+  /// Run Algorithm 2 against an existing CachedOracle (which must be
+  /// bound to `assoc`). This is the fast path: with config.batch_scan
+  /// set the candidate scan goes through the oracle's batched
+  /// multi-candidate evaluator. Bit-identical to the ThroughputOracle
+  /// overload wrapping `oracle.total_bps`.
+  AllocationResult allocate(const sim::Wlan& wlan,
+                            const net::Association& assoc,
+                            net::ChannelAssignment initial,
+                            const CachedOracle& oracle) const;
 
   /// Uniform-random initial assignment over all colors (the paper starts
   /// "by randomly assigning initial channels").

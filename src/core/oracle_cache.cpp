@@ -17,6 +17,32 @@ std::uint64_t channel_code(const net::Channel& c) {
 
 std::uint64_t double_bits(double x) { return std::bit_cast<std::uint64_t>(x); }
 
+// Allocation-free twins of Channel::conflicts / overlap_fraction (the
+// originals materialize occupied() vectors): a channel occupies the
+// basic-index interval [primary, primary + width-slots), so both reduce
+// to integer interval intersection. Values are identical — the same
+// small-integer ratios.
+int occupied_count(const net::Channel& c) { return c.is_bonded() ? 2 : 1; }
+
+int shared_basics(const net::Channel& a, const net::Channel& b) {
+  const int a0 = a.primary();
+  const int a1 = a0 + occupied_count(a) - 1;
+  const int b0 = b.primary();
+  const int b1 = b0 + occupied_count(b) - 1;
+  const int lo = a0 > b0 ? a0 : b0;
+  const int hi = a1 < b1 ? a1 : b1;
+  return hi >= lo ? hi - lo + 1 : 0;
+}
+
+bool conflicts_fast(const net::Channel& a, const net::Channel& b) {
+  return shared_basics(a, b) > 0;
+}
+
+double overlap_fraction_fast(const net::Channel& a, const net::Channel& b) {
+  return static_cast<double>(shared_basics(a, b)) /
+         static_cast<double>(occupied_count(a));
+}
+
 }  // namespace
 
 std::size_t CachedOracle::CellKeyHash::operator()(const CellKey& k) const {
@@ -149,6 +175,413 @@ double CachedOracle::total_bps(const net::ChannelAssignment& assignment) const {
     total += goodput;
   }
   return total;
+}
+
+std::shared_ptr<const CachedOracle::BatchBase> CachedOracle::batch_base_for(
+    const net::ChannelAssignment& base, sim::BatchKernel kernel) const {
+  const int n_aps = snap_.num_aps();
+  CellKey key(static_cast<std::size_t>(n_aps));
+  for (int ap = 0; ap < n_aps; ++ap) {
+    key[static_cast<std::size_t>(ap)] =
+        channel_code(base[static_cast<std::size_t>(ap)]);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (batch_base_ && batch_base_->key == key) return batch_base_;
+  // Build under the lock: one base change per allocator round, and a
+  // duplicate concurrent build would waste far more than the wait.
+  // The previous base (one committed flip away) seeds the new one:
+  // cells whose memo key is unchanged copy value + scan cache outright,
+  // and share-only changes rescale the value and keep the cache (the
+  // per-client products in a CellScanCache do not depend on the share).
+  const std::shared_ptr<const BatchBase> prev = batch_base_;
+  auto bb = std::make_shared<BatchBase>();
+  bb->key = std::move(key);
+  bb->assignment = base;
+  const net::InterferenceGraph& graph = snap_.graph();
+  bb->conflict_count.resize(static_cast<std::size_t>(n_aps));
+  bb->activity.resize(static_cast<std::size_t>(n_aps));
+  for (int ap = 0; ap < n_aps; ++ap) {
+    const net::Channel& own = base[static_cast<std::size_t>(ap)];
+    int count = 0;
+    for (int b = 0; b < n_aps; ++b) {
+      if (b != ap && graph.adjacent(ap, b) &&
+          conflicts_fast(own, base[static_cast<std::size_t>(b)])) {
+        ++count;
+      }
+    }
+    bb->conflict_count[static_cast<std::size_t>(ap)] = count;
+    // The exact expression unweighted_shares evaluates.
+    bb->activity[static_cast<std::size_t>(ap)] =
+        1.0 / (static_cast<double>(count) + 1.0);
+  }
+  // Two memo keys describe the same cell context up to the medium share
+  // iff every word but the share one (index 1) matches.
+  const auto same_but_share = [](const CellKey& a, const CellKey& b) {
+    if (a.size() != b.size() || a[0] != b[0]) return false;
+    for (std::size_t w = 2; w < a.size(); ++w) {
+      if (a[w] != b[w]) return false;
+    }
+    return true;
+  };
+  const bool weighted = wlan_.config().weighted_contention;
+  for (int ap = 0; ap < n_aps; ++ap) {
+    if (snap_.cell_clients(ap).empty()) continue;  // goodput is exactly 0
+    const double share =
+        weighted ? snap_.weighted_share(base, ap)
+                 : bb->activity[static_cast<std::size_t>(ap)];
+    CellKey ck = cell_key(ap, base, share, bb->activity);
+    const std::size_t idx = bb->cells.size();  // prev->cells has same order
+    double value = 0.0;
+    sim::CellScanCache cache;
+    if (prev && prev->cell_memo_key[idx] == ck) {
+      value = prev->cell_value[idx];
+      cache = prev->cell_cache[idx];
+    } else if (prev && same_but_share(prev->cell_memo_key[idx], ck)) {
+      snap_.rescale_cell_shares(ap, std::span<const double>(&share, 1),
+                                prev->cell_cache[idx], traffic_, weights_,
+                                std::span<double>(&value, 1), kernel);
+      cache = prev->cell_cache[idx];
+      memo_[static_cast<std::size_t>(ap)].emplace(ck, value);
+    } else {
+      const sim::CellLane lane{share, bb->activity.data(), -1,
+                               net::Channel::basic(0)};
+      snap_.evaluate_cells_batch(ap, base,
+                                 std::span<const sim::CellLane>(&lane, 1),
+                                 traffic_, weights_,
+                                 std::span<double>(&value, 1), &cache,
+                                 kernel);
+      // Seed the persistent cell memo (already under mutex_): candidate
+      // lanes and later serial calls whose cell context matches the base
+      // replay this value instead of re-running the kernel.
+      memo_[static_cast<std::size_t>(ap)].emplace(ck, value);
+    }
+    bb->cells.push_back(ap);
+    bb->cell_share.push_back(share);
+    bb->cell_value.push_back(value);
+    bb->cell_cache.push_back(std::move(cache));
+    bb->cell_memo_key.push_back(std::move(ck));
+    bb->total += value;
+  }
+  batch_base_ = bb;
+  return bb;
+}
+
+void CachedOracle::total_bps_batch(const net::ChannelAssignment& base,
+                                   std::span<const FlipCandidate> candidates,
+                                   std::span<double> out,
+                                   sim::BatchKernel kernel) const {
+  const int n_aps = snap_.num_aps();
+  if (static_cast<int>(base.size()) != n_aps) {
+    throw std::invalid_argument("assignment size != AP count");
+  }
+  if (out.size() != candidates.size()) {
+    throw std::invalid_argument("out size != candidate count");
+  }
+  if (candidates.empty()) return;
+  for (const FlipCandidate& cand : candidates) {
+    if (cand.ap < 0 || cand.ap >= n_aps) {
+      throw std::invalid_argument("candidate AP out of range");
+    }
+  }
+  const std::shared_ptr<const BatchBase> bb = batch_base_for(base, kernel);
+  const net::InterferenceGraph& graph = snap_.graph();
+  const bool sinr = wlan_.config().sinr_interference;
+  const bool weighted = wlan_.config().weighted_contention;
+  const std::size_t n = static_cast<std::size_t>(n_aps);
+  const std::size_t n_cands = candidates.size();
+  const std::size_t n_cells = bb->cells.size();
+
+  // Weighted share of cell `x` with AP `a` flipped to ch_new — the exact
+  // ordered sum NetSnapshot::weighted_share runs on the flipped
+  // assignment (overlap terms must NOT be delta-patched: only the full
+  // ascending-b accumulation reproduces its rounding).
+  const auto weighted_share_flip = [&](int x, int a,
+                                       const net::Channel& ch_new) {
+    const net::Channel& own =
+        x == a ? ch_new : bb->assignment[static_cast<std::size_t>(x)];
+    double load = 1.0;
+    for (int b = 0; b < n_aps; ++b) {
+      if (b == x || !graph.adjacent(x, b)) continue;
+      const net::Channel& ch_b =
+          b == a ? ch_new : bb->assignment[static_cast<std::size_t>(b)];
+      load += overlap_fraction_fast(own, ch_b);
+    }
+    return 1.0 / load;
+  };
+
+  // Per-candidate incremental state + per-cell lane lists.
+  std::vector<double> act(n_cands * n);  // per-candidate activity vectors
+  std::vector<char> trivial(n_cands, 0);
+  struct Touch {
+    int cell_idx;
+    int kind;  // 0 = full lane, 1 = share-only rescale, 2 = memoized
+    int slot;
+  };
+  std::vector<std::vector<Touch>> touches(n_cands);
+  std::vector<std::vector<sim::CellLane>> full_lanes(n_cells);
+  std::vector<std::vector<CellKey>> full_keys(n_cells);
+  std::vector<std::vector<double>> memo_vals(n_cells);
+  std::vector<std::vector<double>> rescale_shares(n_cells);
+  std::vector<int> ylist;  // activity-changed APs (≠ a) of one candidate
+  std::uint64_t n_reuse = 0;
+
+  // The serial path's cell-memo key for cell `x` under the flip
+  // (a -> ch_new), built without materializing the flipped assignment —
+  // word for word what cell_key computes, so batch and serial calls
+  // share one memo.
+  const auto flip_key = [&](int x, int a, const net::Channel& ch_new,
+                            double share, const double* act_j) {
+    const net::Channel& own =
+        x == a ? ch_new : bb->assignment[static_cast<std::size_t>(x)];
+    CellKey key;
+    key.reserve(2);
+    key.push_back(channel_code(own));
+    key.push_back(double_bits(share));
+    if (sinr) {
+      for (int other = 0; other < n_aps; ++other) {
+        if (other == x || graph.adjacent(x, other)) continue;
+        const net::Channel& other_ch =
+            other == a ? ch_new
+                       : bb->assignment[static_cast<std::size_t>(other)];
+        if (overlap_fraction_fast(other_ch, own) <= 0.0) continue;
+        key.push_back(static_cast<std::uint64_t>(other));
+        key.push_back(channel_code(other_ch));
+        key.push_back(double_bits(act_j[static_cast<std::size_t>(other)]));
+      }
+    }
+    return key;
+  };
+
+  // Route one needed full evaluation: persistent memo hit first (values
+  // computed by any earlier round, batch or serial call — bit-identical
+  // by the kernel equivalence contract), then an in-batch lane with the
+  // same key, else a fresh lane.
+  const auto full_lane_slot = [&](std::size_t idx, int x, int a,
+                                  const net::Channel& ch_new, double share,
+                                  double* act_j) -> Touch {
+    CellKey key = flip_key(x, a, ch_new, share, act_j);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto& memo = memo_[static_cast<std::size_t>(x)];
+      const auto it = memo.find(key);
+      if (it != memo.end()) {
+        ++stats_.cell_hits;
+        memo_vals[idx].push_back(it->second);
+        return Touch{static_cast<int>(idx), 2,
+                     static_cast<int>(memo_vals[idx].size()) - 1};
+      }
+    }
+    for (std::size_t k = 0; k < full_keys[idx].size(); ++k) {
+      if (full_keys[idx][k] == key) {
+        return Touch{static_cast<int>(idx), 0, static_cast<int>(k)};
+      }
+    }
+    full_keys[idx].push_back(std::move(key));
+    full_lanes[idx].push_back(sim::CellLane{share, act_j, a, ch_new});
+    return Touch{static_cast<int>(idx), 0,
+                 static_cast<int>(full_lanes[idx].size()) - 1};
+  };
+
+  for (std::size_t j = 0; j < n_cands; ++j) {
+    const int a = candidates[j].ap;
+    const net::Channel ch_new = candidates[j].channel;
+    const net::Channel ch_old =
+        bb->assignment[static_cast<std::size_t>(a)];
+    if (ch_new == ch_old) {
+      trivial[j] = 1;
+      out[j] = bb->total;
+      continue;
+    }
+    // Incremental activity shares: integer contender-count deltas (only
+    // `a` and its graph neighbors can change), then the exact
+    // 1/(count+1) expression — bit-identical to a full recount.
+    double* act_j = act.data() + j * n;
+    for (int x = 0; x < n_aps; ++x) {
+      int count;
+      if (x == a) {
+        count = 0;
+        for (int b = 0; b < n_aps; ++b) {
+          if (b != a && graph.adjacent(a, b) &&
+              conflicts_fast(ch_new,
+                             bb->assignment[static_cast<std::size_t>(b)])) {
+            ++count;
+          }
+        }
+      } else {
+        count = bb->conflict_count[static_cast<std::size_t>(x)];
+        if (graph.adjacent(x, a)) {
+          const net::Channel& ch_x =
+              bb->assignment[static_cast<std::size_t>(x)];
+          count += static_cast<int>(conflicts_fast(ch_x, ch_new)) -
+                   static_cast<int>(conflicts_fast(ch_x, ch_old));
+        }
+      }
+      act_j[static_cast<std::size_t>(x)] =
+          1.0 / (static_cast<double>(count) + 1.0);
+    }
+    if (sinr) {
+      ylist.clear();
+      for (int b = 0; b < n_aps; ++b) {
+        if (b != a &&
+            double_bits(act_j[static_cast<std::size_t>(b)]) !=
+                double_bits(bb->activity[static_cast<std::size_t>(b)])) {
+          ylist.push_back(b);
+        }
+      }
+    }
+    // Classify every non-empty cell: untouched / share-only / full.
+    for (std::size_t idx = 0; idx < n_cells; ++idx) {
+      const int x = bb->cells[idx];
+      if (x == a) {
+        const double share_new =
+            weighted ? weighted_share_flip(x, a, ch_new)
+                     : act_j[static_cast<std::size_t>(a)];
+        // Without SINR coupling the flipped cell's value depends on its
+        // channel only through the width (rate table + SNR column), so
+        // a same-width same-share flip replays the base value, and
+        // same-width same-share lanes within the batch share one eval.
+        if (!sinr && ch_new.width() == ch_old.width() &&
+            double_bits(share_new) == double_bits(bb->cell_share[idx])) {
+          ++n_reuse;
+          continue;
+        }
+        int slot = -1;
+        if (!sinr) {
+          // In non-SINR mode every full lane on this cell is a flip of
+          // this cell's own AP, so (width, share) pins the value even
+          // across different primaries (the memo key cannot see that).
+          for (std::size_t k = 0; k < full_lanes[idx].size(); ++k) {
+            const sim::CellLane& lane = full_lanes[idx][k];
+            if (lane.flip_channel.width() == ch_new.width() &&
+                double_bits(lane.medium_share) == double_bits(share_new)) {
+              slot = static_cast<int>(k);
+              break;
+            }
+          }
+        }
+        touches[j].push_back(
+            slot >= 0 ? Touch{static_cast<int>(idx), 0, slot}
+                      : full_lane_slot(idx, x, a, ch_new, share_new, act_j));
+        continue;
+      }
+      double share_new;
+      if (weighted) {
+        share_new = graph.adjacent(x, a) ? weighted_share_flip(x, a, ch_new)
+                                         : bb->cell_share[idx];
+      } else {
+        share_new = act_j[static_cast<std::size_t>(x)];
+      }
+      const bool share_changed =
+          double_bits(share_new) != double_bits(bb->cell_share[idx]);
+      bool hidden_touched = false;
+      if (sinr) {
+        // Cell x's hidden-interference signature moves iff some changed
+        // AP (the flipped one, or an activity-changed neighbor of it)
+        // is a hidden interferer of x before or after the flip.
+        const net::Channel& own =
+            bb->assignment[static_cast<std::size_t>(x)];
+        if (!graph.adjacent(x, a)) {
+          const double cap_old = overlap_fraction_fast(ch_old, own);
+          const double cap_new = overlap_fraction_fast(ch_new, own);
+          if (cap_old > 0.0 || cap_new > 0.0) {
+            // a's interference term into x is captured * act_a * rx /
+            // subcarriers(width_a). When the flip leaves every factor
+            // bit-identical — same captured fraction, same width (the
+            // subcarrier divisor), same activity bits — the term and
+            // hence the ordered hidden-power sum are unchanged, e.g. a
+            // hopping between the two 20 MHz halves of x's 40 MHz
+            // channel without changing its contender count.
+            hidden_touched =
+                double_bits(cap_old) != double_bits(cap_new) ||
+                ch_old.width() != ch_new.width() ||
+                double_bits(act_j[static_cast<std::size_t>(a)]) !=
+                    double_bits(bb->activity[static_cast<std::size_t>(a)]);
+          }
+        }
+        if (!hidden_touched) {
+          for (const int b : ylist) {
+            if (b == x || graph.adjacent(x, b)) continue;
+            if (overlap_fraction_fast(
+                    bb->assignment[static_cast<std::size_t>(b)], own) >
+                0.0) {
+              hidden_touched = true;
+              break;
+            }
+          }
+        }
+      }
+      if (hidden_touched) {
+        touches[j].push_back(
+            full_lane_slot(idx, x, a, ch_new, share_new, act_j));
+      } else if (share_changed) {
+        const int slot = static_cast<int>(rescale_shares[idx].size());
+        rescale_shares[idx].push_back(share_new);
+        touches[j].push_back(Touch{static_cast<int>(idx), 1, slot});
+      } else {
+        ++n_reuse;
+      }
+    }
+  }
+
+  // Batched kernel passes, one call per touched cell.
+  std::vector<std::vector<double>> full_vals(n_cells);
+  std::vector<std::vector<double>> rescale_vals(n_cells);
+  std::uint64_t n_full = 0;
+  std::uint64_t n_rescale = 0;
+  for (std::size_t idx = 0; idx < n_cells; ++idx) {
+    const int x = bb->cells[idx];
+    if (!full_lanes[idx].empty()) {
+      n_full += full_lanes[idx].size();
+      full_vals[idx].resize(full_lanes[idx].size());
+      snap_.evaluate_cells_batch(x, bb->assignment, full_lanes[idx],
+                                 traffic_, weights_, full_vals[idx], nullptr,
+                                 kernel);
+      // Publish into the persistent memo so later rounds (and serial
+      // calls) replay these values for free.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& memo = memo_[static_cast<std::size_t>(x)];
+      for (std::size_t k = 0; k < full_keys[idx].size(); ++k) {
+        memo.emplace(std::move(full_keys[idx][k]), full_vals[idx][k]);
+      }
+    }
+    if (!rescale_shares[idx].empty()) {
+      n_rescale += rescale_shares[idx].size();
+      rescale_vals[idx].resize(rescale_shares[idx].size());
+      snap_.rescale_cell_shares(x, rescale_shares[idx], bb->cell_cache[idx],
+                                traffic_, weights_, rescale_vals[idx],
+                                kernel);
+    }
+  }
+
+  // Assemble each candidate's total in ascending-cell order — the exact
+  // summation order total_bps uses.
+  for (std::size_t j = 0; j < n_cands; ++j) {
+    if (trivial[j]) continue;
+    const std::vector<Touch>& tl = touches[j];  // ascending cell_idx
+    std::size_t ti = 0;
+    double total = 0.0;
+    for (std::size_t idx = 0; idx < n_cells; ++idx) {
+      double v;
+      if (ti < tl.size() && tl[ti].cell_idx == static_cast<int>(idx)) {
+        const Touch& t = tl[ti++];
+        const auto slot = static_cast<std::size_t>(t.slot);
+        v = t.kind == 0   ? full_vals[idx][slot]
+            : t.kind == 1 ? rescale_vals[idx][slot]
+                          : memo_vals[idx][slot];
+      } else {
+        v = bb->cell_value[idx];
+      }
+      total += v;
+    }
+    out[j] = total;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.batch_calls;
+  stats_.batch_candidates += n_cands;
+  stats_.batch_full_evals += n_full;
+  stats_.batch_rescales += n_rescale;
+  stats_.batch_reuses += n_reuse;
 }
 
 OracleCacheStats CachedOracle::stats() const {

@@ -46,6 +46,19 @@ struct OracleCacheStats {
   std::uint64_t cell_hits = 0;    // memoized per-cell replays
   std::uint64_t share_evals = 0;  // unweighted share-vector scans (misses)
   std::uint64_t share_hits = 0;   // memoized share-vector replays
+  // Batched-scan path (total_bps_batch).
+  std::uint64_t batch_calls = 0;       // total_bps_batch invocations
+  std::uint64_t batch_candidates = 0;  // flips scored through batches
+  std::uint64_t batch_full_evals = 0;  // full cell-lane evaluations
+  std::uint64_t batch_rescales = 0;    // share-only cell rescales
+  std::uint64_t batch_reuses = 0;      // untouched cells replayed from base
+};
+
+/// One candidate move of Algorithm 2's scan: AP `ap` flipped to
+/// `channel` with every other AP kept at the base assignment.
+struct FlipCandidate {
+  int ap = 0;
+  net::Channel channel = net::Channel::basic(0);
 };
 
 /// Exact throughput oracle bound to one (wlan, association, traffic).
@@ -70,6 +83,24 @@ class CachedOracle {
   /// described above.
   double total_bps(const net::ChannelAssignment& assignment) const;
 
+  /// Batched scan: out[j] = total_bps(base with candidates[j] applied),
+  /// bit-identical to the serial calls, without materializing the
+  /// flipped assignments. One shared per-base analysis (activity shares,
+  /// integer conflict counts, per-cell values + share-independent
+  /// per-client products) classifies every (cell, candidate) pair as
+  /// untouched (replay the base cell value), share-only (batched
+  /// rescale) or fully touched (batched re-evaluation through
+  /// NetSnapshot::evaluate_cells_batch); per-candidate activity vectors
+  /// are derived incrementally from the base conflict counts. Safe to
+  /// call concurrently from many threads on disjoint candidate spans —
+  /// the per-base analysis is built once under the cache mutex and
+  /// shared read-only.
+  void total_bps_batch(const net::ChannelAssignment& base,
+                       std::span<const FlipCandidate> candidates,
+                       std::span<double> out,
+                       sim::BatchKernel kernel =
+                           sim::BatchKernel::kAuto) const;
+
   const net::Association& association() const { return assoc_; }
   const net::InterferenceGraph& graph() const { return snap_.graph(); }
   const sim::NetSnapshot& snapshot() const { return snap_; }
@@ -88,6 +119,26 @@ class CachedOracle {
                    double medium_share,
                    std::span<const double> activity) const;
 
+  // Shared per-base-assignment analysis for the batched scan: everything
+  // a single-AP flip perturbs incrementally. Built once per distinct
+  // base assignment (one per allocator round) and shared read-only by
+  // all scan threads.
+  struct BatchBase {
+    CellKey key;  // per-AP packed channel codes of the base
+    net::ChannelAssignment assignment;
+    std::vector<double> activity;    // unweighted shares, all APs
+    std::vector<int> conflict_count; // integer contender counts, all APs
+    std::vector<int> cells;          // non-empty cells, ascending AP id
+    std::vector<double> cell_share;  // medium share per cells[] entry
+    std::vector<double> cell_value;  // objective value per cells[] entry
+    std::vector<sim::CellScanCache> cell_cache;  // per cells[] entry
+    std::vector<CellKey> cell_memo_key;          // per cells[] entry
+    double total = 0.0;              // == total_bps(assignment)
+  };
+
+  std::shared_ptr<const BatchBase> batch_base_for(
+      const net::ChannelAssignment& base, sim::BatchKernel kernel) const;
+
   const sim::Wlan& wlan_;
   net::Association assoc_;
   mac::TrafficType traffic_;
@@ -103,6 +154,7 @@ class CachedOracle {
   // and a stored vector is never mutated after insertion.
   mutable std::unordered_map<CellKey, std::vector<double>, CellKeyHash>
       share_memo_;
+  mutable std::shared_ptr<const BatchBase> batch_base_;
   mutable OracleCacheStats stats_;
 };
 

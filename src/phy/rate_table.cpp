@@ -1,11 +1,15 @@
 #include "phy/rate_table.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <numeric>
+#include <span>
+#include <utility>
 
 namespace acorn::phy {
 
@@ -20,19 +24,136 @@ constexpr double kLoDb = -80.0;
 constexpr double kHiDb = 100.0;
 constexpr double kGridStepDb = 0.1;
 
-int argmax_index(const LinkModel& link, ChannelWidth width, GuardInterval gi,
-                 double snr_db) {
-  return best_rate(link, width, snr_db, gi).mcs_index;
-}
-
 }  // namespace
 
 RateTable::RateTable(const LinkModel& link, ChannelWidth width,
-                     GuardInterval gi)
+                     GuardInterval gi, Construction construction)
     : link_(link), width_(width), gi_(gi) {
-  const auto winner = [&](double snr) {
-    return argmax_index(link_, width_, gi_, snr);
+  build(construction == Construction::kBracketed);
+}
+
+void RateTable::build(bool bracketed) {
+  const std::span<const McsEntry> table = mcs_table();
+  const int n_rows = static_cast<int>(table.size());
+
+  // Nominal PHY rates bound each row's goodput from above
+  // (goodput = (1-PER) * rate), which is what lets the bracketed probe
+  // skip rows. by_rate lists rows by descending rate.
+  std::vector<double> rate(static_cast<std::size_t>(n_rows));
+  std::vector<int> by_rate(static_cast<std::size_t>(n_rows));
+  for (int i = 0; i < n_rows; ++i) {
+    rate[static_cast<std::size_t>(i)] =
+        table[static_cast<std::size_t>(i)].rate_bps(width_, gi_);
+  }
+  std::iota(by_rate.begin(), by_rate.end(), 0);
+  std::stable_sort(by_rate.begin(), by_rate.end(), [&](int a, int b) {
+    return rate[static_cast<std::size_t>(a)] >
+           rate[static_cast<std::size_t>(b)];
+  });
+
+  // Dead-zone pre-pass: per-row goodput is monotone nondecreasing in
+  // SNR, so once a row is observed at exactly 0 at some SNR it is
+  // exactly 0 at every SNR below. Bisect each row's 0 -> >0 crossing to
+  // 0.01 dB and remember the highest observed-dead point; any later
+  // probe at or below it returns the exact 0.0 the PER chain would,
+  // without running it. ~15 goodput evaluations per row, repaid
+  // thousands of times over the grid scan.
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> dead_below(static_cast<std::size_t>(n_rows), kNegInf);
+  double all_dead_below = kNegInf;
+  if (bracketed) {
+    for (int i = 0; i < n_rows; ++i) {
+      const auto eval = [&](double snr) {
+        ++construction_probes_;
+        return link_.goodput_bps(table[static_cast<std::size_t>(i)], width_,
+                                 gi_, snr);
+      };
+      double lo = kLoDb;
+      if (eval(lo) != 0.0) continue;  // alive over the whole range
+      double hi = kHiDb;
+      if (eval(hi) == 0.0) {
+        dead_below[static_cast<std::size_t>(i)] = hi;
+        continue;
+      }
+      while (hi - lo > 0.01) {
+        const double mid = 0.5 * (lo + hi);
+        if (!(mid > lo && mid < hi)) break;
+        if (eval(mid) == 0.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      dead_below[static_cast<std::size_t>(i)] = lo;
+    }
+    all_dead_below =
+        *std::min_element(dead_below.begin(), dead_below.end());
+  }
+
+  // Per-point goodput memo so neither pass of the pruned argmax ever
+  // evaluates the PER chain twice for the same row.
+  std::vector<double> g(static_cast<std::size_t>(n_rows), 0.0);
+  std::vector<char> have(static_cast<std::size_t>(n_rows), 0);
+  double cur_snr = 0.0;
+  const auto begin_point = [&](double snr) {
+    cur_snr = snr;
+    std::fill(have.begin(), have.end(), 0);
   };
+  const auto probe = [&](int i) {
+    const auto s = static_cast<std::size_t>(i);
+    if (!have[s]) {
+      if (cur_snr <= dead_below[s]) {
+        g[s] = 0.0;
+      } else {
+        g[s] = link_.goodput_bps(table[s], width_, gi_, cur_snr);
+        ++construction_probes_;
+      }
+      have[s] = 1;
+    }
+    return g[s];
+  };
+
+  // Exact winner at cur_snr, matching best_rate bit for bit: the winner
+  // is the lowest-index row attaining the maximum goodput (best_rate's
+  // strict `>` keeps the first maximizer). Pass 1 finds the max M
+  // probing rows by descending rate — once a row's nominal rate drops
+  // to M or below, no remaining row can exceed M. Pass 2 scans table
+  // order for the first row that attains M, skipping rows whose rate is
+  // already below it. `seed` (the previous point's winner) is probed
+  // first so M starts high and pass 1 usually stops immediately.
+  int seed = 0;
+  const auto exact_winner_at = [&]() -> int {
+    double m = probe(seed);
+    for (const int i : by_rate) {
+      if (rate[static_cast<std::size_t>(i)] <= m) break;
+      const double gp = probe(i);
+      if (gp > m) m = gp;
+    }
+    for (int i = 0; i < n_rows; ++i) {
+      if (rate[static_cast<std::size_t>(i)] < m) continue;
+      if (probe(i) == m) {
+        seed = i;
+        return table[static_cast<std::size_t>(i)].index;
+      }
+    }
+    // Unreachable: the maximizer has rate >= its own goodput == m.
+    seed = 0;
+    return table[0].index;
+  };
+
+  // Winner of one probe point (grid and bisection alike). Where every
+  // row is provably dead the all-zero argmax goes to the first row for
+  // free — best_rate's strict `>` keeps the first of equals.
+  const auto point_winner = [&](double snr) -> int {
+    if (!bracketed) {
+      construction_probes_ += static_cast<std::uint64_t>(n_rows);
+      return best_rate(link_, width_, snr, gi_).mcs_index;
+    }
+    if (snr <= all_dead_below) return table[0].index;
+    begin_point(snr);
+    return exact_winner_at();
+  };
+
   std::vector<std::pair<double, int>> boundaries;  // (start snr, winner)
 
   // Bisect every boundary in (a, b] down to adjacent doubles, recursing
@@ -47,7 +168,7 @@ RateTable::RateTable(const LinkModel& link, ChannelWidth width,
     while (true) {
       const double mid = 0.5 * (lo + hi);
       if (!(mid > lo && mid < hi)) break;  // adjacent doubles
-      const int wm = winner(mid);
+      const int wm = point_winner(mid);
       if (wm == wlo) {
         lo = mid;
       } else if (wm == wb) {
@@ -67,13 +188,13 @@ RateTable::RateTable(const LinkModel& link, ChannelWidth width,
   // that appears only inside one grid cell would have to win on an
   // interval narrower than that — the randomized property test guards
   // the assumption.
-  int prev_winner = winner(kLoDb);
+  int prev_winner = point_winner(kLoDb);
   const int first_winner = prev_winner;
   double prev_snr = kLoDb;
   const int steps = static_cast<int>((kHiDb - kLoDb) / kGridStepDb);
   for (int i = 1; i <= steps; ++i) {
     const double snr = kLoDb + kGridStepDb * i;
-    const int w = winner(snr);
+    const int w = point_winner(snr);
     if (w != prev_winner) refine(refine, prev_snr, prev_winner, snr, w);
     prev_winner = w;
     prev_snr = snr;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,8 +34,36 @@ class RateTable {
     double rate_bps = 0.0;  // mcs(index).rate_bps(width, gi), precomputed
   };
 
+  /// How construction probes the per-row goodput curves.
+  ///
+  /// kBracketed (the default) keeps the exact 0.1 dB grid + bisection
+  /// discovery but makes each argmax probe cheap. A one-time pre-pass
+  /// bisects each row's dead zone: per-row goodput is monotone in SNR,
+  /// so a row observed at exactly 0 at some SNR is exactly 0 everywhere
+  /// below — afterwards dead rows cost nothing to "probe". Points where
+  /// every row is provably dead hand the argmax to the first row for
+  /// free (best_rate's strict-> tie rule). Everywhere else a seeded
+  /// two-pass scan finds the winner: a descending-nominal-rate pass
+  /// finds the max goodput M, skipping rows whose PHY rate can't exceed
+  /// M (goodput = (1-PER)*rate <= rate), then an ascending pass returns
+  /// the FIRST row attaining M — best_rate's exact first-index-wins
+  /// winner. Segments are bit-identical to kDenseReference.
+  ///
+  /// kDenseReference runs the original full 16-row best_rate sweep per
+  /// probe — the reference the equivalence property test pins
+  /// kBracketed against.
+  enum class Construction { kBracketed, kDenseReference };
+
   /// Precompute the decision thresholds for (link config, width, gi).
-  RateTable(const LinkModel& link, ChannelWidth width, GuardInterval gi);
+  RateTable(const LinkModel& link, ChannelWidth width, GuardInterval gi,
+            Construction construction = Construction::kBracketed);
+
+  /// link.goodput_bps evaluations construction spent (the dominant
+  /// construction cost: each runs the Gauss-Hermite/erfc coded-PER
+  /// chain). Bracketed construction needs ~8x fewer than dense.
+  std::uint64_t construction_goodput_probes() const {
+    return construction_probes_;
+  }
 
   ChannelWidth width() const { return width_; }
   GuardInterval gi() const { return gi_; }
@@ -82,10 +111,14 @@ class RateTable {
     return segments_[i];
   }
 
+  // Runs the grid + bisection scan, filling segments_.
+  void build(bool bracketed);
+
   LinkModel link_;
   ChannelWidth width_;
   GuardInterval gi_;
   std::vector<Segment> segments_;  // ascending start_snr_db
+  std::uint64_t construction_probes_ = 0;
 };
 
 }  // namespace acorn::phy

@@ -575,6 +575,7 @@ StatsReply Daemon::stats() const {
     s.channel_switches += c.channel_switches;
     s.width_switches += c.width_switches;
     s.assoc_changes += c.assoc_changes;
+    s.alloc_evaluations += c.alloc_evaluations;
     s.oracle_cell_evals += c.oracle_cell_evals;
     s.oracle_cell_hits += c.oracle_cell_hits;
     s.oracle_share_evals += c.oracle_share_evals;

@@ -487,14 +487,17 @@ void WlanShard::run_epoch_locked() {
   ensure_oracle();
 
   // Algorithm 2 with the incremental oracle; its epsilon (stop below 5%
-  // aggregate improvement) is the channel-level hysteresis.
+  // aggregate improvement) is the channel-level hysteresis. Handing the
+  // CachedOracle itself (not a per-call lambda) lets the allocator use
+  // the batched multi-candidate scan — same result, fewer epochs spent
+  // allocating.
   const core::AllocationResult result =
-      controller_.allocation_module().allocate(
-          wlan_, assoc_, allocated_,
-          [this](const net::Association&, const net::ChannelAssignment& f) {
-            return oracle_->total_bps(f);
-          });
+      controller_.allocation_module().allocate(wlan_, assoc_, allocated_,
+                                               *oracle_);
   counters_.channel_switches += static_cast<std::uint64_t>(result.switches);
+  counters_.alloc_evaluations +=
+      result.evaluations > 0 ? static_cast<std::uint64_t>(result.evaluations)
+                             : 0;
   allocated_ = result.assignment;
 
   // Opportunistic width fallback (core/width_switch) with hysteresis:

@@ -101,6 +101,9 @@ struct ShardCounters {
   std::uint64_t channel_switches = 0;
   std::uint64_t width_switches = 0;
   std::uint64_t assoc_changes = 0;
+  /// Oracle evaluations spent in Algorithm 2 (64-bit at the source;
+  /// clamped non-negative when folded in from AllocationResult).
+  std::uint64_t alloc_evaluations = 0;
   std::uint64_t oracle_cell_evals = 0;
   std::uint64_t oracle_cell_hits = 0;
   std::uint64_t oracle_share_evals = 0;

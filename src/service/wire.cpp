@@ -113,6 +113,7 @@ void encode_body(ByteWriter& w, const StatsReply& m) {
   w.u64(m.channel_switches);
   w.u64(m.width_switches);
   w.u64(m.assoc_changes);
+  w.u64(m.alloc_evaluations);
   w.u64(m.oracle_cell_evals);
   w.u64(m.oracle_cell_hits);
   w.u64(m.oracle_share_evals);
@@ -168,6 +169,7 @@ StatsReply decode_stats(ByteReader& r) {
   m.channel_switches = r.u64();
   m.width_switches = r.u64();
   m.assoc_changes = r.u64();
+  m.alloc_evaluations = r.u64();
   m.oracle_cell_evals = r.u64();
   m.oracle_cell_hits = r.u64();
   m.oracle_share_evals = r.u64();

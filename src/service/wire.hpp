@@ -177,6 +177,7 @@ struct StatsReply {
   std::uint64_t channel_switches = 0;
   std::uint64_t width_switches = 0;
   std::uint64_t assoc_changes = 0;
+  std::uint64_t alloc_evaluations = 0;
   std::uint64_t oracle_cell_evals = 0;
   std::uint64_t oracle_cell_hits = 0;
   std::uint64_t oracle_share_evals = 0;

@@ -29,6 +29,42 @@
 
 namespace acorn::sim {
 
+/// Kernel selection for the batched candidate evaluators: kAuto picks
+/// the vector-extension SIMD kernel where the build enables it (with a
+/// target_clones avx2 clone on x86-64 glibc, exactly like the Viterbi
+/// trellis kernel), kScalar forces the bit-identical scalar fallback.
+/// Both produce the same doubles; the knob exists so tests and benches
+/// can pin them against each other on any host.
+enum class BatchKernel { kAuto, kScalar };
+
+/// One lane of a batched cell evaluation: the cell is scored under the
+/// base assignment with AP `flip_ap` moved to `flip_channel` (flip_ap <
+/// 0 scores the base assignment itself). `medium_share` is the cell's
+/// contention share under that flip and `activity` the unweighted
+/// shares of all APs under that flip — both supplied by the caller,
+/// which computes them incrementally from the base.
+struct CellLane {
+  double medium_share = 0.0;
+  const double* activity = nullptr;  // n_aps unweighted shares
+  int flip_ap = -1;
+  net::Channel flip_channel = net::Channel::basic(0);
+};
+
+/// Share-independent per-client products of one cell evaluation. A
+/// single-AP flip that only perturbs a neighbor cell's medium share
+/// leaves that cell's per-client rates, PERs and delays bit-identical,
+/// so the batched oracle caches these once per base assignment and
+/// rescales: per-client throughput = share / atd, then the transport
+/// factors below reproduce transport_goodput_bps exactly.
+struct CellScanCache {
+  double atd_s_per_bit = 0.0;
+  /// tcp_efficiency * (1-per)^sensitivity per client — the exact first
+  /// product transport_goodput_bps forms on the TCP path.
+  std::vector<double> tcp_c1;
+  /// Mathis cap per client (+inf when the residual loss is exactly 0).
+  std::vector<double> tcp_cap;
+};
+
 /// Immutable link-state snapshot for one (wlan, association) pair. The
 /// wlan must outlive the snapshot. Thread-safe: all methods are const and
 /// touch no mutable state, so one snapshot may serve many worker threads
@@ -78,6 +114,44 @@ class NetSnapshot {
   Evaluation evaluate(const net::ChannelAssignment& assignment,
                       mac::TrafficType traffic =
                           mac::TrafficType::kUdp) const;
+
+  /// Batched cell evaluation across candidate lanes. For every lane l,
+  /// out_value[l] is the oracle-level value of cell `ap` under (base
+  /// with lane l's flip applied): the cell's transport goodput summed in
+  /// client order, or the client_weights-weighted sum when weights are
+  /// supplied — bit-identical to evaluate_cell(...) followed by the
+  /// CachedOracle weighting loop. Vectorized across lanes (hidden-
+  /// interference accumulation, MCS threshold scan, delay/ATD and
+  /// transport arithmetic); the per-lane transcendental calls (log10,
+  /// the coded-PER chain) run through the exact scalar routines the
+  /// one-at-a-time path uses, with identical inputs, so SIMD and scalar
+  /// kernels agree to the bit. When `capture` is non-null (single-lane
+  /// base evaluations) the share-independent per-client products are
+  /// stored for later rescale_cell_shares calls.
+  void evaluate_cells_batch(int ap, const net::ChannelAssignment& base,
+                            std::span<const CellLane> lanes,
+                            mac::TrafficType traffic,
+                            std::span<const double> client_weights,
+                            std::span<double> out_value,
+                            CellScanCache* capture = nullptr,
+                            BatchKernel kernel = BatchKernel::kAuto) const;
+
+  /// Share-only batched re-evaluation of cell `ap`: for every lane l,
+  /// out_value[l] is the oracle-level cell value at medium share
+  /// shares[l] with the per-client rate/PER pipeline replayed from
+  /// `cache` (valid whenever the flip leaves the cell's channel, SNRs
+  /// and hidden-interference inputs untouched). Bit-identical to a full
+  /// evaluation at that share.
+  void rescale_cell_shares(int ap, std::span<const double> shares,
+                           const CellScanCache& cache,
+                           mac::TrafficType traffic,
+                           std::span<const double> client_weights,
+                           std::span<double> out_value,
+                           BatchKernel kernel = BatchKernel::kAuto) const;
+
+  /// True when the SIMD batch kernel is compiled in (kAuto differs from
+  /// kScalar in code path, never in results).
+  static bool batch_simd_enabled();
 
  private:
   /// Per-subcarrier hidden-interference power (mW) at `client` on

@@ -1,0 +1,267 @@
+// Bit-identity property suite for the batched candidate scan.
+//
+// The contract under test: CachedOracle::total_bps_batch and the
+// batch-scanning ChannelAllocator::allocate overload produce EXACTLY the
+// doubles the serial one-candidate-at-a-time path produces — same
+// winner sequence, same trajectory, same final assignment — at any
+// batch size, thread count, or kernel (SIMD vs scalar), across all four
+// sinr_interference x weighted_contention model combos and on
+// degenerate networks. Equality is ==, never near.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/oracle_cache.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::core {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+// Random deployment spanning isolated, contending and hidden-interferer
+// regimes (same shape as the oracle-cache suite, one AP larger).
+ScenarioBuilder random_builder(util::Rng& rng, bool sinr, bool weighted) {
+  ScenarioBuilder b;
+  const int n_aps = static_cast<int>(rng.uniform_int(1, 6));
+  for (int a = 0; a < n_aps; ++a) {
+    CellSpec spec;
+    const int n_clients = static_cast<int>(rng.uniform_int(0, 3));
+    for (int c = 0; c < n_clients; ++c) {
+      spec.client_losses_db.push_back(rng.uniform(78.0, 112.0));
+    }
+    b.cells.push_back(spec);
+  }
+  b.ap_ap_loss_db = rng.uniform(80.0, 140.0);
+  b.cross_loss_db = rng.uniform(95.0, 140.0);
+  b.config.sinr_interference = sinr;
+  b.config.weighted_contention = weighted;
+  return b;
+}
+
+net::Association random_association(const ScenarioBuilder& b,
+                                    util::Rng& rng) {
+  net::Association assoc = b.intended_association();
+  const int n_aps = static_cast<int>(b.cells.size());
+  for (int& owner : assoc) {
+    const double roll = rng.uniform();
+    if (roll < 0.15) {
+      owner = net::kUnassociated;
+    } else if (roll < 0.35) {
+      owner = static_cast<int>(rng.uniform_int(0, n_aps - 1));
+    }
+  }
+  return assoc;
+}
+
+void expect_identical(const AllocationResult& want,
+                      const AllocationResult& got) {
+  ASSERT_EQ(want.assignment.size(), got.assignment.size());
+  for (std::size_t i = 0; i < want.assignment.size(); ++i) {
+    EXPECT_EQ(want.assignment[i], got.assignment[i]);
+  }
+  EXPECT_EQ(want.evaluations, got.evaluations);
+  EXPECT_EQ(want.switches, got.switches);
+  ASSERT_EQ(want.trajectory_bps.size(), got.trajectory_bps.size());
+  for (std::size_t i = 0; i < want.trajectory_bps.size(); ++i) {
+    // Exact: the batched scan must commit the same winner at the same
+    // throughput on every step.
+    EXPECT_EQ(want.trajectory_bps[i], got.trajectory_bps[i]) << "step " << i;
+  }
+  EXPECT_EQ(want.final_bps, got.final_bps);
+}
+
+TEST(BatchScan, TotalBpsBatchBitIdenticalToSerialFlips) {
+  util::Rng rng(0xBA7C4);
+  const net::ChannelPlan plan(6);
+  const std::vector<net::Channel> colors = plan.all_channels();
+  int checked = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    const bool sinr = (trial % 2) == 1;
+    const bool weighted = (trial / 2 % 2) == 1;
+    const ScenarioBuilder b = random_builder(rng, sinr, weighted);
+    const sim::Wlan wlan = b.build();
+    const net::Association assoc = random_association(b, rng);
+    const int n_aps = wlan.topology().num_aps();
+    const ChannelAllocator alloc{plan};
+    const net::ChannelAssignment base =
+        alloc.random_assignment(n_aps, rng);
+
+    // Every (AP, color) flip, including no-op flips to the current
+    // channel (the batch path must special-case them to the base value).
+    std::vector<FlipCandidate> flips;
+    for (int ap = 0; ap < n_aps; ++ap) {
+      for (const net::Channel& c : colors) {
+        flips.push_back(FlipCandidate{ap, c});
+      }
+    }
+    const CachedOracle oracle(wlan, assoc);
+    std::vector<double> batched(flips.size(), -1.0);
+    oracle.total_bps_batch(base, flips, batched);
+    // Independent oracle for the scalar kernel so its values are really
+    // computed scalar, not replayed from the SIMD run's cell memo.
+    const CachedOracle oracle_scalar(wlan, assoc);
+    std::vector<double> scalar(flips.size(), -1.0);
+    oracle_scalar.total_bps_batch(base, flips, scalar,
+                                  sim::BatchKernel::kScalar);
+
+    // Independent oracle for the serial reference, so no state the batch
+    // call may have created can leak into it.
+    const CachedOracle ref(wlan, assoc);
+    for (std::size_t j = 0; j < flips.size(); ++j) {
+      net::ChannelAssignment flipped = base;
+      flipped[static_cast<std::size_t>(flips[j].ap)] = flips[j].channel;
+      const double want = ref.total_bps(flipped);
+      EXPECT_EQ(want, batched[j])
+          << "trial " << trial << " flip " << j << " (sinr=" << sinr
+          << " weighted=" << weighted << ")";
+      EXPECT_EQ(want, scalar[j]) << "scalar kernel, flip " << j;
+      ++checked;
+    }
+    const OracleCacheStats stats = oracle.stats();
+    EXPECT_EQ(stats.batch_calls, 1u);
+    EXPECT_EQ(stats.batch_candidates, flips.size());
+    EXPECT_EQ(oracle_scalar.stats().batch_calls, 1u);
+  }
+  // Make sure the loop actually exercised a meaningful corpus.
+  EXPECT_GT(checked, 500);
+}
+
+TEST(BatchScan, AllocateIdenticalAcrossBatchSizesThreadsAndKernels) {
+  util::Rng rng(0xA110C);
+  const net::ChannelPlan plan(6);
+  for (int trial = 0; trial < 12; ++trial) {
+    const bool sinr = (trial % 2) == 1;
+    const bool weighted = (trial / 2 % 2) == 1;
+    const ScenarioBuilder b = random_builder(rng, sinr, weighted);
+    const sim::Wlan wlan = b.build();
+    const net::Association assoc = random_association(b, rng);
+    const int n_aps = wlan.topology().num_aps();
+
+    AllocationConfig serial_cfg;
+    serial_cfg.batch_scan = false;
+    serial_cfg.num_threads = 1;
+    const ChannelAllocator serial_alloc{plan, serial_cfg};
+    const net::ChannelAssignment initial =
+        serial_alloc.random_assignment(n_aps, rng);
+    const CachedOracle oracle(wlan, assoc);
+    const AllocationResult want =
+        serial_alloc.allocate(wlan, assoc, initial, oracle);
+
+    struct Combo {
+      int batch_size;
+      int threads;
+      sim::BatchKernel kernel;
+    };
+    const Combo combos[] = {
+        {1, 1, sim::BatchKernel::kAuto},
+        {7, 1, sim::BatchKernel::kAuto},
+        {16, 1, sim::BatchKernel::kScalar},
+        {64, 1, sim::BatchKernel::kAuto},
+        {16, 2, sim::BatchKernel::kAuto},
+        {7, 5, sim::BatchKernel::kScalar},
+        {64, 5, sim::BatchKernel::kAuto},
+    };
+    for (const Combo& combo : combos) {
+      AllocationConfig cfg;
+      cfg.batch_scan = true;
+      cfg.batch_size = combo.batch_size;
+      cfg.num_threads = combo.threads;
+      cfg.batch_kernel = combo.kernel;
+      const ChannelAllocator batch_alloc{plan, cfg};
+      const CachedOracle fresh(wlan, assoc);
+      const AllocationResult got =
+          batch_alloc.allocate(wlan, assoc, initial, fresh);
+      expect_identical(want, got);
+      // The batched scan must actually have engaged (unless the run had
+      // nothing to scan, which random non-empty deployments never hit).
+      if (want.evaluations > 1) {
+        EXPECT_GT(fresh.stats().batch_calls, 0u);
+      }
+    }
+  }
+}
+
+TEST(BatchScan, DefaultAllocatePathUsesBatchedScan) {
+  // The no-oracle allocate() overload should route through a
+  // CachedOracle and the batched scan by default — and still match the
+  // uncached full-evaluate reference exactly.
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const ChannelAllocator alloc{net::ChannelPlan(8)};
+  util::Rng rng(7);
+  const net::ChannelAssignment initial = alloc.random_assignment(2, rng);
+  const AllocationResult batched = alloc.allocate(wlan, assoc, initial);
+
+  AllocationConfig uncached_cfg;
+  uncached_cfg.cache_oracle = false;
+  const ChannelAllocator uncached{net::ChannelPlan(8), uncached_cfg};
+  const AllocationResult want = uncached.allocate(wlan, assoc, initial);
+  expect_identical(want, batched);
+}
+
+TEST(BatchScan, DegenerateZeroGoodputNetworks) {
+  // Nobody associated: total goodput is exactly 0 for every assignment;
+  // the scan must terminate with zero switches, identically on both
+  // paths. Then the same with clients present but links so poor every
+  // cell pins to the PER cap (tiny but nonzero goodput).
+  util::Rng rng(0xDE6E);
+  const net::ChannelPlan plan(6);
+  for (const double loss : {1e9, 190.0}) {
+    ScenarioBuilder b;
+    b.cells = {CellSpec{{loss}}, CellSpec{{loss, loss}}, CellSpec{{}}};
+    b.config.sinr_interference = true;
+    const sim::Wlan wlan = b.build();
+    net::Association assoc = b.intended_association();
+    if (loss == 1e9) {
+      for (int& owner : assoc) owner = net::kUnassociated;
+    }
+    AllocationConfig serial_cfg;
+    serial_cfg.batch_scan = false;
+    const ChannelAllocator serial_alloc{plan, serial_cfg};
+    const ChannelAllocator batch_alloc{plan};
+    const net::ChannelAssignment initial =
+        serial_alloc.random_assignment(3, rng);
+    const CachedOracle o1(wlan, assoc);
+    const CachedOracle o2(wlan, assoc);
+    const AllocationResult want =
+        serial_alloc.allocate(wlan, assoc, initial, o1);
+    const AllocationResult got =
+        batch_alloc.allocate(wlan, assoc, initial, o2);
+    expect_identical(want, got);
+  }
+}
+
+TEST(BatchScan, RejectsMismatchedInputs) {
+  const ScenarioBuilder b = testutil::topology1_builder();
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const CachedOracle oracle(wlan, assoc);
+  const net::ChannelAssignment base = {net::Channel::basic(0),
+                                       net::Channel::basic(1)};
+  const std::vector<FlipCandidate> flips = {
+      FlipCandidate{0, net::Channel::basic(2)}};
+  std::vector<double> out(2, 0.0);
+  EXPECT_THROW(oracle.total_bps_batch(base, flips, out),
+               std::invalid_argument);
+  out.resize(1);
+  const std::vector<FlipCandidate> bad_ap = {
+      FlipCandidate{9, net::Channel::basic(2)}};
+  EXPECT_THROW(oracle.total_bps_batch(base, bad_ap, out),
+               std::invalid_argument);
+
+  // Oracle bound to a different association is rejected by allocate.
+  net::Association other = assoc;
+  for (int& owner : other) owner = net::kUnassociated;
+  const CachedOracle mismatched(wlan, other);
+  const ChannelAllocator alloc{net::ChannelPlan(4)};
+  EXPECT_THROW(alloc.allocate(wlan, assoc, base, mismatched),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acorn::core

@@ -119,6 +119,61 @@ TEST(RateTable, BitIdenticalAcrossRandomLinkConfigs) {
   }
 }
 
+TEST(RateTable, BracketedConstructionMatchesDenseReferenceExactly) {
+  // The bracketed probe strategy (dead-zone shortcut + pruned seeded
+  // argmax) must reproduce the dense 16-row-sweep reference segment for
+  // segment — same boundaries to the last bit, same winners — across
+  // widths, GIs and randomized link configs.
+  util::Rng rng(0xB4ACE);
+  for (int trial = 0; trial < 6; ++trial) {
+    LinkConfig cfg;
+    if (trial > 1) {
+      cfg.shadow_db = rng.uniform(0.5, 6.0);
+      cfg.stbc_gain_db = rng.uniform(1.0, 4.0);
+      cfg.sdm_penalty_db = rng.uniform(3.0, 9.0);
+      cfg.payload_bytes = static_cast<int>(rng.uniform_int(200, 4000));
+    }
+    const LinkModel link{cfg};
+    const ChannelWidth width =
+        (trial % 2) == 0 ? ChannelWidth::k20MHz : ChannelWidth::k40MHz;
+    const GuardInterval gi = (trial / 2 % 2) == 0 ? GuardInterval::kLong800ns
+                                                  : GuardInterval::kShort400ns;
+    const RateTable fast(link, width, gi, RateTable::Construction::kBracketed);
+    const RateTable dense(link, width, gi,
+                          RateTable::Construction::kDenseReference);
+    ASSERT_EQ(fast.segments().size(), dense.segments().size())
+        << "trial " << trial;
+    for (std::size_t i = 0; i < dense.segments().size(); ++i) {
+      EXPECT_EQ(fast.segments()[i].start_snr_db,
+                dense.segments()[i].start_snr_db)
+          << "trial " << trial << " segment " << i;
+      EXPECT_EQ(fast.segments()[i].mcs_index, dense.segments()[i].mcs_index);
+      EXPECT_EQ(fast.segments()[i].mode, dense.segments()[i].mode);
+      EXPECT_EQ(fast.segments()[i].rate_bps, dense.segments()[i].rate_bps);
+    }
+    // The point of the exercise: the bracketed scan must spend far fewer
+    // goodput probes. 4x is conservative; in practice it is ~8x.
+    EXPECT_LT(fast.construction_goodput_probes() * 4,
+              dense.construction_goodput_probes())
+        << "trial " << trial;
+    EXPECT_GT(fast.construction_goodput_probes(), 0u);
+  }
+}
+
+TEST(RateTable, BracketedDecisionsMatchBestRateDeepInTheDeadZone) {
+  // The dead zone (every row's goodput exactly 0) is where the bracketed
+  // scan spends one probe instead of sixteen; make sure decisions there
+  // are still bit-identical to best_rate, including just around the
+  // zone's upper edge.
+  const LinkModel link{LinkConfig{}};
+  util::Rng rng(0xDEAD2);
+  const RateTable table(link, ChannelWidth::k20MHz,
+                        GuardInterval::kLong800ns);
+  for (int i = 0; i < 120; ++i) {
+    expect_same_decision(table, link, rng.uniform(-80.0, -2.0));
+  }
+}
+
 TEST(RateTable, ExtremeSnrsClampToBoundarySegments) {
   const LinkModel link{LinkConfig{}};
   const auto table = RateTable::shared(link, ChannelWidth::k20MHz,
