@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "sim/scenario.hpp"
 #include "util/table.hpp"
@@ -53,6 +54,61 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Hardware context stamped into every emitted JSON row, so records
+/// taken on a 1-core box are distinguishable from multi-core runs
+/// without hand-maintained row relabelling (the old `*_determinism_1core`
+/// convention).
+struct HwContext {
+  int hw_threads = 0;
+  std::string cpu;  // "model name" from /proc/cpuinfo; empty if unreadable
+};
+
+inline const HwContext& hw_context() {
+  static const HwContext ctx = [] {
+    HwContext c;
+    c.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+    std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+    if (f != nullptr) {
+      char line[256];
+      while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, "model name", 10) != 0) continue;
+        const char* colon = std::strchr(line, ':');
+        if (colon != nullptr) {
+          std::string name = colon + 1;
+          // Trim edges and drop anything that would break the JSON
+          // string (quotes, backslashes, control bytes).
+          std::string clean;
+          for (const char ch : name) {
+            if (ch == '"' || ch == '\\' || static_cast<unsigned char>(ch) < 0x20) {
+              continue;
+            }
+            clean += ch;
+          }
+          const std::size_t b = clean.find_first_not_of(' ');
+          const std::size_t e = clean.find_last_not_of(' ');
+          if (b != std::string::npos) c.cpu = clean.substr(b, e - b + 1);
+        }
+        break;
+      }
+      std::fclose(f);
+    }
+    return c;
+  }();
+  return ctx;
+}
+
+/// The hardware fields every emitter appends, leading comma included.
+inline const std::string& hw_json_fields() {
+  static const std::string fields = [] {
+    const HwContext& c = hw_context();
+    char buf[320];
+    std::snprintf(buf, sizeof(buf), ",\"hw_threads\":%d,\"cpu\":\"%s\"",
+                  c.hw_threads, c.cpu.c_str());
+    return std::string(buf);
+  }();
+  return fields;
+}
+
 /// Append one JSON line to BENCH_baseband.json (path overridable via
 /// ACORN_BENCH_JSON; record label via ACORN_BENCH_LABEL, e.g. "seed" for
 /// a before/after comparison). `samples` counts complex baseband samples
@@ -75,10 +131,11 @@ inline void emit_throughput(const std::string& bench,
   std::fprintf(f,
                "{\"bench\":\"%s\",\"case\":\"%s\",\"label\":\"%s\","
                "\"threads\":%d,\"packets\":%lld,\"seconds\":%.6f,"
-               "\"packets_per_sec\":%.1f,\"msamples_per_sec\":%.3f}\n",
+               "\"packets_per_sec\":%.1f,\"msamples_per_sec\":%.3f%s}\n",
                bench.c_str(), case_name.c_str(),
                label != nullptr ? label : "current", threads,
-               static_cast<long long>(packets), seconds, pps, msps);
+               static_cast<long long>(packets), seconds, pps, msps,
+               hw_json_fields().c_str());
   std::fclose(f);
 }
 
@@ -105,20 +162,24 @@ inline void emit_evals(const std::string& bench,
   std::fprintf(f,
                "{\"bench\":\"%s\",\"case\":\"%s\",\"label\":\"%s\","
                "\"threads\":%d,\"evals\":%lld,\"seconds\":%.6f,"
-               "\"evals_per_sec\":%.1f}\n",
+               "\"evals_per_sec\":%.1f%s}\n",
                bench.c_str(), case_name.c_str(),
                label != nullptr ? label : "current", threads,
-               static_cast<long long>(evals), seconds, eps);
+               static_cast<long long>(evals), seconds, eps,
+               hw_json_fields().c_str());
   std::fclose(f);
 }
 
 /// Append one JSON line to BENCH_service.json (path overridable via
 /// ACORN_BENCH_JSON) for the acornd protocol benches: `events` counts
 /// request frames fully round-tripped (sent, dispatched, replied).
+/// `extra_json` lets a caller attach bench-specific fields (fleet size,
+/// worker count, epoch percentiles); it must be empty or start with ','.
 inline void emit_events(const std::string& bench,
                         const std::string& case_name, double seconds,
                         std::int64_t events,
-                        const char* label_override = nullptr) {
+                        const char* label_override = nullptr,
+                        const std::string& extra_json = std::string()) {
   const char* path = std::getenv("ACORN_BENCH_JSON");
   const char* label = label_override != nullptr
                           ? label_override
@@ -131,10 +192,11 @@ inline void emit_events(const std::string& bench,
   std::fprintf(f,
                "{\"bench\":\"%s\",\"case\":\"%s\",\"label\":\"%s\","
                "\"events\":%lld,\"seconds\":%.6f,"
-               "\"events_per_sec\":%.1f}\n",
+               "\"events_per_sec\":%.1f%s%s}\n",
                bench.c_str(), case_name.c_str(),
                label != nullptr ? label : "current",
-               static_cast<long long>(events), seconds, eps);
+               static_cast<long long>(events), seconds, eps,
+               extra_json.c_str(), hw_json_fields().c_str());
   std::fclose(f);
 }
 

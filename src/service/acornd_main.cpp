@@ -3,7 +3,7 @@
 // Usage:
 //   acornd --unix /run/acorn.sock [--tcp PORT] [--state-dir DIR]
 //          [--epoch-s SECONDS] [--hysteresis FACTOR] [--wal-flush-us N]
-//          [--follow ENDPOINT] [--log]
+//          [--workers M] [--follow ENDPOINT] [--log]
 //
 // Runs until SIGINT/SIGTERM or a Shutdown request arrives on the wire;
 // either way every shard drains its queue and writes a final snapshot
@@ -46,6 +46,11 @@ int usage(const char* argv0) {
                "under\n"
                "                     backlog (default 200; 0 = sync per "
                "event)\n"
+               "  --workers M        shard execution: M pooled workers "
+               "shared\n"
+               "                     by every WLAN (default: hardware "
+               "threads;\n"
+               "                     0 = one dedicated thread per WLAN)\n"
                "  --follow ENDPOINT  run as a warm standby replicating the\n"
                "                     leader at unix:/path or host:port\n"
                "  --log              per-epoch and periodic stats on stderr\n",
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
       config.width_hysteresis = std::atof(value());
     } else if (arg == "--wal-flush-us") {
       config.wal_flush_us = static_cast<std::uint32_t>(std::atol(value()));
+    } else if (arg == "--workers") {
+      config.workers = std::atoi(value());
     } else if (arg == "--follow") {
       config.follow = value();
     } else if (arg == "--log") {

@@ -56,6 +56,15 @@ Daemon::~Daemon() { stop(); }
 void Daemon::start() {
   if (running_.load()) return;
 
+  if (config_.workers != 0 && !executor_) {
+    const int workers =
+        config_.workers > 0
+            ? config_.workers
+            : std::max(1, static_cast<int>(
+                              std::thread::hardware_concurrency()));
+    executor_ = std::make_unique<util::PooledExecutor>(workers);
+  }
+
   if (!config_.state_dir.empty()) {
     ::mkdir(config_.state_dir.c_str(), 0755);  // EEXIST is fine
     recover_shards();
@@ -127,6 +136,8 @@ void Daemon::stop() {
     for (auto& [id, shard] : shards_) shard->stop();
     shards_.clear();
   }
+  // Every shard has detached; the worker set can go.
+  executor_.reset();
   for (auto& [id, conn] : conns_) ::close(conn.fd);
   conns_.clear();
   if (tcp_listen_fd_ >= 0) ::close(std::exchange(tcp_listen_fd_, -1));
@@ -145,13 +156,15 @@ void Daemon::wait() {
 
 bool Daemon::running() const { return running_.load(); }
 
-ShardOptions Daemon::shard_options(double epoch_s) const {
+ShardOptions Daemon::shard_options(double epoch_s) {
   ShardOptions opts;
   opts.epoch_s = epoch_s;
   opts.width_hysteresis = config_.width_hysteresis;
   opts.state_dir = config_.state_dir;
   opts.wal_flush_us = config_.wal_flush_us;
   opts.log_epochs = config_.log;
+  opts.executor = executor_.get();
+  opts.epoch_latency = &metrics_.epoch_latency;
   return opts;
 }
 
@@ -274,15 +287,20 @@ void Daemon::loop() {
       if (now - last_log >= std::chrono::seconds(10)) {
         last_log = now;
         const StatsReply s = stats();
+        const std::vector<std::uint64_t> eh =
+            metrics_.epoch_latency.snapshot();
         std::fprintf(stderr,
-                     "acornd: %u wlans, %llu frames, %llu events, "
-                     "%llu epochs, %llu snapshots, last epoch %.2f ms\n",
+                     "acornd: %u wlans / %d workers, %llu frames, "
+                     "%llu events, %llu epochs (p50 %.1f ms, p99 %.1f ms), "
+                     "%llu snapshots\n",
                      s.num_wlans,
+                     executor_ ? executor_->workers() : -1,
                      static_cast<unsigned long long>(s.frames_rx),
                      static_cast<unsigned long long>(s.events_total),
                      static_cast<unsigned long long>(s.epochs_total),
-                     static_cast<unsigned long long>(s.snapshots_written),
-                     s.last_epoch_ms);
+                     latency_percentile_us(eh, 0.5) / 1e3,
+                     latency_percentile_us(eh, 0.99) / 1e3,
+                     static_cast<unsigned long long>(s.snapshots_written));
       }
     }
   }

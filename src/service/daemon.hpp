@@ -63,6 +63,12 @@ struct DaemonConfig {
   double width_hysteresis = 1.05;
   /// WAL group-commit window (microseconds); see ShardOptions.
   std::uint32_t wal_flush_us = 200;
+  /// Shard execution model: -1 = pooled over hardware_concurrency()
+  /// workers (the default), N > 0 = pooled over N workers, 0 = the
+  /// thread-per-WLAN reference mode (one dedicated thread per shard).
+  /// Pooled execution multiplexes every registered WLAN over the fixed
+  /// worker set, so one daemon can host thousands of small WLANs.
+  int workers = -1;
   /// Leader endpoint (`unix:/path` or `host:port`) to follow as a warm
   /// standby; empty = normal (leader) operation. A following daemon
   /// mirrors the leader's WLANs with epoch timers disabled — epochs
@@ -134,7 +140,7 @@ class Daemon {
   void post_completion(Completion c);
   void recover_shards();
   WlanShard* find_shard(std::uint32_t wlan_id);
-  ShardOptions shard_options(double epoch_s) const;
+  ShardOptions shard_options(double epoch_s);
   std::unique_ptr<WlanShard> make_shard(ShardOptions opts, WlanSnapshot state,
                                         std::vector<WalRecord> replay = {});
   void follow_loop();
@@ -144,6 +150,10 @@ class Daemon {
 
   DaemonConfig config_;
   ServiceMetrics metrics_;
+  /// Pooled shard executor (null in thread-per-WLAN reference mode).
+  /// Created before any shard starts, destroyed after every shard has
+  /// stopped (shards detach through it).
+  std::unique_ptr<util::PooledExecutor> executor_;
 
   int tcp_listen_fd_ = -1;
   int unix_listen_fd_ = -1;

@@ -47,6 +47,26 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
+/// Approximate p-quantile (p in [0, 1]) in microseconds from a log2
+/// histogram snapshot: the upper edge of the bucket holding the
+/// quantile sample, 0 when the histogram is empty. Good to a factor of
+/// two — enough for the fleet dashboards and --log lines it feeds.
+inline double latency_percentile_us(const std::vector<std::uint64_t>& buckets,
+                                    double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= target) {
+      return static_cast<double>(1ull << (i + 1));
+    }
+  }
+  return static_cast<double>(1ull << buckets.size());
+}
+
 /// Daemon-wide counters; shard-local counters (epochs, switches, oracle
 /// hits) live in the shards and are aggregated at stats time.
 struct ServiceMetrics {
@@ -54,6 +74,10 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> events_total{0};
   std::atomic<std::uint64_t> protocol_errors{0};
   LatencyHistogram request_latency;
+  /// Wall time of completed reconfiguration epochs across all shards
+  /// (pooled workers and dedicated threads record into the same
+  /// histogram).
+  LatencyHistogram epoch_latency;
 };
 
 }  // namespace acorn::service

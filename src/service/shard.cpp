@@ -17,6 +17,12 @@ namespace {
 constexpr std::uint32_t kMaxWalSyncFailures = 3;
 constexpr auto kWalSyncRetryBackoff = std::chrono::milliseconds(10);
 
+/// Pooled mode: jobs one scheduling pass may drain before the shard is
+/// requeued behind the other ready shards. Bounds how long one
+/// backlogged WLAN can monopolize a worker; the WAL flush window caps
+/// reply latency well before this does.
+constexpr int kDrainBatchPerPass = 512;
+
 sim::DeploymentSpec parse_spec(const std::string& text) {
   return sim::parse_deployment(text);
 }
@@ -156,17 +162,36 @@ void WlanShard::start() {
                               std::chrono::steady_clock::duration>(
                               std::chrono::duration<double>(options_.epoch_s))
                     : std::chrono::steady_clock::time_point::max();
-  thread_ = std::thread([this] { run(); });
+  if (options_.executor != nullptr) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      pool_attached_ = true;
+    }
+    options_.executor->attach(*this);
+  } else {
+    thread_ = std::thread([this] { run(); });
+  }
 }
 
 void WlanShard::stop() {
+  bool detach = false;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (!running_ && !thread_.joinable()) return;
+    if (!running_ && !thread_.joinable() && !pool_attached_) return;
     running_ = false;
+    detach = pool_attached_;
+    pool_attached_ = false;
   }
-  queue_cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (options_.executor != nullptr) {
+    // After detach no pooled worker can touch this shard again; drain
+    // whatever is still queued on the caller's thread, exactly as the
+    // dedicated thread does before exiting.
+    if (detach) options_.executor->detach(*this);
+    drain_inline();
+  } else {
+    queue_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
   // The mailbox is drained and the worker is gone: make the state
   // durable and release any replies still withheld behind the
   // group-commit window.
@@ -178,7 +203,11 @@ void WlanShard::submit(Job job) {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     jobs_.push_back(std::move(job));
   }
-  queue_cv_.notify_one();
+  if (options_.executor != nullptr) {
+    options_.executor->notify(*this);
+  } else {
+    queue_cv_.notify_one();
+  }
 }
 
 std::chrono::steady_clock::time_point WlanShard::flush_deadline() const {
@@ -227,6 +256,71 @@ void WlanShard::run() {
     auto wake = next_epoch_;
     if (wal_dirty_ && wal_retry_after_ < wake) wake = wal_retry_after_;
     queue_cv_.wait_until(lock, wake);
+  }
+}
+
+std::chrono::steady_clock::time_point WlanShard::run_pass() {
+  // One pooled scheduling pass: the body of run() minus the blocking
+  // wait — same job order, same mid-backlog and idle flush points, same
+  // epoch check — so pooled and dedicated execution apply an identical
+  // sequence of operations to the shard state.
+  int budget = kDrainBatchPerPass;
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (true) {
+    if (!jobs_.empty()) {
+      if (budget == 0) {
+        // Fairness bound hit with backlog left: yield the worker and
+        // requeue behind the other ready shards.
+        return std::chrono::steady_clock::time_point::min();
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (wal_dirty_ && now >= flush_deadline() &&
+          now >= wal_retry_after_) {
+        lock.unlock();
+        flush_wal(/*need_sync=*/true);
+        lock.lock();
+        continue;
+      }
+      Job job = std::move(jobs_.front());
+      jobs_.pop_front();
+      --budget;
+      lock.unlock();
+      process(job);
+      lock.lock();
+      continue;
+    }
+    // stop() detaches and then drains/flushes inline, mirroring the
+    // dedicated thread's exit before its final snapshot.
+    if (!running_) return std::chrono::steady_clock::time_point::max();
+    const auto now = std::chrono::steady_clock::now();
+    if (wal_dirty_ && now >= wal_retry_after_) {
+      lock.unlock();
+      flush_wal(/*need_sync=*/true);
+      lock.lock();
+      continue;
+    }
+    if (now >= next_epoch_) {
+      lock.unlock();
+      run_epoch();
+      lock.lock();
+      continue;
+    }
+    // Idle: hand the next deadline (epoch timer, or WAL retry backoff)
+    // to the executor's timer wheel; max() means "until notify()".
+    auto wake = next_epoch_;
+    if (wal_dirty_ && wal_retry_after_ < wake) wake = wal_retry_after_;
+    return wake;
+  }
+}
+
+void WlanShard::drain_inline() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  while (!jobs_.empty()) {
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    lock.unlock();
+    process(job);
+    lock.lock();
   }
 }
 
@@ -304,6 +398,21 @@ void WlanShard::process(Job& job) {
       flush_wal(/*need_sync=*/false);
     }
     wal_dirty_ = false;
+    return;
+  }
+  // Idle/serial fast path: when this event drained the mailbox there is
+  // nothing queued behind its record, so the flush window buys no
+  // batching — fdatasync on the spot instead of bouncing through a full
+  // scheduler pass first. A serial (one-in-flight) client pays exactly
+  // one sync per event either way; this trims the extra mailbox lock
+  // round-trip and pass dispatch from every one of them.
+  bool drained;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    drained = jobs_.empty();
+  }
+  if (drained && std::chrono::steady_clock::now() >= wal_retry_after_) {
+    flush_wal(/*need_sync=*/true);
   }
 }
 
@@ -535,6 +644,9 @@ void WlanShard::run_epoch_locked() {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  if (options_.epoch_latency != nullptr) {
+    options_.epoch_latency->record(std::chrono::steady_clock::now() - t0);
+  }
   if (options_.epoch_s > 0.0) {
     next_epoch_ = std::chrono::steady_clock::now() +
                   std::chrono::duration_cast<

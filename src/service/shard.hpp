@@ -1,8 +1,13 @@
 // Per-WLAN shard worker of acornd.
 //
-// Each registered WLAN gets one shard: a thread owning the Wlan model,
-// the live association and channel assignment, and an incremental
-// CachedOracle. Protocol events (join/leave/SNR/load) are applied
+// Each registered WLAN gets one shard: a single-writer task owning the
+// Wlan model, the live association and channel assignment, and an
+// incremental CachedOracle. A shard executes either on its own
+// dedicated thread (the thread-per-WLAN reference mode) or — the
+// default — as a util::PooledExecutor task, where one of M pooled
+// workers drains its mailbox per scheduling pass and a central timer
+// wheel drives its epoch deadline; both modes run the same drain logic
+// and produce byte-identical state. Protocol events (join/leave/SNR/load) are applied
 // immediately — Algorithm 1 associates a joining client on the spot —
 // while the expensive work (Algorithm 2 channel re-allocation plus the
 // opportunistic width fallback of core/width_switch) runs in periodic
@@ -66,9 +71,11 @@
 #include "core/controller.hpp"
 #include "core/oracle_cache.hpp"
 #include "service/eventlog.hpp"
+#include "service/metrics.hpp"
 #include "service/snapshot.hpp"
 #include "service/wire.hpp"
 #include "sim/deployment_file.hpp"
+#include "util/worker_pool.hpp"
 
 namespace acorn::service {
 
@@ -89,6 +96,14 @@ struct ShardOptions {
   std::uint32_t wal_flush_us = 200;
   /// Emit a one-line epoch summary to stderr.
   bool log_epochs = false;
+  /// Pooled execution: when set, the shard runs as a task of this
+  /// executor (one of its M workers drains the mailbox per pass) instead
+  /// of owning a dedicated thread. Null keeps the thread-per-WLAN
+  /// reference mode. The executor must outlive the shard's stop().
+  util::PooledExecutor* executor = nullptr;
+  /// When set, every reconfiguration epoch's wall time is recorded here
+  /// (daemon-wide percentiles for --log and stats consumers).
+  LatencyHistogram* epoch_latency = nullptr;
 };
 
 /// Shard-local counters, aggregated into the daemon's StatsReply.
@@ -111,7 +126,7 @@ struct ShardCounters {
   double last_epoch_ms = 0.0;
 };
 
-class WlanShard {
+class WlanShard : public util::PooledExecutor::Task {
  public:
   struct Job {
     enum class Kind {
@@ -160,6 +175,13 @@ class WlanShard {
 
  private:
   void run();
+  /// PooledExecutor::Task: one scheduling pass — the same drain logic as
+  /// run(), bounded per pass for fairness, returning the next deadline
+  /// (epoch timer or WAL retry) for the executor's timer wheel.
+  std::chrono::steady_clock::time_point run_pass() override;
+  /// Drain the remaining mailbox on the caller's thread (pooled-mode
+  /// stop(), after the executor detach).
+  void drain_inline();
   void process(Job& job);
   Message apply_locked(const Message& msg);
   void publish_counters_locked();
@@ -250,6 +272,9 @@ class WlanShard {
   std::condition_variable queue_cv_;
   std::deque<Job> jobs_;
   bool running_ = false;
+  /// Pooled mode: attached to options_.executor (start() set it up,
+  /// stop() has not yet detached). Guarded by queue_mutex_.
+  bool pool_attached_ = false;
   std::chrono::steady_clock::time_point next_epoch_;
   std::thread thread_;
 };

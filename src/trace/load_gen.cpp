@@ -1,0 +1,122 @@
+#include "trace/load_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/arrivals.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::trace {
+
+std::vector<LoadEvent> generate_fleet_load(const FleetLoadConfig& config) {
+  if (config.num_wlans == 0 || config.clients_per_wlan < 1 ||
+      config.aps_per_wlan < 1 || config.horizon_s <= 0.0 ||
+      config.arrivals_per_s <= 0.0 || config.duration_scale <= 0.0) {
+    throw std::invalid_argument("bad fleet load config");
+  }
+  std::vector<LoadEvent> out;
+  for (std::uint32_t w = 0; w < config.num_wlans; ++w) {
+    // One independent stream per WLAN: WLAN k's schedule does not
+    // depend on how many other WLANs the fleet holds.
+    util::Rng rng = util::Rng::derive_stream(config.seed, w);
+    const std::uint32_t wlan_id = config.first_wlan_id + w;
+
+    sim::ArrivalConfig arrivals;
+    arrivals.rate_per_s = config.arrivals_per_s;
+    arrivals.horizon_s = config.horizon_s;
+    arrivals.num_client_slots = config.clients_per_wlan;
+    const std::vector<sim::ArrivalEvent> sessions = sim::generate_arrivals(
+        arrivals,
+        [&config](util::Rng& r) {
+          return config.duration_scale * config.durations.sample(r);
+        },
+        rng);
+
+    std::vector<LoadEvent> local;
+    for (const sim::ArrivalEvent& s : sessions) {
+      const auto client = static_cast<std::uint32_t>(s.client_slot);
+      local.push_back(LoadEvent{s.arrive_s, LoadEventKind::kJoin, wlan_id,
+                                client, 0, 0.0});
+      // Measurement churn while the session is live: Poisson-spaced SNR
+      // drift against a random AP (loss in the band the paper's link
+      // classes span) and offered-load hints.
+      const double end = std::min(s.depart_s, config.horizon_s);
+      if (config.snr_per_session_s > 0.0) {
+        double t = s.arrive_s + rng.exponential(config.snr_per_session_s);
+        while (t < end) {
+          const auto ap = static_cast<std::uint32_t>(
+              rng.uniform_int(0, config.aps_per_wlan - 1));
+          local.push_back(LoadEvent{t, LoadEventKind::kSnr, wlan_id, client,
+                                    ap, rng.uniform(70.0, 115.0)});
+          t += rng.exponential(config.snr_per_session_s);
+        }
+      }
+      if (config.load_per_session_s > 0.0) {
+        double t = s.arrive_s + rng.exponential(config.load_per_session_s);
+        while (t < end) {
+          local.push_back(LoadEvent{t, LoadEventKind::kLoad, wlan_id,
+                                    client, 0, rng.uniform()});
+          t += rng.exponential(config.load_per_session_s);
+        }
+      }
+      if (s.depart_s < config.horizon_s) {
+        local.push_back(LoadEvent{s.depart_s, LoadEventKind::kLeave, wlan_id,
+                                  client, 0, 0.0});
+      }
+    }
+    // Per-WLAN time order first (sessions overlap, so their SNR/load
+    // updates interleave); stable, so equal times keep generation order.
+    std::stable_sort(local.begin(), local.end(),
+                     [](const LoadEvent& a, const LoadEvent& b) {
+                       return a.t_s < b.t_s;
+                     });
+    out.insert(out.end(), local.begin(), local.end());
+  }
+  // Cross-WLAN merge: stable by time, ties keep ascending WLAN order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LoadEvent& a, const LoadEvent& b) {
+                     return a.t_s < b.t_s;
+                   });
+  return out;
+}
+
+std::string synthetic_floor(int num_aps, int num_clients,
+                            std::uint64_t seed) {
+  if (num_aps < 1 || num_clients < 0) {
+    throw std::invalid_argument("bad synthetic floor shape");
+  }
+  util::Rng rng = util::Rng::derive_stream(seed, 0xf100eull);
+  const int cols =
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(num_aps))));
+  const int rows = (num_aps + cols - 1) / cols;
+  const double spacing = 40.0;
+
+  std::string text;
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "# synthetic floor: %d APs, %d clients\n", num_aps,
+                num_clients);
+  text += line;
+  text += "pathloss exponent 3.5\npathloss shadowing 4\nchannels 12\n";
+  std::snprintf(line, sizeof(line), "seed %llu\n",
+                static_cast<unsigned long long>(seed));
+  text += line;
+  for (int ap = 0; ap < num_aps; ++ap) {
+    std::snprintf(line, sizeof(line), "ap %.1f %.1f\n",
+                  10.0 + spacing * (ap % cols),
+                  10.0 + spacing * (ap / cols));
+    text += line;
+  }
+  const double width = spacing * cols;
+  const double height = spacing * rows;
+  for (int c = 0; c < num_clients; ++c) {
+    std::snprintf(line, sizeof(line), "client %.1f %.1f\n",
+                  rng.uniform(0.0, width), rng.uniform(0.0, height));
+    text += line;
+  }
+  return text;
+}
+
+}  // namespace acorn::trace
