@@ -12,7 +12,10 @@
 // joins/leaves from the association-duration model, SNR drift and load
 // hints while sessions live). Each (fleet size, workers) cell reports
 // aggregate events/s plus reconfiguration-epoch latency percentiles
-// sampled across the fleet after the churn.
+// sampled across the fleet after the churn. Durable rows repeat the
+// sweep with the WAL on: the shared group-commit mode (one coalesced
+// fdatasync for the whole fleet) against the per-shard baseline (one
+// fdatasync per WLAN), the ratio the shared WAL exists to win.
 //
 // Appends JSON lines to BENCH_service.json (ACORN_BENCH_JSON overrides
 // the path), every row stamped with the recording hardware, so the
@@ -134,12 +137,15 @@ struct PassResult {
 // durable throughput, not buffered writes.
 PassResult run_pass(const bench::BenchOptions& opts,
                     const std::string& state_dir, const char* suffix,
-                    const std::string& serial_extra) {
+                    const std::string& serial_extra,
+                    WalMode wal_mode = WalMode::kShared,
+                    const char* row_suffix = "") {
   DaemonConfig config;
   config.unix_path =
       "/tmp/acorn_bench_" + std::to_string(::getpid()) + suffix + ".sock";
   config.epoch_s = 0.0;  // epochs on demand; the bench times raw events
   config.state_dir = state_dir;
+  config.wal_mode = wal_mode;
   Daemon daemon(config);
   daemon.start();
 
@@ -154,7 +160,10 @@ PassResult run_pass(const bench::BenchOptions& opts,
   const std::int64_t pipelined_n = opts.smoke ? 5000 : 200000;
   const std::int64_t serial_n = opts.smoke ? 1000 : 20000;
   const bool wal = !state_dir.empty();
-  const char* tag = wal ? " [wal]" : "";
+  const char* tag =
+      !wal ? ""
+           : (wal_mode == WalMode::kShared ? " [wal shared]"
+                                           : " [wal per-shard]");
 
   // Warm up the path (allocators, shard caches) before timing.
   (void)pump_events(client, 1000, rng);
@@ -167,7 +176,9 @@ PassResult run_pass(const bench::BenchOptions& opts,
       kBatch, tag, static_cast<long long>(pipelined_n), pipe_s,
       out.pipe_eps);
   bench::emit_events("service_events",
-                     wal ? "pipelined_updates_wal" : "pipelined_updates",
+                     (wal ? std::string("pipelined_updates_wal")
+                          : std::string("pipelined_updates")) +
+                         row_suffix,
                      pipe_s, pipelined_n);
 
   const double serial_s = pump_serial(client, serial_n, rng);
@@ -178,7 +189,9 @@ PassResult run_pass(const bench::BenchOptions& opts,
               out.serial_eps,
               1e6 * serial_s / static_cast<double>(serial_n));
   bench::emit_events("service_events",
-                     wal ? "serial_roundtrip_wal" : "serial_roundtrip",
+                     (wal ? std::string("serial_roundtrip_wal")
+                          : std::string("serial_roundtrip")) +
+                         row_suffix,
                      serial_s, serial_n, nullptr, serial_extra);
 
   // One reconfiguration epoch after the event storm, for scale.
@@ -212,14 +225,22 @@ struct FleetOutcome {
 // One fleet cell: `num_wlans` shards over `workers` pooled workers,
 // trace-driven churn on one pipelined connection, then epoch latency
 // sampled via timed ForceReconfigure round trips across the fleet.
+// A non-empty `state_dir` turns durability on in the given WAL mode:
+// every reply is withheld until its record is fsynced, so these rows
+// measure durable fleet throughput.
 FleetOutcome run_fleet(int num_wlans, int workers,
-                       std::int64_t target_events) {
+                       std::int64_t target_events,
+                       const std::string& state_dir = std::string(),
+                       WalMode wal_mode = WalMode::kShared,
+                       const std::string& extra_json = std::string()) {
   DaemonConfig config;
   config.unix_path = "/tmp/acorn_bench_fleet_" + std::to_string(::getpid()) +
                      "_" + std::to_string(num_wlans) + "_" +
                      std::to_string(workers) + ".sock";
   config.epoch_s = 0.0;  // epochs sampled explicitly below
   config.workers = workers;
+  config.state_dir = state_dir;
+  config.wal_mode = wal_mode;
   Daemon daemon(config);
   daemon.start();
   Client client = Client::connect_unix(config.unix_path);
@@ -310,20 +331,42 @@ FleetOutcome run_fleet(int num_wlans, int workers,
   out.p95_ms = pct(0.95);
   out.p99_ms = pct(0.99);
 
-  std::printf("fleet %5d wlans x %d workers: %7zu events in %.3f s -> "
+  const bool wal = !state_dir.empty();
+  const char* tag =
+      !wal ? ""
+           : (wal_mode == WalMode::kShared ? " [wal shared]"
+                                           : " [wal per-shard]");
+  std::printf("fleet %5d wlans x %d workers%s: %7zu events in %.3f s -> "
               "%8.0f events/s | epoch p50/p95/p99 %.2f/%.2f/%.2f ms\n",
-              num_wlans, workers, events.size(), churn_s, out.events_per_s,
-              out.p50_ms, out.p95_ms, out.p99_ms);
+              num_wlans, workers, tag, events.size(), churn_s,
+              out.events_per_s, out.p50_ms, out.p95_ms, out.p99_ms);
+  if (wal) {
+    // The coalescing the shared mode exists for, straight from the
+    // daemon: how many records each fdatasync acknowledged.
+    const Message stats = client.call(QueryStats{});
+    const auto& st = std::get<StatsReply>(stats);
+    std::printf("    wal: %llu syncs for %llu records -> %.1f events per "
+                "fdatasync\n",
+                static_cast<unsigned long long>(st.wal_syncs),
+                static_cast<unsigned long long>(st.wal_coalesced_events),
+                st.wal_syncs > 0
+                    ? static_cast<double>(st.wal_coalesced_events) /
+                          static_cast<double>(st.wal_syncs)
+                    : 0.0);
+  }
   char extra[192];
   std::snprintf(extra, sizeof(extra),
                 ",\"wlans\":%d,\"workers\":%d,\"epoch_p50_ms\":%.3f,"
                 "\"epoch_p95_ms\":%.3f,\"epoch_p99_ms\":%.3f",
                 num_wlans, workers, out.p50_ms, out.p95_ms, out.p99_ms);
+  const std::string row_suffix =
+      !wal ? ""
+           : (wal_mode == WalMode::kShared ? "_wal" : "_wal_pershard");
   bench::emit_events("service_fleet",
                      "fleet_" + std::to_string(num_wlans) + "_w" +
-                         std::to_string(workers),
+                         std::to_string(workers) + row_suffix,
                      churn_s, static_cast<std::int64_t>(events.size()),
-                     nullptr, extra);
+                     nullptr, std::string(extra) + extra_json);
 
   client.close();
   daemon.stop();
@@ -353,8 +396,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   const PassResult durable = run_pass(opts, wal_dir, "_wal", serial_extra);
-  const std::string cleanup = std::string("rm -rf '") + wal_dir + "'";
-  [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+  std::string cleanup = std::string("rm -rf '") + wal_dir + "'";
+  [[maybe_unused]] int rc = std::system(cleanup.c_str());
+  // Per-shard baseline of the same single-WLAN passes (with one WLAN
+  // the shared mode's cross-shard coalescing cannot help; the rows
+  // document that it does not hurt either).
+  char pershard_dir[] = "/tmp/acorn_bench_walp_XXXXXX";
+  if (::mkdtemp(pershard_dir) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const PassResult durable_pershard =
+      run_pass(opts, pershard_dir, "_walp", serial_extra,
+               WalMode::kPerShard, "_pershard");
+  cleanup = std::string("rm -rf '") + pershard_dir + "'";
+  rc = std::system(cleanup.c_str());
 
   // Fleet sweeps: WLANs x pooled shard workers.
   std::printf("\nfleet sweeps (trace-driven churn, pooled executor):\n");
@@ -375,6 +431,43 @@ int main(int argc, char** argv) {
       const FleetOutcome fo = run_fleet(n, m, fleet_target);
       if (n == 2048 && m == 1) w1_big = fo.events_per_s;
       if (n == 2048 && m == 4) w4_big = fo.events_per_s;
+    }
+  }
+
+  // Durable fleet sweeps: the same churn with every reply withheld
+  // until fsync. Shared mode rows across the fleet sizes, plus one
+  // per-shard baseline at 256 WLANs — the cell the >= 5x coalescing
+  // floor is asserted on.
+  std::printf("\ndurable fleet sweeps (WAL on, group commit):\n");
+  const std::vector<int> durable_fleets =
+      opts.smoke ? std::vector<int>{16, 64} : std::vector<int>{16, 256, 2048};
+  const std::int64_t durable_target = opts.smoke ? 2000 : 50000;
+  double shared_256 = 0.0;
+  double pershard_256 = 0.0;
+  const int compare_fleet = opts.smoke ? 16 : 256;
+  for (const int n : durable_fleets) {
+    for (const int m : worker_counts) {
+      char dir[] = "/tmp/acorn_bench_dfleet_XXXXXX";
+      if (::mkdtemp(dir) == nullptr) continue;
+      const FleetOutcome fo =
+          run_fleet(n, m, durable_target, dir, WalMode::kShared,
+                    serial_extra);
+      if (n == compare_fleet && m == worker_counts.back()) {
+        shared_256 = fo.events_per_s;
+      }
+      cleanup = std::string("rm -rf '") + dir + "'";
+      rc = std::system(cleanup.c_str());
+    }
+  }
+  {
+    char dir[] = "/tmp/acorn_bench_dfleet_XXXXXX";
+    if (::mkdtemp(dir) != nullptr) {
+      const FleetOutcome fo =
+          run_fleet(compare_fleet, worker_counts.back(), durable_target,
+                    dir, WalMode::kPerShard, serial_extra);
+      pershard_256 = fo.events_per_s;
+      cleanup = std::string("rm -rf '") + dir + "'";
+      rc = std::system(cleanup.c_str());
     }
   }
 
@@ -424,6 +517,43 @@ int main(int argc, char** argv) {
     std::printf("fleet scaling floor relaxed: %d hardware thread(s) — "
                 "rows record determinism, not parallel speedup\n",
                 hw);
+  }
+  // Group-commit coalescing floor: at 256 durable WLANs one shared
+  // fdatasync acknowledges the whole fleet's pending batches, so the
+  // shared mode must beat the per-shard baseline by >= 5x. Only
+  // enforced where the per-shard baseline is actually device-bound
+  // (sync_us > 40 us: a fast NVMe or a lying volatile cache syncs so
+  // cheaply that per-shard keeps up, and the ratio measures the disk,
+  // not the design) and where workers can overlap (hw >= 4).
+  if (!opts.smoke && hw >= 4 && sync_us > 40.0 && shared_256 > 0.0 &&
+      pershard_256 > 0.0) {
+    if (shared_256 < 5.0 * pershard_256) {
+      std::fprintf(stderr,
+                   "FAIL: shared-WAL durable fleet at %d WLANs "
+                   "(%.0f events/s) is not 5x the per-shard baseline "
+                   "(%.0f events/s)\n",
+                   compare_fleet, shared_256, pershard_256);
+      ok = false;
+    }
+  } else if (shared_256 > 0.0 && pershard_256 > 0.0) {
+    std::printf("durable coalescing ratio: shared %.0f vs per-shard %.0f "
+                "events/s (%.1fx; floor %s)\n",
+                shared_256, pershard_256, shared_256 / pershard_256,
+                opts.smoke ? "skipped in smoke"
+                           : "relaxed on this hardware");
+  }
+  // And the single-WLAN serial durable path must not regress: with no
+  // cross-shard traffic to coalesce, the shared mode's handoff to the
+  // commit thread must cost no more than the in-shard fsync it
+  // replaced (generous 0.85 bound -- both sides are device-dominated).
+  if (!opts.smoke && sync_us > 40.0 &&
+      durable.serial_eps < 0.85 * durable_pershard.serial_eps) {
+    std::fprintf(stderr,
+                 "FAIL: shared-mode serial durable round trips "
+                 "(%.0f events/s) regressed vs per-shard "
+                 "(%.0f events/s)\n",
+                 durable.serial_eps, durable_pershard.serial_eps);
+    ok = false;
   }
   if (!ok) return 1;
   std::printf("throughput floors met\n");

@@ -138,13 +138,18 @@ int print_reply(const service::Message& reply) {
     std::printf(
         "wlans %u | frames %llu events %llu errors %llu\n"
         "epochs %llu (last %.2f ms) snapshots %llu\n"
-        "wal: records %llu flushes %llu\n"
+        "wal: records %llu flushes %llu syncs %llu coalesced %llu "
+        "(avg batch %.1f)\n"
         "switches: channel %llu width %llu assoc %llu\n"
         "allocator: candidate evals %llu\n"
         "oracle: cell evals %llu hits %llu, share evals %llu hits %llu\n",
         st->num_wlans, u(st->frames_rx), u(st->events_total),
         u(st->protocol_errors), u(st->epochs_total), st->last_epoch_ms,
         u(st->snapshots_written), u(st->wal_records), u(st->wal_flushes),
+        u(st->wal_syncs), u(st->wal_coalesced_events),
+        st->wal_syncs > 0 ? static_cast<double>(st->wal_coalesced_events) /
+                                static_cast<double>(st->wal_syncs)
+                          : 0.0,
         u(st->channel_switches), u(st->width_switches), u(st->assoc_changes),
         u(st->alloc_evaluations),
         u(st->oracle_cell_evals), u(st->oracle_cell_hits),
@@ -154,6 +159,22 @@ int print_reply(const service::Message& reply) {
       if (st->latency_us_log2[i] != 0) {
         std::printf(" [<%llu us]=%llu", 1ull << (i + 1),
                     u(st->latency_us_log2[i]));
+      }
+    }
+    std::printf("\n");
+    std::printf("wal sync us (log2 buckets):");
+    for (std::size_t i = 0; i < st->wal_sync_us_log2.size(); ++i) {
+      if (st->wal_sync_us_log2[i] != 0) {
+        std::printf(" [<%llu us]=%llu", 1ull << (i + 1),
+                    u(st->wal_sync_us_log2[i]));
+      }
+    }
+    std::printf("\n");
+    std::printf("wal batch size (log2 buckets):");
+    for (std::size_t i = 0; i < st->wal_batch_log2.size(); ++i) {
+      if (st->wal_batch_log2[i] != 0) {
+        std::printf(" [<%llu ev]=%llu", 1ull << (i + 1),
+                    u(st->wal_batch_log2[i]));
       }
     }
     std::printf("\n");

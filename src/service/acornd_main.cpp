@@ -3,6 +3,7 @@
 // Usage:
 //   acornd --unix /run/acorn.sock [--tcp PORT] [--state-dir DIR]
 //          [--epoch-s SECONDS] [--hysteresis FACTOR] [--wal-flush-us N]
+//          [--wal-mode shared|per-shard] [--wal-segment-bytes N]
 //          [--workers M] [--follow ENDPOINT] [--log]
 //
 // Runs until SIGINT/SIGTERM or a Shutdown request arrives on the wire;
@@ -29,7 +30,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--unix PATH] [--tcp PORT] [--state-dir DIR]\n"
                "          [--epoch-s SECONDS] [--hysteresis FACTOR]\n"
-               "          [--wal-flush-us N] [--follow ENDPOINT] [--log]\n"
+               "          [--wal-flush-us N] [--wal-mode shared|per-shard]\n"
+               "          [--wal-segment-bytes N] [--follow ENDPOINT] "
+               "[--log]\n"
                "\n"
                "At least one of --unix / --tcp is required.\n"
                "  --unix PATH        listen on a Unix domain socket\n"
@@ -46,6 +49,14 @@ int usage(const char* argv0) {
                "under\n"
                "                     backlog (default 200; 0 = sync per "
                "event)\n"
+               "  --wal-mode MODE    durability layout: 'shared' (default)\n"
+               "                     coalesces every WLAN's records into\n"
+               "                     shared seg_<n>.walseg files behind one\n"
+               "                     fdatasync; 'per-shard' keeps a private\n"
+               "                     wlan_<id>.wal per WLAN. Either mode\n"
+               "                     recovers the other's files.\n"
+               "  --wal-segment-bytes N  shared-mode segment rotation size\n"
+               "                     (default 67108864)\n"
                "  --workers M        shard execution: M pooled workers "
                "shared\n"
                "                     by every WLAN (default: hardware "
@@ -87,6 +98,20 @@ int main(int argc, char** argv) {
       config.width_hysteresis = std::atof(value());
     } else if (arg == "--wal-flush-us") {
       config.wal_flush_us = static_cast<std::uint32_t>(std::atol(value()));
+    } else if (arg == "--wal-mode") {
+      const std::string mode = value();
+      if (mode == "shared") {
+        config.wal_mode = acorn::service::WalMode::kShared;
+      } else if (mode == "per-shard") {
+        config.wal_mode = acorn::service::WalMode::kPerShard;
+      } else {
+        std::fprintf(stderr, "%s: --wal-mode must be shared or per-shard\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (arg == "--wal-segment-bytes") {
+      config.wal_segment_bytes =
+          static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--workers") {
       config.workers = std::atoi(value());
     } else if (arg == "--follow") {

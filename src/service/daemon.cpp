@@ -67,6 +67,14 @@ void Daemon::start() {
 
   if (!config_.state_dir.empty()) {
     ::mkdir(config_.state_dir.c_str(), 0755);  // EEXIST is fine
+    if (config_.wal_mode == WalMode::kShared) {
+      SyncCoordinator::Options co;
+      co.dir = config_.state_dir;
+      co.segment_bytes = config_.wal_segment_bytes;
+      co.metrics = &metrics_;
+      co.log = config_.log;
+      coordinator_ = std::make_unique<SyncCoordinator>(std::move(co));
+    }
     recover_shards();
   }
 
@@ -136,7 +144,13 @@ void Daemon::stop() {
     for (auto& [id, shard] : shards_) shard->stop();
     shards_.clear();
   }
-  // Every shard has detached; the worker set can go.
+  // Every shard has stopped (each waited out its in-flight commit
+  // batches), so the coordinator's queue is quiescent; drain and join
+  // it before the worker set goes.
+  if (coordinator_) {
+    coordinator_->stop();
+    coordinator_.reset();
+  }
   executor_.reset();
   for (auto& [id, conn] : conns_) ::close(conn.fd);
   conns_.clear();
@@ -165,6 +179,8 @@ ShardOptions Daemon::shard_options(double epoch_s) {
   opts.log_epochs = config_.log;
   opts.executor = executor_.get();
   opts.epoch_latency = &metrics_.epoch_latency;
+  opts.coordinator = coordinator_.get();
+  opts.metrics = &metrics_;
   return opts;
 }
 
@@ -184,6 +200,22 @@ void Daemon::recover_shards() {
   // Followers recover their local state too, but with epoch timers off:
   // once the leader stream attaches, epochs arrive as log records.
   const double epoch_s = config_.follow.empty() ? config_.epoch_s : 0.0;
+
+  // Both modes replay both layouts, so a state dir can move between
+  // --wal-mode settings across restarts without losing acknowledged
+  // events: the per-WLAN files are the pre-shared-mode layout (and the
+  // shared mode's upgrade input), the segments the shared layout.
+  SegmentLoadResult segments = load_wal_segments(config_.state_dir);
+  if (!segments.clean) {
+    std::fprintf(stderr,
+                 "acornd: shared WAL tail torn/corrupt, replaying the "
+                 "intact prefix\n");
+  }
+  if (coordinator_) {
+    coordinator_->seed(segments);
+    coordinator_->start();
+  }
+
   for (WlanSnapshot& snap : load_snapshots(config_.state_dir)) {
     const std::uint32_t id = snap.wlan_id;
     try {
@@ -194,8 +226,21 @@ void Daemon::recover_shards() {
                      "%zu intact records\n",
                      id, wal.records.size());
       }
+      std::vector<WalRecord> replay = std::move(wal.records);
+      if (const auto seg = segments.records.find(id);
+          seg != segments.records.end()) {
+        // Merge the layouts by ordinal; the replay loop skips whichever
+        // duplicates the snapshot already covers.
+        replay.insert(replay.end(),
+                      std::make_move_iterator(seg->second.begin()),
+                      std::make_move_iterator(seg->second.end()));
+        std::stable_sort(replay.begin(), replay.end(),
+                         [](const WalRecord& a, const WalRecord& b) {
+                           return a.seq < b.seq;
+                         });
+      }
       auto shard = make_shard(shard_options(epoch_s), std::move(snap),
-                              std::move(wal.records));
+                              std::move(replay));
       shard->start();
       const std::lock_guard<std::mutex> lock(shards_mutex_);
       shards_.emplace(id, std::move(shard));
@@ -203,6 +248,33 @@ void Daemon::recover_shards() {
       std::fprintf(stderr, "acornd: cannot recover wlan %u: %s\n", id,
                    e.what());
     }
+  }
+
+  if (coordinator_) {
+    // Records for WLANs with no snapshot belong to removed (or never
+    // durably registered) ids — the tombstone that fenced them may have
+    // died with the crash. Re-assert it so a later re-registration of
+    // the id cannot merge a dead incarnation's records.
+    for (const auto& [id, records] : segments.records) {
+      bool live;
+      {
+        const std::lock_guard<std::mutex> lock(shards_mutex_);
+        live = shards_.count(id) != 0;
+      }
+      if (!live) coordinator_->remove_wlan(id);
+    }
+  } else {
+    // Per-shard mode: every recovered shard just checkpointed past the
+    // merged replay in start(), so the segments are fully superseded —
+    // and records of unknown ids are removed with them, matching this
+    // mode's delete-on-remove semantics. Dropping the files keeps a
+    // later switch back to shared mode from re-reading stale history.
+    bool removed = false;
+    for (const SegmentCoverage& seg : segments.segments) {
+      ::unlink(wal_segment_path(config_.state_dir, seg.index).c_str());
+      removed = true;
+    }
+    if (removed) fsync_dir(config_.state_dir);
   }
 }
 
@@ -289,10 +361,15 @@ void Daemon::loop() {
         const StatsReply s = stats();
         const std::vector<std::uint64_t> eh =
             metrics_.epoch_latency.snapshot();
+        const double avg_batch =
+            s.wal_syncs > 0 ? static_cast<double>(s.wal_coalesced_events) /
+                                  static_cast<double>(s.wal_syncs)
+                            : 0.0;
         std::fprintf(stderr,
                      "acornd: %u wlans / %d workers, %llu frames, "
                      "%llu events, %llu epochs (p50 %.1f ms, p99 %.1f ms), "
-                     "%llu snapshots\n",
+                     "%llu snapshots, %llu wal syncs "
+                     "(avg batch %.1f, p99 sync %.0f us)\n",
                      s.num_wlans,
                      executor_ ? executor_->workers() : -1,
                      static_cast<unsigned long long>(s.frames_rx),
@@ -300,7 +377,9 @@ void Daemon::loop() {
                      static_cast<unsigned long long>(s.epochs_total),
                      latency_percentile_us(eh, 0.5) / 1e3,
                      latency_percentile_us(eh, 0.99) / 1e3,
-                     static_cast<unsigned long long>(s.snapshots_written));
+                     static_cast<unsigned long long>(s.snapshots_written),
+                     static_cast<unsigned long long>(s.wal_syncs), avg_batch,
+                     latency_percentile_us(s.wal_sync_us_log2, 0.99));
       }
     }
   }
@@ -390,6 +469,13 @@ void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
         return;
       }
     }
+    // Re-registration of an id whose records still sit in shared WAL
+    // segments: append a durable tombstone first, so a crash can never
+    // merge the dead incarnation's records (per-WLAN ordinals restart
+    // at zero) into the new one's replay.
+    if (coordinator_ && coordinator_->has_records(reg->wlan_id)) {
+      coordinator_->remove_wlan(reg->wlan_id);
+    }
     try {
       WlanSnapshot fresh;
       fresh.wlan_id = reg->wlan_id;
@@ -441,7 +527,13 @@ void Daemon::dispatch(std::uint64_t conn_id, Frame frame,
     if (!config_.state_dir.empty()) {
       remove_snapshot(config_.state_dir, rem->wlan_id);
       remove_wal(config_.state_dir, rem->wlan_id);
+      // Persist the unlinks: a power cut must not resurrect the WLAN.
+      fsync_dir(config_.state_dir);
     }
+    // Shared mode: fence the removed WLAN's segment records with a
+    // durable tombstone before acknowledging (the reply promises the
+    // removal survives a crash — including against id reuse).
+    if (coordinator_) coordinator_->remove_wlan(rem->wlan_id);
     // Tell followers to tear the WLAN down too. record_seq 0 marks a
     // control record (not part of any shard's event ordinals).
     if (!follower_conns_.empty()) {
@@ -582,6 +674,11 @@ StatsReply Daemon::stats() const {
   s.protocol_errors =
       metrics_.protocol_errors.load(std::memory_order_relaxed);
   s.latency_us_log2 = metrics_.request_latency.snapshot();
+  s.wal_syncs = metrics_.wal_syncs.load(std::memory_order_relaxed);
+  s.wal_coalesced_events =
+      metrics_.wal_coalesced_events.load(std::memory_order_relaxed);
+  s.wal_sync_us_log2 = metrics_.wal_sync_latency.snapshot();
+  s.wal_batch_log2 = metrics_.wal_batch_events.snapshot();
   const std::lock_guard<std::mutex> lock(shards_mutex_);
   s.num_wlans = static_cast<std::uint32_t>(shards_.size());
   for (const auto& [id, shard] : shards_) {
@@ -693,7 +790,9 @@ void Daemon::follow_session() {
           if (!config_.state_dir.empty()) {
             remove_snapshot(config_.state_dir, id);
             remove_wal(config_.state_dir, id);
+            fsync_dir(config_.state_dir);
           }
+          if (coordinator_) coordinator_->remove_wlan(id);
           applied.erase(id);
         }
         continue;

@@ -44,9 +44,22 @@
 
 #include "service/metrics.hpp"
 #include "service/shard.hpp"
+#include "service/sync_coordinator.hpp"
 #include "service/wire.hpp"
 
 namespace acorn::service {
+
+/// Durability layout. kShared (the default) funnels every shard's
+/// records through one SyncCoordinator into shared `seg_<n>.walseg`
+/// files — one fdatasync acknowledges the whole fleet's pending batches
+/// instead of one per shard. kPerShard keeps PR 6's private
+/// `wlan_<id>.wal` per shard as the reference implementation. Both
+/// modes recover each other's files, so a state dir can move between
+/// them across restarts.
+enum class WalMode {
+  kPerShard,
+  kShared,
+};
 
 struct DaemonConfig {
   /// Snapshot + WAL directory (created if missing); empty = no
@@ -63,6 +76,11 @@ struct DaemonConfig {
   double width_hysteresis = 1.05;
   /// WAL group-commit window (microseconds); see ShardOptions.
   std::uint32_t wal_flush_us = 200;
+  /// Durability layout; see WalMode.
+  WalMode wal_mode = WalMode::kShared;
+  /// Shared mode: rotate to a fresh segment past this many bytes
+  /// (tests shrink it to exercise rotation + retirement).
+  std::uint64_t wal_segment_bytes = 64ull << 20;
   /// Shard execution model: -1 = pooled over hardware_concurrency()
   /// workers (the default), N > 0 = pooled over N workers, 0 = the
   /// thread-per-WLAN reference mode (one dedicated thread per shard).
@@ -154,6 +172,10 @@ class Daemon {
   /// Created before any shard starts, destroyed after every shard has
   /// stopped (shards detach through it).
   std::unique_ptr<util::PooledExecutor> executor_;
+  /// Shared-WAL group-commit thread (null in per-shard mode or without
+  /// a state dir). Started before any shard, stopped after every shard
+  /// has stopped (shards wait out their in-flight batches in stop()).
+  std::unique_ptr<SyncCoordinator> coordinator_;
 
   int tcp_listen_fd_ = -1;
   int unix_listen_fd_ = -1;

@@ -32,9 +32,29 @@
 // replies were never released, so an *acknowledged* event is always
 // durable. `load_wal` stops at the first torn, corrupt, or out-of-order
 // record and returns the valid prefix.
+// Shared-WAL mode (the fleet default) replaces the per-WLAN files with
+// per-state-dir *segments*: `seg_<index>.walseg` files holding records
+// from every shard, each tagged with its WLAN id
+//
+//   header:  [u32 magic "ACWS"][u16 version][u64 index]
+//   record:  [u32 payload_len][u32 wlan_id][u64 seq][payload][u64 fnv1a]
+//
+// so one fdatasync (issued by service::SyncCoordinator) acknowledges
+// every shard's pending batch instead of one per shard. `seq` is still
+// the owning shard's events-applied ordinal: recovery scans the segments
+// in index order, splits records per WLAN, and replays exactly as in
+// per-shard mode. Truncation becomes *retirement*: a closed segment is
+// deleted once every WLAN with records in it has checkpointed (written a
+// snapshot) past its newest record — oldest segment first, so the live
+// segments always form a contiguous index suffix. A record with seq 0 is
+// a removal *tombstone*: it fences off every earlier record of its WLAN
+// (RemoveWlan, or a re-registration reusing the id — per-WLAN ordinals
+// restart, so a dead incarnation's records must never merge into a new
+// one's replay).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,6 +63,8 @@ namespace acorn::service {
 
 inline constexpr std::uint32_t kWalMagic = 0x4c574341;  // "ACWL"
 inline constexpr std::uint16_t kWalVersion = 1;
+inline constexpr std::uint32_t kWalSegMagic = 0x53574341;  // "ACWS"
+inline constexpr std::uint16_t kWalSegVersion = 1;
 
 /// One replayable event: a wire payload plus its events-applied ordinal.
 struct WalRecord {
@@ -56,6 +78,11 @@ struct WalLoadResult {
   /// or checksum corruption) — `records` still holds the valid prefix.
   bool clean = true;
 };
+
+/// Fsync a directory so a just-created/renamed/unlinked entry survives a
+/// power cut (fsyncing the file alone does not persist its dir entry).
+/// Returns false on failure; callers treat that as the write failing.
+bool fsync_dir(const std::string& dir);
 
 /// `<dir>/wlan_<id>.wal`, shared by the writer and recovery.
 std::string wal_path(const std::string& dir, std::uint32_t wlan_id);
@@ -108,6 +135,84 @@ class WalWriter {
  private:
   int fd_ = -1;
   std::uint64_t file_size_ = 0;  // bytes durably on disk
+  std::vector<std::uint8_t> buf_;
+};
+
+// ---- Shared, segmented WAL ----------------------------------------------
+
+/// `<dir>/seg_<index>.walseg`.
+std::string wal_segment_path(const std::string& dir, std::uint64_t index);
+
+/// Serialize one segment record (header + payload + checksum).
+std::vector<std::uint8_t> encode_segment_record(
+    std::uint32_t wlan_id, std::uint64_t seq,
+    std::span<const std::uint8_t> payload);
+
+/// Per-WLAN newest record ordinal in one segment — the retirement unit:
+/// the segment may be deleted once every entry is covered by that WLAN's
+/// snapshot.
+struct SegmentCoverage {
+  std::uint64_t index = 0;
+  std::map<std::uint32_t, std::uint64_t> max_seq;
+};
+
+struct SegmentLoadResult {
+  /// Records split per WLAN, in scan order (ascending segment index,
+  /// file order within a segment) — per-WLAN seq-ascending by
+  /// construction, ready for WlanShard replay.
+  std::map<std::uint32_t, std::vector<WalRecord>> records;
+  /// One entry per segment file found, ascending index.
+  std::vector<SegmentCoverage> segments;
+  /// First index not yet used (new writers start here; appending to a
+  /// possibly-torn tail segment is never attempted).
+  std::uint64_t next_index = 1;
+  /// False when any segment stopped early (torn tail, bit rot); the
+  /// valid prefix of that segment is kept and later segments are still
+  /// scanned — per-WLAN ordinal contiguity at replay guards against a
+  /// mid-history hole inventing state.
+  bool clean = true;
+};
+
+/// Scan `dir` for segments and split their records per WLAN. A missing
+/// or empty directory is an empty, clean result.
+SegmentLoadResult load_wal_segments(const std::string& dir);
+
+/// Buffered appender for one shared segment. Owned by the
+/// SyncCoordinator's commit thread; same torn-tail discipline as
+/// WalWriter (failed writes truncate back to the durable boundary).
+class WalSegmentWriter {
+ public:
+  WalSegmentWriter() = default;
+  ~WalSegmentWriter() { close(); }
+  WalSegmentWriter(const WalSegmentWriter&) = delete;
+  WalSegmentWriter& operator=(const WalSegmentWriter&) = delete;
+
+  /// Create `<dir>/seg_<index>.walseg` (O_EXCL: an existing file means
+  /// an index collision and fails) and fsync the directory so the
+  /// segment cannot vanish in a power cut after its records were
+  /// acknowledged. Returns false on I/O failure, leaving the writer
+  /// closed.
+  bool open(const std::string& dir, std::uint64_t index);
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t index() const { return index_; }
+  /// Bytes durably on disk (rotation bound input).
+  std::uint64_t file_size() const { return file_size_; }
+  std::size_t buffered_bytes() const { return buf_.size(); }
+
+  /// Queue one tagged record (no syscall).
+  void append(std::uint32_t wlan_id, std::uint64_t seq,
+              std::span<const std::uint8_t> payload);
+
+  /// Flush the buffer + fdatasync — the fleet-wide group-commit
+  /// barrier. Retry-safe exactly like WalWriter::sync().
+  bool sync();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t index_ = 0;
+  std::uint64_t file_size_ = 0;
   std::vector<std::uint8_t> buf_;
 };
 

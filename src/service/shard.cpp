@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/width_switch.hpp"
+#include "service/sync_coordinator.hpp"
 
 namespace acorn::service {
 
@@ -129,7 +130,9 @@ WlanShard::WlanShard(ShardOptions options, WlanSnapshot state,
     }
   }
 
-  if (!options_.state_dir.empty() &&
+  // Shared mode writes through the coordinator's segments instead of a
+  // private log file.
+  if (options_.coordinator == nullptr && !options_.state_dir.empty() &&
       !wal_.open(options_.state_dir, wlan_id_)) {
     std::fprintf(stderr, "acornd: wlan %u: cannot open WAL in %s\n", wlan_id_,
                  options_.state_dir.c_str());
@@ -151,7 +154,16 @@ void WlanShard::start() {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     if (write_snapshot_locked()) {
       wal_base_seq_ = events_applied_;
-      if (wal_.is_open()) wal_.reset();
+      if (shared_mode()) {
+        options_.coordinator->note_checkpoint(wlan_id_, events_applied_);
+        // Upgrade path: the snapshot just compacted any legacy
+        // per-shard log that recovery merged in; drop the file so a
+        // later boot cannot re-merge its stale records.
+        remove_wal(options_.state_dir, wlan_id_);
+      } else if (wal_.is_open()) {
+        wal_.reset();
+        wal_unsynced_records_ = 0;
+      }
       wal_sync_failures_ = 0;
     }
     publish_counters_locked();
@@ -225,7 +237,7 @@ void WlanShard::run() {
       if (wal_dirty_ && now >= flush_deadline() &&
           now >= wal_retry_after_) {
         lock.unlock();
-        flush_wal(/*need_sync=*/true);
+        flush(/*need_sync=*/true);
         lock.lock();
         continue;
       }
@@ -243,7 +255,7 @@ void WlanShard::run() {
       // waiting out the flush window buys no extra batching — sync now
       // and release the withheld replies.
       lock.unlock();
-      flush_wal(/*need_sync=*/true);
+      flush(/*need_sync=*/true);
       lock.lock();
       continue;
     }
@@ -277,7 +289,7 @@ std::chrono::steady_clock::time_point WlanShard::run_pass() {
       if (wal_dirty_ && now >= flush_deadline() &&
           now >= wal_retry_after_) {
         lock.unlock();
-        flush_wal(/*need_sync=*/true);
+        flush(/*need_sync=*/true);
         lock.lock();
         continue;
       }
@@ -295,7 +307,7 @@ std::chrono::steady_clock::time_point WlanShard::run_pass() {
     const auto now = std::chrono::steady_clock::now();
     if (wal_dirty_ && now >= wal_retry_after_) {
       lock.unlock();
-      flush_wal(/*need_sync=*/true);
+      flush(/*need_sync=*/true);
       lock.lock();
       continue;
     }
@@ -367,13 +379,27 @@ void WlanShard::process(Job& job) {
       std::vector<std::uint8_t> payload = encode_payload(0, job.msg);
       // seq <= wal_base_seq_ means an epoch inside apply_locked already
       // snapshotted this event; the log does not need it.
-      if (wal_.is_open() && seq > wal_base_seq_) {
-        wal_.append(seq, payload);
-        ++counters_.wal_records;
-        logged = true;
-      }
-      if (!followers_.empty()) {
-        pending_records_.push_back(WalRecord{seq, std::move(payload)});
+      if (shared_mode()) {
+        // Records ride to the coordinator inside the CommitBatch; a
+        // degraded coordinator means non-durable operation, same as a
+        // disabled local WAL.
+        if (options_.coordinator->durable() && seq > wal_base_seq_) {
+          ++counters_.wal_records;
+          logged = true;
+        }
+        if (logged || !followers_.empty()) {
+          pending_records_.push_back(WalRecord{seq, std::move(payload)});
+        }
+      } else {
+        if (wal_.is_open() && seq > wal_base_seq_) {
+          wal_.append(seq, payload);
+          ++counters_.wal_records;
+          ++wal_unsynced_records_;
+          logged = true;
+        }
+        if (!followers_.empty()) {
+          pending_records_.push_back(WalRecord{seq, std::move(payload)});
+        }
       }
       if (seq > pending_max_seq_) pending_max_seq_ = seq;
     }
@@ -383,9 +409,12 @@ void WlanShard::process(Job& job) {
     wal_dirty_ = true;
     first_unflushed_ = now;
   }
-  if (logged || wal_dirty_ || !pending_replies_.empty()) {
+  if (logged || wal_dirty_ || !pending_replies_.empty() ||
+      (shared_mode() && shared_inflight())) {
     // Withhold the reply until its record is durable; non-logged
-    // replies queue behind it to preserve per-connection FIFO order.
+    // replies queue behind it to preserve per-connection FIFO order —
+    // including order against batches already queued at the
+    // coordinator, hence the in-flight check.
     pending_replies_.push_back(PendingReply{job.conn_id, job.t0,
                                            std::move(frame)});
   } else {
@@ -395,7 +424,7 @@ void WlanShard::process(Job& job) {
     // Everything withheld is already durable (snapshot compaction, or
     // logging is off entirely): release without an fsync.
     if (!pending_replies_.empty() || !pending_records_.empty()) {
-      flush_wal(/*need_sync=*/false);
+      flush(/*need_sync=*/false);
     }
     wal_dirty_ = false;
     return;
@@ -412,7 +441,7 @@ void WlanShard::process(Job& job) {
     drained = jobs_.empty();
   }
   if (drained && std::chrono::steady_clock::now() >= wal_retry_after_) {
-    flush_wal(/*need_sync=*/true);
+    flush(/*need_sync=*/true);
   }
 }
 
@@ -539,17 +568,27 @@ void WlanShard::run_epoch() {
     ++events_applied_;
     const std::uint64_t seq = events_applied_;
     run_epoch_locked();
-    if (wal_.is_open() || !followers_.empty()) {
+    const bool shared_durable =
+        shared_mode() && options_.coordinator->durable();
+    if (wal_.is_open() || shared_durable || !followers_.empty()) {
       std::vector<std::uint8_t> payload =
           encode_payload(0, Message{ForceReconfigure{wlan_id_}});
       // The epoch snapshot normally covers this event (seq ==
-      // wal_base_seq_); the record is only appended if it failed.
-      if (wal_.is_open() && seq > wal_base_seq_) {
-        wal_.append(seq, payload);
-        ++counters_.wal_records;
-        logged = true;
+      // wal_base_seq_); the record is only logged if it failed.
+      if (seq > wal_base_seq_) {
+        if (wal_.is_open()) {
+          wal_.append(seq, payload);
+          ++counters_.wal_records;
+          ++wal_unsynced_records_;
+          logged = true;
+        } else if (shared_durable) {
+          ++counters_.wal_records;
+          logged = true;
+        }
       }
-      if (!followers_.empty()) {
+      // Shared mode ships logged records to the coordinator via
+      // pending_records_; either mode also keeps them for followers.
+      if ((shared_mode() && logged) || !followers_.empty()) {
         pending_records_.push_back(WalRecord{seq, std::move(payload)});
       }
     }
@@ -562,7 +601,7 @@ void WlanShard::run_epoch() {
   }
   if (!wal_dirty_ || wal_base_seq_ >= pending_max_seq_) {
     if (!pending_replies_.empty() || !pending_records_.empty()) {
-      flush_wal(/*need_sync=*/false);
+      flush(/*need_sync=*/false);
     }
     wal_dirty_ = false;
   }
@@ -634,10 +673,17 @@ void WlanShard::run_epoch_locked() {
   ++epoch_;
   ++counters_.epochs;
   if (write_snapshot_locked()) {
-    // The snapshot supersedes every logged record: truncate the WAL so
-    // recovery replays only what arrives after this point.
+    // The snapshot supersedes every logged record: truncate the WAL
+    // (per-shard mode) or report the checkpoint so the coordinator can
+    // retire fully-covered segments (shared mode); either way recovery
+    // replays only what arrives after this point.
     wal_base_seq_ = events_applied_;
-    if (wal_.is_open()) wal_.reset();
+    if (shared_mode()) {
+      options_.coordinator->note_checkpoint(wlan_id_, events_applied_);
+    } else if (wal_.is_open()) {
+      wal_.reset();
+      wal_unsynced_records_ = 0;
+    }
     wal_sync_failures_ = 0;
   }
   counters_.last_epoch_ms =
@@ -733,22 +779,121 @@ void WlanShard::write_state_snapshot() {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     if (write_snapshot_locked()) {
       wal_base_seq_ = events_applied_;
-      if (wal_.is_open()) wal_.reset();
+      if (shared_mode()) {
+        options_.coordinator->note_checkpoint(wlan_id_, events_applied_);
+      } else if (wal_.is_open()) {
+        wal_.reset();
+        wal_unsynced_records_ = 0;
+      }
       wal_sync_failures_ = 0;
       need_sync = false;
     }
     publish_counters_locked();
   }
   if (!pending_replies_.empty() || !pending_records_.empty() || need_sync) {
-    flush_wal(need_sync, /*final=*/true);
+    flush(need_sync, /*final=*/true);
+  } else if (shared_mode()) {
+    // Nothing new to release, but batches may still be in flight at the
+    // coordinator; the shard must outlive their on_durable hooks.
+    wait_shared_drain();
   }
   wal_dirty_ = false;
 }
 
+void WlanShard::flush(bool need_sync, bool final) {
+  if (shared_mode()) {
+    flush_shared(need_sync, final);
+  } else {
+    flush_wal(need_sync, final);
+  }
+}
+
+void WlanShard::flush_shared(bool need_sync, bool final) {
+  if (!need_sync && !shared_inflight()) {
+    // Nothing is queued ahead at the coordinator and nothing needs a
+    // sync (snapshot compaction, or durability is off): release on this
+    // thread, no queue round-trip.
+    release_pending();
+    wal_dirty_ = false;
+    return;
+  }
+  if (pending_replies_.empty() && pending_records_.empty()) {
+    wal_dirty_ = false;
+    if (final) wait_shared_drain();
+    return;
+  }
+  CommitBatch batch;
+  batch.wlan_id = wlan_id_;
+  batch.records = std::move(pending_records_);
+  pending_records_.clear();
+  // Records at or below this are already snapshot-covered: the
+  // coordinator forwards them to followers but does not write them.
+  batch.write_from_seq = wal_base_seq_;
+  batch.replies.reserve(pending_replies_.size());
+  for (PendingReply& p : pending_replies_) {
+    batch.replies.push_back(
+        CommitBatch::Reply{p.conn_id, p.t0, std::move(p.frame)});
+  }
+  pending_replies_.clear();
+  batch.followers = followers_;
+  batch.post = post_;
+  batch.on_durable = [this] {
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      --commits_inflight_;
+    }
+    inflight_cv_.notify_all();
+  };
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++commits_inflight_;
+  }
+  if (need_sync) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.wal_flushes;
+    publish_counters_locked();
+  }
+  options_.coordinator->submit(std::move(batch));
+  wal_dirty_ = false;
+  if (final) wait_shared_drain();
+}
+
+void WlanShard::wait_shared_drain() {
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [this] { return commits_inflight_ == 0; });
+}
+
+void WlanShard::release_pending() {
+  if (!followers_.empty() && !pending_records_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::uint64_t conn : followers_) {
+      for (const WalRecord& rec : pending_records_) {
+        post_(conn, now,
+              encode_frame(0, LogRecordFrame{wlan_id_, rec.seq, rec.payload}));
+      }
+    }
+  }
+  pending_records_.clear();
+  for (PendingReply& p : pending_replies_) {
+    post_(p.conn_id, p.t0, std::move(p.frame));
+  }
+  pending_replies_.clear();
+}
+
 void WlanShard::flush_wal(bool need_sync, bool final) {
   if (need_sync && wal_.is_open()) {
+    const auto t0 = std::chrono::steady_clock::now();
     if (wal_.sync()) {
       wal_sync_failures_ = 0;
+      if (options_.metrics != nullptr) {
+        options_.metrics->wal_syncs.fetch_add(1, std::memory_order_relaxed);
+        options_.metrics->wal_coalesced_events.fetch_add(
+            wal_unsynced_records_, std::memory_order_relaxed);
+        options_.metrics->wal_batch_events.record_us(wal_unsynced_records_);
+        options_.metrics->wal_sync_latency.record(
+            std::chrono::steady_clock::now() - t0);
+      }
+      wal_unsynced_records_ = 0;
       const std::lock_guard<std::mutex> lock(state_mutex_);
       ++counters_.wal_flushes;
       publish_counters_locked();
@@ -775,23 +920,11 @@ void WlanShard::flush_wal(bool need_sync, bool final) {
                      "flushes; continuing without durability\n",
                      wlan_id_, wal_sync_failures_);
         wal_.close();
+        wal_unsynced_records_ = 0;
       }
     }
   }
-  if (!followers_.empty() && !pending_records_.empty()) {
-    const auto now = std::chrono::steady_clock::now();
-    for (const std::uint64_t conn : followers_) {
-      for (const WalRecord& rec : pending_records_) {
-        post_(conn, now,
-              encode_frame(0, LogRecordFrame{wlan_id_, rec.seq, rec.payload}));
-      }
-    }
-  }
-  pending_records_.clear();
-  for (PendingReply& p : pending_replies_) {
-    post_(p.conn_id, p.t0, std::move(p.frame));
-  }
-  pending_replies_.clear();
+  release_pending();
   wal_dirty_ = false;
 }
 

@@ -56,6 +56,7 @@
 // deterministic.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -78,6 +79,8 @@
 #include "util/worker_pool.hpp"
 
 namespace acorn::service {
+
+class SyncCoordinator;
 
 struct ShardOptions {
   /// Reconfiguration period; <= 0 disables the timer (epochs then run
@@ -104,6 +107,16 @@ struct ShardOptions {
   /// When set, every reconfiguration epoch's wall time is recorded here
   /// (daemon-wide percentiles for --log and stats consumers).
   LatencyHistogram* epoch_latency = nullptr;
+  /// Shared-WAL mode: when set, the shard never opens a private WAL
+  /// file — it packages records + withheld replies into CommitBatches
+  /// for this coordinator's fleet-wide group commit, and reports
+  /// snapshot checkpoints for segment retirement. The coordinator must
+  /// outlive the shard's stop(). Null keeps the per-shard WAL.
+  SyncCoordinator* coordinator = nullptr;
+  /// Group-commit observability (wal_syncs / coalesced events / sync
+  /// latency). Per-shard mode records here on every local fsync; in
+  /// shared mode the coordinator owns the recording.
+  ServiceMetrics* metrics = nullptr;
 };
 
 /// Shard-local counters, aggregated into the daemon's StatsReply.
@@ -195,6 +208,9 @@ class WlanShard : public util::PooledExecutor::Task {
   std::vector<int> clients_of_locked(int ap) const;
   /// True for the message types the WAL records (state mutators).
   static bool loggable(const Message& msg);
+  /// Mode dispatch: flush_wal (per-shard WAL) or flush_shared (shared
+  /// segments via the SyncCoordinator).
+  void flush(bool need_sync, bool final = false);
   /// Release withheld replies + forward durable records to followers.
   /// `need_sync` false when a snapshot already made everything durable.
   /// On fsync failure nothing is released or forwarded (followers must
@@ -203,6 +219,25 @@ class WlanShard : public util::PooledExecutor::Task {
   /// replies and followers are not withheld forever on a dead disk.
   /// `final` (shutdown) skips the retries and always releases.
   void flush_wal(bool need_sync, bool final = false);
+  /// Shared-mode counterpart: hands the pending records/replies to the
+  /// coordinator as one CommitBatch (released on its commit thread, in
+  /// submission order). With nothing in flight and no sync needed, the
+  /// batch short-circuits to a direct release; otherwise even a no-sync
+  /// release rides the queue so replies cannot overtake an in-flight
+  /// batch. `final` (shutdown) waits for every in-flight batch.
+  void flush_shared(bool need_sync, bool final = false);
+  /// Post pending records to followers + pending replies, in order, on
+  /// the calling thread (the tail of flush_wal, shared by the
+  /// shared-mode short-circuit).
+  void release_pending();
+  /// Blocks until the coordinator has released every batch this shard
+  /// submitted (shutdown: the shard must outlive its in-flight hooks).
+  void wait_shared_drain();
+  bool shared_mode() const { return options_.coordinator != nullptr; }
+  bool shared_inflight() const {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    return commits_inflight_ > 0;
+  }
   std::chrono::steady_clock::time_point flush_deadline() const;
 
   const ShardOptions options_;
@@ -262,6 +297,15 @@ class WlanShard : public util::PooledExecutor::Task {
   /// No flush retry before this instant (set after a failed fsync so a
   /// sick disk is not hammered in a tight loop).
   std::chrono::steady_clock::time_point wal_retry_after_{};
+  /// Records appended since the last successful local fsync (per-shard
+  /// mode batch-size observability).
+  std::uint64_t wal_unsynced_records_ = 0;
+  /// Shared mode: batches handed to the coordinator whose on_durable
+  /// hook has not fired yet. Guarded by inflight_mutex_ (the hook runs
+  /// on the coordinator's commit thread).
+  std::uint32_t commits_inflight_ = 0;
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
   /// Follower connections attached via Job::Kind::kAttachFollower.
   std::vector<std::uint64_t> followers_;
   /// Suppresses disk writes while the constructor replays the WAL.

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "service/eventlog.hpp"
 #include "service/wire.hpp"
 
 namespace acorn::service {
@@ -179,7 +180,11 @@ bool write_snapshot(const std::string& dir, const WlanSnapshot& snap) {
     ::unlink(tmp.c_str());
     return false;
   }
-  return true;
+  // The rename only updated the directory, and fsync on the file does
+  // not persist its directory entry: without this a power cut can roll
+  // the directory back to the *old* snapshot after the caller has
+  // already truncated the WAL records that bridged the two.
+  return fsync_dir(dir);
 }
 
 void remove_snapshot(const std::string& dir, std::uint32_t wlan_id) {

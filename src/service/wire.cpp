@@ -121,6 +121,12 @@ void encode_body(ByteWriter& w, const StatsReply& m) {
   w.f64(m.last_epoch_ms);
   w.u32(static_cast<std::uint32_t>(m.latency_us_log2.size()));
   for (std::uint64_t b : m.latency_us_log2) w.u64(b);
+  w.u64(m.wal_syncs);
+  w.u64(m.wal_coalesced_events);
+  w.u32(static_cast<std::uint32_t>(m.wal_sync_us_log2.size()));
+  for (std::uint64_t b : m.wal_sync_us_log2) w.u64(b);
+  w.u32(static_cast<std::uint32_t>(m.wal_batch_log2.size()));
+  for (std::uint64_t b : m.wal_batch_log2) w.u64(b);
 }
 
 /// Vector length guard: a hostile length prefix must not trigger a huge
@@ -178,6 +184,18 @@ StatsReply decode_stats(ByteReader& r) {
   const std::uint32_t n = checked_count(r, 8);
   m.latency_us_log2.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.latency_us_log2.push_back(r.u64());
+  m.wal_syncs = r.u64();
+  m.wal_coalesced_events = r.u64();
+  const std::uint32_t n_sync = checked_count(r, 8);
+  m.wal_sync_us_log2.reserve(n_sync);
+  for (std::uint32_t i = 0; i < n_sync; ++i) {
+    m.wal_sync_us_log2.push_back(r.u64());
+  }
+  const std::uint32_t n_batch = checked_count(r, 8);
+  m.wal_batch_log2.reserve(n_batch);
+  for (std::uint32_t i = 0; i < n_batch; ++i) {
+    m.wal_batch_log2.push_back(r.u64());
+  }
   return m;
 }
 

@@ -186,6 +186,18 @@ struct StatsReply {
   /// Per-request latency histogram: bucket i counts requests completed
   /// in [2^i, 2^(i+1)) microseconds (bucket 0 is < 2 us).
   std::vector<std::uint64_t> latency_us_log2;
+  /// Group-commit observability. `wal_syncs` counts fdatasync calls
+  /// that made records durable; `wal_coalesced_events` counts the
+  /// records those syncs covered, so coalesced/syncs is the mean
+  /// group-commit batch size.
+  std::uint64_t wal_syncs = 0;
+  std::uint64_t wal_coalesced_events = 0;
+  /// fdatasync latency histogram, same log2-microsecond buckets as
+  /// `latency_us_log2`.
+  std::vector<std::uint64_t> wal_sync_us_log2;
+  /// Group-commit batch-size distribution: bucket i counts syncs that
+  /// covered [2^i, 2^(i+1)) records (bucket 0 is 1 record).
+  std::vector<std::uint64_t> wal_batch_log2;
 };
 
 /// One WLAN's full state, as an encoded service::WlanSnapshot blob (the

@@ -128,6 +128,12 @@ Message random_message(util::Rng& rng) {
       r.last_epoch_ms = rng.uniform(0.0, 1e4);
       const int n = static_cast<int>(rng.uniform_int(0, 32));
       for (int i = 0; i < n; ++i) r.latency_us_log2.push_back(u64());
+      r.wal_syncs = u64();
+      r.wal_coalesced_events = u64();
+      const int n_sync = static_cast<int>(rng.uniform_int(0, 32));
+      for (int i = 0; i < n_sync; ++i) r.wal_sync_us_log2.push_back(u64());
+      const int n_batch = static_cast<int>(rng.uniform_int(0, 32));
+      for (int i = 0; i < n_batch; ++i) r.wal_batch_log2.push_back(u64());
       return r;
     }
   }
