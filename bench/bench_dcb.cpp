@@ -1,0 +1,172 @@
+// Dynamic channel bonding: gap-to-optimal report throughput + quality
+// floors, and the multi-channel slot simulator's event rate.
+//
+// The full run is the acceptance configuration: 200 dense random-drop
+// scenarios (5 APs, 4 basic channels), each solved by Algorithm 2 AND
+// the exact Kai et al. optimum (6^5 = 7776 assignments through the
+// memoizing oracle), with all three width policies evaluated on
+// Algorithm 2's allocation. The bench enforces the quality floors the
+// subsystem advertises (exact optimum on every scenario of the family,
+// mean/p95 gap bounds) and re-runs the sweep at a second thread count
+// to prove bit-identical results, so `ctest -L perf_smoke` catches both
+// perf and determinism regressions. Rows land in BENCH_network.json
+// where `evals` counts full-network oracle evaluations (Algorithm 2's
+// scans plus the exhaustive search).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "dcb/gap_report.hpp"
+#include "mac/dcf.hpp"
+#include "util/table.hpp"
+
+using namespace acorn;
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::int64_t total_evals(const dcb::GapReport& r) {
+  std::int64_t evals = 0;
+  for (const dcb::GapScenario& s : r.scenarios) {
+    evals += s.acorn_evaluations + s.optimal_evaluations;
+  }
+  return evals;
+}
+
+bool reports_identical(const dcb::GapReport& a, const dcb::GapReport& b) {
+  if (a.scenarios.size() != b.scenarios.size()) return false;
+  for (std::size_t i = 0; i < a.scenarios.size(); ++i) {
+    const dcb::GapScenario& x = a.scenarios[i];
+    const dcb::GapScenario& y = b.scenarios[i];
+    if (x.acorn_bps != y.acorn_bps || x.optimal_bps != y.optimal_bps ||
+        x.gap != y.gap || x.exact != y.exact ||
+        x.policy_bps != y.policy_bps) {
+      return false;
+    }
+  }
+  return a.mean_gap == b.mean_gap && a.p95_gap == b.p95_gap &&
+         a.max_gap == b.max_gap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::banner("DCB gap-to-optimal sweep + multi-channel DCF",
+                "Algorithm 2 vs exact optimum on dense random drops; "
+                "per-transmission width policies");
+
+  dcb::GapReportConfig cfg;
+  cfg.num_scenarios = opts.smoke ? 12 : 200;
+  cfg.seed = bench::kDefaultSeed;
+  cfg.num_threads = opts.threads;
+  if (opts.smoke) {
+    cfg.drop.num_aps = 4;  // 6^4 exact searches keep smoke ~100 ms
+    cfg.drop.num_clients = 12;
+  }
+
+  const bench::Stopwatch watch;
+  const dcb::GapReport report = dcb::run_gap_report(cfg);
+  const double seconds = watch.seconds();
+  const std::int64_t evals = total_evals(report);
+  bench::emit_evals("bench_dcb", "gap_report_dense", seconds, evals,
+                    cfg.num_threads);
+
+  std::printf("\n%s\n", dcb::format_gap_report(report).c_str());
+  std::printf("sweep: %.3fs, %lld oracle evaluations (%.0f evals/s)\n",
+              seconds, static_cast<long long>(evals),
+              seconds > 0.0 ? static_cast<double>(evals) / seconds : 0.0);
+
+  bool ok = true;
+
+  // Determinism: the same sweep at a different worker count must be
+  // bit-identical (scenario streams derive from (seed, index)).
+  dcb::GapReportConfig alt = cfg;
+  alt.num_threads = cfg.num_threads == 2 ? 3 : 2;
+  const bench::Stopwatch alt_watch;
+  const dcb::GapReport alt_report = dcb::run_gap_report(alt);
+  bench::emit_evals("bench_dcb", "gap_report_dense", alt_watch.seconds(),
+                    total_evals(alt_report), alt.num_threads,
+                    "determinism");
+  if (!reports_identical(report, alt_report)) {
+    std::printf("FAIL: gap report differs between %d and %d threads\n",
+                cfg.num_threads, alt.num_threads);
+    ok = false;
+  }
+
+  // Quality floors — what the subsystem advertises for this family.
+  if (report.num_exact != static_cast<int>(report.scenarios.size())) {
+    std::printf("FAIL: exact optimum missing on %d scenarios\n",
+                static_cast<int>(report.scenarios.size()) -
+                    report.num_exact);
+    ok = false;
+  }
+  // Measured on the acceptance run: mean gap ~5%, p95 ~12%. The floors
+  // leave generous room for family-parameter jitter while still
+  // catching an allocator regression (a broken Algorithm 2 shows up as
+  // tens of percent).
+  if (report.mean_gap > 0.15 || report.p95_gap > 0.30) {
+    std::printf("FAIL: Algorithm 2 gap regressed (mean %.1f%%, p95 "
+                "%.1f%%)\n",
+                100.0 * report.mean_gap, 100.0 * report.p95_gap);
+    ok = false;
+  }
+
+  // Slot-level simulator throughput: the validation workload (bonded
+  // always-max AP + basic secondary occupant + basic primary contender).
+  {
+    std::vector<mac::MultiDcfStation> stations(3);
+    stations[0].channel = net::Channel::bonded(0);
+    stations[0].mode = mac::WidthMode::kAlwaysMax;
+    stations[1].channel = net::Channel::basic(0);
+    stations[2].channel = net::Channel::basic(1);
+    const long long events = opts.smoke ? 200000 : 2000000;
+    util::Rng rng(bench::kDefaultSeed);
+    const bench::Stopwatch slot_watch;
+    const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+        mac::DcfConfig{}, stations, events, rng);
+    const double slot_seconds = slot_watch.seconds();
+    bench::emit_evals("bench_dcb", "multichannel_dcf", slot_seconds,
+                      r.successes + r.collisions, 1);
+    std::printf("slot simulator: %lld events in %.3fs (%.0f events/s)\n",
+                static_cast<long long>(r.successes + r.collisions),
+                slot_seconds,
+                slot_seconds > 0.0
+                    ? static_cast<double>(r.successes + r.collisions) /
+                          slot_seconds
+                    : 0.0);
+    // Conservative absolute smoke floor (measured >10x higher even on
+    // the 1-core recording box); relative floors need a reference path
+    // this subsystem doesn't have. Not enforced under sanitizers.
+    if (!kSanitized && slot_seconds > 0.0 &&
+        static_cast<double>(r.successes + r.collisions) / slot_seconds <
+            50000.0) {
+      std::printf("FAIL: slot simulator below the event-rate floor\n");
+      ok = false;
+    }
+  }
+
+  const double evals_per_sec =
+      seconds > 0.0 ? static_cast<double>(evals) / seconds : 0.0;
+  if (!kSanitized && evals_per_sec < 20000.0) {
+    std::printf("FAIL: gap sweep below the evaluation-rate floor "
+                "(%.0f evals/s)\n",
+                evals_per_sec);
+    ok = false;
+  }
+
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

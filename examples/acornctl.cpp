@@ -24,6 +24,13 @@
 // (sim/sweep.hpp) and reports how the ACORN configuration ranks against
 // them; the result is bit-identical for any --threads value.
 //
+// --dcb-sweep N runs the gap-to-optimal report on N dense random-drop
+// scenarios (dcb/gap_report.hpp): Algorithm 2 vs the exact Kai et al.
+// optimum plus all three DCB width policies; bit-identical for any
+// --threads value. --dcb-drop prints one generated random-drop
+// deployment file instead. Family knobs: --dcb-aps/--dcb-clients/
+// --dcb-area/--dcb-channels/--wide-prob.
+//
 // File format (see sim/deployment_file.hpp):
 //   ap <x> <y> [tx_dbm]
 //   client <x> <y>
@@ -41,6 +48,8 @@
 #include "baselines/kauffmann17.hpp"
 #include "baselines/simple.hpp"
 #include "core/controller.hpp"
+#include "dcb/gap_report.hpp"
+#include "dcb/random_drop.hpp"
 #include "service/client.hpp"
 #include "sim/deployment_file.hpp"
 #include "sim/sweep.hpp"
@@ -278,6 +287,9 @@ int main(int argc, char** argv) {
   bool demo = false;
   int sweep_n = 0;
   int sweep_threads = 1;
+  int dcb_sweep_n = 0;
+  bool dcb_drop = false;
+  dcb::GapReportConfig dcb_config;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tcp") == 0) {
       tcp = true;
@@ -291,15 +303,57 @@ int main(int argc, char** argv) {
       sweep_n = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       sweep_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dcb-sweep") == 0 && i + 1 < argc) {
+      dcb_sweep_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dcb-drop") == 0) {
+      dcb_drop = true;
+    } else if (std::strcmp(argv[i], "--dcb-aps") == 0 && i + 1 < argc) {
+      dcb_config.drop.num_aps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dcb-clients") == 0 &&
+               i + 1 < argc) {
+      dcb_config.drop.num_clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dcb-area") == 0 && i + 1 < argc) {
+      dcb_config.drop.area_m = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dcb-channels") == 0 &&
+               i + 1 < argc) {
+      dcb_config.drop.num_channels = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--wide-prob") == 0 && i + 1 < argc) {
+      dcb_config.wide_probability = std::atof(argv[++i]);
     } else {
       path = argv[i];
     }
   }
+  // The DCB modes generate their own deployments (the dense random-drop
+  // family) — no deployment file involved.
+  if (dcb_drop) {
+    util::Rng rng(seed);
+    const sim::DeploymentSpec drop =
+        dcb::random_drop(dcb_config.drop, rng);
+    std::fputs(sim::format_deployment(drop).c_str(), stdout);
+    return 0;
+  }
+  if (dcb_sweep_n > 0) {
+    dcb_config.num_scenarios = dcb_sweep_n;
+    dcb_config.seed = seed;
+    dcb_config.num_threads = sweep_threads;
+    try {
+      const dcb::GapReport report = dcb::run_gap_report(dcb_config);
+      std::fputs(dcb::format_gap_report(report).c_str(), stdout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dcb sweep failed: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
   if (path == nullptr && !demo) {
     std::fprintf(stderr,
                  "usage: %s <deployment-file> [--tcp] [--compare] "
-                 "[--seed N] [--sweep N [--threads T]] | --demo\n",
-                 argv[0]);
+                 "[--seed N] [--sweep N [--threads T]] | --demo\n"
+                 "       %s --dcb-sweep N [--threads T] [--seed N]\n"
+                 "           [--dcb-aps N] [--dcb-clients N] "
+                 "[--dcb-area M] [--dcb-channels N] [--wide-prob P]\n"
+                 "       %s --dcb-drop [--seed N] [--dcb-aps N] ...\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
 

@@ -1,0 +1,123 @@
+#include "baselines/kai.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace acorn::baselines {
+
+namespace {
+
+KaiResult exact_search(const core::CachedOracle& oracle,
+                       const std::vector<net::Channel>& colors, int n_aps) {
+  KaiResult best;
+  best.exact = true;
+  best.total_bps = -1.0;
+  net::ChannelAssignment current(static_cast<std::size_t>(n_aps),
+                                 colors.front());
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n_aps), 0);
+  while (true) {
+    for (int i = 0; i < n_aps; ++i) {
+      current[static_cast<std::size_t>(i)] =
+          colors[idx[static_cast<std::size_t>(i)]];
+    }
+    ++best.evaluations;
+    const double total = oracle.total_bps(current);
+    if (total > best.total_bps) {
+      best.total_bps = total;
+      best.assignment = current;
+    }
+    int pos = 0;
+    while (pos < n_aps) {
+      if (++idx[static_cast<std::size_t>(pos)] < colors.size()) break;
+      idx[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == n_aps) break;
+  }
+  return best;
+}
+
+KaiResult bounded_search(const core::CachedOracle& oracle,
+                         const std::vector<net::Channel>& colors,
+                         int n_aps, util::Rng& rng,
+                         const KaiConfig& config) {
+  KaiResult best;
+  best.total_bps = -1.0;
+  std::vector<core::FlipCandidate> candidates;
+  std::vector<double> scores;
+  for (int restart = 0; restart < config.restarts; ++restart) {
+    net::ChannelAssignment current(static_cast<std::size_t>(n_aps),
+                                   colors.front());
+    for (int i = 0; i < n_aps; ++i) {
+      current[static_cast<std::size_t>(i)] = colors[static_cast<
+          std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(colors.size()) - 1))];
+    }
+    ++best.evaluations;
+    double current_bps = oracle.total_bps(current);
+    // Steepest ascent: score every single-AP flip in one batched scan,
+    // commit the best strict improvement, repeat until a local optimum
+    // or the evaluation budget runs out.
+    bool improved = true;
+    while (improved && best.evaluations < config.max_search_evaluations) {
+      improved = false;
+      candidates.clear();
+      for (int ap = 0; ap < n_aps; ++ap) {
+        for (const net::Channel& color : colors) {
+          if (color == current[static_cast<std::size_t>(ap)]) continue;
+          candidates.push_back({ap, color});
+        }
+      }
+      scores.assign(candidates.size(), 0.0);
+      oracle.total_bps_batch(current, candidates, scores);
+      best.evaluations += static_cast<long long>(candidates.size());
+      std::size_t winner = candidates.size();
+      double winner_bps = current_bps;
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        if (scores[j] > winner_bps) {
+          winner_bps = scores[j];
+          winner = j;
+        }
+      }
+      if (winner < candidates.size()) {
+        current[static_cast<std::size_t>(candidates[winner].ap)] =
+            candidates[winner].channel;
+        current_bps = winner_bps;
+        improved = true;
+      }
+    }
+    if (current_bps > best.total_bps) {
+      best.total_bps = current_bps;
+      best.assignment = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KaiResult kai_optimal_allocation(const core::CachedOracle& oracle,
+                                 const net::ChannelPlan& plan,
+                                 util::Rng& rng, const KaiConfig& config) {
+  const int n_aps = oracle.snapshot().num_aps();
+  if (n_aps < 1) throw std::invalid_argument("kai: empty network");
+  const std::vector<net::Channel> colors = plan.all_channels();
+  const double combos =
+      std::pow(static_cast<double>(colors.size()), n_aps);
+  if (combos <= static_cast<double>(config.max_exact_evaluations)) {
+    return exact_search(oracle, colors, n_aps);
+  }
+  return bounded_search(oracle, colors, n_aps, rng, config);
+}
+
+KaiResult kai_optimal_allocation(const sim::Wlan& wlan,
+                                 const net::Association& assoc,
+                                 const net::ChannelPlan& plan,
+                                 util::Rng& rng, mac::TrafficType traffic,
+                                 const KaiConfig& config) {
+  const core::CachedOracle oracle(wlan, assoc, traffic);
+  return kai_optimal_allocation(oracle, plan, rng, config);
+}
+
+}  // namespace acorn::baselines

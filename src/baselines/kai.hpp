@@ -1,0 +1,55 @@
+// Kai et al., "To Bond or not to Bond" — optimal joint channel/width
+// allocation as a yardstick baseline. For small deployments the optimum
+// is exact (the same exhaustive odometer as `optimal_assignment`, driven
+// through the memoizing CachedOracle); above the exact budget it falls
+// back to a bounded multi-restart steepest-ascent search over single-AP
+// color flips, which is not guaranteed optimal and says so in the
+// result. The gap-to-optimal report (dcb::run_gap_report) uses the
+// exact branch only.
+#pragma once
+
+#include "core/oracle_cache.hpp"
+#include "net/channels.hpp"
+#include "sim/wlan.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::baselines {
+
+struct KaiConfig {
+  /// Use the exhaustive branch when |colors|^n_aps fits this budget.
+  long long max_exact_evaluations = 1'000'000;
+  /// Bounded-search branch: independent restarts from random initial
+  /// assignments, each run to a local optimum by steepest ascent.
+  int restarts = 4;
+  /// Total oracle-evaluation budget for the bounded-search branch.
+  long long max_search_evaluations = 200'000;
+};
+
+struct KaiResult {
+  net::ChannelAssignment assignment;
+  double total_bps = 0.0;
+  /// True when the exhaustive branch ran: `assignment` is the global
+  /// optimum for this (association, plan), not a local one.
+  bool exact = false;
+  long long evaluations = 0;
+};
+
+/// Compute Kai et al.'s allocation against an existing oracle (bound to
+/// the wlan/association under study). `rng` feeds only the bounded
+/// branch's random restarts; the exact branch never draws from it, so
+/// exact results are rng-independent.
+KaiResult kai_optimal_allocation(const core::CachedOracle& oracle,
+                                 const net::ChannelPlan& plan,
+                                 util::Rng& rng,
+                                 const KaiConfig& config = {});
+
+/// Convenience overload building its own CachedOracle.
+KaiResult kai_optimal_allocation(const sim::Wlan& wlan,
+                                 const net::Association& assoc,
+                                 const net::ChannelPlan& plan,
+                                 util::Rng& rng,
+                                 mac::TrafficType traffic =
+                                     mac::TrafficType::kUdp,
+                                 const KaiConfig& config = {});
+
+}  // namespace acorn::baselines

@@ -5,6 +5,7 @@
 // switch widths on the fly.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "sim/wlan.hpp"
@@ -13,16 +14,42 @@ namespace acorn::core {
 
 struct WidthDecision {
   phy::ChannelWidth width = phy::ChannelWidth::k40MHz;
+  /// Best 20 MHz half (the halves only differ under the
+  /// hidden-interference model; see the context overload below).
   double cell_bps_20 = 0.0;
   double cell_bps_40 = 0.0;
+  /// Set by the context overload: the operating channel to use — the
+  /// full bond, or the better 20 MHz half (primary on ties).
+  std::optional<net::Channel> channel;
+  /// Per-half breakdown from the context overload (equal when the
+  /// halves are indistinguishable, e.g. hidden interference off).
+  double cell_bps_20_primary = 0.0;
+  double cell_bps_20_secondary = 0.0;
 };
 
 /// Compare the cell's throughput on the bond vs on a single 20 MHz half,
 /// given the AP's current clients, and pick the better width. Only
 /// meaningful when the AP holds a 40 MHz allocation; medium share is
 /// unchanged by the choice (the occupied spectrum can only shrink).
+/// Width-only comparison: it cannot see which basic channels the bond
+/// occupies, so it cannot tell the halves apart — callers that know the
+/// assignment should use the context overload below.
 WidthDecision decide_width(const sim::Wlan& wlan, int ap,
                            const std::vector<int>& clients,
                            double medium_share = 1.0);
+
+/// Context-aware variant: evaluates the cell on the full bond AND on
+/// each 20 MHz half under the real (graph, assignment) context, so
+/// secondary-channel hidden interference distinguishes the halves
+/// instead of silently falling back to the primary. `assignment[ap]`
+/// must be the AP's 40 MHz allocation; ties between halves go to the
+/// primary (the legacy behavior), a strictly better secondary half wins.
+WidthDecision decide_width(const sim::Wlan& wlan, int ap,
+                           const std::vector<int>& clients,
+                           const net::InterferenceGraph& graph,
+                           const net::ChannelAssignment& assignment,
+                           double medium_share = 1.0,
+                           mac::TrafficType traffic =
+                               mac::TrafficType::kUdp);
 
 }  // namespace acorn::core

@@ -1,0 +1,76 @@
+// Gap-to-optimal report: how far Algorithm 2's allocations sit from the
+// exact optimum (Kai et al. baseline) on the dense random-drop family,
+// plus what each DCB width policy would deliver on top of Algorithm 2's
+// allocation. Rides sim::sweep_scenarios, so the report is bit-identical
+// at any thread count: scenario i derives its rng stream from (seed, i)
+// and writes only its own slot. Every future allocator PR can quote
+// "Algorithm 2 is within X% of optimal on the dense family" from this
+// instead of assuming it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dcb/policy.hpp"
+#include "dcb/random_drop.hpp"
+#include "mac/traffic.hpp"
+#include "sim/wlan.hpp"
+
+namespace acorn::dcb {
+
+struct GapReportConfig {
+  /// Scenario family. The default (5 APs, 4 basic channels = 6 colors)
+  /// keeps the exact search at 6^5 = 7776 assignments per scenario.
+  RandomDropConfig drop;
+  int num_scenarios = 200;
+  std::uint64_t seed = 1;
+  /// Sweep worker threads (0 = hardware concurrency). A pure
+  /// performance knob — results are bit-identical at any value.
+  int num_threads = 1;
+  /// p for the probabilistic width policy column.
+  double wide_probability = 0.5;
+  mac::TrafficType traffic = mac::TrafficType::kUdp;
+  /// Exact-search budget: scenarios whose |colors|^n_aps exceeds this
+  /// fall back to Kai's bounded search and are flagged inexact (they
+  /// are excluded from the gap aggregates, which only make sense
+  /// against a true optimum).
+  long long max_exact_evaluations = 1'000'000;
+  sim::WlanConfig wlan;
+};
+
+struct GapScenario {
+  double acorn_bps = 0.0;
+  double optimal_bps = 0.0;
+  /// (optimal - acorn) / optimal, in [0, 1]; 0 when optimal is 0.
+  double gap = 0.0;
+  /// True when `optimal_bps` came from the exhaustive branch.
+  bool exact = false;
+  long long acorn_evaluations = 0;
+  long long optimal_evaluations = 0;
+  /// Total goodput of each standard width policy (static, always-max,
+  /// probabilistic-p) evaluated on Algorithm 2's allocation.
+  std::vector<double> policy_bps;
+};
+
+struct GapReport {
+  GapReportConfig config;
+  std::vector<GapScenario> scenarios;
+  /// Aggregates over the exact scenarios only.
+  int num_exact = 0;
+  double mean_gap = 0.0;
+  double p95_gap = 0.0;
+  double max_gap = 0.0;
+  /// Mean per-policy totals (bps) over all scenarios, same order as
+  /// dcb::standard_policies.
+  std::vector<double> mean_policy_bps;
+};
+
+/// Run the sweep and aggregate. Deterministic for a fixed config
+/// regardless of config.num_threads.
+GapReport run_gap_report(const GapReportConfig& config);
+
+/// Human-readable multi-line summary (what `acornctl --dcb-sweep`
+/// prints).
+std::string format_gap_report(const GapReport& report);
+
+}  // namespace acorn::dcb

@@ -1,0 +1,117 @@
+// Dynamic channel bonding (DCB) policy layer.
+//
+// The paper fixes each AP's channel width per reconfiguration epoch
+// (Algorithm 2 assigns a basic or bonded color and the AP transmits at
+// that width until the next epoch). The related work — Faridi/Bellalta,
+// "Analysis of Dynamic Channel Bonding in Dense Networks of WLANs" —
+// instead lets a bonded AP choose its width *per transmission
+// opportunity*: transmit 40 MHz when the secondary half is idle, fall
+// back to 20 MHz on the primary otherwise (always-max), or bond only
+// with probability p (probabilistic).
+//
+// Three model layers, cross-validated against each other:
+//   1. slot level   — mac::simulate_dcf_multichannel, the ground truth:
+//                     binary exponential backoff per station with
+//                     per-basic-channel occupancy and per-transmission
+//                     width decisions;
+//   2. distilled    — distill_shares below: closed-form per-cell
+//                     effective medium shares (how much air time a cell
+//                     gets at full width vs the narrow fallback),
+//                     validated against layer 1 in
+//                     tests/test_dcb_policy.cpp;
+//   3. flow level   — evaluate_policy below: the distilled shares feed
+//                     the existing sim::NetSnapshot cell kernel, so
+//                     whole scenario sweeps stay at network-evaluation
+//                     speed instead of slot-simulation speed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mac/dcf.hpp"
+#include "mac/traffic.hpp"
+#include "net/interference.hpp"
+#include "sim/netkernel.hpp"
+
+namespace acorn::dcb {
+
+/// A per-transmission width policy applied uniformly to every bonded
+/// AP in the network (APs on basic channels have no width choice).
+struct WidthPolicy {
+  mac::WidthMode mode = mac::WidthMode::kStaticWidth;
+  /// Bonding probability for kProbabilistic (ignored otherwise).
+  double wide_probability = 0.5;
+
+  /// The paper's baseline: the allocated width is used for every
+  /// transmission.
+  static WidthPolicy static_width() { return {}; }
+  /// Bond whenever the secondary half is idle at the transmission
+  /// opportunity.
+  static WidthPolicy always_max() {
+    return {mac::WidthMode::kAlwaysMax, 1.0};
+  }
+  /// Bond with probability `p` when the secondary half is idle.
+  static WidthPolicy probabilistic(double p) {
+    return {mac::WidthMode::kProbabilistic, p};
+  }
+
+  std::string name() const;
+};
+
+/// Distilled per-cell air-time split: the effective medium share a cell
+/// spends transmitting at its full allocated width vs narrowed to the
+/// primary 20 MHz half. For basic channels and the static policy
+/// `narrow` is 0 and `full` is the paper's M_a.
+struct WidthShares {
+  double full = 0.0;
+  double narrow = 0.0;
+  double total() const { return full + narrow; }
+};
+
+/// Closed-form mean-field distillation of the multi-channel DCF under
+/// `policy`. For a bonded AP a with primary half p and secondary s:
+///   M_p      = 1 / (1 + |contenders overlapping p|)   (primary share)
+///   u_sec    = min(1, sum over contenders b that overlap s but not p
+///                  of b's saturated duty cycle 1/(1+|con_b|), with
+///                  con_b counted by narrow footprints — DCB neighbors
+///                  vacate b's channel except when widening)
+///   full_a   = M_p * w * (1 - u_sec),  narrow_a = M_p - full_a
+/// where w = 1 for always-max and `wide_probability` for the
+/// probabilistic policy. Non-bonded APs and the static policy keep the
+/// paper's M_a = 1/(|con_a|+1) at the allocated width. First-order
+/// model: validated against mac::simulate_dcf_multichannel with a
+/// documented tolerance in tests/test_dcb_policy.cpp (the slot
+/// simulator's protocol overhead — DIFS + backoff gaps a saturated
+/// secondary occupant leaves behind — lets some wide transmissions
+/// through even when u_sec = 1; the gap shrinks as frames lengthen).
+std::vector<WidthShares> distill_shares(
+    const net::InterferenceGraph& graph,
+    const net::ChannelAssignment& assignment, const WidthPolicy& policy);
+
+/// Flow-level outcome of running `policy` over one assignment.
+struct DcbEvaluation {
+  std::vector<WidthShares> shares;
+  /// Per-cell transport goodput (full + narrow portions summed).
+  std::vector<double> cell_goodput_bps;
+  double total_goodput_bps = 0.0;
+};
+
+/// Evaluate the network under `policy`. The static policy reproduces
+/// `snap.evaluate(assignment, traffic)` bit-identically (same kernel,
+/// same shares). DCB policies evaluate each bonded cell twice — at the
+/// bonded width under the base assignment and at the primary 20 MHz
+/// half under a narrowed variant — weighting each evaluation by the
+/// distilled shares above. Hidden-interference activity uses the base
+/// assignment's unweighted shares for both portions (the interferer
+/// duty cycle is set by contention, not by this cell's width choice).
+DcbEvaluation evaluate_policy(const sim::NetSnapshot& snap,
+                              const net::ChannelAssignment& assignment,
+                              const WidthPolicy& policy,
+                              mac::TrafficType traffic =
+                                  mac::TrafficType::kUdp);
+
+/// All three policy flavors with the given probabilistic p — the
+/// standard sweep set reported by the gap report and bench_dcb.
+std::vector<WidthPolicy> standard_policies(double p = 0.5);
+
+}  // namespace acorn::dcb

@@ -1,0 +1,28 @@
+#include "dcb/random_drop.hpp"
+
+#include <stdexcept>
+
+namespace acorn::dcb {
+
+sim::DeploymentSpec random_drop(const RandomDropConfig& config,
+                                util::Rng& rng) {
+  if (config.num_aps < 1 || config.num_clients < 0 ||
+      config.area_m <= 0.0 || config.num_channels < 1) {
+    throw std::invalid_argument("random_drop: bad config");
+  }
+  sim::DeploymentSpec spec;
+  spec.topology =
+      net::Topology::random(config.num_aps, config.num_clients,
+                            config.area_m, rng, config.grid_aps);
+  for (int ap = 0; ap < spec.topology.num_aps(); ++ap) {
+    spec.topology.ap(ap).tx_dbm = config.ap_tx_dbm;
+  }
+  spec.pathloss = config.pathloss;
+  spec.num_channels = config.num_channels;
+  // Freeze the shadowing draw into the spec so the emitted file
+  // reproduces the exact same link budget.
+  spec.seed = rng.next_u64();
+  return spec;
+}
+
+}  // namespace acorn::dcb

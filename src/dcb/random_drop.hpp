@@ -1,0 +1,48 @@
+// Dense random-drop scenario generator (Faridi/Bellalta-style): n APs
+// dropped uniformly at random in a square floor (no grid tiling — the
+// point is *overlapping* cells), clients uniform, log-distance path
+// loss with shadowing. Complements the scripted sim::ScenarioBuilder
+// (which places link classes by hand) with the high-density random
+// deployments the DCB literature evaluates on. Generates a
+// sim::DeploymentSpec so every scenario can be emitted as a portable
+// deployment file via sim::format_deployment.
+#pragma once
+
+#include "net/pathloss.hpp"
+#include "sim/deployment_file.hpp"
+#include "util/rng.hpp"
+
+namespace acorn::dcb {
+
+struct RandomDropConfig {
+  int num_aps = 5;
+  int num_clients = 15;
+  /// Side of the square floor (m). 5 APs in 60 m x 60 m is ~14 AP/ha —
+  /// dense enough that most cells carrier-sense several neighbors.
+  double area_m = 60.0;
+  /// Uniform AP placement by default; true tiles a jittered grid like
+  /// the enterprise topologies.
+  bool grid_aps = false;
+  double ap_tx_dbm = 15.0;
+  net::PathLossModel pathloss{/*ref_loss_db=*/46.8, /*exponent=*/3.5,
+                              /*shadowing_sigma_db=*/4.0};
+  /// Basic 20 MHz channels available to the allocator. 4 keeps the
+  /// color count (4 basic + 2 bonded = 6) small enough that the exact
+  /// optimum is computable for every scenario of the dense family.
+  int num_channels = 4;
+
+  /// AP density in APs per hectare, a standard density metric for
+  /// random-drop studies.
+  double aps_per_hectare() const {
+    return static_cast<double>(num_aps) / (area_m * area_m / 1e4);
+  }
+};
+
+/// Draw one random deployment. All randomness (AP/client positions and
+/// the spec's shadowing seed) comes from `rng`, so a derived sweep
+/// stream (sim::sweep_scenarios) makes scenario i reproducible and
+/// thread-count independent.
+sim::DeploymentSpec random_drop(const RandomDropConfig& config,
+                                util::Rng& rng);
+
+}  // namespace acorn::dcb

@@ -1,7 +1,11 @@
 #include "mac/dcf.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace acorn::mac {
 
@@ -84,6 +88,246 @@ DcfResult simulate_dcf(const DcfConfig& config, int n_stations,
   result.collision_rate =
       static_cast<double>(result.collisions) /
       static_cast<double>(result.successes + result.collisions);
+  return result;
+}
+
+MultiDcfResult simulate_dcf_multichannel(
+    const DcfConfig& config, const std::vector<MultiDcfStation>& specs,
+    long long iterations, util::Rng& rng) {
+  if (specs.empty() || iterations < 1) {
+    throw std::invalid_argument("need stations >= 1 and iterations >= 1");
+  }
+  const int n = static_cast<int>(specs.size());
+
+  // Work in integer slot time; DIFS and the frame round up to whole
+  // slots so channel busy intervals align with backoff countdowns.
+  const auto to_slots = [&](double us) {
+    return static_cast<long long>(
+        std::max(1.0, std::ceil(us / config.slot_us)));
+  };
+  const long long difs_slots = to_slots(config.difs_us);
+  const long long frame_slots = to_slots(config.frame_us);
+
+  // Basic channels any station can touch.
+  int num_channels = 0;
+  for (const MultiDcfStation& s : specs) {
+    for (int c : s.channel.occupied()) {
+      num_channels = std::max(num_channels, c + 1);
+    }
+  }
+  std::vector<long long> busy_until(static_cast<std::size_t>(num_channels),
+                                    0);
+  std::vector<char> spanned(static_cast<std::size_t>(num_channels), 0);
+  for (const MultiDcfStation& s : specs) {
+    for (int c : s.channel.occupied()) {
+      spanned[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  long long spanned_channels = 0;
+  for (char c : spanned) spanned_channels += c;
+
+  struct Station {
+    long long backoff = 0;
+    int cw = 15;
+    int retries = 0;
+    // Carrier-sense domain: the channels whose idleness gates the
+    // backoff countdown (whole bond for static, primary half for DCB).
+    std::vector<int> sense;
+    int primary = 0;
+    int secondary = -1;  // other half of the bond, -1 for basic
+  };
+  std::vector<Station> stations(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Station& st = stations[static_cast<std::size_t>(i)];
+    const MultiDcfStation& spec = specs[static_cast<std::size_t>(i)];
+    st.cw = config.cw_min;
+    st.backoff = rng.uniform_int(0, st.cw);
+    st.primary = spec.channel.primary();
+    if (spec.channel.is_bonded()) {
+      st.secondary = st.primary + 1;
+      if (spec.mode == WidthMode::kStaticWidth) {
+        st.sense = spec.channel.occupied();
+      } else {
+        st.sense = {st.primary};
+      }
+    } else {
+      st.sense = {st.primary};
+    }
+  }
+
+  MultiDcfResult result;
+  result.airtime_full.assign(static_cast<std::size_t>(n), 0.0);
+  result.airtime_narrow.assign(static_cast<std::size_t>(n), 0.0);
+  result.station_share.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Countdown resumes once every sensed channel has been idle for DIFS.
+  const auto avail_start = [&](const Station& st, long long now) {
+    long long start = now;
+    for (int c : st.sense) {
+      start = std::max(start,
+                       busy_until[static_cast<std::size_t>(c)] + difs_slots);
+    }
+    return start;
+  };
+
+  long long now = 0;
+  long long events = 0;
+  std::vector<int> candidates;
+  // Chosen transmission set per candidate: primary plus optionally the
+  // secondary half.
+  std::vector<std::pair<int, bool>> choice;  // station index, wide?
+  while (events < iterations) {
+    // Event-driven advance: no channel state changes before the
+    // earliest backoff expiry, so jump straight to it.
+    long long fire = std::numeric_limits<long long>::max();
+    for (const Station& st : stations) {
+      fire = std::min(fire, avail_start(st, now) + st.backoff);
+    }
+    for (Station& st : stations) {
+      const long long start = avail_start(st, now);
+      if (fire > start) st.backoff -= fire - start;
+    }
+    now = fire;
+
+    candidates.clear();
+    for (int i = 0; i < n; ++i) {
+      if (stations[static_cast<std::size_t>(i)].backoff == 0) {
+        candidates.push_back(i);
+      }
+    }
+
+    // Width decision per candidate, in station order so rng draws are
+    // deterministic.
+    choice.clear();
+    for (int i : candidates) {
+      Station& st = stations[static_cast<std::size_t>(i)];
+      const MultiDcfStation& spec = specs[static_cast<std::size_t>(i)];
+      if (st.secondary < 0) {
+        choice.emplace_back(i, false);
+        continue;
+      }
+      if (spec.mode == WidthMode::kStaticWidth) {
+        choice.emplace_back(i, true);  // bond sensed idle by the domain
+        continue;
+      }
+      const bool secondary_idle =
+          busy_until[static_cast<std::size_t>(st.secondary)] <= now;
+      bool wide = false;
+      if (secondary_idle) {
+        wide = spec.mode == WidthMode::kAlwaysMax ||
+               rng.uniform() < spec.wide_probability;
+      }
+      choice.emplace_back(i, wide);
+    }
+
+    // Group same-slot transmitters into connected overlap components:
+    // each component with >= 2 stations is one collision event.
+    std::vector<int> component(choice.size());
+    for (std::size_t i = 0; i < choice.size(); ++i) {
+      component[i] = static_cast<int>(i);
+    }
+    const auto touches = [&](std::size_t a, int channel) {
+      const Station& st =
+          stations[static_cast<std::size_t>(choice[a].first)];
+      return st.primary == channel ||
+             (choice[a].second && st.secondary == channel);
+    };
+    const auto overlaps = [&](std::size_t a, std::size_t b) {
+      const Station& st =
+          stations[static_cast<std::size_t>(choice[a].first)];
+      if (touches(b, st.primary)) return true;
+      return choice[a].second && touches(b, st.secondary);
+    };
+    // Tiny candidate sets: union by repeated min-label relaxation.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t a = 0; a < choice.size(); ++a) {
+        for (std::size_t b = a + 1; b < choice.size(); ++b) {
+          if (component[a] != component[b] && overlaps(a, b)) {
+            const int label = std::min(component[a], component[b]);
+            component[a] = component[b] = label;
+            changed = true;
+          }
+        }
+      }
+    }
+    std::vector<int> component_size(choice.size(), 0);
+    for (std::size_t a = 0; a < choice.size(); ++a) {
+      ++component_size[static_cast<std::size_t>(component[a])];
+    }
+
+    std::vector<char> collision_counted(choice.size(), 0);
+    for (std::size_t a = 0; a < choice.size(); ++a) {
+      const int i = choice[a].first;
+      const bool wide = choice[a].second;
+      Station& st = stations[static_cast<std::size_t>(i)];
+      busy_until[static_cast<std::size_t>(st.primary)] = now + frame_slots;
+      if (wide) {
+        busy_until[static_cast<std::size_t>(st.secondary)] =
+            now + frame_slots;
+      }
+      if (component_size[static_cast<std::size_t>(component[a])] == 1) {
+        ++result.successes;
+        ++events;
+        const double air = config.frame_us;
+        if (wide || st.secondary < 0) {
+          result.airtime_full[static_cast<std::size_t>(i)] += air;
+        } else {
+          result.airtime_narrow[static_cast<std::size_t>(i)] += air;
+        }
+        st.cw = config.cw_min;
+        st.retries = 0;
+      } else {
+        if (!collision_counted[static_cast<std::size_t>(component[a])]) {
+          collision_counted[static_cast<std::size_t>(component[a])] = 1;
+          ++result.collisions;
+          ++events;
+        }
+        ++st.retries;
+        if (st.retries > config.retry_limit) {
+          st.cw = config.cw_min;
+          st.retries = 0;
+        } else {
+          st.cw = std::min(2 * st.cw + 1, config.cw_max);
+        }
+      }
+      st.backoff = rng.uniform_int(0, st.cw);
+    }
+  }
+
+  long long end = now;
+  for (long long b : busy_until) end = std::max(end, b);
+  result.elapsed_us = static_cast<double>(end) * config.slot_us;
+
+  double successful_us = 0.0;
+  double successful_channel_us = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double full = result.airtime_full[static_cast<std::size_t>(i)];
+    const double narrow =
+        result.airtime_narrow[static_cast<std::size_t>(i)];
+    successful_us += full + narrow;
+    const auto width =
+        static_cast<double>(specs[static_cast<std::size_t>(i)]
+                                .channel.occupied()
+                                .size());
+    successful_channel_us += full * width + narrow;
+    result.station_share[static_cast<std::size_t>(i)] = full + narrow;
+    result.airtime_full[static_cast<std::size_t>(i)] =
+        full / result.elapsed_us;
+    result.airtime_narrow[static_cast<std::size_t>(i)] =
+        narrow / result.elapsed_us;
+  }
+  if (successful_us > 0.0) {
+    for (double& share : result.station_share) share /= successful_us;
+  }
+  result.utilization =
+      successful_channel_us /
+      (result.elapsed_us * static_cast<double>(spanned_channels));
+  result.collision_rate =
+      static_cast<double>(result.collisions) /
+      static_cast<double>(std::max<long long>(
+          1, result.successes + result.collisions));
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "net/channels.hpp"
 #include "util/rng.hpp"
 
 namespace acorn::mac {
@@ -46,5 +47,67 @@ DcfResult simulate_dcf(const DcfConfig& config, int n_stations,
 inline double predicted_share(int n_stations) {
   return 1.0 / static_cast<double>(n_stations);
 }
+
+/// Per-transmission channel-width selection mode for the multi-channel
+/// DCF below (Faridi/Bellalta, "Analysis of Dynamic Channel Bonding in
+/// Dense Networks of WLANs"). Stations on a bonded channel pick a width
+/// at every transmission opportunity:
+///  - kStaticWidth: the paper's baseline — always transmit at the
+///    allocated width; the backoff counts down only while the whole
+///    bond has been idle for DIFS (the bond is the station's
+///    carrier-sense domain).
+///  - kAlwaysMax: transmit on the widest idle set containing the
+///    primary — fall back to 20 MHz on the primary when the secondary
+///    is busy.
+///  - kProbabilistic: when the secondary is idle, bond with probability
+///    `wide_probability`, else transmit 20 MHz on the primary.
+/// Stations on basic channels ignore the mode.
+enum class WidthMode {
+  kStaticWidth,
+  kAlwaysMax,
+  kProbabilistic,
+};
+
+/// One contender in the multi-channel simulation: the channel it was
+/// allocated (basic or bonded) plus its per-transmission width policy.
+struct MultiDcfStation {
+  net::Channel channel = net::Channel::basic(0);
+  WidthMode mode = WidthMode::kStaticWidth;
+  /// Bonding probability for kProbabilistic (ignored otherwise).
+  double wide_probability = 0.5;
+};
+
+struct MultiDcfResult {
+  /// Fraction of *wall time* each station spends in successful
+  /// full-width (allocated-width) transmissions.
+  std::vector<double> airtime_full;
+  /// Fraction of wall time in successful narrow (primary-half 20 MHz)
+  /// transmissions. Zero for stations on basic channels.
+  std::vector<double> airtime_narrow;
+  /// Fraction of *successful air time* owned by each station (full +
+  /// narrow), comparable to DcfResult::station_share.
+  std::vector<double> station_share;
+  /// Collisions per transmission attempt.
+  double collision_rate = 0.0;
+  /// Successful channel-time over elapsed time x spanned basic
+  /// channels: how much of the usable spectrum carried data.
+  double utilization = 0.0;
+  double elapsed_us = 0.0;
+  long long successes = 0;
+  long long collisions = 0;
+};
+
+/// Slot-level multi-channel DCF: each station runs binary exponential
+/// backoff over its carrier-sense domain (the whole allocated channel
+/// for basic/static stations; the primary 20 MHz half for DCB
+/// stations, which check the secondary only at the moment the counter
+/// fires — the standard PIFS-style secondary check). Stations whose
+/// chosen channel sets overlap in the same slot collide (one collision
+/// event per connected overlap component). This is the ground truth
+/// the distilled per-cell DCB shares in `dcb::distill_shares` are
+/// validated against.
+MultiDcfResult simulate_dcf_multichannel(
+    const DcfConfig& config, const std::vector<MultiDcfStation>& stations,
+    long long iterations, util::Rng& rng);
 
 }  // namespace acorn::mac

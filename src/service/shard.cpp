@@ -649,22 +649,33 @@ void WlanShard::run_epoch_locked() {
   allocated_ = result.assignment;
 
   // Opportunistic width fallback (core/width_switch) with hysteresis:
-  // a bonded AP narrows to its primary 20 MHz half — or widens back —
-  // only when the alternative wins by options_.width_hysteresis.
+  // a bonded AP narrows to the better of its 20 MHz halves — or widens
+  // back — only when the alternative wins by options_.width_hysteresis.
+  // The context-aware decide_width sees the interference graph and the
+  // full allocation, so secondary-channel hidden interference can send
+  // an AP to the upper half instead of silently defaulting to primary.
   for (std::size_t ap = 0; ap < allocated_.size(); ++ap) {
     const net::Channel& base = allocated_[ap];
     net::Channel next = base;
     if (base.is_bonded()) {
       const core::WidthDecision d = core::decide_width(
-          wlan_, static_cast<int>(ap), clients_of_locked(static_cast<int>(ap)));
-      const bool was_narrow = !operating_[ap].is_bonded() &&
-                              operating_[ap].primary() == base.primary();
+          wlan_, static_cast<int>(ap), clients_of_locked(static_cast<int>(ap)),
+          oracle_->graph(), allocated_);
+      const bool was_narrow =
+          !operating_[ap].is_bonded() && base.conflicts(operating_[ap]);
       const bool narrow =
           was_narrow ? !(d.cell_bps_40 > options_.width_hysteresis *
                                              d.cell_bps_20)
                      : d.cell_bps_20 > options_.width_hysteresis *
                                            d.cell_bps_40;
-      if (narrow) next = net::Channel::basic(base.primary());
+      if (narrow) {
+        // The better half; primary on ties (strictly better secondary
+        // wins). d.channel only names the half when the bond lost
+        // outright, so recompute under hysteresis holds.
+        next = d.cell_bps_20_secondary > d.cell_bps_20_primary
+                   ? net::Channel::basic(base.primary() + 1)
+                   : net::Channel::basic(base.primary());
+      }
       if (narrow != was_narrow) ++counters_.width_switches;
     }
     operating_[ap] = next;

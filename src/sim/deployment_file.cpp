@@ -1,5 +1,6 @@
 #include "sim/deployment_file.hpp"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -83,6 +84,31 @@ DeploymentSpec parse_deployment(std::istream& in) {
 DeploymentSpec parse_deployment(const std::string& text) {
   std::istringstream in(text);
   return parse_deployment(in);
+}
+
+std::string format_deployment(const DeploymentSpec& spec) {
+  std::ostringstream out;
+  // %.17g round-trips any finite double through istream extraction.
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  out << "pathloss exponent " << num(spec.pathloss.exponent) << "\n";
+  out << "pathloss ref " << num(spec.pathloss.ref_loss_db) << "\n";
+  out << "pathloss shadowing " << num(spec.pathloss.shadowing_sigma_db)
+      << "\n";
+  out << "channels " << spec.num_channels << "\n";
+  out << "seed " << spec.seed << "\n";
+  for (const net::ApNode& ap : spec.topology.aps()) {
+    out << "ap " << num(ap.position.x) << " " << num(ap.position.y) << " "
+        << num(ap.tx_dbm) << "\n";
+  }
+  for (const net::ClientNode& client : spec.topology.clients()) {
+    out << "client " << num(client.position.x) << " "
+        << num(client.position.y) << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace acorn::sim

@@ -37,4 +37,11 @@ DeploymentSpec parse_deployment(std::istream& in);
 /// Convenience: parse from a string.
 DeploymentSpec parse_deployment(const std::string& text);
 
+/// Render a spec back into the line format above. Coordinates and
+/// pathloss fields are printed with enough digits that
+/// parse_deployment(format_deployment(spec)) reproduces every double
+/// exactly — generators (dcb::random_drop) emit through this so their
+/// scenarios are portable files, not just in-memory objects.
+std::string format_deployment(const DeploymentSpec& spec);
+
 }  // namespace acorn::sim

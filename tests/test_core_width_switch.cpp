@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "testutil.hpp"
 
 namespace acorn::core {
@@ -45,6 +48,101 @@ TEST(WidthSwitch, MediumShareScalesBothSidesEqually) {
   const WidthDecision half = decide_width(wlan, 0, {0}, 0.5);
   EXPECT_EQ(full.width, half.width);
   EXPECT_NEAR(half.cell_bps_40, full.cell_bps_40 / 2.0, 1.0);
+}
+
+// Build the half-asymmetry scenario for the context-aware overload: AP0
+// holds bond {0,1} with one medium-link client; AP1 is OUTSIDE carrier-
+// sense range of both AP0 and the client (no graph edge, loss 100 dB ->
+// rx -85 dBm < -82) but close enough that, with the hidden-interference
+// model on, it raises the client's noise floor on whichever basic
+// channel it occupies.
+struct HalfScenario {
+  sim::Wlan wlan;
+  net::Association assoc{0, 1};
+  net::InterferenceGraph graph;
+
+  static sim::Wlan make_wlan() {
+    net::Topology topo;
+    topo.add_ap({0.0, 0.0});
+    topo.add_ap({100.0, 0.0});
+    topo.add_client({1.0, 0.0});   // AP0's
+    topo.add_client({99.0, 0.0});  // AP1's
+    util::Rng rng(1);
+    net::LinkBudget budget(topo, net::PathLossModel{}, rng);
+    budget.set_ap_client_loss_db(0, 0, testutil::kMediumLinkLoss);
+    budget.set_ap_client_loss_db(1, 0, 100.0);  // hidden interferer
+    budget.set_ap_client_loss_db(0, 1, testutil::kIsolatedLoss);
+    budget.set_ap_client_loss_db(1, 1, testutil::kGoodLinkLoss);
+    budget.set_ap_ap_loss_db(0, 1, testutil::kIsolatedLoss);
+    sim::WlanConfig config;
+    config.sinr_interference = true;
+    return sim::Wlan(topo, std::move(budget), config);
+  }
+
+  HalfScenario()
+      : wlan(make_wlan()),
+        graph(wlan.topology(), wlan.budget(), assoc,
+              wlan.config().interference) {}
+};
+
+TEST(WidthSwitch, SecondaryHalfWinsUnderPrimaryInterference) {
+  // Regression for the silent always-primary fallback: with the
+  // interferer camped on the bond's PRIMARY half, the clean secondary
+  // half must win the 20 MHz comparison and the decision must name it.
+  const HalfScenario s;
+  ASSERT_FALSE(s.graph.adjacent(0, 1));  // hidden, not contending
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(0)};
+  const WidthDecision d =
+      decide_width(s.wlan, 0, {0}, s.graph, assignment);
+  EXPECT_GT(d.cell_bps_20_secondary, d.cell_bps_20_primary);
+  EXPECT_DOUBLE_EQ(d.cell_bps_20,
+                   std::max(d.cell_bps_20_primary,
+                            d.cell_bps_20_secondary));
+  EXPECT_EQ(d.width, phy::ChannelWidth::k20MHz);
+  ASSERT_TRUE(d.channel.has_value());
+  EXPECT_EQ(*d.channel, net::Channel::basic(1)) << "picked the "
+                                                   "interfered half";
+}
+
+TEST(WidthSwitch, PrimaryHalfWinsUnderSecondaryInterference) {
+  // Mirror image: interferer on the secondary half -> the primary half
+  // wins (what the pre-fix code happened to do, now by measurement).
+  const HalfScenario s;
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(1)};
+  const WidthDecision d =
+      decide_width(s.wlan, 0, {0}, s.graph, assignment);
+  EXPECT_GT(d.cell_bps_20_primary, d.cell_bps_20_secondary);
+  EXPECT_EQ(d.width, phy::ChannelWidth::k20MHz);
+  ASSERT_TRUE(d.channel.has_value());
+  EXPECT_EQ(*d.channel, net::Channel::basic(0));
+}
+
+TEST(WidthSwitch, IndistinguishableHalvesTieToPrimary) {
+  // With hidden interference off the halves are bit-identical, and the
+  // tie must go to the primary so the operating channel is stable.
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kPoorLinkLoss}}};
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const net::InterferenceGraph graph(wlan.topology(), wlan.budget(),
+                                     assoc,
+                                     wlan.config().interference);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0)};
+  const WidthDecision d = decide_width(wlan, 0, {0}, graph, assignment);
+  EXPECT_DOUBLE_EQ(d.cell_bps_20_primary, d.cell_bps_20_secondary);
+  EXPECT_EQ(d.width, phy::ChannelWidth::k20MHz);  // poor link narrows
+  ASSERT_TRUE(d.channel.has_value());
+  EXPECT_EQ(*d.channel, net::Channel::basic(0));
+}
+
+TEST(WidthSwitch, ContextOverloadRequiresBond) {
+  const HalfScenario s;
+  const net::ChannelAssignment assignment{net::Channel::basic(2),
+                                          net::Channel::basic(0)};
+  EXPECT_THROW(decide_width(s.wlan, 0, {0}, s.graph, assignment),
+               std::invalid_argument);
 }
 
 TEST(WidthSwitch, DecisionFlipsAsLinkDegrades) {

@@ -1,0 +1,105 @@
+// Gap-to-optimal report: the acceptance criterion is bit-identical
+// results at any thread count over the dense random-drop family, with
+// all three width policies evaluated per scenario.
+#include "dcb/gap_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acorn::dcb {
+namespace {
+
+GapReportConfig small_config(int scenarios, int threads) {
+  GapReportConfig cfg;
+  cfg.drop.num_aps = 4;  // 6^4 = 1296 exact evaluations per scenario
+  cfg.drop.num_clients = 12;
+  cfg.num_scenarios = scenarios;
+  cfg.seed = 33;
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(GapReport, BitIdenticalAcrossThreadCounts) {
+  // sweep_scenarios derives scenario i's rng stream from (seed, i), so
+  // the partitioning across workers must not matter. Compare every
+  // double bit-exactly between a serial and a 3-worker run.
+  const GapReport serial = run_gap_report(small_config(8, 1));
+  const GapReport threaded = run_gap_report(small_config(8, 3));
+  ASSERT_EQ(serial.scenarios.size(), threaded.scenarios.size());
+  for (std::size_t i = 0; i < serial.scenarios.size(); ++i) {
+    const GapScenario& a = serial.scenarios[i];
+    const GapScenario& b = threaded.scenarios[i];
+    EXPECT_EQ(a.acorn_bps, b.acorn_bps) << "scenario " << i;
+    EXPECT_EQ(a.optimal_bps, b.optimal_bps) << "scenario " << i;
+    EXPECT_EQ(a.gap, b.gap) << "scenario " << i;
+    EXPECT_EQ(a.exact, b.exact) << "scenario " << i;
+    ASSERT_EQ(a.policy_bps.size(), b.policy_bps.size());
+    for (std::size_t p = 0; p < a.policy_bps.size(); ++p) {
+      EXPECT_EQ(a.policy_bps[p], b.policy_bps[p])
+          << "scenario " << i << " policy " << p;
+    }
+  }
+  EXPECT_EQ(serial.mean_gap, threaded.mean_gap);
+  EXPECT_EQ(serial.p95_gap, threaded.p95_gap);
+  EXPECT_EQ(serial.max_gap, threaded.max_gap);
+  EXPECT_EQ(serial.mean_policy_bps, threaded.mean_policy_bps);
+}
+
+TEST(GapReport, InvariantsHoldPerScenario) {
+  const GapReport r = run_gap_report(small_config(6, 2));
+  ASSERT_EQ(r.scenarios.size(), 6u);
+  EXPECT_EQ(r.num_exact, 6);  // 4 APs: every scenario fits the budget
+  const auto policies = standard_policies();
+  for (const GapScenario& s : r.scenarios) {
+    EXPECT_TRUE(s.exact);
+    EXPECT_GT(s.acorn_bps, 0.0);
+    // The exact optimum can never lose to Algorithm 2.
+    EXPECT_GE(s.optimal_bps, s.acorn_bps);
+    EXPECT_GE(s.gap, 0.0);
+    EXPECT_LE(s.gap, 1.0);
+    // All three width policies reported, static first, and the static
+    // column equals Algorithm 2's own objective (same kernel).
+    ASSERT_EQ(s.policy_bps.size(), policies.size());
+    EXPECT_DOUBLE_EQ(s.policy_bps[0], s.acorn_bps);
+    for (double bps : s.policy_bps) EXPECT_GT(bps, 0.0);
+  }
+  EXPECT_GE(r.max_gap, r.p95_gap);
+  EXPECT_GE(r.p95_gap, 0.0);
+  EXPECT_GE(r.max_gap, r.mean_gap);
+}
+
+TEST(GapReport, InexactScenariosExcludedFromGapAggregates) {
+  // Shrink the exact budget so every scenario takes the bounded branch:
+  // gaps are then meaningless and the aggregates must say so.
+  GapReportConfig cfg = small_config(3, 1);
+  cfg.max_exact_evaluations = 10;
+  const GapReport r = run_gap_report(cfg);
+  EXPECT_EQ(r.num_exact, 0);
+  EXPECT_EQ(r.mean_gap, 0.0);
+  EXPECT_EQ(r.p95_gap, 0.0);
+  EXPECT_EQ(r.max_gap, 0.0);
+  for (const GapScenario& s : r.scenarios) {
+    EXPECT_FALSE(s.exact);
+    EXPECT_GT(s.optimal_bps, 0.0);  // bounded search still reports
+  }
+}
+
+TEST(GapReport, FormatMentionsTheHeadlineNumbers) {
+  const GapReport r = run_gap_report(small_config(4, 1));
+  const std::string text = format_gap_report(r);
+  EXPECT_NE(text.find("scenarios"), std::string::npos);
+  EXPECT_NE(text.find("gap to optimal"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("static"), std::string::npos);
+  EXPECT_NE(text.find("always-max"), std::string::npos);
+}
+
+TEST(GapReport, RejectsBadConfig) {
+  GapReportConfig cfg = small_config(0, 1);
+  EXPECT_THROW(run_gap_report(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acorn::dcb

@@ -1,0 +1,343 @@
+// DCB policy layer: the distilled per-cell width shares against the
+// slot-level multi-channel DCF (the model hierarchy's cross-validation)
+// and the flow-level evaluate_policy contract.
+#include "dcb/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "testutil.hpp"
+
+namespace acorn::dcb {
+namespace {
+
+using testutil::CellSpec;
+using testutil::ScenarioBuilder;
+
+// --- slot-level simulator ------------------------------------------------
+
+TEST(MultiDcf, RejectsBadArguments) {
+  util::Rng rng(1);
+  const mac::DcfConfig cfg;
+  EXPECT_THROW(mac::simulate_dcf_multichannel(cfg, {}, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      mac::simulate_dcf_multichannel(cfg, {mac::MultiDcfStation{}}, 0,
+                                     rng),
+      std::invalid_argument);
+}
+
+TEST(MultiDcf, StaticBondedStationsMatchSingleChannelDcf) {
+  // All-static stations on one bond behave like the single-channel
+  // simulator: equal shares, same collision regime.
+  for (int n : {1, 2, 4}) {
+    std::vector<mac::MultiDcfStation> stations(
+        static_cast<std::size_t>(n));
+    for (auto& s : stations) s.channel = net::Channel::bonded(0);
+    util::Rng rng(7 + static_cast<std::uint64_t>(n));
+    const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+        mac::DcfConfig{}, stations, 50000, rng);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(r.station_share[static_cast<std::size_t>(i)],
+                  mac::predicted_share(n), 0.02)
+          << n << " stations";
+      // Static never narrows.
+      EXPECT_EQ(r.airtime_narrow[static_cast<std::size_t>(i)], 0.0);
+    }
+    if (n == 1) {
+      EXPECT_EQ(r.collisions, 0);
+    }
+  }
+}
+
+TEST(MultiDcf, DisjointChannelsDoNotCollide) {
+  std::vector<mac::MultiDcfStation> stations(2);
+  stations[0].channel = net::Channel::basic(0);
+  stations[1].channel = net::Channel::basic(1);
+  util::Rng rng(3);
+  const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 20000, rng);
+  EXPECT_EQ(r.collisions, 0);
+  // Each station owns its channel outright.
+  EXPECT_NEAR(r.station_share[0], 0.5, 0.02);
+}
+
+TEST(MultiDcf, DeterministicPerSeed) {
+  std::vector<mac::MultiDcfStation> stations(3);
+  stations[0].channel = net::Channel::bonded(0);
+  stations[0].mode = mac::WidthMode::kAlwaysMax;
+  stations[1].channel = net::Channel::basic(1);
+  stations[2].channel = net::Channel::basic(0);
+  util::Rng r1(11);
+  util::Rng r2(11);
+  const mac::MultiDcfResult a = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 10000, r1);
+  const mac::MultiDcfResult b = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 10000, r2);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.airtime_full, b.airtime_full);
+  EXPECT_EQ(a.airtime_narrow, b.airtime_narrow);
+}
+
+// --- distilled shares vs slot level --------------------------------------
+
+// Fully-adjacent scenario: every AP hears every other (matching the slot
+// simulator, where all stations share one collision domain).
+sim::Wlan adjacent_wlan(int n_aps) {
+  ScenarioBuilder b;
+  for (int i = 0; i < n_aps; ++i) {
+    b.cells.push_back(CellSpec{{testutil::kGoodLinkLoss}});
+  }
+  b.ap_ap_loss_db = 60.0;  // well inside carrier sense
+  return b.build();
+}
+
+net::InterferenceGraph graph_of(const sim::Wlan& wlan,
+                                const net::Association& assoc) {
+  return net::InterferenceGraph(wlan.topology(), wlan.budget(), assoc,
+                                wlan.config().interference);
+}
+
+net::Association home_assoc(int n) {
+  net::Association assoc(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) assoc[static_cast<std::size_t>(i)] = i;
+  return assoc;
+}
+
+TEST(DistillShares, StaticMatchesPaperShares) {
+  const sim::Wlan wlan = adjacent_wlan(3);
+  const net::Association assoc = home_assoc(3);
+  const net::InterferenceGraph graph = graph_of(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(0),
+                                          net::Channel::basic(2)};
+  const auto shares =
+      distill_shares(graph, assignment, WidthPolicy::static_width());
+  for (int ap = 0; ap < 3; ++ap) {
+    EXPECT_DOUBLE_EQ(shares[static_cast<std::size_t>(ap)].full,
+                     net::medium_access_share(graph, assignment, ap));
+    EXPECT_EQ(shares[static_cast<std::size_t>(ap)].narrow, 0.0);
+  }
+}
+
+TEST(DistillShares, LoneBondedApSplitsByPolicy) {
+  const sim::Wlan wlan = adjacent_wlan(1);
+  const net::Association assoc = home_assoc(1);
+  const net::InterferenceGraph graph = graph_of(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0)};
+  const auto always =
+      distill_shares(graph, assignment, WidthPolicy::always_max());
+  EXPECT_DOUBLE_EQ(always[0].full, 1.0);
+  EXPECT_DOUBLE_EQ(always[0].narrow, 0.0);
+  const auto prob =
+      distill_shares(graph, assignment, WidthPolicy::probabilistic(0.3));
+  EXPECT_DOUBLE_EQ(prob[0].full, 0.3);
+  EXPECT_DOUBLE_EQ(prob[0].narrow, 0.7);
+  // Slot-level cross-check: a lone probabilistic station splits its
+  // airtime p : 1-p between widths (binomial noise only).
+  std::vector<mac::MultiDcfStation> stations(1);
+  stations[0].channel = net::Channel::bonded(0);
+  stations[0].mode = mac::WidthMode::kProbabilistic;
+  stations[0].wide_probability = 0.3;
+  util::Rng rng(5);
+  const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 50000, rng);
+  const double wide_fraction =
+      r.airtime_full[0] / (r.airtime_full[0] + r.airtime_narrow[0]);
+  EXPECT_NEAR(wide_fraction, 0.3, 0.02);
+}
+
+TEST(DistillShares, PrimaryContenderHalvesTheShareSlotExact) {
+  // Bonded always-max AP vs a basic AP on its PRIMARY half: both the
+  // distilled model and the slot simulator agree the bond transmits
+  // wide on every opportunity at share 1/2 (the secondary is idle
+  // whenever the primary countdown is won).
+  const sim::Wlan wlan = adjacent_wlan(2);
+  const net::Association assoc = home_assoc(2);
+  const net::InterferenceGraph graph = graph_of(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(0)};
+  const auto shares =
+      distill_shares(graph, assignment, WidthPolicy::always_max());
+  EXPECT_DOUBLE_EQ(shares[0].full, 0.5);
+  EXPECT_DOUBLE_EQ(shares[0].narrow, 0.0);
+
+  std::vector<mac::MultiDcfStation> stations(2);
+  stations[0].channel = net::Channel::bonded(0);
+  stations[0].mode = mac::WidthMode::kAlwaysMax;
+  stations[1].channel = net::Channel::basic(0);
+  util::Rng rng(6);
+  const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 100000, rng);
+  EXPECT_NEAR(r.station_share[0], 0.5, 0.02);
+  EXPECT_EQ(r.airtime_narrow[0], 0.0);  // secondary always idle at fire
+}
+
+TEST(DistillShares, CoBondPairSlotExact) {
+  const sim::Wlan wlan = adjacent_wlan(2);
+  const net::Association assoc = home_assoc(2);
+  const net::InterferenceGraph graph = graph_of(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::bonded(0)};
+  const auto shares =
+      distill_shares(graph, assignment, WidthPolicy::always_max());
+  EXPECT_DOUBLE_EQ(shares[0].full, 0.5);
+  EXPECT_DOUBLE_EQ(shares[0].narrow, 0.0);
+  EXPECT_DOUBLE_EQ(shares[1].full, 0.5);
+
+  std::vector<mac::MultiDcfStation> stations(2);
+  for (auto& s : stations) {
+    s.channel = net::Channel::bonded(0);
+    s.mode = mac::WidthMode::kAlwaysMax;
+  }
+  util::Rng rng(8);
+  const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 100000, rng);
+  EXPECT_NEAR(r.station_share[0], 0.5, 0.02);
+  EXPECT_EQ(r.airtime_narrow[0], 0.0);
+  EXPECT_EQ(r.airtime_narrow[1], 0.0);
+}
+
+TEST(DistillShares, SaturatedSecondaryOccupantDocumentedTolerance) {
+  // The adversarial case: a basic AP camps on the bond's SECONDARY half
+  // (invisible to the primary countdown). The mean-field model says the
+  // saturated occupant owns its channel (u_sec = 1), so the bonded AP
+  // should effectively never widen: full = 0, narrow = M_p = 1.
+  const sim::Wlan wlan = adjacent_wlan(2);
+  const net::Association assoc = home_assoc(2);
+  const net::InterferenceGraph graph = graph_of(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(1)};
+  const auto shares =
+      distill_shares(graph, assignment, WidthPolicy::always_max());
+  EXPECT_DOUBLE_EQ(shares[0].full, 0.0);
+  EXPECT_DOUBLE_EQ(shares[0].narrow, 1.0);
+
+  // DOCUMENTED TOLERANCE: the slot simulator disagrees by up to ~0.25
+  // on the wide fraction. The discrepancy is protocol overhead the
+  // idealized flow model does not carry: after each of the bonded AP's
+  // own wide frames both stations re-contend from DIFS, so the bond
+  // wins the race to an *idle* secondary roughly half the time and
+  // wide streaks survive (measured wide fraction ~0.21-0.25 at the
+  // default frame length, insensitive to frame duration). The distilled
+  // model deliberately reports the idealized saturated limit instead of
+  // modeling renewal streaks; consumers read `full` as "air time the
+  // policy can bank on", not as a slot-exact prediction.
+  std::vector<mac::MultiDcfStation> stations(2);
+  stations[0].channel = net::Channel::bonded(0);
+  stations[0].mode = mac::WidthMode::kAlwaysMax;
+  stations[1].channel = net::Channel::basic(1);
+  util::Rng rng(9);
+  const mac::MultiDcfResult r = mac::simulate_dcf_multichannel(
+      mac::DcfConfig{}, stations, 100000, rng);
+  const double wide_fraction =
+      r.airtime_full[0] / (r.airtime_full[0] + r.airtime_narrow[0]);
+  EXPECT_LE(std::abs(wide_fraction - shares[0].full), 0.30);
+  // Qualitatively both agree: narrow dominates, and the bonded AP's
+  // total air time stays near its full primary share (the narrow
+  // fallback keeps it transmitting through the occupant).
+  EXPECT_GT(r.airtime_narrow[0], 2.0 * r.airtime_full[0]);
+  EXPECT_GT(r.airtime_full[0] + r.airtime_narrow[0], 0.6);
+}
+
+TEST(DistillShares, SharesAreValidForRandomAssignments) {
+  const sim::Wlan wlan = adjacent_wlan(6);
+  const net::Association assoc = home_assoc(6);
+  const net::InterferenceGraph graph = graph_of(wlan, assoc);
+  const net::ChannelPlan plan(4);
+  const auto colors = plan.all_channels();
+  util::Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    net::ChannelAssignment assignment;
+    for (int ap = 0; ap < 6; ++ap) {
+      assignment.push_back(colors[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(colors.size()) - 1))]);
+    }
+    for (const WidthPolicy& policy : standard_policies(0.4)) {
+      const auto shares = distill_shares(graph, assignment, policy);
+      for (int ap = 0; ap < 6; ++ap) {
+        const WidthShares& s = shares[static_cast<std::size_t>(ap)];
+        EXPECT_GE(s.full, 0.0);
+        EXPECT_GE(s.narrow, 0.0);
+        EXPECT_LE(s.total(), 1.0 + 1e-12);
+        if (!assignment[static_cast<std::size_t>(ap)].is_bonded()) {
+          EXPECT_EQ(s.narrow, 0.0);
+        }
+      }
+    }
+  }
+}
+
+// --- flow level -----------------------------------------------------------
+
+TEST(EvaluatePolicy, StaticBitIdenticalToStandardEvaluation) {
+  const sim::Wlan wlan = adjacent_wlan(3);
+  const net::Association assoc = home_assoc(3);
+  const sim::NetSnapshot snap(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(1),
+                                          net::Channel::basic(2)};
+  const DcbEvaluation dcb =
+      evaluate_policy(snap, assignment, WidthPolicy::static_width());
+  const sim::Evaluation ref = snap.evaluate(assignment);
+  EXPECT_DOUBLE_EQ(dcb.total_goodput_bps, ref.total_goodput_bps);
+  for (int ap = 0; ap < 3; ++ap) {
+    EXPECT_DOUBLE_EQ(dcb.cell_goodput_bps[static_cast<std::size_t>(ap)],
+                     ref.per_ap[static_cast<std::size_t>(ap)].goodput_bps);
+  }
+}
+
+TEST(EvaluatePolicy, DcbPolicySplitsBondedCellAcrossWidths) {
+  // Bonded AP with a probabilistic policy and free spectrum: the cell's
+  // goodput is the share-weighted sum of a 40 MHz evaluation and a
+  // 20 MHz (primary-half) evaluation — strictly between the all-20 and
+  // all-40 outcomes for a good link.
+  ScenarioBuilder b;
+  b.cells = {CellSpec{{testutil::kGoodLinkLoss}}};
+  const sim::Wlan wlan = b.build();
+  const net::Association assoc = b.intended_association();
+  const sim::NetSnapshot snap(wlan, assoc);
+  const net::ChannelAssignment bonded{net::Channel::bonded(0)};
+  const net::ChannelAssignment narrow{net::Channel::basic(0)};
+
+  const double bps40 = snap.evaluate(bonded).total_goodput_bps;
+  const double bps20 = snap.evaluate(narrow).total_goodput_bps;
+  ASSERT_GT(bps40, bps20);  // good link: the bond wins outright
+
+  const DcbEvaluation prob =
+      evaluate_policy(snap, bonded, WidthPolicy::probabilistic(0.5));
+  EXPECT_DOUBLE_EQ(prob.total_goodput_bps, 0.5 * bps40 + 0.5 * bps20);
+  const DcbEvaluation always =
+      evaluate_policy(snap, bonded, WidthPolicy::always_max());
+  EXPECT_DOUBLE_EQ(always.total_goodput_bps, bps40);
+}
+
+TEST(EvaluatePolicy, AlwaysMaxRecoversAirtimeFromSecondaryOccupant) {
+  // Bond + saturated basic occupant of its secondary half: static loses
+  // half the medium (it contends at 40 MHz against the occupant), while
+  // always-max falls back to the primary half and keeps transmitting in
+  // parallel — the Faridi/Bellalta argument for DCB in dense networks.
+  const sim::Wlan wlan = adjacent_wlan(2);
+  const net::Association assoc = home_assoc(2);
+  const sim::NetSnapshot snap(wlan, assoc);
+  const net::ChannelAssignment assignment{net::Channel::bonded(0),
+                                          net::Channel::basic(1)};
+  const DcbEvaluation st =
+      evaluate_policy(snap, assignment, WidthPolicy::static_width());
+  const DcbEvaluation am =
+      evaluate_policy(snap, assignment, WidthPolicy::always_max());
+  // The bonded cell: share 1/2 at 40 MHz (static) vs share ~1 at 20 MHz
+  // (always-max, narrow) — for a good link 20 MHz at full share beats
+  // 40 MHz at half share.
+  EXPECT_GT(am.cell_goodput_bps[0], st.cell_goodput_bps[0]);
+  EXPECT_GT(am.shares[0].narrow, 0.9);
+  EXPECT_DOUBLE_EQ(st.shares[0].full, 0.5);
+}
+
+}  // namespace
+}  // namespace acorn::dcb

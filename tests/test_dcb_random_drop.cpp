@@ -1,0 +1,150 @@
+// Dense random-drop generator: determinism, geometry, and exact
+// deployment-file round-trip.
+#include "dcb/random_drop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/simple.hpp"
+#include "net/interference.hpp"
+
+namespace acorn::dcb {
+namespace {
+
+TEST(RandomDrop, RejectsBadConfig) {
+  util::Rng rng(1);
+  RandomDropConfig bad;
+  bad.num_aps = 0;
+  EXPECT_THROW(random_drop(bad, rng), std::invalid_argument);
+  bad = RandomDropConfig{};
+  bad.num_clients = -1;
+  EXPECT_THROW(random_drop(bad, rng), std::invalid_argument);
+  bad = RandomDropConfig{};
+  bad.area_m = 0.0;
+  EXPECT_THROW(random_drop(bad, rng), std::invalid_argument);
+  bad = RandomDropConfig{};
+  bad.num_channels = 0;
+  EXPECT_THROW(random_drop(bad, rng), std::invalid_argument);
+}
+
+TEST(RandomDrop, ShapeMatchesConfig) {
+  util::Rng rng(2);
+  RandomDropConfig cfg;
+  cfg.num_aps = 7;
+  cfg.num_clients = 21;
+  cfg.area_m = 80.0;
+  const sim::DeploymentSpec spec = random_drop(cfg, rng);
+  EXPECT_EQ(spec.topology.num_aps(), 7);
+  EXPECT_EQ(spec.topology.num_clients(), 21);
+  EXPECT_EQ(spec.num_channels, cfg.num_channels);
+  for (int ap = 0; ap < spec.topology.num_aps(); ++ap) {
+    const auto& node = spec.topology.ap(ap);
+    EXPECT_GE(node.position.x, 0.0);
+    EXPECT_LE(node.position.x, cfg.area_m);
+    EXPECT_GE(node.position.y, 0.0);
+    EXPECT_LE(node.position.y, cfg.area_m);
+    EXPECT_DOUBLE_EQ(node.tx_dbm, cfg.ap_tx_dbm);
+  }
+  for (int c = 0; c < spec.topology.num_clients(); ++c) {
+    const auto& node = spec.topology.client(c);
+    EXPECT_GE(node.position.x, 0.0);
+    EXPECT_LE(node.position.x, cfg.area_m);
+  }
+}
+
+TEST(RandomDrop, DeterministicPerRngStream) {
+  RandomDropConfig cfg;
+  util::Rng r1(42);
+  util::Rng r2(42);
+  const sim::DeploymentSpec a = random_drop(cfg, r1);
+  const sim::DeploymentSpec b = random_drop(cfg, r2);
+  EXPECT_EQ(sim::format_deployment(a), sim::format_deployment(b));
+  // Consecutive draws from one stream differ (the generator advances
+  // the rng).
+  const sim::DeploymentSpec c = random_drop(cfg, r1);
+  EXPECT_NE(sim::format_deployment(a), sim::format_deployment(c));
+}
+
+TEST(RandomDrop, FormatParseRoundTripIsExact) {
+  // The acceptance path for emitting scenarios as files: every double
+  // (positions, tx power, pathloss parameters) and the seed survive a
+  // format -> parse cycle bit-exactly, so a deployment file names the
+  // same network the generator built in memory.
+  RandomDropConfig cfg;
+  cfg.num_aps = 6;
+  cfg.num_clients = 18;
+  util::Rng rng(7);
+  const sim::DeploymentSpec spec = random_drop(cfg, rng);
+  const std::string text = sim::format_deployment(spec);
+  const sim::DeploymentSpec back = sim::parse_deployment(text);
+
+  ASSERT_EQ(back.topology.num_aps(), spec.topology.num_aps());
+  ASSERT_EQ(back.topology.num_clients(), spec.topology.num_clients());
+  EXPECT_EQ(back.num_channels, spec.num_channels);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.pathloss.exponent, spec.pathloss.exponent);
+  EXPECT_EQ(back.pathloss.ref_loss_db, spec.pathloss.ref_loss_db);
+  EXPECT_EQ(back.pathloss.shadowing_sigma_db,
+            spec.pathloss.shadowing_sigma_db);
+  for (int ap = 0; ap < spec.topology.num_aps(); ++ap) {
+    EXPECT_EQ(back.topology.ap(ap).position.x,
+              spec.topology.ap(ap).position.x);
+    EXPECT_EQ(back.topology.ap(ap).position.y,
+              spec.topology.ap(ap).position.y);
+    EXPECT_EQ(back.topology.ap(ap).tx_dbm, spec.topology.ap(ap).tx_dbm);
+  }
+  for (int c = 0; c < spec.topology.num_clients(); ++c) {
+    EXPECT_EQ(back.topology.client(c).position.x,
+              spec.topology.client(c).position.x);
+    EXPECT_EQ(back.topology.client(c).position.y,
+              spec.topology.client(c).position.y);
+  }
+  // And the round-tripped spec builds the identical network.
+  const sim::Wlan w1 = spec.build();
+  const sim::Wlan w2 = back.build();
+  for (int ap = 0; ap < spec.topology.num_aps(); ++ap) {
+    for (int c = 0; c < spec.topology.num_clients(); ++c) {
+      EXPECT_EQ(w1.budget().ap_client_loss_db(ap, c),
+                w2.budget().ap_client_loss_db(ap, c));
+    }
+  }
+}
+
+TEST(RandomDrop, DenseFamilyActuallyContends) {
+  // The point of the dense default (~14 AP/ha): most scenarios have at
+  // least one carrier-sense edge, i.e. the allocator has real work.
+  RandomDropConfig cfg;
+  util::Rng rng(11);
+  int scenarios_with_contention = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const sim::DeploymentSpec spec = random_drop(cfg, rng);
+    const sim::Wlan wlan = spec.build();
+    const net::Association assoc = baselines::rss_associate_all(wlan);
+    const net::InterferenceGraph graph(wlan.topology(), wlan.budget(),
+                                       assoc,
+                                       wlan.config().interference);
+    bool any_edge = false;
+    for (int a = 0; a < cfg.num_aps && !any_edge; ++a) {
+      for (int b = a + 1; b < cfg.num_aps; ++b) {
+        if (graph.adjacent(a, b)) {
+          any_edge = true;
+          break;
+        }
+      }
+    }
+    if (any_edge) ++scenarios_with_contention;
+  }
+  EXPECT_GE(scenarios_with_contention, trials * 3 / 4);
+}
+
+TEST(RandomDrop, DensityMetric) {
+  RandomDropConfig cfg;
+  cfg.num_aps = 5;
+  cfg.area_m = 60.0;
+  EXPECT_NEAR(cfg.aps_per_hectare(), 13.888, 0.01);
+}
+
+}  // namespace
+}  // namespace acorn::dcb

@@ -98,6 +98,67 @@ TEST(ChannelPlan, BondsCoverDisjointPairs) {
   }
 }
 
+TEST(Channel, OverlapAndConflictPropertiesAcrossAllPairs) {
+  // The DCB contention model (dcb::distill_shares, the multi-channel
+  // DCF) leans on conflicts/overlap_fraction agreeing with the occupied
+  // sets for every color pair, so pin the algebra across the whole
+  // vocabulary: every basic and bonded color of a 13-channel plan (odd,
+  // so the last basic channel is in no bond).
+  std::vector<Channel> colors;
+  for (int i = 0; i < 13; ++i) colors.push_back(Channel::basic(i));
+  for (int p = 0; p < 6; ++p) colors.push_back(Channel::bonded(p));
+  const auto shared_count = [](const Channel& a, const Channel& b) {
+    int shared = 0;
+    for (int ca : a.occupied()) {
+      for (int cb : b.occupied()) shared += ca == cb ? 1 : 0;
+    }
+    return shared;
+  };
+  for (const Channel& a : colors) {
+    // Self: total overlap, conflicting.
+    EXPECT_TRUE(a.conflicts(a));
+    EXPECT_DOUBLE_EQ(a.overlap_fraction(a), 1.0);
+    for (const Channel& b : colors) {
+      const int shared = shared_count(a, b);
+      // conflicts == "occupied sets intersect", symmetric.
+      EXPECT_EQ(a.conflicts(b), shared > 0) << a.to_string() << " vs "
+                                            << b.to_string();
+      EXPECT_EQ(a.conflicts(b), b.conflicts(a));
+      // overlap_fraction is shared/|own|: values limited to {0, .5, 1},
+      // nonzero exactly when conflicting, and the shared count is
+      // symmetric: overlap(a,b)*|a| == overlap(b,a)*|b|.
+      const double f_ab = a.overlap_fraction(b);
+      const double f_ba = b.overlap_fraction(a);
+      EXPECT_TRUE(f_ab == 0.0 || f_ab == 0.5 || f_ab == 1.0)
+          << a.to_string() << " vs " << b.to_string() << ": " << f_ab;
+      EXPECT_DOUBLE_EQ(
+          f_ab, static_cast<double>(shared) /
+                    static_cast<double>(a.occupied().size()));
+      EXPECT_DOUBLE_EQ(f_ab * static_cast<double>(a.occupied().size()),
+                       f_ba * static_cast<double>(b.occupied().size()));
+      EXPECT_EQ(f_ab > 0.0, a.conflicts(b));
+    }
+  }
+}
+
+TEST(Channel, AdjacentBondsAreAlignedAndDisjoint) {
+  // 802.11n bonds are even-aligned: bonded(p) occupies {2p, 2p+1}, so
+  // two *different* bonds can never share a basic channel — "adjacent
+  // bonds sharing one basic channel" (e.g. {1,2}) are unrepresentable
+  // by construction, which is exactly why the all-pairs walk above sees
+  // only {0, 0.5, 1} overlaps. Pin that alignment here so a future
+  // channelization change (e.g. allowing odd-aligned bonds) must
+  // revisit the DCB contention model's assumptions.
+  for (int p = 0; p < 5; ++p) {
+    const Channel bond = Channel::bonded(p);
+    EXPECT_EQ(bond.primary() % 2, 0);
+    EXPECT_EQ(bond.occupied(),
+              (std::vector<int>{2 * p, 2 * p + 1}));
+    EXPECT_FALSE(bond.conflicts(Channel::bonded(p + 1)));
+    EXPECT_DOUBLE_EQ(bond.overlap_fraction(Channel::bonded(p + 1)), 0.0);
+  }
+}
+
 TEST(ChannelPlan, AllChannelsBasicFirst) {
   const ChannelPlan plan(4);
   const auto all = plan.all_channels();
